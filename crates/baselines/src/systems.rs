@@ -1,0 +1,290 @@
+//! Descriptors of the comparison data planes of §4.3.
+//!
+//! Each [`SystemModel`] captures how a published system moves data, in the
+//! dimensions Table 1 compares: which cluster ingress it uses, how
+//! functions talk across nodes and within a node, whether it runs NADINO's
+//! real engine (the DNE/CNE variants) or the generic
+//! [`crate::BaselineEngine`], and how many cores it burns on polling or
+//! scheduling regardless of load. The `nadino` crate's end-to-end
+//! experiments assemble clusters from these descriptors.
+
+use dne::types::DneConfig;
+use ingress::stack::GatewayKind;
+use simcore::SimDuration;
+
+use crate::engine::EngineCosts;
+
+/// The systems compared in Fig. 16 / Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// NADINO with the engine offloaded to the DPU.
+    NadinoDne,
+    /// NADINO with the engine on a host CPU core.
+    NadinoCne,
+    /// FUYAO (one-sided write + receiver copy) behind the F-stack ingress.
+    FuyaoF,
+    /// FUYAO behind the kernel ingress.
+    FuyaoK,
+    /// Junction: software kernel-bypass TCP for all inter-function traffic.
+    Junction,
+    /// SPRIGHT: shared memory locally, kernel networking across nodes.
+    Spright,
+    /// NightCore: single-node shared memory with its kernel-based ingress.
+    NightCore,
+}
+
+impl SystemKind {
+    /// All systems, in the paper's presentation order.
+    pub fn all() -> [SystemKind; 7] {
+        [
+            SystemKind::NadinoDne,
+            SystemKind::NadinoCne,
+            SystemKind::FuyaoF,
+            SystemKind::FuyaoK,
+            SystemKind::Junction,
+            SystemKind::Spright,
+            SystemKind::NightCore,
+        ]
+    }
+}
+
+/// Per-hop costs of a system's *intra-node* path.
+#[derive(Debug, Clone)]
+pub struct IntraNodeCosts {
+    /// Descriptor/IPC latency between co-located functions.
+    pub latency: SimDuration,
+    /// CPU charged on the host per intra-node hop.
+    pub cpu: SimDuration,
+    /// Extra copy for designs with separate intra/inter pools (FUYAO).
+    pub copy_rate: Option<f64>,
+}
+
+/// A full system description.
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    pub kind: SystemKind,
+    /// Display name matching the paper's figures.
+    pub name: &'static str,
+    /// Which cluster ingress fronts the system.
+    pub ingress: GatewayKind,
+    /// NightCore cannot spread a chain across nodes.
+    pub single_node_only: bool,
+    /// NADINO variants run the real engine with this config.
+    pub dne: Option<DneConfig>,
+    /// Baselines run the generic engine with these costs.
+    pub engine: Option<EngineCosts>,
+    /// Intra-node hop costs.
+    pub intra: IntraNodeCosts,
+    /// Whether intra-node messages also pass through the node's engine
+    /// (NightCore's engine is intra-node only; Junction's runtime
+    /// processes every message).
+    pub intra_via_engine: bool,
+    /// Cores per worker node dedicated regardless of load (FUYAO's
+    /// one-sided polling receiver, Junction's scheduler core).
+    pub dedicated_cores_per_node: usize,
+}
+
+impl SystemModel {
+    /// Returns the calibrated model for `kind`.
+    pub fn for_kind(kind: SystemKind) -> SystemModel {
+        let shm_intra = IntraNodeCosts {
+            latency: SimDuration::from_nanos(1_600),
+            cpu: SimDuration::from_nanos(850),
+            copy_rate: None,
+        };
+        match kind {
+            SystemKind::NadinoDne => SystemModel {
+                kind,
+                name: "NADINO (DNE)",
+                ingress: GatewayKind::Nadino,
+                single_node_only: false,
+                dne: Some(DneConfig::nadino_dne()),
+                engine: None,
+                intra: shm_intra,
+                intra_via_engine: false,
+                dedicated_cores_per_node: 0,
+            },
+            SystemKind::NadinoCne => SystemModel {
+                kind,
+                name: "NADINO (CNE)",
+                ingress: GatewayKind::Nadino,
+                single_node_only: false,
+                dne: Some(DneConfig::nadino_cne()),
+                engine: None,
+                intra: shm_intra,
+                intra_via_engine: false,
+                dedicated_cores_per_node: 0,
+            },
+            SystemKind::FuyaoF | SystemKind::FuyaoK => SystemModel {
+                kind,
+                name: if kind == SystemKind::FuyaoF {
+                    "FUYAO-F"
+                } else {
+                    "FUYAO-K"
+                },
+                ingress: if kind == SystemKind::FuyaoF {
+                    GatewayKind::FIngress
+                } else {
+                    GatewayKind::KIngress
+                },
+                single_node_only: false,
+                dne: None,
+                // One-sided write + receiver-side copy: the engine pays
+                // poll detection, WQE management, separate-pool ownership
+                // transfer and the copy on every inter-node hop; the
+                // receiver polls continuously.
+                engine: Some(EngineCosts {
+                    per_msg: SimDuration::from_nanos(7_500),
+                    hop_latency: SimDuration::from_nanos(4_500),
+                    copy_fixed: SimDuration::from_nanos(800),
+                    copy_rate: Some(2_500_000_000.0),
+                    polling: true,
+                }),
+                // Separate intra/inter memory pools force a copy locally too.
+                intra: IntraNodeCosts {
+                    latency: SimDuration::from_nanos(1_600),
+                    cpu: SimDuration::from_nanos(1_100),
+                    copy_rate: Some(4_000_000_000.0),
+                },
+                intra_via_engine: false,
+                dedicated_cores_per_node: 1,
+            },
+            SystemKind::Junction => SystemModel {
+                kind,
+                name: "Junction",
+                ingress: GatewayKind::FIngress,
+                single_node_only: false,
+                dne: None,
+                // Software kernel-bypass TCP on every hop: the per-node
+                // runtime processes each message in software.
+                engine: Some(EngineCosts {
+                    per_msg: SimDuration::from_nanos(8_000),
+                    hop_latency: SimDuration::from_nanos(6_000),
+                    copy_fixed: SimDuration::ZERO,
+                    copy_rate: None,
+                    polling: false,
+                }),
+                intra: IntraNodeCosts {
+                    latency: SimDuration::from_nanos(4_000),
+                    cpu: SimDuration::from_nanos(8_000),
+                    copy_rate: None,
+                },
+                intra_via_engine: true,
+                dedicated_cores_per_node: 1,
+            },
+            SystemKind::Spright => SystemModel {
+                kind,
+                name: "SPRIGHT",
+                ingress: GatewayKind::FIngress,
+                single_node_only: false,
+                dne: None,
+                // Kernel protocol stack between nodes.
+                engine: Some(EngineCosts {
+                    per_msg: SimDuration::from_nanos(11_000),
+                    hop_latency: SimDuration::from_nanos(18_000),
+                    copy_fixed: SimDuration::from_nanos(500),
+                    copy_rate: Some(6_000_000_000.0),
+                    polling: false,
+                }),
+                intra: shm_intra,
+                intra_via_engine: false,
+                dedicated_cores_per_node: 0,
+            },
+            SystemKind::NightCore => SystemModel {
+                kind,
+                name: "NightCore",
+                ingress: GatewayKind::KIngress,
+                single_node_only: true,
+                dne: None,
+                engine: Some(EngineCosts {
+                    per_msg: SimDuration::from_nanos(1_800),
+                    hop_latency: SimDuration::from_nanos(2_000),
+                    copy_fixed: SimDuration::ZERO,
+                    copy_rate: None,
+                    polling: false,
+                }),
+                intra: IntraNodeCosts {
+                    latency: SimDuration::from_nanos(2_000),
+                    cpu: SimDuration::from_nanos(1_800),
+                    copy_rate: None,
+                },
+                intra_via_engine: true,
+                dedicated_cores_per_node: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_systems_resolve() {
+        for kind in SystemKind::all() {
+            let m = SystemModel::for_kind(kind);
+            assert_eq!(m.kind, kind);
+            assert!(!m.name.is_empty());
+            // Exactly one of the two engine flavours is set.
+            assert!(m.dne.is_some() ^ m.engine.is_some());
+        }
+    }
+
+    #[test]
+    fn table1_properties_hold() {
+        // NightCore: no distributed zero-copy (single node only).
+        assert!(SystemModel::for_kind(SystemKind::NightCore).single_node_only);
+        // FUYAO uses DPU offloading in the paper's table but copies at the
+        // receiver; our model encodes the copy.
+        let fuyao = SystemModel::for_kind(SystemKind::FuyaoF);
+        assert!(fuyao.engine.as_ref().unwrap().copy_rate.is_some());
+        assert!(fuyao.intra.copy_rate.is_some(), "separate pools copy locally");
+        // NADINO eliminates protocol processing within the cluster.
+        assert_eq!(
+            SystemModel::for_kind(SystemKind::NadinoDne).ingress,
+            GatewayKind::Nadino
+        );
+    }
+
+    #[test]
+    fn fuyao_variants_differ_only_in_ingress() {
+        let f = SystemModel::for_kind(SystemKind::FuyaoF);
+        let k = SystemModel::for_kind(SystemKind::FuyaoK);
+        assert_eq!(f.ingress, GatewayKind::FIngress);
+        assert_eq!(k.ingress, GatewayKind::KIngress);
+        assert_eq!(
+            f.engine.as_ref().unwrap().per_msg,
+            k.engine.as_ref().unwrap().per_msg
+        );
+    }
+
+    #[test]
+    fn polling_systems_burn_dedicated_cores() {
+        assert_eq!(
+            SystemModel::for_kind(SystemKind::FuyaoF).dedicated_cores_per_node,
+            1
+        );
+        assert_eq!(
+            SystemModel::for_kind(SystemKind::Junction).dedicated_cores_per_node,
+            1
+        );
+        assert_eq!(
+            SystemModel::for_kind(SystemKind::NadinoDne).dedicated_cores_per_node,
+            0
+        );
+    }
+
+    #[test]
+    fn spright_inter_node_is_kernel_priced() {
+        let s = SystemModel::for_kind(SystemKind::Spright);
+        let f = SystemModel::for_kind(SystemKind::FuyaoF);
+        assert!(
+            s.engine.as_ref().unwrap().per_msg > f.engine.as_ref().unwrap().per_msg,
+            "kernel networking must cost more per message than one-sided RDMA"
+        );
+        assert!(
+            s.engine.as_ref().unwrap().hop_latency > f.engine.as_ref().unwrap().hop_latency,
+            "kernel hops must also be slower on the wire"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each bench sweeps one knob of the system and reports how the measured
+//! quantity (virtual-time RPS or latency, computed inside the bench and
+//! printed once) responds:
+//!
+//! - **QP-cache sweep**: per-op penalty vs. number of active QPs —
+//!   motivates the shadow-QP connection pool.
+//! - **Wimpy-factor sweep**: at which DPU core speed the engine stops
+//!   being competitive.
+//! - **DWRR quantum sweep**: fairness convergence vs. burst latency.
+//! - **MTT sweep**: hugepages (few translation entries) vs. 4 KiB pages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Keeps `cargo bench --workspace` fast: short warm-up and measurement
+/// windows with a small sample count are ample for these deterministic
+/// workloads.
+fn tune<'a, M: criterion::measurement::Measurement>(
+    g: &mut criterion::BenchmarkGroup<'a, M>,
+) {
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+}
+
+use std::hint::black_box;
+
+use dne::sched::{DwrrScheduler, TenantScheduler};
+use membuf::hugepage::{SegmentArena, HUGEPAGE_SIZE, PAGE_SIZE_4K};
+use membuf::tenant::TenantId;
+use rdma_sim::RdmaCosts;
+
+fn qp_cache_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_qp_cache");
+    tune(&mut g);
+    let costs = RdmaCosts::default();
+    for active in [64usize, 128, 256, 512, 1024] {
+        g.bench_function(format!("active_qps_{active}"), |b| {
+            b.iter(|| black_box(costs.qp_cache_penalty(black_box(active))))
+        });
+    }
+    // Print the sweep once so the ablation result is visible in bench logs.
+    for active in [64usize, 128, 256, 512, 1024] {
+        eprintln!(
+            "qp_cache: active={active} penalty={}ns",
+            costs.qp_cache_penalty(active).as_nanos()
+        );
+    }
+    g.finish();
+}
+
+fn mtt_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mtt");
+    tune(&mut g);
+    g.sample_size(10);
+    for (name, seg) in [("hugepage_2m", HUGEPAGE_SIZE), ("page_4k", PAGE_SIZE_4K)] {
+        g.bench_function(format!("register_64mib_{name}"), |b| {
+            b.iter(|| {
+                let arena = SegmentArena::with_segment_size(64 * 1024 * 1024, seg);
+                black_box(arena.mtt_entries())
+            })
+        });
+    }
+    let costs = RdmaCosts::default();
+    for (name, seg) in [("hugepage_2m", HUGEPAGE_SIZE), ("page_4k", PAGE_SIZE_4K)] {
+        let entries = 64 * 1024 * 1024 / seg;
+        eprintln!(
+            "mtt: {name} entries={entries} penalty={}ns",
+            costs.mtt_penalty(entries).as_nanos()
+        );
+    }
+    g.finish();
+}
+
+fn dwrr_quantum_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dwrr_quantum");
+    tune(&mut g);
+    for quantum in [0.25f64, 1.0, 4.0, 16.0] {
+        g.bench_function(format!("quantum_{quantum}"), |b| {
+            b.iter(|| {
+                let mut s = DwrrScheduler::new(quantum);
+                s.register(TenantId(1), 6);
+                s.register(TenantId(2), 1);
+                s.register(TenantId(3), 2);
+                for i in 0..300u32 {
+                    s.enqueue(TenantId((i % 3 + 1) as u16), i);
+                }
+                let mut out = 0u32;
+                while s.dequeue().is_some() {
+                    out += 1;
+                }
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn wimpy_factor_sweep(c: &mut Criterion) {
+    use dpu_sim::soc::{Processor, ProcessorKind};
+    use simcore::{SimDuration, SimTime};
+    let mut g = c.benchmark_group("ablation_wimpy_factor");
+    tune(&mut g);
+    g.sample_size(10);
+    for factor in [1.0f64, 1.5, 2.0, 3.0, 4.0] {
+        g.bench_function(format!("factor_{factor}"), |b| {
+            b.iter(|| {
+                let mut p = Processor::with_factor(ProcessorKind::DpuArm, 1, factor);
+                let mut t = SimTime::ZERO;
+                for _ in 0..1_000 {
+                    t = p.run(t, SimDuration::from_nanos(1_920));
+                }
+                black_box(t)
+            })
+        });
+        let per_msg_us = 1.92 * factor;
+        eprintln!(
+            "wimpy: factor={factor} engine_per_msg={per_msg_us:.2}us ceiling={:.0} msg/s",
+            1_000_000.0 / per_msg_us
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    qp_cache_sweep,
+    mtt_sweep,
+    dwrr_quantum_sweep,
+    wimpy_factor_sweep
+);
+criterion_main!(benches);

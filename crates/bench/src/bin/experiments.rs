@@ -1,0 +1,131 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [name ...]      # fig06 fig09 fig11 fig12 fig13 fig14
+//!                             # fig15 fig16 table2 fig17, or "all"
+//! experiments --quick [name]  # shorter runs for smoke testing
+//! ```
+//!
+//! Each experiment prints its table(s) and writes a JSON twin under
+//! `results/`.
+
+use std::path::PathBuf;
+
+use nadino::experiment::{ablations, summary, fig06, fig09, fig11, fig12, fig13, fig14, fig15, fig16, fig17};
+use nadino::report::write_json;
+
+struct Budget {
+    /// Virtual milliseconds per steady-state cell.
+    millis: u64,
+    /// Echo requests per microbenchmark cell.
+    requests: u64,
+    /// Timeline compression for the multi-tenant experiments.
+    scale: f64,
+    /// Virtual seconds for the autoscaling ramp.
+    ramp_secs: u64,
+}
+
+impl Budget {
+    fn full() -> Budget {
+        Budget {
+            millis: 400,
+            requests: 2_000,
+            scale: 0.1,
+            ramp_secs: 48,
+        }
+    }
+
+    fn quick() -> Budget {
+        Budget {
+            millis: 60,
+            requests: 300,
+            scale: 0.04,
+            ramp_secs: 16,
+        }
+    }
+}
+
+fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+fn emit<T: serde::Serialize>(name: &str, text: &str, value: &T) {
+    println!("{text}");
+    let path = results_dir().join(format!("{name}.json"));
+    match write_json(&path, value) {
+        Ok(()) => println!("[wrote {}]\n", path.display()),
+        Err(e) => eprintln!("[failed to write {}: {e}]\n", path.display()),
+    }
+}
+
+fn run_one(name: &str, b: &Budget) {
+    match name {
+        "fig06" => {
+            let fig = fig06::run(b.requests, b.millis);
+            emit("fig06", &fig.render(), &fig);
+        }
+        "fig09" => {
+            let fig = fig09::run(b.requests);
+            emit("fig09", &fig.render(), &fig);
+        }
+        "fig11" => {
+            let fig = fig11::run(b.millis);
+            emit("fig11", &fig.render(), &fig);
+        }
+        "fig12" => {
+            let fig = fig12::run(b.requests);
+            emit("fig12", &fig.render(), &fig);
+        }
+        "fig13" => {
+            let fig = fig13::run(b.millis);
+            emit("fig13", &fig.render(), &fig);
+        }
+        "fig14" => {
+            let fig = fig14::run(b.ramp_secs);
+            emit("fig14", &fig.render(), &fig);
+        }
+        "fig15" => {
+            let fig = fig15::run(b.scale);
+            emit("fig15", &fig.render(), &fig);
+        }
+        "fig16" | "table2" => {
+            let fig = fig16::run(b.millis);
+            let mut text = fig.render();
+            text.push('\n');
+            text.push_str(&fig.render_table2());
+            emit("fig16", &text, &fig);
+        }
+        "fig17" => {
+            let fig = fig17::run(b.scale);
+            emit("fig17", &fig.render(), &fig);
+        }
+        "ablations" => {
+            let fig = ablations::run(b.millis, b.scale.min(0.05));
+            emit("ablations", &fig.render(), &fig);
+        }
+        "summary" => {
+            let fig = summary::run(b.millis, b.requests);
+            emit("summary", &fig.render(), &fig);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; known: {:?}", bench::EXPERIMENTS);
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let budget = if quick { Budget::quick() } else { Budget::full() };
+    let names: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        bench::EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for name in names {
+        eprintln!(">>> running {name}");
+        run_one(&name, &budget);
+    }
+}

@@ -1,0 +1,439 @@
+//! Cluster assembly: worker nodes with DPUs, tenants, chains.
+//!
+//! A [`Cluster`] wires the full NADINO stack on a simulated testbed: a
+//! fabric with one RNIC per worker node, a [`dne::Dne`] per node (DPU or
+//! CPU flavoured, per the configured [`DneConfig`]), host cores, per-node
+//! per-tenant unified memory pools exported cross-processor via the DOCA
+//! mmap handshake, the unified I/O library, and chain-aware function
+//! endpoints.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dne::types::DneConfig;
+use dne::Dne;
+use dpu_sim::mmap::{doca_mmap_create_from_export, doca_mmap_export_full};
+use dpu_sim::soc::{Processor, ProcessorKind};
+use membuf::pool::{BufferPool, PoolConfig};
+use membuf::tenant::TenantId;
+use rdma_sim::{Fabric, NodeId, RdmaCosts};
+use runtime::function::{ChainFunction, CompletionFn};
+use runtime::{ChainSpec, IoLib, Placement};
+use simcore::{Sim, SimDuration, SimTime};
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Host CPU cores per worker node.
+    pub host_cores: usize,
+    /// Network-engine configuration (same on every node).
+    pub dne: DneConfig,
+    /// Fabric cost model.
+    pub rdma: RdmaCosts,
+    /// Buffer size of each tenant pool.
+    pub buf_size: usize,
+    /// Buffers per tenant pool per node.
+    pub pool_bufs: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 2,
+            host_cores: 32,
+            dne: DneConfig::nadino_dne(),
+            rdma: RdmaCosts::default(),
+            buf_size: 8 * 1024,
+            pool_bufs: 2048,
+        }
+    }
+}
+
+/// One worker node's components.
+pub struct NodeHandle {
+    /// Fabric identity of the node's RNIC.
+    pub id: NodeId,
+    /// The node's network engine (DNE on the DPU or CNE on the CPU).
+    pub dne: Dne,
+    /// Host cores executing functions.
+    pub cpu: Rc<RefCell<Processor>>,
+    /// The node's unified I/O library.
+    pub iolib: IoLib,
+}
+
+/// A fully wired NADINO cluster.
+pub struct Cluster {
+    /// The RDMA fabric connecting the nodes.
+    pub fabric: Fabric,
+    /// Worker nodes, indexed 0..workers.
+    pub nodes: Vec<NodeHandle>,
+    /// The shared placement map.
+    pub placement: Rc<RefCell<Placement>>,
+    cfg: ClusterConfig,
+    pools: HashMap<(TenantId, usize), BufferPool>,
+}
+
+impl Cluster {
+    /// Builds the cluster (nodes, engines, I/O libraries).
+    pub fn new(sim: &mut Sim, cfg: ClusterConfig) -> Cluster {
+        assert!(cfg.workers >= 1, "need at least one worker node");
+        let fabric = Fabric::new(cfg.rdma.clone());
+        let placement = Rc::new(RefCell::new(Placement::new()));
+        let mut nodes = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let id = fabric.add_node();
+            let dne = Dne::new(fabric.clone(), id, cfg.dne.clone())
+                .expect("node creation cannot fail on a fresh fabric");
+            let cpu = Rc::new(RefCell::new(Processor::new(
+                ProcessorKind::HostCpu,
+                cfg.host_cores,
+            )));
+            let iolib = IoLib::new(id, dne.clone(), cpu.clone(), placement.clone());
+            nodes.push(NodeHandle {
+                id,
+                dne,
+                cpu,
+                iolib,
+            });
+        }
+        // Nothing is scheduled yet; run to settle any setup events.
+        sim.run_until(sim.now());
+        Cluster {
+            fabric,
+            nodes,
+            placement,
+            cfg,
+            pools: HashMap::new(),
+        }
+    }
+
+    /// Returns the cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Provisions a tenant: one unified memory pool per node (exported to
+    /// the DPU and RNIC), registration with every engine, and a pool of RC
+    /// connections between every pair of nodes. Advances the simulation
+    /// past connection setup.
+    pub fn add_tenant(
+        &mut self,
+        sim: &mut Sim,
+        tenant: TenantId,
+        weight: u32,
+    ) -> Result<(), dne::engine::DneError> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let mut pc = PoolConfig::new(tenant, 0, self.cfg.buf_size, self.cfg.pool_bufs);
+            pc.segment_size = membuf::hugepage::HUGEPAGE_SIZE;
+            let pool = BufferPool::new(pc).expect("validated pool geometry");
+            // The three-step DOCA handshake: export on the host, ship the
+            // descriptor, import on the DPU.
+            let export = doca_mmap_export_full(&pool).expect("grants are non-empty");
+            let mapped = doca_mmap_create_from_export(&export).expect("PCI grant present");
+            node.dne.register_tenant(tenant, weight, &mapped)?;
+            node.iolib.register_tenant_pool(tenant, pool.clone());
+            self.pools.insert((tenant, idx), pool);
+        }
+        // Pre-establish connection pools between every node pair.
+        for i in 0..self.nodes.len() {
+            for j in (i + 1)..self.nodes.len() {
+                Dne::connect_pair(
+                    sim,
+                    &self.nodes[i].dne,
+                    &self.nodes[j].dne,
+                    tenant,
+                    self.cfg.dne.conns_per_peer,
+                )?;
+            }
+        }
+        // Let the RC connections come up (tens of milliseconds).
+        sim.run_for(self.cfg.rdma.connect_delay + SimDuration::from_millis(1));
+        Ok(())
+    }
+
+    /// Returns the tenant's pool on node `idx`.
+    pub fn pool(&self, tenant: TenantId, idx: usize) -> &BufferPool {
+        self.pools
+            .get(&(tenant, idx))
+            .expect("tenant provisioned on this node")
+    }
+
+    /// Returns the tenant's pool on node `idx` if provisioned.
+    pub fn try_pool(&self, tenant: TenantId, idx: usize) -> Option<&BufferPool> {
+        self.pools.get(&(tenant, idx))
+    }
+
+    /// Snapshot of every provisioned `(tenant, node index, pool)` triple.
+    pub fn pools_snapshot(&self) -> Vec<(TenantId, usize, BufferPool)> {
+        let mut v: Vec<_> = self
+            .pools
+            .iter()
+            .map(|(&(t, i), p)| (t, i, p.clone()))
+            .collect();
+        v.sort_by_key(|&(t, i, _)| (t, i));
+        v
+    }
+
+    /// Places a function on worker node `idx` and syncs all routing tables.
+    pub fn place(&self, fn_id: u16, idx: usize) {
+        let node = self.nodes[idx].id;
+        self.placement.borrow_mut().place(fn_id, node);
+        for n in &self.nodes {
+            n.dne.set_route(fn_id, node);
+        }
+    }
+
+    /// Returns the node index hosting `fn_id`.
+    pub fn node_index_of(&self, fn_id: u16) -> Option<usize> {
+        let node = self.placement.borrow().node_of(fn_id)?;
+        self.nodes.iter().position(|n| n.id == node)
+    }
+
+    /// Registers chain-aware endpoints for every distinct function of
+    /// `chain`, using `exec_cost` to price each function's logic. Functions
+    /// must already be placed.
+    pub fn register_chain(
+        &self,
+        chain: &ChainSpec,
+        exec_cost: impl Fn(u16) -> SimDuration,
+        on_complete: CompletionFn,
+    ) {
+        let chain = Rc::new(chain.clone());
+        for f in chain.functions() {
+            let idx = self
+                .node_index_of(f)
+                .unwrap_or_else(|| panic!("function {f} is not placed"));
+            let node = &self.nodes[idx];
+            let pool = self.pool(chain.tenant, idx).clone();
+            let ep = ChainFunction::endpoint(
+                chain.clone(),
+                exec_cost(f),
+                pool,
+                node.cpu.clone(),
+                node.iolib.clone(),
+                on_complete.clone(),
+            );
+            node.iolib.register_function(f, chain.tenant, ep);
+        }
+    }
+
+    /// Registers DAG-aware endpoints for every function of `dag` (the
+    /// paper's fan-out/fan-in dataflow layered on the same primitives).
+    pub fn register_dag(
+        &self,
+        dag: &runtime::DagSpec,
+        exec_cost: impl Fn(u16) -> SimDuration,
+        on_complete: CompletionFn,
+    ) {
+        let dag = Rc::new(dag.clone());
+        for f in dag.functions() {
+            let idx = self
+                .node_index_of(f)
+                .unwrap_or_else(|| panic!("function {f} is not placed"));
+            let node = &self.nodes[idx];
+            let pool = self.pool(dag.tenant, idx).clone();
+            let ep = runtime::DagFunction::endpoint(
+                dag.clone(),
+                f,
+                exec_cost(f),
+                pool,
+                node.cpu.clone(),
+                node.iolib.clone(),
+                on_complete.clone(),
+            );
+            node.iolib.register_function(f, dag.tenant, ep);
+        }
+    }
+
+    /// Injects one request into a DAG's root function.
+    pub fn inject_dag(&self, sim: &mut Sim, dag: &runtime::DagSpec, req_id: u64) -> bool {
+        let Some(idx) = self.node_index_of(dag.root) else {
+            return false;
+        };
+        let pool = self.pool(dag.tenant, idx);
+        let Ok(mut buf) = pool.get() else {
+            return false;
+        };
+        let mut payload = runtime::encode_request_payload(req_id, 64);
+        runtime::dag::set_dag_header(
+            &mut payload,
+            runtime::dag::DagMsg::Call,
+            runtime::dag::CLIENT_CALLER,
+        );
+        if buf.write_payload(&payload).is_err() {
+            return false;
+        }
+        self.nodes[idx]
+            .iolib
+            .send(sim, dag.tenant, buf.into_desc(dag.root));
+        true
+    }
+
+    /// Injects one request into a chain: writes the payload into the entry
+    /// node's pool and delivers the descriptor to the entry function.
+    ///
+    /// Returns `false` when the entry pool is exhausted (the request is
+    /// shed, as a real admission controller would).
+    pub fn inject(
+        &self,
+        sim: &mut Sim,
+        chain: &ChainSpec,
+        req_id: u64,
+        payload_len: usize,
+    ) -> bool {
+        let entry = chain.entry();
+        let Some(idx) = self.node_index_of(entry) else {
+            return false;
+        };
+        let pool = self.pool(chain.tenant, idx);
+        let Ok(mut buf) = pool.get() else {
+            return false;
+        };
+        let mut payload = runtime::encode_request_payload(req_id, payload_len.max(10));
+        runtime::set_hop(&mut payload, 0);
+        if buf.write_payload(&payload).is_err() {
+            return false;
+        }
+        self.nodes[idx]
+            .iolib
+            .send(sim, chain.tenant, buf.into_desc(entry));
+        true
+    }
+
+    /// Sum of network-engine core utilization across nodes over `[a, b]`
+    /// (the paper's "DPU utilization" for DNE runs, "CPU" for CNE).
+    pub fn engine_utilization(&self, a: SimTime, b: SimTime) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.dne.utilization_cores(a, b))
+            .sum()
+    }
+
+    /// Sum of host-core utilization across nodes over `[a, b]`.
+    pub fn host_utilization(&self, a: SimTime, b: SimTime) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.cpu.borrow().utilization_cores(a, b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ClosedLoop;
+
+    #[test]
+    fn cluster_builds_and_runs_an_echo_chain() {
+        let mut sim = Sim::new();
+        let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+        let tenant = TenantId(1);
+        cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+        let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+        cluster.place(1, 0);
+        cluster.place(2, 1);
+        let driver = ClosedLoop::new(SimTime::ZERO + SimDuration::from_millis(100));
+        cluster.register_chain(&chain, |_| SimDuration::from_micros(5), driver.completion());
+        driver.start(&mut sim, &cluster, &chain, 8, 256);
+        sim.run();
+        assert!(driver.completed() > 500, "got {}", driver.completed());
+        // Engines did real work on both nodes.
+        assert!(cluster.nodes[0].dne.stats().tx_posted > 0);
+        assert!(cluster.nodes[1].dne.stats().tx_posted > 0);
+        assert_eq!(cluster.nodes[0].dne.stats().drops, 0);
+    }
+
+    #[test]
+    fn dag_fan_out_beats_the_equivalent_sequential_chain() {
+        use std::cell::Cell;
+        // Frontend fans out to four services in parallel; the sequential
+        // chain visits the same services one at a time. Same total work,
+        // but the DAG overlaps it.
+        let run_dag = || {
+            let mut sim = Sim::new();
+            let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+            let tenant = TenantId(1);
+            cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+            for (f, node) in [(1u16, 0usize), (2, 1), (3, 1), (4, 1), (5, 0)] {
+                cluster.place(f, node);
+            }
+            let dag = runtime::DagSpec::new(
+                "fanout",
+                tenant,
+                1,
+                &[(1, &[2, 3, 4, 5][..])],
+            );
+            let done: Rc<std::cell::Cell<Option<SimTime>>> = Rc::new(Cell::new(None));
+            let sink = done.clone();
+            cluster.register_dag(
+                &dag,
+                |_| SimDuration::from_micros(50),
+                Rc::new(move |sim, _| sink.set(Some(sim.now()))),
+            );
+            let t0 = sim.now();
+            assert!(cluster.inject_dag(&mut sim, &dag, 7));
+            sim.run();
+            (done.get().expect("completed") - t0).as_micros_f64()
+        };
+        let run_chain = || {
+            let mut sim = Sim::new();
+            let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+            let tenant = TenantId(1);
+            cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+            for (f, node) in [(1u16, 0usize), (2, 1), (3, 1), (4, 1), (5, 0)] {
+                cluster.place(f, node);
+            }
+            let chain =
+                ChainSpec::new("seq", tenant, vec![1, 2, 1, 3, 1, 4, 1, 5, 1]);
+            let done: Rc<std::cell::Cell<Option<SimTime>>> = Rc::new(Cell::new(None));
+            let sink = done.clone();
+            cluster.register_chain(
+                &chain,
+                |_| SimDuration::from_micros(50),
+                Rc::new(move |sim, _| sink.set(Some(sim.now()))),
+            );
+            let t0 = sim.now();
+            assert!(cluster.inject(&mut sim, &chain, 7, 64));
+            sim.run();
+            (done.get().expect("completed") - t0).as_micros_f64()
+        };
+        let dag_us = run_dag();
+        let chain_us = run_chain();
+        assert!(
+            dag_us < 0.6 * chain_us,
+            "fan-out ({dag_us}us) must overlap work the chain ({chain_us}us) serializes"
+        );
+    }
+
+    #[test]
+    fn inject_fails_without_placement() {
+        let mut sim = Sim::new();
+        let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+        let tenant = TenantId(1);
+        cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+        let chain = ChainSpec::new("c", tenant, vec![5, 6]);
+        assert!(!cluster.inject(&mut sim, &chain, 0, 64));
+    }
+
+    #[test]
+    fn utilization_accessors_cover_engines_and_hosts() {
+        let mut sim = Sim::new();
+        let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+        let tenant = TenantId(1);
+        cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+        let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+        cluster.place(1, 0);
+        cluster.place(2, 1);
+        let t0 = sim.now();
+        let driver = ClosedLoop::new(t0 + SimDuration::from_millis(20));
+        cluster.register_chain(&chain, |_| SimDuration::from_micros(50), driver.completion());
+        driver.start(&mut sim, &cluster, &chain, 16, 128);
+        sim.run();
+        let t1 = sim.now();
+        assert!(cluster.engine_utilization(t0, t1) > 0.0);
+        assert!(cluster.host_utilization(t0, t1) > 0.0);
+    }
+}

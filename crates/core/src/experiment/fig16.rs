@@ -1,0 +1,501 @@
+//! Fig. 16 & Table 2 — end-to-end Online Boutique evaluation.
+//!
+//! The full system comparison of §4.3: three chains (Home Query, View
+//! Cart, Product Query) served by seven data planes behind their
+//! respective cluster ingresses, under 20/60/80 closed-loop clients.
+//! NADINO (DNE) and NADINO (CNE) run the real engine on a real cluster;
+//! the baselines run their calibrated system models. For every
+//! configuration we record RPS, mean latency (Table 2) and the
+//! network-engine core usage (Fig. 16 (4)-(6)).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use baselines::{SystemKind, SystemModel};
+use ingress::gateway::{Gateway, GatewayConfig, Reply, Upstream};
+use ingress::rss::FlowId;
+use membuf::tenant::TenantId;
+use runtime::ChainSpec;
+use serde::Serialize;
+use simcore::{Histogram, Sim, SimDuration, SimTime};
+
+use crate::baseline_cluster::BaselineCluster;
+use crate::boutique;
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::report::{fmt_f64, render_table};
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig16Row {
+    pub system: String,
+    pub chain: String,
+    pub clients: usize,
+    pub rps: f64,
+    pub mean_ms: f64,
+    /// Network-engine cores busy (DPU cores for NADINO (DNE), CPU
+    /// otherwise), including cores dedicated to polling/scheduling.
+    pub engine_cores: f64,
+    /// True when the engine runs on the DPU.
+    pub engine_is_dpu: bool,
+    /// Host cores busy executing functions (and, for deferred-conversion
+    /// baselines, worker-side TCP termination).
+    pub host_cores: f64,
+}
+
+/// The full figure + table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig16 {
+    pub rows: Vec<Fig16Row>,
+}
+
+/// Client counts of Table 2.
+pub const CLIENTS: [usize; 3] = [20, 60, 80];
+
+/// Ingress transport latency to the worker nodes, per direction.
+fn ingress_transport(kind: ingress::stack::GatewayKind) -> SimDuration {
+    match kind {
+        ingress::stack::GatewayKind::Nadino => SimDuration::from_micros(3),
+        ingress::stack::GatewayKind::FIngress => SimDuration::from_micros(12),
+        ingress::stack::GatewayKind::KIngress => SimDuration::from_micros(25),
+    }
+}
+
+/// Shared closed-loop measurement harness over any upstream.
+struct GwDriver {
+    gateway: Gateway,
+    upstream: Upstream,
+    hist: Histogram,
+    completed: u64,
+    stop_at: SimTime,
+    began: SimTime,
+    last_done: SimTime,
+}
+
+fn gw_issue(state: &Rc<RefCell<GwDriver>>, sim: &mut Sim, client: u32) {
+    let (gateway, upstream) = {
+        let st = state.borrow();
+        if sim.now() >= st.stop_at {
+            return;
+        }
+        (st.gateway.clone(), st.upstream.clone())
+    };
+    let began = sim.now();
+    let st2 = state.clone();
+    gateway.submit(
+        sim,
+        FlowId::from_client(client, 0),
+        boutique::PAYLOAD_BYTES,
+        upstream,
+        Box::new(move |sim, result| {
+            if result.is_ok() {
+                let mut st = st2.borrow_mut();
+                st.hist.record(sim.now().saturating_since(began));
+                st.completed += 1;
+                st.last_done = sim.now();
+            }
+            gw_issue(&st2, sim, client);
+        }),
+    );
+}
+
+fn drive(
+    sim: &mut Sim,
+    gateway: Gateway,
+    upstream: Upstream,
+    clients: usize,
+    duration: SimDuration,
+) -> (f64, f64) {
+    let began = sim.now();
+    let state = Rc::new(RefCell::new(GwDriver {
+        gateway,
+        upstream,
+        hist: Histogram::new(),
+        completed: 0,
+        stop_at: began + duration,
+        began,
+        last_done: began,
+    }));
+    for c in 0..clients {
+        gw_issue(&state, sim, c as u32);
+    }
+    sim.run();
+    let st = state.borrow();
+    let span = st.last_done.saturating_since(st.began).as_secs_f64();
+    let rps = if span > 0.0 {
+        st.completed as f64 / span
+    } else {
+        0.0
+    };
+    (rps, st.hist.mean().as_millis_f64())
+}
+
+/// Runs a NADINO variant (DNE or CNE) for one chain/clients cell.
+fn run_nadino(
+    model: &SystemModel,
+    chain_tpl: &ChainSpec,
+    clients: usize,
+    duration: SimDuration,
+) -> Fig16Row {
+    let mut sim = Sim::new();
+    let dne_cfg = model.dne.clone().expect("NADINO variant");
+    let engine_is_dpu = dne_cfg.processor == dpu_sim::soc::ProcessorKind::DpuArm;
+    let mut cluster = Cluster::new(
+        &mut sim,
+        ClusterConfig {
+            dne: dne_cfg,
+            pool_bufs: 4096,
+            ..ClusterConfig::default()
+        },
+    );
+    let tenant = TenantId(chain_tpl.tenant.0);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    for f in boutique::all_functions() {
+        cluster.place(f, boutique::hotspot_placement(f));
+    }
+    // Completions resolve the per-request reply registered at injection.
+    let pending: Rc<RefCell<HashMap<u64, Reply>>> = Rc::new(RefCell::new(HashMap::new()));
+    let p2 = pending.clone();
+    cluster.register_chain(
+        chain_tpl,
+        boutique::exec_cost,
+        Rc::new(move |sim, req| {
+            if let Some(reply) = p2.borrow_mut().remove(&req) {
+                reply(sim, boutique::PAYLOAD_BYTES);
+            }
+        }),
+    );
+    let gateway = Gateway::new(GatewayConfig {
+        kind: model.ingress,
+        initial_workers: 2,
+        max_backlog: SimDuration::from_millis(500),
+        ..GatewayConfig::default()
+    });
+    // Ingress → cluster upstream: RDMA transport, then inject.
+    let transport = ingress_transport(model.ingress);
+    let pools = cluster.pools_snapshot();
+    let entry_idx = cluster.node_index_of(chain_tpl.entry()).expect("placed");
+    let entry_iolib = cluster.nodes[entry_idx].iolib.clone();
+    let chain2 = chain_tpl.clone();
+    let upstream: Upstream = Rc::new(move |sim, req_id, _bytes, reply| {
+        let pending = pending.clone();
+        let pools = pools.clone();
+        let iolib = entry_iolib.clone();
+        let chain = chain2.clone();
+        sim.schedule_after(transport, move |sim| {
+            let pool = pools
+                .iter()
+                .find(|(t, i, _)| *t == chain.tenant && *i == 0)
+                .map(|(_, _, p)| p);
+            let Some(pool) = pool else {
+                reply(sim, 0);
+                return;
+            };
+            let Ok(mut buf) = pool.get() else {
+                reply(sim, 0); // shed under pool exhaustion
+                return;
+            };
+            let mut payload =
+                runtime::encode_request_payload(req_id, boutique::PAYLOAD_BYTES);
+            runtime::set_hop(&mut payload, 0);
+            buf.write_payload(&payload).expect("payload fits");
+            pending.borrow_mut().insert(req_id, reply);
+            iolib.send(sim, chain.tenant, buf.into_desc(chain.entry()));
+        });
+    });
+    let t0 = sim.now();
+    let (rps, mean_ms) = drive(&mut sim, gateway, upstream, clients, duration);
+    let t1 = sim.now();
+    Fig16Row {
+        system: model.name.to_string(),
+        chain: chain_tpl.name.clone(),
+        clients,
+        rps,
+        mean_ms,
+        engine_cores: cluster.engine_utilization(t0, t1),
+        engine_is_dpu,
+        host_cores: cluster.host_utilization(t0, t1),
+    }
+}
+
+/// Runs a baseline system for one chain/clients cell.
+fn run_baseline(
+    model: &SystemModel,
+    chain_tpl: &ChainSpec,
+    clients: usize,
+    duration: SimDuration,
+) -> Fig16Row {
+    let mut sim = Sim::new();
+    let bc = BaselineCluster::new(model.clone(), 2, ClusterConfig::default().host_cores);
+    for f in boutique::all_functions() {
+        bc.place(f, boutique::hotspot_placement(f));
+    }
+    let gateway = Gateway::new(GatewayConfig {
+        kind: model.ingress,
+        // NightCore relies on its built-in single-worker kernel ingress.
+        initial_workers: if model.single_node_only { 1 } else { 2 },
+        max_backlog: SimDuration::from_millis(500),
+        ..GatewayConfig::default()
+    });
+    let worker_cost = gateway.worker_side_cost();
+    let transport = ingress_transport(model.ingress);
+    let chain = Rc::new(chain_tpl.clone());
+    let bc2 = bc.clone();
+    let upstream: Upstream = Rc::new(move |sim, _req, bytes, reply| {
+        let bc = bc2.clone();
+        let chain = chain.clone();
+        sim.schedule_after(transport, move |sim| {
+            // Deferred conversion: the worker node terminates TCP first.
+            let entry_done = bc.charge(sim, chain.entry(), worker_cost);
+            let bc3 = bc.clone();
+            let chain3 = chain.clone();
+            sim.schedule_at(entry_done, move |sim| {
+                bc3.run_request(
+                    sim,
+                    chain3,
+                    Rc::new(boutique::exec_cost),
+                    bytes,
+                    Box::new(move |sim| reply(sim, bytes)),
+                );
+            });
+        });
+    });
+    let t0 = sim.now();
+    let (rps, mean_ms) = drive(&mut sim, gateway, upstream, clients, duration);
+    let t1 = sim.now();
+    Fig16Row {
+        system: model.name.to_string(),
+        chain: chain_tpl.name.clone(),
+        clients,
+        rps,
+        mean_ms,
+        // Polling engines already report a full core each; non-polling
+        // systems with dedicated cores (Junction's scheduler) add them.
+        engine_cores: bc.engine_utilization(t0, t1)
+            + if bc.engine_polls() {
+                0.0
+            } else {
+                bc.dedicated_cores() as f64
+            },
+        engine_is_dpu: false,
+        host_cores: bc.host_utilization(t0, t1),
+    }
+}
+
+/// Runs the full matrix (`millis` of virtual time per cell).
+pub fn run(millis: u64) -> Fig16 {
+    run_filtered(millis, &SystemKind::all(), &CLIENTS)
+}
+
+/// Runs a subset of the matrix (used by tests and quick benches).
+pub fn run_filtered(millis: u64, systems: &[SystemKind], clients: &[usize]) -> Fig16 {
+    let duration = SimDuration::from_millis(millis);
+    let tenant = TenantId(1);
+    let chains = boutique::evaluation_chains(tenant);
+    let mut rows = Vec::new();
+    for &kind in systems {
+        let model = SystemModel::for_kind(kind);
+        for chain in &chains {
+            for &c in clients {
+                let row = if model.dne.is_some() {
+                    run_nadino(&model, chain, c, duration)
+                } else {
+                    run_baseline(&model, chain, c, duration)
+                };
+                rows.push(row);
+            }
+        }
+    }
+    Fig16 { rows }
+}
+
+impl Fig16 {
+    /// Looks up one cell.
+    pub fn get(&self, system: &str, chain: &str, clients: usize) -> Option<&Fig16Row> {
+        self.rows
+            .iter()
+            .find(|r| r.system == system && r.chain == chain && r.clients == clients)
+    }
+
+    /// Renders Fig. 16 (RPS + engine cores).
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.system.clone(),
+                    r.chain.clone(),
+                    r.clients.to_string(),
+                    fmt_f64(r.rps),
+                    format!(
+                        "{}% {}",
+                        fmt_f64(r.engine_cores * 100.0),
+                        if r.engine_is_dpu { "DPU" } else { "CPU" }
+                    ),
+                    format!("{}%", fmt_f64(r.host_cores * 100.0)),
+                ]
+            })
+            .collect();
+        render_table(
+            "Fig. 16 - Online Boutique: RPS and engine usage",
+            &["system", "chain", "clients", "rps", "engine", "host_cpu"],
+            &rows,
+        )
+    }
+
+    /// Renders Table 2 (mean latency in milliseconds).
+    pub fn render_table2(&self) -> String {
+        let mut systems: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            if !systems.contains(&r.system.as_str()) {
+                systems.push(&r.system);
+            }
+        }
+        let chains = ["Home Query", "View Cart", "Product Query"];
+        let mut headers: Vec<String> = vec!["system".to_string()];
+        for chain in &chains {
+            for c in CLIENTS {
+                headers.push(format!("{chain}@{c}"));
+            }
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut rows = Vec::new();
+        for system in systems {
+            let mut row = vec![system.to_string()];
+            for chain in &chains {
+                for c in CLIENTS {
+                    row.push(
+                        self.get(system, chain, c)
+                            .map(|r| fmt_f64(r.mean_ms))
+                            .unwrap_or_else(|| "-".to_string()),
+                    );
+                }
+            }
+            rows.push(row);
+        }
+        render_table("Table 2 - mean latency (ms)", &header_refs, &rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// One shared matrix at 20 and 80 clients, 200 ms per cell.
+    fn fig() -> &'static Fig16 {
+        static FIG: OnceLock<Fig16> = OnceLock::new();
+        FIG.get_or_init(|| run_filtered(200, &SystemKind::all(), &[20, 80]))
+    }
+
+    fn rps(system: &str, clients: usize) -> f64 {
+        fig().get(system, "Home Query", clients).unwrap().rps
+    }
+
+    #[test]
+    fn dne_beats_cne_under_load() {
+        let ratio = rps("NADINO (DNE)", 80) / rps("NADINO (CNE)", 80);
+        assert!(
+            (1.3..=1.9).contains(&ratio),
+            "DNE/CNE at 80 clients = {ratio} (paper: 1.3-1.8x)"
+        );
+    }
+
+    #[test]
+    fn dne_beats_fuyao_and_spright() {
+        let dne = rps("NADINO (DNE)", 80);
+        let fuyao = rps("FUYAO-F", 80);
+        let spright = rps("SPRIGHT", 80);
+        assert!(
+            (1.9..=4.5).contains(&(dne / fuyao)),
+            "DNE/FUYAO-F = {} (paper: 2.1-4.1x)",
+            dne / fuyao
+        );
+        assert!(
+            (2.2..=4.5).contains(&(dne / spright)),
+            "DNE/SPRIGHT = {} (paper: 2.4-4.1x)",
+            dne / spright
+        );
+    }
+
+    #[test]
+    fn nightcore_trails_by_a_wide_margin() {
+        let ratio = rps("NADINO (DNE)", 80) / rps("NightCore", 80);
+        assert!(
+            ratio > 4.5,
+            "DNE/NightCore = {ratio} (paper: 5.1-20.9x)"
+        );
+    }
+
+    #[test]
+    fn junction_trails_dne_by_about_half() {
+        let dne = rps("NADINO (DNE)", 80);
+        let junction = rps("Junction", 80);
+        assert!(
+            junction < 0.6 * dne,
+            "Junction {junction} must be >47% below DNE {dne}"
+        );
+    }
+
+    #[test]
+    fn fuyao_f_beats_fuyao_k() {
+        assert!(rps("FUYAO-F", 80) > rps("FUYAO-K", 80));
+    }
+
+    #[test]
+    fn table2_latency_shape() {
+        let f = fig();
+        // DNE Home Query at 20 clients is about a millisecond.
+        let dne20 = f.get("NADINO (DNE)", "Home Query", 20).unwrap().mean_ms;
+        assert!((0.8..=1.4).contains(&dne20), "DNE@20 = {dne20}ms (paper 1.12)");
+        // Latency grows with clients for every system.
+        for row in &f.rows {
+            if row.clients == 20 {
+                let at80 = f.get(&row.system, &row.chain, 80).unwrap().mean_ms;
+                assert!(at80 > row.mean_ms, "{}: {} -> {at80}", row.system, row.mean_ms);
+            }
+        }
+        // NightCore has the worst latency everywhere.
+        for chain in ["Home Query", "View Cart", "Product Query"] {
+            for c in [20usize, 80] {
+                let nc = f.get("NightCore", chain, c).unwrap().mean_ms;
+                let dne = f.get("NADINO (DNE)", chain, c).unwrap().mean_ms;
+                assert!(nc > 1.5 * dne, "NightCore {nc} vs DNE {dne} ({chain}@{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn cne_has_lower_latency_at_light_load() {
+        let f = fig();
+        let dne = f.get("NADINO (DNE)", "Home Query", 20).unwrap().mean_ms;
+        let cne = f.get("NADINO (CNE)", "Home Query", 20).unwrap().mean_ms;
+        assert!(cne < dne * 1.1, "CNE@20 {cne} vs DNE {dne} (paper: slightly lower)");
+    }
+
+    #[test]
+    fn dpu_offload_frees_host_cpu_cores() {
+        let f = fig();
+        // NADINO (DNE)'s engine runs on DPU cores; every other system burns
+        // host CPU cores for its engine.
+        let dne = f.get("NADINO (DNE)", "Home Query", 80).unwrap();
+        assert!(dne.engine_is_dpu);
+        assert!(dne.engine_cores <= 2.05, "two wimpy DPU cores suffice");
+        let fuyao = f.get("FUYAO-F", "Home Query", 80).unwrap();
+        assert!(!fuyao.engine_is_dpu);
+        assert!(
+            fuyao.engine_cores > 1.9,
+            "FUYAO's polling receivers saturate their cores"
+        );
+    }
+
+    #[test]
+    fn renders_figure_and_table() {
+        let f = fig();
+        assert!(f.render().contains("NADINO (DNE)"));
+        let t2 = f.render_table2();
+        assert!(t2.contains("Home Query@20"));
+        assert!(t2.contains("NightCore"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Fig. 17 (Appendix A) — scalability of multi-tenancy support.
+//!
+//! Six tenants with equal weights join one at a time (one every 30 s of
+//! the paper's timeline) and then leave in arrival order. The DNE should
+//! keep every concurrently active tenant at an equal share while the
+//! aggregate stays pinned at the single-DPU-core ceiling (~110 K RPS),
+//! whether three or six tenants are active.
+
+use dne::types::SchedPolicy;
+use serde::Serialize;
+use simcore::SimDuration;
+
+use crate::experiment::fig15::{run_variant, Fig15Run, TenantSpec};
+use crate::report::{fmt_f64, render_table};
+
+/// The full appendix figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig17 {
+    pub duration_s: f64,
+    pub run: Fig15Run,
+}
+
+/// Six equal-weight tenants joining/leaving every 30 s (paper timeline),
+/// scaled by `scale`.
+pub fn tenant_specs(scale: f64) -> Vec<TenantSpec> {
+    (0..6u16)
+        .map(|i| TenantSpec {
+            tenant: i + 1,
+            weight: 1,
+            start_s: 30.0 * i as f64 * scale,
+            // First joined, first removed: removals start at 180 s.
+            end_s: (180.0 + 30.0 * i as f64) * scale,
+        })
+        .collect()
+}
+
+/// Runs the appendix experiment at `scale` of the paper's 330 s timeline.
+pub fn run(scale: f64) -> Fig17 {
+    let specs = tenant_specs(scale);
+    let duration = SimDuration::from_secs_f64(330.0 * scale);
+    let window = SimDuration::from_secs_f64(2.0 * scale.max(0.05));
+    Fig17 {
+        duration_s: 330.0 * scale,
+        run: run_variant(
+            SchedPolicy::Dwrr { quantum: 1.0 },
+            "DWRR",
+            &specs,
+            duration,
+            window,
+            48,
+        ),
+    }
+}
+
+impl Fig17 {
+    /// Aggregate RPS over `[a_s, b_s]`.
+    pub fn aggregate_rps(&self, a_s: f64, b_s: f64) -> f64 {
+        (1..=6u16).map(|t| self.run.mean_rps(t, a_s, b_s)).sum()
+    }
+
+    /// Renders the traces.
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for trace in &self.run.traces {
+            for &(t, rps) in &trace.points {
+                rows.push(vec![
+                    format!("tenant-{}", trace.tenant),
+                    fmt_f64(t),
+                    fmt_f64(rps),
+                ]);
+            }
+        }
+        render_table(
+            "Fig. 17 - six equal-weight tenants joining and leaving",
+            &["tenant", "t_s", "rps"],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    const SCALE: f64 = 0.05; // 16.5 s compressed timeline
+
+    fn fig() -> &'static Fig17 {
+        static FIG: OnceLock<Fig17> = OnceLock::new();
+        FIG.get_or_init(|| run(SCALE))
+    }
+
+    /// All six tenants are active between 150 s and 180 s (paper timeline).
+    fn all_active_window() -> (f64, f64) {
+        (152.0 * SCALE, 178.0 * SCALE)
+    }
+
+    #[test]
+    fn equal_weights_get_equal_shares_with_six_tenants() {
+        let (a, b) = all_active_window();
+        let shares: Vec<f64> = (1..=6u16)
+            .map(|t| fig().run.mean_rps(t, a, b))
+            .collect();
+        let mean = shares.iter().sum::<f64>() / 6.0;
+        for (i, s) in shares.iter().enumerate() {
+            assert!(
+                (s - mean).abs() / mean < 0.3,
+                "tenant {} share {s} deviates from mean {mean}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_stays_saturated_from_three_to_six_tenants() {
+        // Three tenants active around 75-85 s; six around 152-178 s.
+        let three = fig().aggregate_rps(72.0 * SCALE, 88.0 * SCALE);
+        let six = {
+            let (a, b) = all_active_window();
+            fig().aggregate_rps(a, b)
+        };
+        for (label, v) in [("three", three), ("six", six)] {
+            assert!(
+                (90_000.0..=130_000.0).contains(&v),
+                "aggregate with {label} tenants = {v} (paper: ~110K)"
+            );
+        }
+        let drift = (six - three).abs() / three;
+        assert!(drift < 0.15, "saturation must hold: {three} vs {six}");
+    }
+
+    #[test]
+    fn renders() {
+        assert!(fig().render().contains("tenant-6"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Reproductions of every table and figure in the paper's evaluation.
+//!
+//! Each submodule builds the workload of one experiment, runs it on the
+//! deterministic simulator and returns a serializable result structure
+//! with a text rendering. The `experiments` binary in the `bench` crate
+//! drives them all; EXPERIMENTS.md records paper-vs-measured values.
+
+pub mod ablations;
+pub mod fig06;
+pub mod fig09;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod summary;

@@ -1,0 +1,174 @@
+//! RC connection pooling with shadow-QP activation.
+//!
+//! §3.3: connection setup costs tens of milliseconds, so the DNE maintains
+//! a pool of pre-established connections per `(tenant, peer node)` pair.
+//! Following RoGUE's "shadow QP" mechanism, pooled QPs are *active* only
+//! while they have work queued; inactive QPs consume no RNIC cache, so the
+//! node only has to bound the number of simultaneously active QPs to avoid
+//! cache thrashing.
+
+use std::collections::HashMap;
+
+use membuf::tenant::TenantId;
+use rdma_sim::fabric::QpHandle;
+use rdma_sim::{Fabric, NodeId};
+
+/// A pool of established RC connections keyed by `(tenant, peer node)`.
+#[derive(Debug, Default)]
+pub struct ConnPool {
+    conns: HashMap<(TenantId, NodeId), Vec<QpHandle>>,
+}
+
+impl ConnPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ConnPool::default()
+    }
+
+    /// Adds an established connection for `(tenant, peer)`.
+    pub fn add(&mut self, tenant: TenantId, peer: NodeId, qp: QpHandle) {
+        self.conns.entry((tenant, peer)).or_default().push(qp);
+    }
+
+    /// Returns the connections for `(tenant, peer)`.
+    pub fn conns(&self, tenant: TenantId, peer: NodeId) -> &[QpHandle] {
+        self.conns
+            .get(&(tenant, peer))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Returns the number of pooled connections for `(tenant, peer)`.
+    pub fn count(&self, tenant: TenantId, peer: NodeId) -> usize {
+        self.conns(tenant, peer).len()
+    }
+
+    /// Picks the least-congested ready connection (smallest SQ backlog) and
+    /// marks it active.
+    ///
+    /// Returns `None` when no connection to the peer is ready yet.
+    pub fn pick_least_congested(
+        &self,
+        fabric: &Fabric,
+        tenant: TenantId,
+        peer: NodeId,
+    ) -> Option<QpHandle> {
+        let best = self
+            .conns(tenant, peer)
+            .iter()
+            .filter(|&&qp| fabric.qp_ready(qp))
+            .min_by_key(|&&qp| fabric.sq_depth(qp))
+            .copied()?;
+        // Activation is what charges the QP against the RNIC cache.
+        let _ = fabric.set_qp_active(best, true);
+        Some(best)
+    }
+
+    /// Deactivates every pooled QP whose send queue has drained, returning
+    /// how many were deactivated. The DNE calls this when reaping send
+    /// completions, keeping the active set proportional to load.
+    pub fn deactivate_idle(&self, fabric: &Fabric) -> usize {
+        let mut deactivated = 0;
+        for qps in self.conns.values() {
+            for &qp in qps {
+                if fabric.qp_is_active(qp) && fabric.sq_depth(qp) == 0 {
+                    let _ = fabric.set_qp_active(qp, false);
+                    deactivated += 1;
+                }
+            }
+        }
+        deactivated
+    }
+
+    /// Returns all distinct peers this pool reaches for `tenant`.
+    pub fn peers_of(&self, tenant: TenantId) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = self
+            .conns
+            .keys()
+            .filter(|(t, _)| *t == tenant)
+            .map(|(_, p)| *p)
+            .collect();
+        peers.sort();
+        peers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membuf::pool::{BufferPool, PoolConfig};
+    use rdma_sim::RdmaCosts;
+    use simcore::Sim;
+
+    fn mk_pool(tenant: u16) -> BufferPool {
+        let mut cfg = PoolConfig::new(TenantId(tenant), 0, 1024, 32);
+        cfg.segment_size = 32 * 1024;
+        BufferPool::new(cfg).unwrap()
+    }
+
+    /// Builds a fabric with two nodes and `n` ready connections.
+    fn setup(n: usize) -> (Fabric, Sim, ConnPool, TenantId, NodeId, BufferPool) {
+        let fabric = Fabric::new(RdmaCosts::default());
+        let mut sim = Sim::new();
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let tenant = TenantId(1);
+        let pool_a = mk_pool(1);
+        let pool_b = mk_pool(1);
+        fabric.register_pool(a, pool_a.clone()).unwrap();
+        fabric.register_pool(b, pool_b.clone()).unwrap();
+        let cq_a = fabric.create_cq(a).unwrap();
+        let cq_b = fabric.create_cq(b).unwrap();
+        let rq_a = fabric.create_rq(a, tenant).unwrap();
+        let rq_b = fabric.create_rq(b, tenant).unwrap();
+        let mut pool = ConnPool::new();
+        for _ in 0..n {
+            let (ha, _) = fabric
+                .connect(&mut sim, tenant, a, cq_a, rq_a, b, cq_b, rq_b)
+                .unwrap();
+            pool.add(tenant, b, ha);
+        }
+        sim.run();
+        (fabric, sim, pool, tenant, b, pool_a)
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let (fabric, _sim, pool, tenant, peer, _) = setup(0);
+        assert!(pool.pick_least_congested(&fabric, tenant, peer).is_none());
+    }
+
+    #[test]
+    fn pick_prefers_least_congested() {
+        use rdma_sim::WrId;
+        let (fabric, mut sim, pool, tenant, peer, pool_a) = setup(2);
+        let first = pool.pick_least_congested(&fabric, tenant, peer).unwrap();
+        // Load up the first connection with a send (no recv posted: it
+        // lingers in RNR retry, keeping sq_outstanding > 0).
+        let buf = pool_a.get().unwrap();
+        fabric.post_send(&mut sim, first, WrId(0), buf, 0).unwrap();
+        let second = pool.pick_least_congested(&fabric, tenant, peer).unwrap();
+        assert_ne!(first.qp, second.qp, "picker avoids the loaded QP");
+    }
+
+    #[test]
+    fn picking_activates_and_idle_drain_deactivates() {
+        let (fabric, _sim, pool, tenant, peer, _) = setup(3);
+        let qp = pool.pick_least_congested(&fabric, tenant, peer).unwrap();
+        assert!(fabric.qp_is_active(qp));
+        assert_eq!(fabric.active_qp_count(qp.node), 1);
+        // No traffic outstanding: the reaper deactivates it.
+        let n = pool.deactivate_idle(&fabric);
+        assert_eq!(n, 1);
+        assert_eq!(fabric.active_qp_count(qp.node), 0);
+    }
+
+    #[test]
+    fn peers_listing() {
+        let (_fabric, _sim, mut pool, tenant, peer, _) = setup(1);
+        assert_eq!(pool.peers_of(tenant), vec![peer]);
+        pool.add(TenantId(9), NodeId(5), pool.conns(tenant, peer)[0]);
+        assert_eq!(pool.peers_of(TenantId(9)), vec![NodeId(5)]);
+        assert_eq!(pool.count(tenant, peer), 1);
+    }
+}

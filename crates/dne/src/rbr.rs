@@ -1,0 +1,103 @@
+//! The receive buffer registry (RBR).
+//!
+//! §3.5.2: the DNE "maintains a receive buffer registry (RBR) table ... to
+//! map the WR to the posted receive buffer". Our fabric returns the buffer
+//! inside the completion itself, so the registry's remaining jobs are
+//! (a) attributing each receive WR to its tenant so consumed buffers are
+//! replenished from the right pool, and (b) tracking per-tenant consumption
+//! counters the core thread uses to size replenishment batches.
+
+use std::collections::HashMap;
+
+use membuf::tenant::TenantId;
+use rdma_sim::WrId;
+
+/// Tracks posted receive WRs and per-tenant consumption.
+#[derive(Debug, Default)]
+pub struct ReceiveBufferRegistry {
+    entries: HashMap<WrId, TenantId>,
+    next_wr: u64,
+    consumed: HashMap<TenantId, u64>,
+    posted: HashMap<TenantId, u64>,
+}
+
+impl ReceiveBufferRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ReceiveBufferRegistry::default()
+    }
+
+    /// Allocates a fresh WR id and records it as posted for `tenant`.
+    pub fn register(&mut self, tenant: TenantId) -> WrId {
+        let wr = WrId(self.next_wr);
+        self.next_wr += 1;
+        self.entries.insert(wr, tenant);
+        *self.posted.entry(tenant).or_insert(0) += 1;
+        wr
+    }
+
+    /// Consumes a completed receive WR, returning its tenant.
+    pub fn consume(&mut self, wr: WrId) -> Option<TenantId> {
+        let tenant = self.entries.remove(&wr)?;
+        *self.consumed.entry(tenant).or_insert(0) += 1;
+        Some(tenant)
+    }
+
+    /// Returns the number of WRs currently outstanding for `tenant`.
+    pub fn outstanding(&self, tenant: TenantId) -> u64 {
+        self.posted.get(&tenant).copied().unwrap_or(0)
+            - self.consumed.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Returns the total consumed count for `tenant`.
+    pub fn consumed(&self, tenant: TenantId) -> u64 {
+        self.consumed.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Returns the total number of outstanding WRs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no WRs are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_consume_round_trip() {
+        let mut rbr = ReceiveBufferRegistry::new();
+        let t = TenantId(3);
+        let a = rbr.register(t);
+        let b = rbr.register(t);
+        assert_ne!(a, b, "WR ids are unique");
+        assert_eq!(rbr.outstanding(t), 2);
+        assert_eq!(rbr.consume(a), Some(t));
+        assert_eq!(rbr.outstanding(t), 1);
+        assert_eq!(rbr.consumed(t), 1);
+        assert_eq!(rbr.consume(a), None, "double consume is rejected");
+    }
+
+    #[test]
+    fn tenants_are_tracked_independently() {
+        let mut rbr = ReceiveBufferRegistry::new();
+        let w1 = rbr.register(TenantId(1));
+        let _w2 = rbr.register(TenantId(2));
+        rbr.consume(w1);
+        assert_eq!(rbr.outstanding(TenantId(1)), 0);
+        assert_eq!(rbr.outstanding(TenantId(2)), 1);
+        assert_eq!(rbr.len(), 1);
+    }
+
+    #[test]
+    fn unknown_wr_is_none() {
+        let mut rbr = ReceiveBufferRegistry::new();
+        assert_eq!(rbr.consume(WrId(99)), None);
+        assert!(rbr.is_empty());
+    }
+}

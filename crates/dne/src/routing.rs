@@ -1,0 +1,81 @@
+//! The inter-node routing table.
+//!
+//! The TX stage (§3.2) "determines the destination node via the inter-node
+//! routing table". Keys are function identifiers; values are fabric node
+//! identifiers. The control plane (placement) populates it; the data plane
+//! only reads.
+
+use std::collections::HashMap;
+
+use rdma_sim::NodeId;
+
+/// Maps function ids to the node hosting them.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    routes: HashMap<u16, NodeId>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RoutingTable::default()
+    }
+
+    /// Installs (or moves) a function's placement.
+    pub fn set(&mut self, fn_id: u16, node: NodeId) {
+        self.routes.insert(fn_id, node);
+    }
+
+    /// Removes a function's route, returning its previous node.
+    pub fn remove(&mut self, fn_id: u16) -> Option<NodeId> {
+        self.routes.remove(&fn_id)
+    }
+
+    /// Looks up the node hosting `fn_id`.
+    pub fn lookup(&self, fn_id: u16) -> Option<NodeId> {
+        self.routes.get(&fn_id).copied()
+    }
+
+    /// Returns `true` if `fn_id` is placed on `node`.
+    pub fn is_local(&self, fn_id: u16, node: NodeId) -> bool {
+        self.lookup(fn_id) == Some(node)
+    }
+
+    /// Returns the number of installed routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Returns `true` when no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_lookup_remove() {
+        let mut rt = RoutingTable::new();
+        assert!(rt.is_empty());
+        rt.set(1, NodeId(0));
+        rt.set(2, NodeId(1));
+        assert_eq!(rt.lookup(1), Some(NodeId(0)));
+        assert_eq!(rt.lookup(3), None);
+        assert!(rt.is_local(2, NodeId(1)));
+        assert!(!rt.is_local(2, NodeId(0)));
+        assert_eq!(rt.remove(1), Some(NodeId(0)));
+        assert_eq!(rt.len(), 1);
+    }
+
+    #[test]
+    fn reinstall_moves_function() {
+        let mut rt = RoutingTable::new();
+        rt.set(5, NodeId(0));
+        rt.set(5, NodeId(3));
+        assert_eq!(rt.lookup(5), Some(NodeId(3)));
+        assert_eq!(rt.len(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests on the DWRR scheduler: long-run fairness proportional to
+//! weights under arbitrary weight assignments and backlogs, and strict
+//! FIFO order within each tenant.
+
+use dne::sched::{DwrrScheduler, FcfsScheduler, TenantScheduler};
+use membuf::tenant::TenantId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn shares_track_weights(
+        weights in proptest::collection::vec(1u32..12, 2..6),
+        quantum in 0.25f64..4.0,
+    ) {
+        let mut s = DwrrScheduler::new(quantum);
+        for (i, &w) in weights.iter().enumerate() {
+            s.register(TenantId(i as u16), w);
+        }
+        // Deep backlog for every tenant.
+        let backlog = 4_000u32;
+        for i in 0..weights.len() {
+            for k in 0..backlog {
+                s.enqueue(TenantId(i as u16), k);
+            }
+        }
+        // Serve a window proportional to the weight sum, then check shares.
+        let total_w: u32 = weights.iter().sum();
+        let window = (total_w as usize) * 120;
+        let mut counts = vec![0u32; weights.len()];
+        for _ in 0..window {
+            let (t, _) = s.dequeue().expect("deep backlog");
+            counts[t.0 as usize] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = window as f64 * w as f64 / total_w as f64;
+            let got = counts[i] as f64;
+            prop_assert!(
+                (got - expect).abs() / expect < 0.10,
+                "tenant {i} (w={w}): got {got}, expected {expect} of {window}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_tenant_fifo_order(
+        items in proptest::collection::vec((0u16..4, any::<u32>()), 1..300)
+    ) {
+        let mut s = DwrrScheduler::new(1.0);
+        let mut expected: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        for &(t, v) in &items {
+            s.enqueue(TenantId(t), v);
+            expected[t as usize].push(v);
+        }
+        let mut got: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        while let Some((t, v)) = s.dequeue() {
+            got[t.0 as usize].push(v);
+        }
+        prop_assert_eq!(got, expected, "items must stay FIFO within a tenant");
+    }
+
+    #[test]
+    fn no_items_lost_or_invented(
+        items in proptest::collection::vec((0u16..6, any::<u32>()), 0..400)
+    ) {
+        let mut dwrr = DwrrScheduler::new(1.0);
+        let mut fcfs = FcfsScheduler::new();
+        for &(t, v) in &items {
+            dwrr.enqueue(TenantId(t), v);
+            fcfs.enqueue(TenantId(t), v);
+        }
+        prop_assert_eq!(dwrr.len(), items.len());
+        let mut n = 0;
+        while dwrr.dequeue().is_some() {
+            n += 1;
+        }
+        prop_assert_eq!(n, items.len());
+        prop_assert!(dwrr.is_empty());
+        // FCFS preserves global arrival order.
+        let order: Vec<(TenantId, u32)> =
+            std::iter::from_fn(|| fcfs.dequeue()).collect();
+        let expected: Vec<(TenantId, u32)> =
+            items.iter().map(|&(t, v)| (TenantId(t), v)).collect();
+        prop_assert_eq!(order, expected);
+    }
+}

@@ -1,0 +1,169 @@
+//! The hysteresis autoscaling policy for gateway workers (§3.6).
+//!
+//! "Once the average CPU utilization across existing worker processes
+//! reaches 60%, the master process spawns a new worker ... when it
+//! drops below 30%, the master terminates a worker". The band between the
+//! thresholds prevents oscillation; utilization is measured as *useful*
+//! data-plane work, not busy-poll spinning — which is exactly what
+//! [`simcore::Server`]'s busy accounting yields.
+
+/// Configuration of the hysteresis policy.
+#[derive(Debug, Clone)]
+pub struct AutoscaleConfig {
+    /// Scale up when average utilization reaches this fraction.
+    pub high_watermark: f64,
+    /// Scale down when average utilization falls below this fraction.
+    pub low_watermark: f64,
+    /// Lower bound on the worker count.
+    pub min_workers: usize,
+    /// Upper bound on the worker count.
+    pub max_workers: usize,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            high_watermark: 0.60,
+            low_watermark: 0.30,
+            min_workers: 1,
+            max_workers: 16,
+        }
+    }
+}
+
+/// The decision produced by one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Spawn one more worker.
+    Up,
+    /// Retire one worker.
+    Down,
+    /// Keep the current count.
+    Hold,
+}
+
+/// The hysteresis controller.
+#[derive(Debug, Clone)]
+pub struct Hysteresis {
+    config: AutoscaleConfig,
+    workers: usize,
+    scale_ups: u64,
+    scale_downs: u64,
+}
+
+impl Hysteresis {
+    /// Creates a controller starting at `initial` workers (clamped to the
+    /// configured bounds).
+    pub fn new(config: AutoscaleConfig, initial: usize) -> Self {
+        assert!(
+            config.low_watermark < config.high_watermark,
+            "hysteresis band must be non-empty"
+        );
+        assert!(config.min_workers >= 1 && config.min_workers <= config.max_workers);
+        let workers = initial.clamp(config.min_workers, config.max_workers);
+        Hysteresis {
+            config,
+            workers,
+            scale_ups: 0,
+            scale_downs: 0,
+        }
+    }
+
+    /// Returns the current worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Returns `(scale_ups, scale_downs)` counters.
+    pub fn events(&self) -> (u64, u64) {
+        (self.scale_ups, self.scale_downs)
+    }
+
+    /// Evaluates one utilization sample (average across active workers,
+    /// 0.0..=1.0) and applies the resulting decision.
+    pub fn evaluate(&mut self, avg_utilization: f64) -> ScaleDecision {
+        if avg_utilization >= self.config.high_watermark && self.workers < self.config.max_workers
+        {
+            self.workers += 1;
+            self.scale_ups += 1;
+            ScaleDecision::Up
+        } else if avg_utilization < self.config.low_watermark
+            && self.workers > self.config.min_workers
+        {
+            self.workers -= 1;
+            self.scale_downs += 1;
+            ScaleDecision::Down
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scales_up_at_high_watermark() {
+        let mut h = Hysteresis::new(AutoscaleConfig::default(), 1);
+        assert_eq!(h.evaluate(0.59), ScaleDecision::Hold);
+        assert_eq!(h.evaluate(0.60), ScaleDecision::Up);
+        assert_eq!(h.workers(), 2);
+    }
+
+    #[test]
+    fn scales_down_below_low_watermark() {
+        let mut h = Hysteresis::new(AutoscaleConfig::default(), 3);
+        assert_eq!(h.evaluate(0.30), ScaleDecision::Hold);
+        assert_eq!(h.evaluate(0.29), ScaleDecision::Down);
+        assert_eq!(h.workers(), 2);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let cfg = AutoscaleConfig {
+            max_workers: 2,
+            ..AutoscaleConfig::default()
+        };
+        let mut h = Hysteresis::new(cfg, 1);
+        assert_eq!(h.evaluate(0.9), ScaleDecision::Up);
+        assert_eq!(h.evaluate(0.9), ScaleDecision::Hold, "at max");
+        assert_eq!(h.evaluate(0.1), ScaleDecision::Down);
+        assert_eq!(h.evaluate(0.1), ScaleDecision::Hold, "at min");
+        assert_eq!(h.workers(), 1);
+    }
+
+    #[test]
+    fn band_prevents_oscillation() {
+        let mut h = Hysteresis::new(AutoscaleConfig::default(), 2);
+        // Utilization hovering inside the band never changes the count.
+        for u in [0.35, 0.45, 0.55, 0.50, 0.40] {
+            assert_eq!(h.evaluate(u), ScaleDecision::Hold);
+        }
+        assert_eq!(h.workers(), 2);
+        assert_eq!(h.events(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "band must be non-empty")]
+    fn inverted_band_panics() {
+        let cfg = AutoscaleConfig {
+            high_watermark: 0.2,
+            low_watermark: 0.4,
+            ..AutoscaleConfig::default()
+        };
+        let _ = Hysteresis::new(cfg, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn worker_count_always_within_bounds(samples in proptest::collection::vec(0.0f64..1.0, 0..200)) {
+            let mut h = Hysteresis::new(AutoscaleConfig::default(), 1);
+            for u in samples {
+                h.evaluate(u);
+                prop_assert!(h.workers() >= 1 && h.workers() <= 16);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Functional HTTP/TCP-to-RDMA conversion (§3.6, Fig. 10).
+//!
+//! After the gateway worker terminates the client connection and parses the
+//! request, only the *invocation* — target chain and payload — continues
+//! into the cluster over RDMA. This module is that conversion: extract an
+//! [`Invocation`] from a parsed [`HttpRequest`] (the paper's "only the
+//! payload efficiently transferred over RDMA"), and wrap a completed
+//! invocation back into an [`HttpResponse`] for the client leg.
+
+use crate::http::{HttpRequest, HttpResponse};
+
+/// A converted invocation: everything the RDMA leg carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// Target chain name, from the `/fn/<chain>` path.
+    pub chain: String,
+    /// Tenant extracted from the `x-tenant-id` header (default 0).
+    pub tenant: u16,
+    /// The request payload, moved verbatim (no re-serialization).
+    pub payload: Vec<u8>,
+}
+
+/// Conversion failures (mapped to 4xx at the gateway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvertError {
+    /// The path does not name a function (`/fn/<chain>` expected).
+    NotAnInvocation,
+    /// The `x-tenant-id` header is present but not a number.
+    BadTenant,
+    /// Only POST and GET invocations are accepted.
+    BadMethod,
+}
+
+/// Extracts the invocation from a parsed request.
+///
+/// # Examples
+///
+/// ```
+/// use ingress::http::HttpRequest;
+/// use ingress::convert::extract_invocation;
+///
+/// let raw = b"POST /fn/home HTTP/1.1\r\nx-tenant-id: 7\r\ncontent-length: 2\r\n\r\nok";
+/// let (req, _) = HttpRequest::parse(raw).unwrap();
+/// let inv = extract_invocation(&req).unwrap();
+/// assert_eq!(inv.chain, "home");
+/// assert_eq!(inv.tenant, 7);
+/// assert_eq!(inv.payload, b"ok");
+/// ```
+pub fn extract_invocation(req: &HttpRequest) -> Result<Invocation, ConvertError> {
+    if req.method != "POST" && req.method != "GET" {
+        return Err(ConvertError::BadMethod);
+    }
+    let chain = req
+        .path
+        .strip_prefix("/fn/")
+        .filter(|c| !c.is_empty() && !c.contains('/'))
+        .ok_or(ConvertError::NotAnInvocation)?;
+    let tenant = match req.headers.get("x-tenant-id") {
+        Some(v) => v.parse::<u16>().map_err(|_| ConvertError::BadTenant)?,
+        None => 0,
+    };
+    Ok(Invocation {
+        chain: chain.to_string(),
+        tenant,
+        payload: req.body.clone(),
+    })
+}
+
+/// Wraps an invocation result into the client-facing response.
+pub fn wrap_response(result: Result<Vec<u8>, ConvertError>) -> HttpResponse {
+    match result {
+        Ok(body) => HttpResponse::ok(body),
+        Err(ConvertError::NotAnInvocation) => HttpResponse {
+            status: 404,
+            reason: "Not Found".to_string(),
+            body: Vec::new(),
+        },
+        Err(ConvertError::BadMethod) => HttpResponse {
+            status: 405,
+            reason: "Method Not Allowed".to_string(),
+            body: Vec::new(),
+        },
+        Err(ConvertError::BadTenant) => HttpResponse {
+            status: 400,
+            reason: "Bad Request".to_string(),
+            body: Vec::new(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> HttpRequest {
+        HttpRequest::parse(raw).unwrap().0
+    }
+
+    #[test]
+    fn post_invocation_extracts_everything() {
+        let req = parse(
+            b"POST /fn/checkout HTTP/1.1\r\nx-tenant-id: 3\r\ncontent-length: 5\r\n\r\nhello",
+        );
+        let inv = extract_invocation(&req).unwrap();
+        assert_eq!(inv.chain, "checkout");
+        assert_eq!(inv.tenant, 3);
+        assert_eq!(inv.payload, b"hello");
+    }
+
+    #[test]
+    fn get_without_tenant_defaults_to_zero() {
+        let req = parse(b"GET /fn/home HTTP/1.1\r\n\r\n");
+        let inv = extract_invocation(&req).unwrap();
+        assert_eq!(inv.tenant, 0);
+        assert!(inv.payload.is_empty());
+    }
+
+    #[test]
+    fn non_function_paths_rejected() {
+        for path in ["/", "/healthz", "/fn/", "/fn/a/b"] {
+            let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+            let req = parse(raw.as_bytes());
+            assert_eq!(
+                extract_invocation(&req).unwrap_err(),
+                ConvertError::NotAnInvocation,
+                "path {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_method_and_tenant_rejected() {
+        let req = parse(b"DELETE /fn/home HTTP/1.1\r\n\r\n");
+        assert_eq!(extract_invocation(&req).unwrap_err(), ConvertError::BadMethod);
+        let req = parse(b"GET /fn/home HTTP/1.1\r\nx-tenant-id: lots\r\n\r\n");
+        assert_eq!(extract_invocation(&req).unwrap_err(), ConvertError::BadTenant);
+    }
+
+    #[test]
+    fn responses_map_to_status_codes() {
+        assert_eq!(wrap_response(Ok(b"out".to_vec())).status, 200);
+        assert_eq!(
+            wrap_response(Err(ConvertError::NotAnInvocation)).status,
+            404
+        );
+        assert_eq!(wrap_response(Err(ConvertError::BadMethod)).status, 405);
+        assert_eq!(wrap_response(Err(ConvertError::BadTenant)).status, 400);
+    }
+
+    #[test]
+    fn end_to_end_wire_roundtrip() {
+        // Client request bytes -> invocation -> response bytes.
+        let raw = b"POST /fn/home HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc";
+        let (req, _) = HttpRequest::parse(raw).unwrap();
+        let inv = extract_invocation(&req).unwrap();
+        let resp = wrap_response(Ok(inv.payload)); // echo
+        let wire = resp.serialize();
+        let (parsed, _) = HttpResponse::parse(&wire).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, b"abc");
+    }
+}

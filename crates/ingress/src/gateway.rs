@@ -1,0 +1,425 @@
+//! The master/worker gateway model in the discrete-event simulation.
+//!
+//! A [`Gateway`] owns a set of worker processes (one pinned core each,
+//! modelled as [`simcore::Server`]s), an RSS stage mapping client flows
+//! onto active workers, and optionally the master's hysteresis autoscaler.
+//! A request's life:
+//!
+//! ```text
+//! submit ─RSS→ worker core: rx half of the stack cost ─→ upstream closure
+//!        (RDMA to the cluster for NADINO, TCP proxying for the baselines)
+//!        ─reply→ same worker: tx half ─→ completion callback
+//! ```
+//!
+//! Overload behaves like the paper's K-Ingress experiment: when a worker's
+//! backlog exceeds the configured bound the request is dropped (the client
+//! sees a disconnect). Scale events interrupt service briefly — the worker
+//! restart the paper observes in Fig. 14 (2).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simcore::{Server, Sim, SimDuration, SimTime};
+
+use crate::autoscale::{AutoscaleConfig, Hysteresis, ScaleDecision};
+use crate::rss::{rss_select, FlowId};
+use crate::stack::{GatewayKind, StackCosts};
+
+/// Reply callback handed to the upstream: deliver `resp_bytes` back.
+pub type Reply = Box<dyn FnOnce(&mut Sim, usize)>;
+
+/// The cluster side of the gateway: invoked once the request is converted;
+/// receives `(request id, request bytes, reply callback)`.
+pub type Upstream = Rc<dyn Fn(&mut Sim, u64, usize, Reply)>;
+
+/// Completion callback: `Ok(resp_bytes)` or `Err(Dropped)`.
+pub type Completion = Box<dyn FnOnce(&mut Sim, Result<usize, Dropped>)>;
+
+/// Marker for a request dropped at an overloaded gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dropped;
+
+/// Gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Which ingress design this gateway runs.
+    pub kind: GatewayKind,
+    /// Workers at start-up.
+    pub initial_workers: usize,
+    /// Autoscaling policy; `None` pins the worker count.
+    pub autoscale: Option<AutoscaleConfig>,
+    /// How often the master evaluates utilization.
+    pub autoscale_interval: SimDuration,
+    /// Backlog bound per worker; beyond it requests are dropped.
+    pub max_backlog: SimDuration,
+    /// Service interruption injected into every worker on a scale event.
+    pub restart_interruption: SimDuration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            kind: GatewayKind::Nadino,
+            initial_workers: 1,
+            autoscale: None,
+            autoscale_interval: SimDuration::from_secs(1),
+            max_backlog: SimDuration::from_millis(500),
+            restart_interruption: SimDuration::from_millis(120),
+        }
+    }
+}
+
+/// Counters exposed by the gateway.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    pub accepted: u64,
+    pub completed: u64,
+    pub dropped: u64,
+}
+
+/// A sample of the autoscaler's view, for the Fig. 14 time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleSample {
+    /// Sample instant, seconds.
+    pub at_secs: f64,
+    /// Active workers after the decision.
+    pub workers: usize,
+    /// Average utilization that produced the decision.
+    pub avg_utilization: f64,
+}
+
+struct GwInner {
+    cfg: GatewayConfig,
+    costs: StackCosts,
+    workers: Vec<Server>,
+    /// Per-worker restart floor: requests may not start before this.
+    available_at: Vec<SimTime>,
+    active: usize,
+    hysteresis: Option<Hysteresis>,
+    in_flight: usize,
+    stats: GatewayStats,
+    next_req: u64,
+    last_eval: SimTime,
+    samples: Vec<ScaleSample>,
+    autoscaler_running: bool,
+}
+
+/// The cluster-wide ingress gateway.
+#[derive(Clone)]
+pub struct Gateway {
+    inner: Rc<RefCell<GwInner>>,
+}
+
+impl Gateway {
+    /// Creates a gateway of the configured kind.
+    pub fn new(cfg: GatewayConfig) -> Gateway {
+        assert!(cfg.initial_workers >= 1, "need at least one worker");
+        let costs = StackCosts::for_kind(cfg.kind);
+        let hysteresis = cfg
+            .autoscale
+            .clone()
+            .map(|a| Hysteresis::new(a, cfg.initial_workers));
+        let active = hysteresis
+            .as_ref()
+            .map(|h| h.workers())
+            .unwrap_or(cfg.initial_workers);
+        let max = cfg
+            .autoscale
+            .as_ref()
+            .map(|a| a.max_workers)
+            .unwrap_or(cfg.initial_workers)
+            .max(active);
+        Gateway {
+            inner: Rc::new(RefCell::new(GwInner {
+                cfg,
+                costs,
+                workers: vec![Server::new(); max],
+                available_at: vec![SimTime::ZERO; max],
+                active,
+                hysteresis,
+                in_flight: 0,
+                stats: GatewayStats::default(),
+                next_req: 0,
+                last_eval: SimTime::ZERO,
+                samples: Vec::new(),
+                autoscaler_running: false,
+            })),
+        }
+    }
+
+    /// Returns the gateway kind.
+    pub fn kind(&self) -> GatewayKind {
+        self.inner.borrow().cfg.kind
+    }
+
+    /// Returns the number of active worker processes.
+    pub fn active_workers(&self) -> usize {
+        self.inner.borrow().active
+    }
+
+    /// Returns a snapshot of the counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.inner.borrow().stats
+    }
+
+    /// Returns per-request worker-node TCP cost this gateway design imposes
+    /// (deferred conversion pays a second termination on the worker).
+    pub fn worker_side_cost(&self) -> SimDuration {
+        self.inner.borrow().costs.worker_stack_per_req
+    }
+
+    /// Returns the autoscaler's decision samples so far.
+    pub fn scale_samples(&self) -> Vec<ScaleSample> {
+        self.inner.borrow().samples.clone()
+    }
+
+    /// Returns aggregate worker-core busy utilization over `[a, b]`
+    /// (0..=workers; the paper plots this as gateway CPU usage).
+    pub fn utilization_cores(&self, a: SimTime, b: SimTime) -> f64 {
+        let inner = self.inner.borrow();
+        inner.workers.iter().map(|w| w.utilization(a, b)).sum()
+    }
+
+    /// Submits one client request.
+    ///
+    /// `upstream` is invoked after ingress-side request processing; its
+    /// reply callback triggers response-side processing, after which
+    /// `done` fires with the response size. Overload produces
+    /// `done(Err(Dropped))` immediately.
+    pub fn submit(
+        &self,
+        sim: &mut Sim,
+        flow: FlowId,
+        req_bytes: usize,
+        upstream: Upstream,
+        done: Completion,
+    ) {
+        let (req_id, widx, rx_done) = {
+            let mut inner = self.inner.borrow_mut();
+            let widx = rss_select(flow, inner.active);
+            if inner.workers[widx].backlog(sim.now()) > inner.cfg.max_backlog {
+                inner.stats.dropped += 1;
+                drop(inner);
+                done(sim, Err(Dropped));
+                return;
+            }
+            inner.stats.accepted += 1;
+            inner.in_flight += 1;
+            let req_id = inner.next_req;
+            inner.next_req += 1;
+            let service = inner.costs.ingress_rx(inner.in_flight, req_bytes);
+            let floor = inner.available_at[widx];
+            let rx_done = inner.workers[widx].admit_not_before(sim.now(), floor, service);
+            (req_id, widx, rx_done)
+        };
+        let gw = self.clone();
+        sim.schedule_at(rx_done, move |sim| {
+            let reply_gw = gw.clone();
+            let reply: Reply = Box::new(move |sim, resp_bytes| {
+                let tx_done = {
+                    let mut inner = reply_gw.inner.borrow_mut();
+                    let service = inner.costs.ingress_tx(inner.in_flight, resp_bytes);
+                    let floor = inner.available_at[widx];
+                    let t = inner.workers[widx].admit_not_before(sim.now(), floor, service);
+                    inner.in_flight = inner.in_flight.saturating_sub(1);
+                    inner.stats.completed += 1;
+                    t
+                };
+                sim.schedule_at(tx_done, move |sim| done(sim, Ok(resp_bytes)));
+            });
+            upstream(sim, req_id, req_bytes, reply);
+        });
+    }
+
+    /// Starts the master's autoscaler loop (no-op without a policy).
+    pub fn start_autoscaler(&self, sim: &mut Sim) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.hysteresis.is_none() || inner.autoscaler_running {
+                return;
+            }
+            inner.autoscaler_running = true;
+            inner.last_eval = sim.now();
+        }
+        Gateway::schedule_eval(self.clone(), sim);
+    }
+
+    fn schedule_eval(gw: Gateway, sim: &mut Sim) {
+        let interval = gw.inner.borrow().cfg.autoscale_interval;
+        sim.schedule_after(interval, move |sim| {
+            gw.evaluate_once(sim);
+            Gateway::schedule_eval(gw.clone(), sim);
+        });
+    }
+
+    fn evaluate_once(&self, sim: &mut Sim) {
+        let mut inner = self.inner.borrow_mut();
+        let now = sim.now();
+        let a = inner.last_eval;
+        inner.last_eval = now;
+        let active = inner.active;
+        let avg: f64 = inner.workers[..active]
+            .iter()
+            .map(|w| w.utilization(a, now))
+            .sum::<f64>()
+            / active as f64;
+        let decision = inner
+            .hysteresis
+            .as_mut()
+            .expect("autoscaler requires a policy")
+            .evaluate(avg);
+        match decision {
+            ScaleDecision::Up => {
+                if inner.active == inner.workers.len() {
+                    inner.workers.push(Server::new());
+                    inner.available_at.push(SimTime::ZERO);
+                }
+                inner.active += 1;
+            }
+            ScaleDecision::Down => inner.active -= 1,
+            ScaleDecision::Hold => {}
+        }
+        if decision != ScaleDecision::Hold {
+            // Worker processes restart on reconfiguration: a brief, visible
+            // service interruption (Fig. 14 (2)). The gap is idle time, not
+            // data-plane work, so it does not feed back into utilization.
+            let gap = inner.cfg.restart_interruption;
+            let active = inner.active;
+            for floor in inner.available_at[..active].iter_mut() {
+                *floor = now + gap;
+            }
+        }
+        let sample = ScaleSample {
+            at_secs: now.as_secs_f64(),
+            workers: inner.active,
+            avg_utilization: avg,
+        };
+        inner.samples.push(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    /// An upstream that replies after a fixed delay.
+    fn echo_upstream(delay: SimDuration, resp_bytes: usize) -> Upstream {
+        Rc::new(move |sim: &mut Sim, _id, _req, reply: Reply| {
+            sim.schedule_after(delay, move |sim| reply(sim, resp_bytes));
+        })
+    }
+
+    #[test]
+    fn request_completes_through_both_halves() {
+        let gw = Gateway::new(GatewayConfig::default());
+        let mut sim = Sim::new();
+        let got = Rc::new(Cell::new(None));
+        let g = got.clone();
+        gw.submit(
+            &mut sim,
+            FlowId::from_client(1, 0),
+            64,
+            echo_upstream(SimDuration::from_micros(50), 128),
+            Box::new(move |sim, r| g.set(Some((sim.now(), r)))),
+        );
+        sim.run();
+        let (at, r) = got.get().expect("completed");
+        assert_eq!(r, Ok(128));
+        // NADINO ingress service ~9-16us + 50us upstream.
+        let us = at.as_micros_f64();
+        assert!(us > 55.0 && us < 90.0, "end-to-end = {us}us");
+        assert_eq!(gw.stats().completed, 1);
+    }
+
+    #[test]
+    fn overload_drops_requests() {
+        let mut cfg = GatewayConfig::default();
+        cfg.kind = GatewayKind::KIngress;
+        cfg.max_backlog = SimDuration::from_micros(500);
+        let gw = Gateway::new(cfg);
+        let mut sim = Sim::new();
+        let drops = Rc::new(Cell::new(0u32));
+        // K-Ingress per-request cost is >100us: 100 simultaneous requests
+        // blow straight through a 500us backlog bound.
+        for i in 0..100 {
+            let d = drops.clone();
+            gw.submit(
+                &mut sim,
+                FlowId::from_client(i, 0),
+                64,
+                echo_upstream(SimDuration::from_micros(10), 64),
+                Box::new(move |_sim, r| {
+                    if r.is_err() {
+                        d.set(d.get() + 1);
+                    }
+                }),
+            );
+        }
+        sim.run();
+        assert!(drops.get() > 0, "overload must drop");
+        let s = gw.stats();
+        assert_eq!(s.dropped as u32, drops.get());
+        assert_eq!(s.accepted + s.dropped, 100);
+    }
+
+    #[test]
+    fn autoscaler_adds_workers_under_load_and_removes_when_idle() {
+        let mut cfg = GatewayConfig::default();
+        cfg.autoscale = Some(AutoscaleConfig {
+            max_workers: 4,
+            ..AutoscaleConfig::default()
+        });
+        cfg.autoscale_interval = SimDuration::from_millis(100);
+        let gw = Gateway::new(cfg);
+        let mut sim = Sim::new();
+        gw.start_autoscaler(&mut sim);
+        assert_eq!(gw.active_workers(), 1);
+        // Closed loop of 8 clients for 1 simulated second.
+        fn pump(gw: Gateway, sim: &mut Sim, client: u32, until: SimTime) {
+            if sim.now() >= until {
+                return;
+            }
+            let gw2 = gw.clone();
+            gw.submit(
+                sim,
+                FlowId::from_client(client, 0),
+                64,
+                echo_upstream(SimDuration::from_micros(5), 64),
+                Box::new(move |sim, _| pump(gw2, sim, client, until)),
+            );
+        }
+        let until = SimTime::ZERO + SimDuration::from_secs(1);
+        for c in 0..8 {
+            pump(gw.clone(), &mut sim, c, until);
+        }
+        sim.run_until(until);
+        let peak = gw.active_workers();
+        assert!(peak > 1, "load should trigger scale-up, got {peak}");
+        // Now idle: run three more evaluation periods.
+        sim.run_for(SimDuration::from_millis(400));
+        assert!(
+            gw.active_workers() < peak,
+            "idle should trigger scale-down from {peak}"
+        );
+        assert!(!gw.scale_samples().is_empty());
+    }
+
+    #[test]
+    fn utilization_visible_over_window() {
+        let gw = Gateway::new(GatewayConfig::default());
+        let mut sim = Sim::new();
+        for i in 0..20 {
+            gw.submit(
+                &mut sim,
+                FlowId::from_client(i, 0),
+                64,
+                echo_upstream(SimDuration::ZERO, 64),
+                Box::new(|_, _| {}),
+            );
+        }
+        sim.run();
+        let u = gw.utilization_cores(SimTime::ZERO, sim.now());
+        assert!(u > 0.5, "worker should have been busy, u = {u}");
+    }
+}

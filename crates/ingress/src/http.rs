@@ -1,0 +1,408 @@
+//! A minimal incremental HTTP/1.1 codec.
+//!
+//! The gateway's functional layer: parses request heads and fixed-length
+//! bodies from a byte stream (possibly arriving in fragments) and
+//! serializes responses. Deliberately small — enough for the serverless
+//! request shapes the evaluation uses — but strict about malformed input.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// More bytes are needed to complete the message.
+    Incomplete,
+    /// The request line is malformed.
+    BadRequestLine,
+    /// A header line is malformed.
+    BadHeader,
+    /// The `Content-Length` value is not a number.
+    BadContentLength,
+    /// The HTTP version is not 1.0 or 1.1.
+    UnsupportedVersion,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Incomplete => write!(f, "incomplete message"),
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::BadHeader => write!(f, "malformed header"),
+            HttpError::BadContentLength => write!(f, "invalid Content-Length"),
+            HttpError::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    pub method: String,
+    pub path: String,
+    pub version: String,
+    /// Header names are lower-cased at parse time.
+    pub headers: HashMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Parses one request from `buf`.
+    ///
+    /// Returns the request and the number of bytes consumed, or
+    /// [`HttpError::Incomplete`] if the buffer does not yet hold a full
+    /// message.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ingress::http::HttpRequest;
+    ///
+    /// let raw = b"POST /fn/home HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+    /// let (req, used) = HttpRequest::parse(raw).unwrap();
+    /// assert_eq!(req.method, "POST");
+    /// assert_eq!(req.body, b"hello");
+    /// assert_eq!(used, raw.len());
+    /// ```
+    pub fn parse(buf: &[u8]) -> Result<(HttpRequest, usize), HttpError> {
+        let head_end = find_head_end(buf).ok_or(HttpError::Incomplete)?;
+        let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| HttpError::BadHeader)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+        let mut parts = request_line.split(' ');
+        let method = parts.next().ok_or(HttpError::BadRequestLine)?;
+        let path = parts.next().ok_or(HttpError::BadRequestLine)?;
+        let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+        if parts.next().is_some() || method.is_empty() || path.is_empty() {
+            return Err(HttpError::BadRequestLine);
+        }
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(HttpError::UnsupportedVersion);
+        }
+        let mut headers = HashMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+            if name.is_empty() || name.chars().any(|c| c.is_whitespace()) {
+                return Err(HttpError::BadHeader);
+            }
+            headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+        }
+        let (body, total) = if headers
+            .get("transfer-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+        {
+            let (body, used) = decode_chunked(&buf[head_end + 4..])?;
+            (body, head_end + 4 + used)
+        } else {
+            let body_len = match headers.get("content-length") {
+                Some(v) => v.parse::<usize>().map_err(|_| HttpError::BadContentLength)?,
+                None => 0,
+            };
+            let total = head_end + 4 + body_len;
+            if buf.len() < total {
+                return Err(HttpError::Incomplete);
+            }
+            (buf[head_end + 4..total].to_vec(), total)
+        };
+        Ok((
+            HttpRequest {
+                method: method.to_string(),
+                path: path.to_string(),
+                version: version.to_string(),
+                headers,
+                body,
+            },
+            total,
+        ))
+    }
+
+    /// Serializes the request back to wire format (used by tests and by the
+    /// proxying baselines that re-emit requests upstream).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = format!("{} {} {}\r\n", self.method, self.path, self.version).into_bytes();
+        let mut names: Vec<&String> = self.headers.keys().collect();
+        names.sort();
+        for name in names {
+            out.extend_from_slice(format!("{}: {}\r\n", name, self.headers[name]).as_bytes());
+        }
+        if !self.body.is_empty() && !self.headers.contains_key("content-length") {
+            out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// A serialized HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub reason: String,
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Creates a `200 OK` response with a body.
+    pub fn ok(body: Vec<u8>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            reason: "OK".to_string(),
+            body,
+        }
+    }
+
+    /// Creates a `503 Service Unavailable` (the overloaded-gateway answer).
+    pub fn unavailable() -> HttpResponse {
+        HttpResponse {
+            status: 503,
+            reason: "Service Unavailable".to_string(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Serializes the response to wire format.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-length: {}\r\n\r\n",
+            self.status,
+            self.reason,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a response (used by the load generator to validate replies).
+    pub fn parse(buf: &[u8]) -> Result<(HttpResponse, usize), HttpError> {
+        let head_end = find_head_end(buf).ok_or(HttpError::Incomplete)?;
+        let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| HttpError::BadHeader)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(HttpError::UnsupportedVersion);
+        }
+        let status: u16 = parts
+            .next()
+            .ok_or(HttpError::BadRequestLine)?
+            .parse()
+            .map_err(|_| HttpError::BadRequestLine)?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let mut body_len = 0;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+            if name.eq_ignore_ascii_case("content-length") {
+                body_len = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| HttpError::BadContentLength)?;
+            }
+        }
+        let total = head_end + 4 + body_len;
+        if buf.len() < total {
+            return Err(HttpError::Incomplete);
+        }
+        Ok((
+            HttpResponse {
+                status,
+                reason,
+                body: buf[head_end + 4..total].to_vec(),
+            },
+            total,
+        ))
+    }
+}
+
+/// Finds the offset of the `\r\n\r\n` separating head from body.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Decodes a `Transfer-Encoding: chunked` body, returning the assembled
+/// payload and the number of body bytes consumed (including the final
+/// zero-size chunk and trailer CRLF).
+fn decode_chunked(buf: &[u8]) -> Result<(Vec<u8>, usize), HttpError> {
+    let mut body = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        // Chunk-size line (hex), terminated by CRLF.
+        let line_end = buf[pos..]
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or(HttpError::Incomplete)?;
+        let size_str =
+            std::str::from_utf8(&buf[pos..pos + line_end]).map_err(|_| HttpError::BadHeader)?;
+        // Ignore chunk extensions after ';'.
+        let size_str = size_str.split(';').next().unwrap_or("").trim();
+        let size =
+            usize::from_str_radix(size_str, 16).map_err(|_| HttpError::BadContentLength)?;
+        pos += line_end + 2;
+        if size == 0 {
+            // Final chunk: expect the terminating CRLF (no trailers).
+            if buf.len() < pos + 2 {
+                return Err(HttpError::Incomplete);
+            }
+            if &buf[pos..pos + 2] != b"\r\n" {
+                return Err(HttpError::BadHeader);
+            }
+            return Ok((body, pos + 2));
+        }
+        if buf.len() < pos + size + 2 {
+            return Err(HttpError::Incomplete);
+        }
+        body.extend_from_slice(&buf[pos..pos + size]);
+        if &buf[pos + size..pos + size + 2] != b"\r\n" {
+            return Err(HttpError::BadHeader);
+        }
+        pos += size + 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\nhost: gw\r\n\r\n";
+        let (req, used) = HttpRequest::parse(raw).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.headers["host"], "gw");
+        assert!(req.body.is_empty());
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn incomplete_head_and_body_report_incomplete() {
+        assert_eq!(
+            HttpRequest::parse(b"GET / HTTP/1.1\r\nhost").unwrap_err(),
+            HttpError::Incomplete
+        );
+        assert_eq!(
+            HttpRequest::parse(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc").unwrap_err(),
+            HttpError::Incomplete
+        );
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (req, used) = HttpRequest::parse(raw).unwrap();
+        assert_eq!(req.path, "/a");
+        let (req2, _) = HttpRequest::parse(&raw[used..]).unwrap();
+        assert_eq!(req2.path, "/b");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(
+            HttpRequest::parse(b"GETPATH\r\n\r\n").unwrap_err(),
+            HttpError::BadRequestLine
+        );
+        assert_eq!(
+            HttpRequest::parse(b"GET / HTTP/2.0\r\n\r\n").unwrap_err(),
+            HttpError::UnsupportedVersion
+        );
+        assert_eq!(
+            HttpRequest::parse(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").unwrap_err(),
+            HttpError::BadHeader
+        );
+        assert_eq!(
+            HttpRequest::parse(b"GET / HTTP/1.1\r\ncontent-length: x\r\n\r\n").unwrap_err(),
+            HttpError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn chunked_body_is_assembled() {
+        let raw = b"POST /up HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n\
+                    5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let (req, used) = HttpRequest::parse(raw).unwrap();
+        assert_eq!(req.body, b"hello world");
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn chunked_with_extension_and_incomplete_cases() {
+        let raw = b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n\
+                    3;ext=1\r\nabc\r\n0\r\n\r\n";
+        let (req, _) = HttpRequest::parse(raw).unwrap();
+        assert_eq!(req.body, b"abc");
+        // Truncated mid-chunk → Incomplete.
+        assert_eq!(
+            HttpRequest::parse(&raw[..raw.len() - 4]).unwrap_err(),
+            HttpError::Incomplete
+        );
+        // Bad hex size → BadContentLength.
+        let bad = b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nxyz\r\n";
+        assert_eq!(
+            HttpRequest::parse(bad).unwrap_err(),
+            HttpError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn header_names_are_lowercased() {
+        let raw = b"GET / HTTP/1.1\r\nX-Tenant-ID: 7\r\n\r\n";
+        let (req, _) = HttpRequest::parse(raw).unwrap();
+        assert_eq!(req.headers["x-tenant-id"], "7");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::ok(b"result".to_vec());
+        let wire = resp.serialize();
+        let (parsed, used) = HttpResponse::parse(&wire).unwrap();
+        assert_eq!(parsed, resp);
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn unavailable_is_503() {
+        let (parsed, _) = HttpResponse::parse(&HttpResponse::unavailable().serialize()).unwrap();
+        assert_eq!(parsed.status, 503);
+        assert!(parsed.body.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn request_serialize_parse_roundtrip(
+            method in "[A-Z]{3,7}",
+            path in "/[a-z0-9/]{0,20}",
+            body in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let mut headers = HashMap::new();
+            headers.insert("content-length".to_string(), body.len().to_string());
+            let req = HttpRequest {
+                method,
+                path,
+                version: "HTTP/1.1".to_string(),
+                headers,
+                body,
+            };
+            let wire = req.serialize();
+            let (parsed, used) = HttpRequest::parse(&wire).unwrap();
+            prop_assert_eq!(used, wire.len());
+            prop_assert_eq!(parsed, req);
+        }
+
+        #[test]
+        fn parser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = HttpRequest::parse(&data);
+            let _ = HttpResponse::parse(&data);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! NADINO's cluster-wide ingress gateway (§3.6).
+//!
+//! The ingress is the single place where external HTTP/TCP traffic is
+//! terminated and converted to RDMA before entering the serverless cluster
+//! — the paper's *early transport conversion* (Design Implication #4).
+//! This crate provides:
+//!
+//! - [`http`]: a real incremental HTTP/1.1 request/response codec (the
+//!   functional layer of the NGINX role).
+//! - [`stack`]: calibrated cost models for the three transport stacks the
+//!   evaluation compares — interrupt-driven kernel TCP (*K-Ingress*),
+//!   DPDK-based F-stack (*F-Ingress*), and NADINO's F-stack + RDMA
+//!   conversion.
+//! - [`rss`]: receive-side scaling: hashing client flows onto worker
+//!   processes pinned to cores.
+//! - [`autoscale`]: the hysteresis policy that spawns a worker above 60%
+//!   average utilization and retires one below 30%.
+//! - [`gateway`]: the master/worker gateway model tying it together in the
+//!   discrete-event simulation, including overload (tail-drop) behaviour
+//!   and the brief restart interruption the paper observes when scaling.
+
+pub mod autoscale;
+pub mod convert;
+pub mod gateway;
+pub mod http;
+pub mod rss;
+pub mod stack;
+
+pub use autoscale::{AutoscaleConfig, Hysteresis, ScaleDecision};
+pub use convert::{extract_invocation, wrap_response, Invocation};
+pub use gateway::{Gateway, GatewayConfig, GatewayStats};
+pub use http::{HttpError, HttpRequest, HttpResponse};
+pub use stack::{GatewayKind, StackCosts};

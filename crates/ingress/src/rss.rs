@@ -1,0 +1,76 @@
+//! Receive-side scaling: distributing client flows over worker processes.
+//!
+//! §3.6: "We leverage Receive Side Scaling (RSS) to distribute traffic
+//! from external clients evenly to different worker processes (pinned to
+//! specific CPU cores)". We hash the flow identifier with a small
+//! avalanche mixer (standing in for the Toeplitz hash) and map it onto the
+//! active worker set.
+
+/// A flow identifier: what the NIC would extract from the 4-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub u64);
+
+impl FlowId {
+    /// Builds a flow id from a client id and connection number.
+    pub fn from_client(client: u32, conn: u32) -> FlowId {
+        FlowId(((client as u64) << 32) | conn as u64)
+    }
+}
+
+/// Hashes a flow onto one of `workers` queues.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+pub fn rss_select(flow: FlowId, workers: usize) -> usize {
+    assert!(workers > 0, "RSS needs at least one worker");
+    (mix(flow.0) % workers as u64) as usize
+}
+
+/// A 64-bit finalizer (SplitMix64 tail) — good avalanche behaviour so
+/// consecutive client ids spread across workers.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let f = FlowId::from_client(3, 1);
+        assert_eq!(rss_select(f, 8), rss_select(f, 8));
+    }
+
+    #[test]
+    fn spreads_flows_roughly_evenly() {
+        let workers = 4;
+        let mut counts = vec![0u32; workers];
+        for client in 0..4000u32 {
+            counts[rss_select(FlowId::from_client(client, 0), workers)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (800..=1200).contains(&c),
+                "uneven spread: {counts:?} (expect ~1000 each)"
+            );
+        }
+    }
+
+    #[test]
+    fn different_conns_of_one_client_can_differ() {
+        let picks: std::collections::HashSet<usize> = (0..32)
+            .map(|conn| rss_select(FlowId::from_client(1, conn), 8))
+            .collect();
+        assert!(picks.len() > 1, "connections should spread");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        rss_select(FlowId(0), 0);
+    }
+}

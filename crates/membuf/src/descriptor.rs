@@ -1,0 +1,132 @@
+//! The 16-byte buffer descriptor.
+//!
+//! NADINO's data plane never moves payloads through software: functions,
+//! the DNE and the ingress exchange fixed 16-byte descriptors (§3.5.4 notes
+//! Comch carries "16B buffer descriptors"). The wire layout is:
+//!
+//! ```text
+//! offset  field       type
+//! 0       tenant      u16   owning tenant (function chain)
+//! 2       pool_id     u16   pool within the tenant
+//! 4       buf_index   u32   buffer slot in the pool
+//! 8       len         u32   payload bytes
+//! 12      generation  u16   recycle counter (stale-descriptor defence)
+//! 14      dst_fn      u16   destination function id
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Size of the encoded descriptor in bytes.
+pub const DESC_SIZE: usize = 16;
+
+/// A compact handle to a pool buffer, safe to copy across transports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufferDesc {
+    /// Owning tenant (function chain).
+    pub tenant: u16,
+    /// Pool identifier within the tenant.
+    pub pool_id: u16,
+    /// Buffer slot within the pool.
+    pub buf_index: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Pool recycle generation at detach time.
+    pub generation: u16,
+    /// Destination function identifier.
+    pub dst_fn: u16,
+}
+
+impl BufferDesc {
+    /// Encodes the descriptor into its 16-byte little-endian wire format.
+    pub fn encode(&self) -> [u8; DESC_SIZE] {
+        let mut out = [0u8; DESC_SIZE];
+        out[0..2].copy_from_slice(&self.tenant.to_le_bytes());
+        out[2..4].copy_from_slice(&self.pool_id.to_le_bytes());
+        out[4..8].copy_from_slice(&self.buf_index.to_le_bytes());
+        out[8..12].copy_from_slice(&self.len.to_le_bytes());
+        out[12..14].copy_from_slice(&self.generation.to_le_bytes());
+        out[14..16].copy_from_slice(&self.dst_fn.to_le_bytes());
+        out
+    }
+
+    /// Decodes a descriptor from its wire format.
+    pub fn decode(bytes: &[u8; DESC_SIZE]) -> BufferDesc {
+        BufferDesc {
+            tenant: u16::from_le_bytes([bytes[0], bytes[1]]),
+            pool_id: u16::from_le_bytes([bytes[2], bytes[3]]),
+            buf_index: u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            len: u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            generation: u16::from_le_bytes([bytes[12], bytes[13]]),
+            dst_fn: u16::from_le_bytes([bytes[14], bytes[15]]),
+        }
+    }
+
+    /// Decodes from an arbitrary slice, returning `None` on length mismatch.
+    pub fn decode_slice(bytes: &[u8]) -> Option<BufferDesc> {
+        let arr: &[u8; DESC_SIZE] = bytes.try_into().ok()?;
+        Some(Self::decode(arr))
+    }
+
+    /// Returns a copy with a different destination function.
+    pub fn with_dst(mut self, dst_fn: u16) -> BufferDesc {
+        self.dst_fn = dst_fn;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_layout_is_stable() {
+        let d = BufferDesc {
+            tenant: 0x0102,
+            pool_id: 0x0304,
+            buf_index: 0x0506_0708,
+            len: 0x090a_0b0c,
+            generation: 0x0d0e,
+            dst_fn: 0x0f10,
+        };
+        let bytes = d.encode();
+        assert_eq!(
+            bytes,
+            [
+                0x02, 0x01, 0x04, 0x03, 0x08, 0x07, 0x06, 0x05, 0x0c, 0x0b, 0x0a, 0x09, 0x0e,
+                0x0d, 0x10, 0x0f
+            ]
+        );
+    }
+
+    #[test]
+    fn decode_slice_checks_length() {
+        assert!(BufferDesc::decode_slice(&[0u8; 15]).is_none());
+        assert!(BufferDesc::decode_slice(&[0u8; 17]).is_none());
+        assert!(BufferDesc::decode_slice(&[0u8; 16]).is_some());
+    }
+
+    #[test]
+    fn with_dst_only_changes_destination() {
+        let d = BufferDesc {
+            tenant: 1,
+            pool_id: 2,
+            buf_index: 3,
+            len: 4,
+            generation: 5,
+            dst_fn: 6,
+        };
+        let e = d.with_dst(9);
+        assert_eq!(e.dst_fn, 9);
+        assert_eq!(e.tenant, d.tenant);
+        assert_eq!(e.buf_index, d.buf_index);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(tenant: u16, pool_id: u16, buf_index: u32, len: u32, generation: u16, dst_fn: u16) {
+            let d = BufferDesc { tenant, pool_id, buf_index, len, generation, dst_fn };
+            prop_assert_eq!(BufferDesc::decode(&d.encode()), d);
+        }
+    }
+}

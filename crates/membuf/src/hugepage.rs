@@ -1,0 +1,158 @@
+//! Hugepage-style backing segments.
+//!
+//! The paper allocates its unified memory pool from 2 MiB hugepages to keep
+//! the RNIC's memory translation table (MTT) small (§3.4). We emulate the
+//! allocation geometry: a [`SegmentArena`] hands out 2 MiB segments and
+//! reports how many translation entries a registration of the arena would
+//! consume, which the RNIC model charges against its MTT cache.
+
+use std::cell::UnsafeCell;
+
+/// Size of one emulated hugepage segment (2 MiB, as in the paper).
+pub const HUGEPAGE_SIZE: usize = 2 * 1024 * 1024;
+
+/// Size of a regular 4 KiB page, for MTT-footprint comparisons.
+pub const PAGE_SIZE_4K: usize = 4 * 1024;
+
+/// A contiguous backing segment with interior mutability.
+///
+/// Exclusive access to byte ranges is enforced *externally* by the buffer
+/// pool's ownership state machine; see [`crate::pool::BufferPool`].
+pub(crate) struct Segment {
+    bytes: UnsafeCell<Box<[u8]>>,
+}
+
+// SAFETY: `Segment` is shared across threads behind `Arc`, and all access to
+// the byte storage goes through raw-pointer ranges handed out by the buffer
+// pool, which guarantees (via its `Free/Owned/InFlight` state machine) that
+// at most one owner can touch any given range at a time.
+unsafe impl Sync for Segment {}
+// SAFETY: Same argument as for `Sync`; ownership of ranges moves with the
+// `OwnedBuf` tokens, never implicitly.
+unsafe impl Send for Segment {}
+
+impl Segment {
+    fn new(len: usize) -> Self {
+        Segment {
+            bytes: UnsafeCell::new(vec![0u8; len].into_boxed_slice()),
+        }
+    }
+
+    /// Returns a raw pointer to the start of the segment.
+    pub(crate) fn base_ptr(&self) -> *mut u8 {
+        // SAFETY: We only materialize the pointer here; dereferencing is
+        // guarded by the pool ownership discipline.
+        unsafe { (*self.bytes.get()).as_mut_ptr() }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        // SAFETY: The box itself (length/pointer) is never mutated after
+        // construction, only the bytes it points to.
+        unsafe { (&*self.bytes.get()).len() }
+    }
+}
+
+/// An arena of hugepage segments backing one buffer pool.
+pub struct SegmentArena {
+    segments: Vec<Segment>,
+    segment_size: usize,
+}
+
+impl SegmentArena {
+    /// Allocates an arena of `total_bytes`, rounded up to whole segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bytes == 0`.
+    pub fn new(total_bytes: usize) -> Self {
+        Self::with_segment_size(total_bytes, HUGEPAGE_SIZE)
+    }
+
+    /// Allocates an arena with a custom segment size (tests and the 4 KiB
+    /// MTT-footprint ablation use this).
+    pub fn with_segment_size(total_bytes: usize, segment_size: usize) -> Self {
+        assert!(total_bytes > 0, "arena must be non-empty");
+        assert!(segment_size > 0, "segment size must be positive");
+        let count = total_bytes.div_ceil(segment_size);
+        let segments = (0..count).map(|_| Segment::new(segment_size)).collect();
+        SegmentArena {
+            segments,
+            segment_size,
+        }
+    }
+
+    /// Returns the number of backing segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns the segment size in bytes.
+    pub fn segment_size(&self) -> usize {
+        self.segment_size
+    }
+
+    /// Returns the total capacity in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.segments.len() * self.segment_size
+    }
+
+    /// Returns the number of RNIC translation entries registering this arena
+    /// consumes — one per segment (this is the hugepage benefit: the same
+    /// arena backed by 4 KiB pages would cost 512× more entries).
+    pub fn mtt_entries(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Resolves a byte offset into `(segment pointer, in-segment offset)`.
+    ///
+    /// Returns `None` when the range does not fit inside a single segment;
+    /// the pool sizes buffers so they never straddle segments.
+    pub(crate) fn resolve(&self, offset: usize, len: usize) -> Option<(*mut u8, usize)> {
+        let seg = offset / self.segment_size;
+        let within = offset % self.segment_size;
+        if within + len > self.segment_size {
+            return None;
+        }
+        let segment = self.segments.get(seg)?;
+        debug_assert_eq!(segment.len(), self.segment_size);
+        Some((segment.base_ptr(), within))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_up_to_whole_segments() {
+        let a = SegmentArena::new(HUGEPAGE_SIZE + 1);
+        assert_eq!(a.segment_count(), 2);
+        assert_eq!(a.total_bytes(), 2 * HUGEPAGE_SIZE);
+    }
+
+    #[test]
+    fn mtt_footprint_matches_segment_count() {
+        let a = SegmentArena::new(8 * HUGEPAGE_SIZE);
+        assert_eq!(a.mtt_entries(), 8);
+        // The same memory with 4 KiB pages costs 512x the entries.
+        let b = SegmentArena::with_segment_size(8 * HUGEPAGE_SIZE, PAGE_SIZE_4K);
+        assert_eq!(b.mtt_entries(), 8 * 512);
+    }
+
+    #[test]
+    fn resolve_rejects_straddling_ranges() {
+        let a = SegmentArena::with_segment_size(4096, 1024);
+        assert!(a.resolve(0, 1024).is_some());
+        assert!(a.resolve(1000, 100).is_none(), "straddles segment boundary");
+        assert!(a.resolve(4096, 1).is_none(), "out of range");
+    }
+
+    #[test]
+    fn segments_are_zero_initialized() {
+        let a = SegmentArena::with_segment_size(2048, 1024);
+        let (ptr, off) = a.resolve(1024, 16).unwrap();
+        // SAFETY: Freshly allocated arena, no other accessor exists.
+        let slice = unsafe { std::slice::from_raw_parts(ptr.add(off), 16) };
+        assert!(slice.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,37 @@
+//! Unified shared-memory pool substrate for NADINO.
+//!
+//! This crate implements the memory subsystem of §3.4 of the paper as a real,
+//! thread-safe library (no simulation involved):
+//!
+//! - [`hugepage`]: 2 MiB hugepage-style backing segments (the paper uses
+//!   hugepages to shrink the RNIC memory-translation-table footprint; we
+//!   track the segment count so the RNIC model can charge MTT entries).
+//! - [`pool`]: fixed-size buffer pools with `get`/`put` in the style of DPDK's
+//!   `rte_mempool`, plus a per-buffer ownership state machine
+//!   (`Free → Owned → InFlight → Owned → Free`) that makes zero-copy
+//!   descriptor passing sound.
+//! - [`descriptor`]: the 16-byte buffer descriptor exchanged over SK_MSG,
+//!   Comch and RDMA instead of the payload itself.
+//! - [`ownership`]: counting semaphores and token chains implementing the
+//!   paper's explicit token-passing transfer of buffer ownership (§3.5.1).
+//! - [`tenant`]: the per-tenant pool registry keyed by DPDK-style
+//!   file-prefixes, enforcing per-tenant memory isolation (§3.4.1).
+//! - [`export`]: DOCA-mmap-style export descriptors that grant another
+//!   processor (DPU cores, RNIC) access to a host pool (§3.4.2).
+//! - [`spsc`]: a lock-free single-producer single-consumer descriptor ring,
+//!   the transport underneath Comch-P and the intra-node IPC fast path.
+
+pub mod descriptor;
+pub mod export;
+pub mod hugepage;
+pub mod ownership;
+pub mod pool;
+pub mod spsc;
+pub mod tenant;
+
+pub use descriptor::BufferDesc;
+pub use export::{ExportDescriptor, ExportTarget, MappedPool};
+pub use ownership::{Semaphore, TokenChain};
+pub use pool::{BufferPool, OwnedBuf, PoolConfig, PoolError};
+pub use spsc::SpscRing;
+pub use tenant::{TenantId, TenantRegistry};

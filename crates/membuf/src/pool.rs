@@ -1,0 +1,632 @@
+//! Fixed-size buffer pools with an ownership state machine.
+//!
+//! A [`BufferPool`] pre-carves a hugepage arena into equal-size buffers and
+//! hands them out with `get`/`put`, mirroring DPDK's `rte_mempool_get()` /
+//! `rte_mempool_put()` (§3.4). On top of allocation, every buffer carries an
+//! ownership state:
+//!
+//! ```text
+//! Free --get()--> Owned --into_desc()--> InFlight --redeem()--> Owned --put()/drop--> Free
+//! ```
+//!
+//! An [`OwnedBuf`] is the *only* way to touch buffer bytes, is not cloneable,
+//! and moves between functions either directly (same thread) or by being
+//! detached into a 16-byte [`BufferDesc`] and redeemed by the consumer. A
+//! generation counter per buffer makes stale descriptors fail to redeem, so
+//! a buggy or malicious function cannot forge access to a recycled buffer —
+//! this is the mechanical core of the paper's lock-free zero-copy claim.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::descriptor::BufferDesc;
+use crate::hugepage::SegmentArena;
+use crate::tenant::TenantId;
+
+/// Configuration for a [`BufferPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Identifier of the tenant owning this pool.
+    pub tenant: TenantId,
+    /// Pool identifier, unique within the tenant.
+    pub pool_id: u16,
+    /// Size of each buffer in bytes.
+    pub buf_size: usize,
+    /// Number of buffers to pre-allocate.
+    pub capacity: u32,
+    /// Backing segment size; defaults to a 2 MiB hugepage.
+    pub segment_size: usize,
+}
+
+impl PoolConfig {
+    /// Creates a config with the default hugepage segment size.
+    pub fn new(tenant: TenantId, pool_id: u16, buf_size: usize, capacity: u32) -> Self {
+        PoolConfig {
+            tenant,
+            pool_id,
+            buf_size,
+            capacity,
+            segment_size: crate::hugepage::HUGEPAGE_SIZE,
+        }
+    }
+}
+
+/// Errors returned by pool operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// No free buffers remain.
+    Exhausted,
+    /// Descriptor references a different tenant or pool.
+    WrongPool,
+    /// Descriptor index is out of range.
+    BadIndex,
+    /// Buffer is not in flight (double redeem, or never detached).
+    NotInFlight,
+    /// Descriptor generation is stale (buffer was recycled).
+    StaleGeneration,
+    /// Declared payload length exceeds the buffer size.
+    LengthTooLarge,
+    /// Invalid configuration.
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Exhausted => write!(f, "pool exhausted"),
+            PoolError::WrongPool => write!(f, "descriptor targets a different pool"),
+            PoolError::BadIndex => write!(f, "descriptor index out of range"),
+            PoolError::NotInFlight => write!(f, "buffer is not in flight"),
+            PoolError::StaleGeneration => write!(f, "stale descriptor generation"),
+            PoolError::LengthTooLarge => write!(f, "payload length exceeds buffer size"),
+            PoolError::BadConfig(msg) => write!(f, "bad pool config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufState {
+    Free,
+    Owned,
+    InFlight,
+}
+
+struct PoolState {
+    states: Vec<BufState>,
+    generations: Vec<u16>,
+    free: Vec<u32>,
+    gets: u64,
+    puts: u64,
+    detaches: u64,
+    redeems: u64,
+    failed_gets: u64,
+    failed_redeems: u64,
+}
+
+pub(crate) struct PoolShared {
+    pub(crate) config: PoolConfig,
+    arena: SegmentArena,
+    bufs_per_segment: usize,
+    state: Mutex<PoolState>,
+}
+
+/// Point-in-time statistics for a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    pub capacity: u32,
+    pub free: u32,
+    pub owned: u32,
+    pub in_flight: u32,
+    pub gets: u64,
+    pub puts: u64,
+    pub detaches: u64,
+    pub redeems: u64,
+    pub failed_gets: u64,
+    pub failed_redeems: u64,
+}
+
+/// A fixed-size buffer pool with ownership tracking.
+///
+/// Cloning the pool clones a handle to the same shared state, so a pool can
+/// be shared between a producer and consumer thread.
+///
+/// # Examples
+///
+/// ```
+/// use membuf::{BufferPool, PoolConfig};
+/// use membuf::tenant::TenantId;
+///
+/// let pool = BufferPool::new(PoolConfig::new(TenantId(1), 0, 4096, 64)).unwrap();
+/// let mut buf = pool.get().unwrap();
+/// buf.write_payload(b"hello").unwrap();
+/// let desc = buf.into_desc(7); // detach for transport; dst function = 7
+/// let got = pool.redeem(desc).unwrap();
+/// assert_eq!(got.as_slice(), b"hello");
+/// ```
+#[derive(Clone)]
+pub struct BufferPool {
+    shared: Arc<PoolShared>,
+}
+
+impl BufferPool {
+    /// Creates a pool, pre-allocating the backing arena.
+    pub fn new(config: PoolConfig) -> Result<Self, PoolError> {
+        if config.buf_size == 0 {
+            return Err(PoolError::BadConfig("buf_size must be positive"));
+        }
+        if config.capacity == 0 {
+            return Err(PoolError::BadConfig("capacity must be positive"));
+        }
+        if config.buf_size > config.segment_size {
+            return Err(PoolError::BadConfig("buffer larger than a segment"));
+        }
+        let bufs_per_segment = config.segment_size / config.buf_size;
+        let segments = (config.capacity as usize).div_ceil(bufs_per_segment);
+        let arena =
+            SegmentArena::with_segment_size(segments * config.segment_size, config.segment_size);
+        let cap = config.capacity as usize;
+        let state = PoolState {
+            states: vec![BufState::Free; cap],
+            generations: vec![0; cap],
+            free: (0..config.capacity).rev().collect(),
+            gets: 0,
+            puts: 0,
+            detaches: 0,
+            redeems: 0,
+            failed_gets: 0,
+            failed_redeems: 0,
+        };
+        Ok(BufferPool {
+            shared: Arc::new(PoolShared {
+                config,
+                arena,
+                bufs_per_segment,
+                state: Mutex::new(state),
+            }),
+        })
+    }
+
+    /// Returns the tenant owning this pool.
+    pub fn tenant(&self) -> TenantId {
+        self.shared.config.tenant
+    }
+
+    /// Returns the pool identifier.
+    pub fn pool_id(&self) -> u16 {
+        self.shared.config.pool_id
+    }
+
+    /// Returns the per-buffer size in bytes.
+    pub fn buf_size(&self) -> usize {
+        self.shared.config.buf_size
+    }
+
+    /// Returns the number of buffers in the pool.
+    pub fn capacity(&self) -> u32 {
+        self.shared.config.capacity
+    }
+
+    /// Returns the RNIC translation entries registering this pool consumes.
+    pub fn mtt_entries(&self) -> usize {
+        self.shared.arena.mtt_entries()
+    }
+
+    /// Allocates a free buffer (`rte_mempool_get()` analogue).
+    pub fn get(&self) -> Result<OwnedBuf, PoolError> {
+        let mut st = self.shared.state.lock();
+        match st.free.pop() {
+            Some(index) => {
+                debug_assert_eq!(st.states[index as usize], BufState::Free);
+                st.states[index as usize] = BufState::Owned;
+                st.gets += 1;
+                drop(st);
+                Ok(OwnedBuf::attach(self.shared.clone(), index, 0))
+            }
+            None => {
+                st.failed_gets += 1;
+                Err(PoolError::Exhausted)
+            }
+        }
+    }
+
+    /// Redeems an in-flight descriptor, transferring ownership to the caller.
+    pub fn redeem(&self, desc: BufferDesc) -> Result<OwnedBuf, PoolError> {
+        if desc.tenant != self.shared.config.tenant.0 || desc.pool_id != self.shared.config.pool_id
+        {
+            return Err(PoolError::WrongPool);
+        }
+        if desc.len as usize > self.shared.config.buf_size {
+            return Err(PoolError::LengthTooLarge);
+        }
+        let mut st = self.shared.state.lock();
+        let idx = desc.buf_index as usize;
+        if idx >= st.states.len() {
+            st.failed_redeems += 1;
+            return Err(PoolError::BadIndex);
+        }
+        if st.states[idx] != BufState::InFlight {
+            st.failed_redeems += 1;
+            return Err(PoolError::NotInFlight);
+        }
+        if st.generations[idx] != desc.generation {
+            st.failed_redeems += 1;
+            return Err(PoolError::StaleGeneration);
+        }
+        st.states[idx] = BufState::Owned;
+        st.redeems += 1;
+        drop(st);
+        Ok(OwnedBuf::attach(
+            self.shared.clone(),
+            desc.buf_index,
+            desc.len as usize,
+        ))
+    }
+
+    /// Returns a buffer to the pool (`rte_mempool_put()` analogue).
+    ///
+    /// Dropping an [`OwnedBuf`] has the same effect; this form just makes
+    /// the recycle explicit at call sites.
+    pub fn put(&self, buf: OwnedBuf) {
+        drop(buf);
+    }
+
+    /// Returns current statistics.
+    pub fn stats(&self) -> PoolStats {
+        let st = self.shared.state.lock();
+        let mut owned = 0u32;
+        let mut in_flight = 0u32;
+        for s in &st.states {
+            match s {
+                BufState::Owned => owned += 1,
+                BufState::InFlight => in_flight += 1,
+                BufState::Free => {}
+            }
+        }
+        PoolStats {
+            capacity: self.shared.config.capacity,
+            free: st.free.len() as u32,
+            owned,
+            in_flight,
+            gets: st.gets,
+            puts: st.puts,
+            detaches: st.detaches,
+            redeems: st.redeems,
+            failed_gets: st.failed_gets,
+            failed_redeems: st.failed_redeems,
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<PoolShared> {
+        &self.shared
+    }
+
+    pub(crate) fn from_shared(shared: Arc<PoolShared>) -> Self {
+        BufferPool { shared }
+    }
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("tenant", &self.shared.config.tenant)
+            .field("pool_id", &self.shared.config.pool_id)
+            .field("buf_size", &self.shared.config.buf_size)
+            .field("capacity", &self.shared.config.capacity)
+            .finish()
+    }
+}
+
+/// Exclusive ownership of one pool buffer.
+///
+/// The token is deliberately neither `Clone` nor `Copy`: possession *is*
+/// the access right. Dropping it recycles the buffer.
+pub struct OwnedBuf {
+    shared: Arc<PoolShared>,
+    index: u32,
+    len: usize,
+    /// Set once the buffer has been detached into a descriptor, so `Drop`
+    /// must not recycle it.
+    detached: bool,
+}
+
+impl OwnedBuf {
+    fn attach(shared: Arc<PoolShared>, index: u32, len: usize) -> Self {
+        OwnedBuf {
+            shared,
+            index,
+            len,
+            detached: false,
+        }
+    }
+
+    fn byte_offset(&self) -> usize {
+        let bps = self.shared.bufs_per_segment;
+        let seg = self.index as usize / bps;
+        let within = self.index as usize % bps;
+        seg * self.shared.config.segment_size + within * self.shared.config.buf_size
+    }
+
+    /// Returns the buffer index within its pool.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Returns the current payload length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the buffer capacity in bytes.
+    pub fn buf_size(&self) -> usize {
+        self.shared.config.buf_size
+    }
+
+    /// Returns the payload as a shared slice.
+    pub fn as_slice(&self) -> &[u8] {
+        let off = self.byte_offset();
+        let (base, within) = self
+            .shared
+            .arena
+            .resolve(off, self.shared.config.buf_size)
+            .expect("pool geometry guarantees in-segment buffers");
+        // SAFETY: This `OwnedBuf` is the unique owner of the buffer (pool
+        // state machine); no other reference to this range can exist.
+        unsafe { std::slice::from_raw_parts(base.add(within), self.len) }
+    }
+
+    /// Returns the full buffer as a mutable slice (capacity, not payload).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        let off = self.byte_offset();
+        let (base, within) = self
+            .shared
+            .arena
+            .resolve(off, self.shared.config.buf_size)
+            .expect("pool geometry guarantees in-segment buffers");
+        // SAFETY: Unique ownership as in `as_slice`, and `&mut self` also
+        // prevents aliasing through this token.
+        unsafe { std::slice::from_raw_parts_mut(base.add(within), self.shared.config.buf_size) }
+    }
+
+    /// Sets the payload length.
+    pub fn set_len(&mut self, len: usize) -> Result<(), PoolError> {
+        if len > self.shared.config.buf_size {
+            return Err(PoolError::LengthTooLarge);
+        }
+        self.len = len;
+        Ok(())
+    }
+
+    /// Copies `payload` into the buffer and sets the length.
+    pub fn write_payload(&mut self, payload: &[u8]) -> Result<(), PoolError> {
+        if payload.len() > self.shared.config.buf_size {
+            return Err(PoolError::LengthTooLarge);
+        }
+        self.as_mut_slice()[..payload.len()].copy_from_slice(payload);
+        self.len = payload.len();
+        Ok(())
+    }
+
+    /// Detaches ownership into a wire descriptor (state → `InFlight`).
+    ///
+    /// The descriptor can be sent over any transport and redeemed exactly
+    /// once by [`BufferPool::redeem`] on the receiving side.
+    pub fn into_desc(mut self, dst_fn: u16) -> BufferDesc {
+        let generation = {
+            let mut st = self.shared.state.lock();
+            let idx = self.index as usize;
+            debug_assert_eq!(st.states[idx], BufState::Owned);
+            st.states[idx] = BufState::InFlight;
+            st.detaches += 1;
+            // Each detach opens a fresh generation, so descriptors from any
+            // earlier detach of this buffer can never redeem again.
+            st.generations[idx] = st.generations[idx].wrapping_add(1);
+            st.generations[idx]
+        };
+        self.detached = true;
+        BufferDesc {
+            tenant: self.shared.config.tenant.0,
+            pool_id: self.shared.config.pool_id,
+            buf_index: self.index,
+            len: self.len as u32,
+            generation,
+            dst_fn,
+        }
+    }
+
+    /// Returns a clone of the owning pool handle.
+    pub fn pool(&self) -> BufferPool {
+        BufferPool::from_shared(self.shared.clone())
+    }
+}
+
+impl Drop for OwnedBuf {
+    fn drop(&mut self) {
+        if self.detached {
+            return;
+        }
+        let mut st = self.shared.state.lock();
+        let idx = self.index as usize;
+        debug_assert_eq!(st.states[idx], BufState::Owned);
+        st.states[idx] = BufState::Free;
+        st.generations[idx] = st.generations[idx].wrapping_add(1);
+        st.free.push(self.index);
+        st.puts += 1;
+    }
+}
+
+impl fmt::Debug for OwnedBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OwnedBuf")
+            .field("index", &self.index)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(cap: u32) -> BufferPool {
+        let mut cfg = PoolConfig::new(TenantId(1), 0, 1024, cap);
+        cfg.segment_size = 8 * 1024; // small segments keep tests light
+        BufferPool::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn get_put_cycle_recycles() {
+        let p = pool(2);
+        let a = p.get().unwrap();
+        let b = p.get().unwrap();
+        assert_eq!(p.get().unwrap_err(), PoolError::Exhausted);
+        p.put(a);
+        let c = p.get().unwrap();
+        drop(b);
+        drop(c);
+        let s = p.stats();
+        assert_eq!(s.free, 2);
+        assert_eq!(s.gets, 3);
+        assert_eq!(s.puts, 3);
+        assert_eq!(s.failed_gets, 1);
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let p = pool(1);
+        let mut b = p.get().unwrap();
+        b.write_payload(b"zero copy").unwrap();
+        assert_eq!(b.as_slice(), b"zero copy");
+        assert_eq!(b.len(), 9);
+        assert!(b.write_payload(&[0u8; 2048]).is_err());
+    }
+
+    #[test]
+    fn detach_redeem_transfers_ownership() {
+        let p = pool(1);
+        let mut b = p.get().unwrap();
+        b.write_payload(b"abc").unwrap();
+        let desc = b.into_desc(3);
+        assert_eq!(desc.dst_fn, 3);
+        assert_eq!(p.stats().in_flight, 1);
+        let b2 = p.redeem(desc).unwrap();
+        assert_eq!(b2.as_slice(), b"abc");
+        assert_eq!(p.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn double_redeem_fails() {
+        let p = pool(1);
+        let desc = p.get().unwrap().into_desc(0);
+        let b = p.redeem(desc).unwrap();
+        assert_eq!(p.redeem(desc).unwrap_err(), PoolError::NotInFlight);
+        drop(b);
+    }
+
+    #[test]
+    fn stale_generation_fails_after_recycle() {
+        let p = pool(1);
+        let desc = p.get().unwrap().into_desc(0);
+        let b = p.redeem(desc).unwrap();
+        drop(b); // recycle bumps generation
+        let b2 = p.get().unwrap();
+        let desc2 = b2.into_desc(0);
+        // Old descriptor has a stale generation even though index matches.
+        assert_eq!(desc.buf_index, desc2.buf_index);
+        assert_eq!(p.redeem(desc).unwrap_err(), PoolError::StaleGeneration);
+        let _ = p.redeem(desc2).unwrap();
+    }
+
+    #[test]
+    fn wrong_pool_and_bad_index_rejected() {
+        let p = pool(1);
+        let other = {
+            let mut cfg = PoolConfig::new(TenantId(2), 0, 1024, 1);
+            cfg.segment_size = 8 * 1024;
+            BufferPool::new(cfg).unwrap()
+        };
+        let desc = other.get().unwrap().into_desc(0);
+        assert_eq!(p.redeem(desc).unwrap_err(), PoolError::WrongPool);
+        let mut bad = p.get().unwrap().into_desc(0);
+        bad.buf_index = 99;
+        assert_eq!(p.redeem(bad).unwrap_err(), PoolError::BadIndex);
+    }
+
+    #[test]
+    fn oversize_len_rejected() {
+        let p = pool(1);
+        let mut desc = p.get().unwrap().into_desc(0);
+        desc.len = 4096;
+        assert_eq!(p.redeem(desc).unwrap_err(), PoolError::LengthTooLarge);
+    }
+
+    #[test]
+    fn buffers_do_not_alias() {
+        let p = pool(4);
+        let mut bufs: Vec<OwnedBuf> = (0..4).map(|_| p.get().unwrap()).collect();
+        for (i, b) in bufs.iter_mut().enumerate() {
+            b.write_payload(&[i as u8; 64]).unwrap();
+        }
+        for (i, b) in bufs.iter().enumerate() {
+            assert!(b.as_slice().iter().all(|&x| x == i as u8));
+        }
+    }
+
+    #[test]
+    fn cross_thread_producer_consumer() {
+        let p = pool(8);
+        let (tx, rx) = std::sync::mpsc::channel::<BufferDesc>();
+        let producer = {
+            let p = p.clone();
+            std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    let mut b = loop {
+                        match p.get() {
+                            Ok(b) => break b,
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    };
+                    b.write_payload(&i.to_le_bytes()).unwrap();
+                    tx.send(b.into_desc(0)).unwrap();
+                }
+            })
+        };
+        let consumer = {
+            let p = p.clone();
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                for desc in rx {
+                    let b = p.redeem(desc).unwrap();
+                    sum += u32::from_le_bytes(b.as_slice().try_into().unwrap()) as u64;
+                }
+                sum
+            })
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), (0..100u64).sum());
+        assert_eq!(p.stats().free, 8);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(matches!(
+            BufferPool::new(PoolConfig::new(TenantId(0), 0, 0, 1)),
+            Err(PoolError::BadConfig(_))
+        ));
+        assert!(matches!(
+            BufferPool::new(PoolConfig::new(TenantId(0), 0, 64, 0)),
+            Err(PoolError::BadConfig(_))
+        ));
+        let mut cfg = PoolConfig::new(TenantId(0), 0, 4096, 1);
+        cfg.segment_size = 1024;
+        assert!(matches!(BufferPool::new(cfg), Err(PoolError::BadConfig(_))));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based state-machine test of the buffer pool's ownership
+//! discipline: arbitrary interleavings of get/detach/redeem/put/stale-
+//! redeem must never violate the conservation invariant or grant two
+//! owners access to one buffer.
+
+use membuf::descriptor::BufferDesc;
+use membuf::pool::{BufferPool, OwnedBuf, PoolConfig, PoolError};
+use membuf::tenant::TenantId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get,
+    Put(usize),
+    Detach(usize, u16),
+    Redeem(usize),
+    RedeemStale(usize),
+    WriteRead(usize, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Get),
+        (0usize..8).prop_map(Op::Put),
+        ((0usize..8), any::<u16>()).prop_map(|(i, d)| Op::Detach(i, d)),
+        (0usize..8).prop_map(Op::Redeem),
+        (0usize..8).prop_map(Op::RedeemStale),
+        ((0usize..8), any::<u8>()).prop_map(|(i, v)| Op::WriteRead(i, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn ownership_state_machine_holds(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let capacity = 16u32;
+        let mut cfg = PoolConfig::new(TenantId(1), 0, 256, capacity);
+        cfg.segment_size = 8192;
+        let pool = BufferPool::new(cfg).unwrap();
+        let mut owned: Vec<OwnedBuf> = Vec::new();
+        let mut in_flight: Vec<BufferDesc> = Vec::new();
+        let mut stale: Vec<BufferDesc> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Get => match pool.get() {
+                    Ok(b) => owned.push(b),
+                    Err(e) => prop_assert_eq!(e, PoolError::Exhausted),
+                },
+                Op::Put(i) if !owned.is_empty() => {
+                    let b = owned.swap_remove(i % owned.len());
+                    pool.put(b);
+                }
+                Op::Detach(i, dst) if !owned.is_empty() => {
+                    let b = owned.swap_remove(i % owned.len());
+                    in_flight.push(b.into_desc(dst));
+                }
+                Op::Redeem(i) if !in_flight.is_empty() => {
+                    let d = in_flight.swap_remove(i % in_flight.len());
+                    let b = pool.redeem(d).expect("live descriptor must redeem");
+                    // Redeeming again with the same descriptor must fail.
+                    prop_assert!(pool.redeem(d).is_err());
+                    stale.push(d);
+                    owned.push(b);
+                }
+                Op::RedeemStale(i) if !stale.is_empty() => {
+                    let d = stale[i % stale.len()];
+                    prop_assert!(pool.redeem(d).is_err(), "stale descriptor must not redeem");
+                }
+                Op::WriteRead(i, v) if !owned.is_empty() => {
+                    let idx = i % owned.len();
+                    owned[idx].write_payload(&[v; 64]).unwrap();
+                    prop_assert!(owned[idx].as_slice().iter().all(|&x| x == v));
+                }
+                _ => {}
+            }
+            // Conservation: every buffer is in exactly one state.
+            let s = pool.stats();
+            prop_assert_eq!(
+                s.free + s.owned + s.in_flight,
+                capacity,
+                "conservation violated: {:?}",
+                s
+            );
+            prop_assert_eq!(s.owned as usize, owned.len());
+            prop_assert_eq!(s.in_flight as usize, in_flight.len());
+        }
+        // Drain: everything returns to free.
+        owned.clear();
+        for d in in_flight.drain(..) {
+            drop(pool.redeem(d).unwrap());
+        }
+        prop_assert_eq!(pool.stats().free, capacity);
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulated RDMA substrate for the NADINO reproduction.
+//!
+//! This crate stands in for the ConnectX-6 RNIC and the 200 Gbps RDMA
+//! fabric of the paper's testbed. It implements Reliable Connected (RC)
+//! transport semantics — the transport NADINO uses exclusively (§2.1) —
+//! over the deterministic event engine from [`simcore`]:
+//!
+//! - [`types`]: identifiers, work-request ids, completion entries, errors.
+//! - [`cost`]: the calibrated timing model (RNIC processing, propagation,
+//!   serialization at 200 Gbps, RNR timers, QP-cache and MTT penalties).
+//! - [`mr`]: memory-region registration — only pools exported with the
+//!   `Rdma` grant may be registered, reproducing the DOCA mmap contract.
+//! - [`fabric`]: the fabric itself — nodes, RC connection establishment
+//!   (tens of milliseconds, as measured in the paper), two-sided
+//!   send/receive with shared receive queues and RNR NAK behaviour,
+//!   completion queues with optional wakers, and the shadow-QP
+//!   active/inactive accounting that feeds the QP-cache model.
+//! - [`onesided`]: one-sided WRITE/READ plus the landing-zone and
+//!   distributed-lock helpers used by the Fig. 12 baselines (OWRC, OWDL).
+//!
+//! Payload bytes really move: a two-sided send copies from the sender's
+//! [`membuf`] pool buffer into the receiver's posted buffer at the instant
+//! the simulated DMA completes, so end-to-end tests can assert content
+//! integrity, not just timing.
+
+pub mod cost;
+pub mod fabric;
+pub mod mr;
+pub mod onesided;
+pub mod types;
+
+pub use cost::RdmaCosts;
+pub use fabric::{Fabric, QpHandle};
+pub use types::{Cqe, CqeStatus, NodeId, QpId, RdmaError, WrId};

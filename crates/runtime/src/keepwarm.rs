@@ -1,0 +1,165 @@
+//! Keep-warm policy for cold-start mitigation (§3.7).
+//!
+//! NADINO "leverages SPRIGHT's keep-warm policy to mitigate cold-start
+//! impact": instead of tearing a function instance down as soon as it goes
+//! idle, the platform keeps it warm for a grace period and only pays the
+//! cold-start penalty when a request arrives after the instance expired.
+//! [`InstanceManager`] tracks warmth per function in virtual time and
+//! reports the start-up delay each invocation must absorb.
+
+use std::collections::HashMap;
+
+use simcore::{SimDuration, SimTime};
+
+/// Keep-warm configuration.
+#[derive(Debug, Clone)]
+pub struct KeepWarmPolicy {
+    /// How long an idle instance stays warm.
+    pub keep_warm_for: SimDuration,
+    /// Delay to start a cold instance (container boot, runtime init).
+    pub cold_start: SimDuration,
+}
+
+impl Default for KeepWarmPolicy {
+    fn default() -> Self {
+        KeepWarmPolicy {
+            // Knative-style grace period, compressed for simulation.
+            keep_warm_for: SimDuration::from_secs(60),
+            cold_start: SimDuration::from_millis(150),
+        }
+    }
+}
+
+/// Per-function warmth tracking.
+#[derive(Debug)]
+pub struct InstanceManager {
+    policy: KeepWarmPolicy,
+    last_used: HashMap<u16, SimTime>,
+    cold_starts: u64,
+    warm_hits: u64,
+}
+
+impl InstanceManager {
+    /// Creates a manager with the given policy; all functions start cold.
+    pub fn new(policy: KeepWarmPolicy) -> Self {
+        InstanceManager {
+            policy,
+            last_used: HashMap::new(),
+            cold_starts: 0,
+            warm_hits: 0,
+        }
+    }
+
+    /// Returns whether `fn_id` is warm at `now`.
+    pub fn is_warm(&self, fn_id: u16, now: SimTime) -> bool {
+        match self.last_used.get(&fn_id) {
+            Some(&t) => now.saturating_since(t) <= self.policy.keep_warm_for,
+            None => false,
+        }
+    }
+
+    /// Records an invocation of `fn_id` at `now` and returns the start-up
+    /// delay it must absorb (zero when warm, the cold-start penalty
+    /// otherwise). The instance is warm afterwards either way.
+    pub fn invoke(&mut self, fn_id: u16, now: SimTime) -> SimDuration {
+        let warm = self.is_warm(fn_id, now);
+        self.last_used.insert(fn_id, now);
+        if warm {
+            self.warm_hits += 1;
+            SimDuration::ZERO
+        } else {
+            self.cold_starts += 1;
+            self.policy.cold_start
+        }
+    }
+
+    /// Pre-warms `fn_id` at `now` without counting an invocation (the
+    /// platform's keep-warm prodding).
+    pub fn prewarm(&mut self, fn_id: u16, now: SimTime) {
+        self.last_used.insert(fn_id, now);
+    }
+
+    /// Returns `(cold_starts, warm_hits)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.cold_starts, self.warm_hits)
+    }
+
+    /// Returns the functions currently warm at `now` (sorted).
+    pub fn warm_set(&self, now: SimTime) -> Vec<u16> {
+        let mut v: Vec<u16> = self
+            .last_used
+            .keys()
+            .copied()
+            .filter(|&f| self.is_warm(f, now))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> KeepWarmPolicy {
+        KeepWarmPolicy {
+            keep_warm_for: SimDuration::from_secs(10),
+            cold_start: SimDuration::from_millis(100),
+        }
+    }
+
+    fn at(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn first_invocation_is_cold() {
+        let mut m = InstanceManager::new(policy());
+        assert!(!m.is_warm(1, at(0)));
+        assert_eq!(m.invoke(1, at(0)), SimDuration::from_millis(100));
+        assert_eq!(m.counters(), (1, 0));
+    }
+
+    #[test]
+    fn invocation_within_grace_is_warm() {
+        let mut m = InstanceManager::new(policy());
+        m.invoke(1, at(0));
+        assert_eq!(m.invoke(1, at(5)), SimDuration::ZERO);
+        assert_eq!(m.invoke(1, at(15)), SimDuration::ZERO, "grace slides");
+        assert_eq!(m.counters(), (1, 2));
+    }
+
+    #[test]
+    fn expired_instance_pays_cold_start_again() {
+        let mut m = InstanceManager::new(policy());
+        m.invoke(1, at(0));
+        assert_eq!(m.invoke(1, at(11)), SimDuration::from_millis(100));
+        assert_eq!(m.counters(), (2, 0));
+    }
+
+    #[test]
+    fn prewarm_avoids_the_first_cold_start() {
+        let mut m = InstanceManager::new(policy());
+        m.prewarm(1, at(0));
+        assert_eq!(m.invoke(1, at(5)), SimDuration::ZERO);
+        assert_eq!(m.counters(), (0, 1));
+    }
+
+    #[test]
+    fn warm_set_tracks_expiry() {
+        let mut m = InstanceManager::new(policy());
+        m.invoke(1, at(0));
+        m.invoke(2, at(8));
+        assert_eq!(m.warm_set(at(9)), vec![1, 2]);
+        assert_eq!(m.warm_set(at(12)), vec![2], "fn 1 expired");
+        assert!(m.warm_set(at(30)).is_empty());
+    }
+
+    #[test]
+    fn functions_are_independent() {
+        let mut m = InstanceManager::new(policy());
+        m.invoke(1, at(0));
+        assert_eq!(m.invoke(2, at(1)), SimDuration::from_millis(100));
+        assert_eq!(m.invoke(1, at(1)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,89 @@
+//! Function placement: which node hosts which function.
+
+use std::collections::HashMap;
+
+use dne::Dne;
+use rdma_sim::NodeId;
+
+/// The cluster-wide function → node map.
+#[derive(Debug, Clone, Default)]
+pub struct Placement {
+    map: HashMap<u16, NodeId>,
+}
+
+impl Placement {
+    /// Creates an empty placement.
+    pub fn new() -> Self {
+        Placement::default()
+    }
+
+    /// Places (or moves) a function onto a node.
+    pub fn place(&mut self, fn_id: u16, node: NodeId) {
+        self.map.insert(fn_id, node);
+    }
+
+    /// Returns the node hosting `fn_id`.
+    pub fn node_of(&self, fn_id: u16) -> Option<NodeId> {
+        self.map.get(&fn_id).copied()
+    }
+
+    /// Returns `true` if `fn_id` runs on `node`.
+    pub fn is_on(&self, fn_id: u16, node: NodeId) -> bool {
+        self.node_of(fn_id) == Some(node)
+    }
+
+    /// Lists the functions placed on `node` (sorted for determinism).
+    pub fn functions_on(&self, node: NodeId) -> Vec<u16> {
+        let mut v: Vec<u16> = self
+            .map
+            .iter()
+            .filter(|(_, n)| **n == node)
+            .map(|(f, _)| *f)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Returns the number of placed functions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Pushes every route into a DNE's inter-node routing table.
+    pub fn sync_to_dne(&self, dne: &Dne) {
+        for (&f, &n) in &self.map {
+            dne.set_route(f, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_and_query() {
+        let mut p = Placement::new();
+        p.place(1, NodeId(0));
+        p.place(2, NodeId(1));
+        p.place(3, NodeId(0));
+        assert_eq!(p.node_of(1), Some(NodeId(0)));
+        assert!(p.is_on(2, NodeId(1)));
+        assert_eq!(p.functions_on(NodeId(0)), vec![1, 3]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn replace_moves_function() {
+        let mut p = Placement::new();
+        p.place(1, NodeId(0));
+        p.place(1, NodeId(2));
+        assert_eq!(p.node_of(1), Some(NodeId(2)));
+        assert!(p.functions_on(NodeId(0)).is_empty());
+    }
+}

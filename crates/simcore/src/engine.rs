@@ -1,0 +1,347 @@
+//! The discrete-event engine.
+//!
+//! [`Sim`] owns the virtual clock and a binary heap of scheduled events. An
+//! event is a boxed `FnOnce(&mut Sim)`; components are usually shared via
+//! `Rc<RefCell<_>>` and captured by the closures they schedule. Ties in time
+//! are broken by a monotonically increasing sequence number so execution
+//! order is fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled event: fires at `at`, FIFO among same-instant events.
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    run: Box<dyn FnOnce(&mut Sim)>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic single-threaded discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{Sim, SimDuration};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new();
+/// let hits = Rc::new(Cell::new(0));
+/// let h = hits.clone();
+/// sim.schedule_after(SimDuration::from_micros(5), move |_| h.set(h.get() + 1));
+/// sim.run();
+/// assert_eq!(hits.get(), 1);
+/// assert_eq!(sim.now().as_nanos(), 5_000);
+/// ```
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    executed: u64,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the total number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Returns the number of events currently pending.
+    pub fn pending_events(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `f` to run at absolute instant `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to run
+    /// "now" (still after all currently ready events) and a debug assertion
+    /// fires in test builds.
+    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, f: F) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq,
+            run: Box::new(f),
+        }));
+    }
+
+    /// Schedules `f` to run `delay` after the current instant.
+    pub fn schedule_after<F: FnOnce(&mut Sim) + 'static>(&mut self, delay: SimDuration, f: F) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules `f` to run at the current instant, after already-ready events.
+    pub fn schedule_now<F: FnOnce(&mut Sim) + 'static>(&mut self, f: F) {
+        self.schedule_at(self.now, f);
+    }
+
+    /// Executes the single next event, returning `false` if none remain.
+    pub fn step(&mut self) -> bool {
+        match self.heap.pop() {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.run)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with `at <= deadline`, then advances the clock to
+    /// `deadline` (even if the queue drained earlier).
+    ///
+    /// Events scheduled beyond the deadline remain pending.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[30u64, 10, 20] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_nanos(t), move |_| log.borrow_mut().push(t));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(sim.now(), SimTime::from_nanos(30));
+    }
+
+    #[test]
+    fn same_instant_events_run_fifo() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_nanos(7), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_more_events() {
+        let mut sim = Sim::new();
+        let count = Rc::new(RefCell::new(0u32));
+        fn tick(sim: &mut Sim, count: Rc<RefCell<u32>>) {
+            *count.borrow_mut() += 1;
+            if *count.borrow() < 10 {
+                sim.schedule_after(SimDuration::from_nanos(1), move |s| tick(s, count));
+            }
+        }
+        let c = count.clone();
+        sim.schedule_now(move |s| tick(s, c));
+        sim.run();
+        assert_eq!(*count.borrow(), 10);
+        assert_eq!(sim.now(), SimTime::from_nanos(9));
+        assert_eq!(sim.executed_events(), 10);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        for t in [5u64, 15, 25] {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime::from_nanos(t), move |_| *hits.borrow_mut() += 1);
+        }
+        sim.run_until(SimTime::from_nanos(20));
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(sim.now(), SimTime::from_nanos(20));
+        assert_eq!(sim.pending_events(), 1);
+        sim.run();
+        assert_eq!(*hits.borrow(), 3);
+    }
+
+    #[test]
+    fn run_until_advances_clock_on_empty_queue() {
+        let mut sim = Sim::new();
+        sim.run_until(SimTime::from_nanos(1_000));
+        assert_eq!(sim.now(), SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    fn run_for_is_relative() {
+        let mut sim = Sim::new();
+        sim.run_for(SimDuration::from_micros(1));
+        sim.run_for(SimDuration::from_micros(1));
+        assert_eq!(sim.now(), SimTime::from_nanos(2_000));
+    }
+}
+
+/// A cancellable periodic timer.
+///
+/// Several components (autoscaler masters, landing-zone pollers, samplers)
+/// need "run `f` every `interval` until told to stop"; [`Ticker`] packages
+/// the recursive-scheduling idiom with a drop-safe cancel flag.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::engine::Ticker;
+/// use simcore::{Sim, SimDuration, SimTime};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new();
+/// let hits = Rc::new(Cell::new(0));
+/// let h = hits.clone();
+/// let ticker = Ticker::start(&mut sim, SimDuration::from_micros(10), move |_| {
+///     h.set(h.get() + 1);
+/// });
+/// sim.run_until(SimTime::from_nanos(35_000));
+/// ticker.cancel();
+/// sim.run_until(SimTime::from_nanos(100_000));
+/// assert_eq!(hits.get(), 3); // t = 10us, 20us, 30us
+/// ```
+pub struct Ticker {
+    alive: std::rc::Rc<std::cell::Cell<bool>>,
+}
+
+impl Ticker {
+    /// Starts a ticker firing every `interval`, first at `now + interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero (the simulation would never advance).
+    pub fn start<F: FnMut(&mut Sim) + 'static>(
+        sim: &mut Sim,
+        interval: SimDuration,
+        f: F,
+    ) -> Ticker {
+        assert!(
+            interval > SimDuration::ZERO,
+            "ticker interval must be positive"
+        );
+        let alive = std::rc::Rc::new(std::cell::Cell::new(true));
+        fn tick<F: FnMut(&mut Sim) + 'static>(
+            sim: &mut Sim,
+            interval: SimDuration,
+            mut f: F,
+            alive: std::rc::Rc<std::cell::Cell<bool>>,
+        ) {
+            sim.schedule_after(interval, move |sim| {
+                if !alive.get() {
+                    return;
+                }
+                f(sim);
+                tick(sim, interval, f, alive);
+            });
+        }
+        tick(sim, interval, f, alive.clone());
+        Ticker { alive }
+    }
+
+    /// Stops the ticker; the pending firing becomes a no-op.
+    pub fn cancel(&self) {
+        self.alive.set(false);
+    }
+
+    /// Returns `true` while the ticker is armed.
+    pub fn is_active(&self) -> bool {
+        self.alive.get()
+    }
+}
+
+#[cfg(test)]
+mod ticker_tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn fires_periodically_until_cancelled() {
+        let mut sim = Sim::new();
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let t = Ticker::start(&mut sim, SimDuration::from_micros(5), move |_| {
+            c.set(c.get() + 1);
+        });
+        sim.run_until(SimTime::from_nanos(23_000));
+        assert_eq!(count.get(), 4, "t = 5, 10, 15, 20us");
+        assert!(t.is_active());
+        t.cancel();
+        assert!(!t.is_active());
+        sim.run();
+        assert_eq!(count.get(), 4, "no firings after cancel");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let mut sim = Sim::new();
+        let _ = Ticker::start(&mut sim, SimDuration::ZERO, |_| {});
+    }
+}

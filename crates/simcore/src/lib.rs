@@ -1,0 +1,29 @@
+//! Deterministic discrete-event simulation core for the NADINO reproduction.
+//!
+//! The engine is single-threaded and totally ordered on `(time, sequence)`,
+//! so a given seed always reproduces the same trajectory. On top of the raw
+//! event queue it provides the building blocks every substrate crate uses:
+//!
+//! - [`time`]: nanosecond-resolution virtual time ([`SimTime`], [`SimDuration`]).
+//! - [`engine`]: the event loop ([`Sim`]) with closure events.
+//! - [`resource`]: FIFO single-/multi-server resources with utilization
+//!   accounting, used to model CPU cores, DPU cores and DMA engines.
+//! - [`rng`]: seeded SplitMix64 RNG plus the distributions the workloads use.
+//! - [`stats`]: streaming mean/variance, log-bucketed latency histograms with
+//!   percentiles, and time-series recorders for the figure reproductions.
+//! - [`ratelimit`]: token bucket used for bandwidth shaping.
+//! - [`queue`]: bounded FIFO with drop accounting.
+
+pub mod engine;
+pub mod queue;
+pub mod ratelimit;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::Sim;
+pub use resource::{MultiServer, Server};
+pub use rng::SimRng;
+pub use stats::{Histogram, TimeSeries};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,164 @@
+//! Bounded FIFO queues with drop accounting.
+//!
+//! Network devices and event loops in the simulation use bounded queues; a
+//! full queue drops (tail-drop) and records it, which is how overload in the
+//! K-Ingress experiment manifests as disconnected clients.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO queue that counts accepted and dropped items.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::queue::BoundedQueue;
+///
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert!(q.push(3).is_err()); // tail drop
+/// assert_eq!(q.dropped(), 1);
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    accepted: u64,
+    dropped: u64,
+    high_watermark: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            accepted: 0,
+            dropped: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Attempts to enqueue; on overflow the item is returned in `Err`.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.accepted += 1;
+        self.high_watermark = self.high_watermark.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Returns a reference to the oldest item without dequeuing.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Returns the current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` if the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Returns the configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns how many items were accepted in total.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Returns how many items were dropped in total.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Returns the largest occupancy ever observed.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Drains all items, preserving FIFO order.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.items.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_returns_item_and_counts() {
+        let mut q = BoundedQueue::new(1);
+        q.push("a").unwrap();
+        assert_eq!(q.push("b"), Err("b"));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.accepted(), 1);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn watermark_tracks_peak() {
+        let mut q = BoundedQueue::new(10);
+        for i in 0..7 {
+            q.push(i).unwrap();
+        }
+        for _ in 0..7 {
+            q.pop();
+        }
+        assert_eq!(q.high_watermark(), 7);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let v: Vec<_> = q.drain().collect();
+        assert_eq!(v, vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+}

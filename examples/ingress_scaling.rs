@@ -1,0 +1,38 @@
+//! Ingress horizontal scaling (condensed Fig. 14).
+//!
+//! Ramps load onto the three ingress designs — NADINO's autoscaled
+//! HTTP/TCP-to-RDMA converter, the autoscaled F-stack proxy and the
+//! fixed-pool kernel proxy — and prints the per-second RPS, CPU usage and
+//! worker-count traces.
+//!
+//! ```sh
+//! cargo run --release --example ingress_scaling
+//! ```
+
+use nadino::experiment::fig14;
+
+fn main() {
+    println!("ramping one saturating client per step onto each ingress design\n");
+    let fig = fig14::run(24);
+
+    for trace in &fig.traces {
+        println!(
+            "--- {} (completed {}, dropped {}) ---",
+            trace.ingress, trace.total_completed, trace.total_dropped
+        );
+        println!("{:>5} {:>10} {:>9} {:>8}", "t(s)", "RPS", "cpu", "workers");
+        for s in &trace.samples {
+            println!(
+                "{:>5.0} {:>10.0} {:>9.2} {:>8}",
+                s.at_secs, s.rps, s.cpu_cores, s.workers
+            );
+        }
+        println!();
+    }
+    let nadino = fig.trace("NADINO").unwrap().total_completed;
+    let kernel = fig.trace("K-Ingress").unwrap().total_completed;
+    println!(
+        "NADINO completed {:.1}x the requests of K-Ingress (paper: >5x)",
+        nadino as f64 / kernel as f64
+    );
+}

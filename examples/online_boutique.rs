@@ -1,0 +1,52 @@
+//! The Online Boutique workload on NADINO vs. the published baselines.
+//!
+//! Runs the paper's Home Query chain (13 hops over 10 microservices,
+//! hotspot placement across two worker nodes) on NADINO (DNE), NADINO
+//! (CNE) and the five comparison systems at 20 and 80 closed-loop
+//! clients — a condensed Fig. 16 / Table 2.
+//!
+//! ```sh
+//! cargo run --release --example online_boutique
+//! ```
+
+use baselines::SystemKind;
+use nadino::experiment::fig16;
+
+fn main() {
+    println!("Online Boutique, Home Query chain (condensed Fig. 16 / Table 2)");
+    println!("running 7 systems x 2 client counts...\n");
+    let fig = fig16::run_filtered(150, &SystemKind::all(), &[20, 80]);
+
+    println!("{}", fig.render());
+    println!("{}", fig.render_table2());
+
+    // Summarize the headline comparisons.
+    let dne = fig.get("NADINO (DNE)", "Home Query", 80).unwrap();
+    let report = |name: &str| {
+        if let Some(r) = fig.get(name, "Home Query", 80) {
+            println!(
+                "  NADINO (DNE) vs {:13} {:.2}x RPS  ({:.0} vs {:.0})",
+                name,
+                dne.rps / r.rps,
+                dne.rps,
+                r.rps
+            );
+        }
+    };
+    println!("headline ratios at 80 clients (paper: CNE 1.3-1.8x, FUYAO-F 2.1-4.1x,");
+    println!("SPRIGHT 2.4-4.1x, NightCore 5.1-20.9x, Junction >1.9x):");
+    for name in [
+        "NADINO (CNE)",
+        "FUYAO-F",
+        "FUYAO-K",
+        "Junction",
+        "SPRIGHT",
+        "NightCore",
+    ] {
+        report(name);
+    }
+    println!(
+        "\nNADINO (DNE) used {:.2} wimpy DPU cores for its whole data plane.",
+        dne.engine_cores
+    );
+}

@@ -1,0 +1,121 @@
+//! Threat (3) of NADINO's threat model: RDMA interference via QP
+//! exhaustion — and how the DNE's mediated access defeats it.
+//!
+//! A malicious tenant that could talk to the RNIC directly would create
+//! and keep active a large set of RC QPs, thrashing the RNIC's QP cache
+//! and degrading every other tenant's latency (the ReDMArk/Harmonic
+//! attack the paper cites). Because NADINO's DNE owns all QPs, it bounds
+//! the *active* set with the shadow-QP mechanism: idle connections are
+//! deactivated and stop occupying cache.
+//!
+//! ```sh
+//! cargo run --example rogue_tenant
+//! ```
+
+use dne::connpool::ConnPool;
+use membuf::pool::{BufferPool, PoolConfig};
+use membuf::tenant::TenantId;
+use rdma_sim::{Fabric, RdmaCosts, WrId};
+use simcore::{Sim, SimDuration};
+
+fn victim_echo_rtt(fabric: &Fabric, sim: &mut Sim, setup: &VictimSetup) -> f64 {
+    fabric
+        .post_recv(setup.rq_b, WrId(0), setup.pool_b.get().unwrap())
+        .unwrap();
+    let t0 = sim.now();
+    let buf = setup.pool_a.get().unwrap();
+    fabric
+        .post_send(sim, setup.qp, WrId(1), buf, 0)
+        .unwrap();
+    sim.run();
+    let _ = fabric.poll_cq(setup.cq_b, 8);
+    let _ = fabric.poll_cq(setup.cq_a, 8);
+    (sim.now() - t0).as_micros_f64()
+}
+
+struct VictimSetup {
+    qp: rdma_sim::fabric::QpHandle,
+    cq_a: rdma_sim::fabric::CqId,
+    cq_b: rdma_sim::fabric::CqId,
+    rq_b: rdma_sim::fabric::RqId,
+    pool_a: BufferPool,
+    pool_b: BufferPool,
+}
+
+fn main() {
+    // A small QP cache makes the effect visible quickly.
+    let mut costs = RdmaCosts::default();
+    costs.qp_cache_entries = 32;
+    costs.qp_cache_miss_penalty = SimDuration::from_micros(6);
+    let fabric = Fabric::new(costs);
+    let mut sim = Sim::new();
+    let a = fabric.add_node();
+    let b = fabric.add_node();
+
+    let victim = TenantId(1);
+    let rogue = TenantId(2);
+    let mk_pool = |t: u16| {
+        let mut cfg = PoolConfig::new(TenantId(t), 0, 4096, 256);
+        cfg.segment_size = 256 * 1024;
+        BufferPool::new(cfg).unwrap()
+    };
+    let pool_a = mk_pool(1);
+    let pool_b = mk_pool(1);
+    fabric.register_pool(a, pool_a.clone()).unwrap();
+    fabric.register_pool(b, pool_b.clone()).unwrap();
+    let cq_a = fabric.create_cq(a).unwrap();
+    let cq_b = fabric.create_cq(b).unwrap();
+    let rq_a = fabric.create_rq(a, victim).unwrap();
+    let rq_b = fabric.create_rq(b, victim).unwrap();
+    let (victim_qp, _) = fabric
+        .connect(&mut sim, victim, a, cq_a, rq_a, b, cq_b, rq_b)
+        .unwrap();
+
+    // The rogue tenant's connection pool: 256 RC connections.
+    let rogue_pool_a = mk_pool(2);
+    fabric.register_pool(a, rogue_pool_a).unwrap();
+    let rogue_rq_a = fabric.create_rq(a, rogue).unwrap();
+    let rogue_rq_b = fabric.create_rq(b, rogue).unwrap();
+    let mut conns = ConnPool::new();
+    for _ in 0..256 {
+        let (h, _) = fabric
+            .connect(&mut sim, rogue, a, cq_a, rogue_rq_a, b, cq_b, rogue_rq_b)
+            .unwrap();
+        conns.add(rogue, b, h);
+    }
+    sim.run();
+    fabric.set_qp_active(victim_qp, true).unwrap();
+    let setup = VictimSetup {
+        qp: victim_qp,
+        cq_a,
+        cq_b,
+        rq_b,
+        pool_a,
+        pool_b,
+    };
+
+    println!("QP-exhaustion interference (RNIC cache: 32 active QPs)\n");
+    let baseline = victim_echo_rtt(&fabric, &mut sim, &setup);
+    println!("victim one-way latency, quiet RNIC     : {baseline:.1} us");
+
+    // Attack: the rogue activates every connection it owns.
+    for &qp in conns.conns(rogue, b) {
+        fabric.set_qp_active(qp, true).unwrap();
+    }
+    let under_attack = victim_echo_rtt(&fabric, &mut sim, &setup);
+    println!(
+        "victim latency, 256 rogue QPs active   : {under_attack:.1} us  ({:.1}x worse)",
+        under_attack / baseline
+    );
+
+    // Defence: the DNE's shadow-QP reaper deactivates idle connections —
+    // the rogue cannot keep QPs charged against the cache without traffic.
+    let deactivated = conns.deactivate_idle(&fabric);
+    let protected = victim_echo_rtt(&fabric, &mut sim, &setup);
+    println!(
+        "victim latency after DNE reaping       : {protected:.1} us  ({deactivated} rogue QPs deactivated)"
+    );
+    assert!(under_attack > baseline * 1.5, "attack must be visible");
+    assert!(protected < baseline * 1.2, "defence must restore latency");
+    println!("\nthe DNE's mediated QP access bounds the damage a rogue tenant can do.");
+}

@@ -1,0 +1,16 @@
+//! Workspace umbrella crate for the NADINO reproduction.
+//!
+//! This crate re-exports every sub-crate so that examples and integration
+//! tests at the repository root can reach the whole system through a single
+//! dependency. Library users should depend on the individual crates (most
+//! commonly [`nadino`]) directly.
+
+pub use baselines;
+pub use dne;
+pub use dpu_sim;
+pub use ingress;
+pub use membuf;
+pub use nadino;
+pub use rdma_sim;
+pub use runtime;
+pub use simcore;

@@ -1,0 +1,195 @@
+//! Cross-crate integration tests: the full NADINO stack end to end.
+
+use membuf::tenant::TenantId;
+use nadino::boutique;
+use nadino::cluster::{Cluster, ClusterConfig};
+use nadino::workload::ClosedLoop;
+use runtime::ChainSpec;
+use simcore::{Sim, SimDuration};
+
+/// A full Online Boutique chain runs across two nodes, completes requests,
+/// and returns every buffer to the pools.
+#[test]
+fn boutique_chain_conserves_buffers() {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    for f in boutique::all_functions() {
+        cluster.place(f, boutique::hotspot_placement(f));
+    }
+    let chain = boutique::home_query(tenant);
+    let stop = sim.now() + SimDuration::from_millis(50);
+    let driver = ClosedLoop::new(stop);
+    cluster.register_chain(&chain, boutique::exec_cost, driver.completion());
+    driver.start(&mut sim, &cluster, &chain, 20, boutique::PAYLOAD_BYTES);
+    sim.run();
+
+    assert!(driver.completed() > 200, "got {}", driver.completed());
+    // Latency at 20 clients is about a millisecond (Table 2).
+    let mean_ms = driver.latency().mean().as_millis_f64();
+    assert!((0.7..=2.0).contains(&mean_ms), "mean = {mean_ms}ms");
+    // Buffer conservation: nothing owned, nothing stuck in flight.
+    for idx in 0..2 {
+        let stats = cluster.pool(tenant, idx).stats();
+        assert_eq!(stats.owned, stats.owned.min(stats.capacity), "sanity");
+        assert_eq!(stats.in_flight, 0, "node {idx}: descriptors leaked");
+    }
+    // No drops anywhere in the data plane.
+    for node in &cluster.nodes {
+        assert_eq!(node.dne.stats().drops, 0);
+        assert_eq!(node.iolib.stats().dropped, 0);
+    }
+}
+
+/// Two tenants on the same cluster cannot touch each other's traffic: the
+/// sidecar denies cross-tenant descriptor delivery.
+#[test]
+fn cross_tenant_traffic_is_denied() {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let (t1, t2) = (TenantId(1), TenantId(2));
+    cluster.add_tenant(&mut sim, t1, 1).unwrap();
+    cluster.add_tenant(&mut sim, t2, 1).unwrap();
+    // Tenant 2 legitimately owns function 21 on node 0.
+    cluster.place(21, 0);
+    let chain2 = ChainSpec::new("victim", t2, vec![21]);
+    let victim = ClosedLoop::new(sim.now() + SimDuration::from_millis(10));
+    cluster.register_chain(&chain2, |_| SimDuration::ZERO, victim.completion());
+
+    // Tenant 1 crafts a descriptor from its own pool targeting fn 21.
+    let mut buf = cluster.pool(t1, 0).get().unwrap();
+    buf.write_payload(&runtime::encode_request_payload(99, 64))
+        .unwrap();
+    cluster.nodes[0]
+        .iolib
+        .send(&mut sim, t1, buf.into_desc(21));
+    sim.run();
+
+    // The victim never saw a completion and the sidecar logged the denial.
+    assert_eq!(victim.completed(), 0);
+    let (_, denials) = cluster.nodes[0].iolib.sidecar_counters();
+    assert!(denials >= 1, "sidecar must log the violation");
+    assert!(cluster.nodes[0].iolib.stats().dropped >= 1);
+    // Tenant 1's buffer was recycled, not leaked.
+    assert_eq!(cluster.pool(t1, 0).stats().in_flight, 0);
+}
+
+/// The same configuration and seedless deterministic engine produce
+/// bit-identical results across runs.
+#[test]
+fn experiments_are_deterministic() {
+    let run = || {
+        let mut sim = Sim::new();
+        let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+        let tenant = TenantId(1);
+        cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+        let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+        cluster.place(1, 0);
+        cluster.place(2, 1);
+        let driver = ClosedLoop::new(sim.now() + SimDuration::from_millis(20));
+        cluster.register_chain(&chain, |_| SimDuration::from_micros(7), driver.completion());
+        driver.start(&mut sim, &cluster, &chain, 5, 256);
+        sim.run();
+        (
+            driver.completed(),
+            driver.latency().mean().as_nanos(),
+            sim.now().as_nanos(),
+            cluster.nodes[0].dne.stats(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+/// Scaling the number of worker nodes spreads a long chain and still
+/// completes (3-node placement).
+#[test]
+fn three_node_cluster_runs_a_spread_chain() {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(
+        &mut sim,
+        ClusterConfig {
+            workers: 3,
+            ..ClusterConfig::default()
+        },
+    );
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    let chain = ChainSpec::new("spread", tenant, vec![1, 2, 3, 2, 1]);
+    cluster.place(1, 0);
+    cluster.place(2, 1);
+    cluster.place(3, 2);
+    let driver = ClosedLoop::new(sim.now() + SimDuration::from_millis(30));
+    cluster.register_chain(&chain, |_| SimDuration::from_micros(10), driver.completion());
+    driver.start(&mut sim, &cluster, &chain, 4, 128);
+    sim.run();
+    assert!(driver.completed() > 100);
+    // All three DNEs moved traffic.
+    for node in &cluster.nodes {
+        assert!(node.dne.stats().tx_posted > 0, "node {:?}", node.id);
+    }
+}
+
+/// Two tenants run full Boutique chains concurrently on one cluster; the
+/// DWRR scheduler divides the engines' capacity by the 3:1 weights while
+/// memory isolation keeps the pools disjoint.
+#[test]
+fn multi_tenant_boutique_shares_by_weight() {
+    use dne::types::DneConfig;
+    use nadino::cluster::ClusterConfig;
+
+    let mut sim = Sim::new();
+    // Throttle the engines so they are the contended resource.
+    let mut dne = DneConfig::nadino_dne();
+    dne.extra_per_msg = SimDuration::from_micros(2);
+    let mut cluster = Cluster::new(
+        &mut sim,
+        ClusterConfig {
+            dne,
+            pool_bufs: 4096,
+            ..ClusterConfig::default()
+        },
+    );
+    let (t_heavy, t_light) = (TenantId(1), TenantId(2));
+    cluster.add_tenant(&mut sim, t_heavy, 3).unwrap();
+    cluster.add_tenant(&mut sim, t_light, 1).unwrap();
+
+    // Per-tenant function instances for the same chain shape.
+    let mut drivers = Vec::new();
+    for (tenant, base) in [(t_heavy, 100u16), (t_light, 200u16)] {
+        let hops: Vec<u16> = nadino::boutique::home_query(tenant)
+            .hops
+            .iter()
+            .map(|&f| base + f)
+            .collect();
+        let chain = ChainSpec::new("home", tenant, hops);
+        for f in chain.functions() {
+            cluster.place(f, nadino::boutique::hotspot_placement(f - base));
+        }
+        let driver = ClosedLoop::new(sim.now() + SimDuration::from_millis(300));
+        // Tiny exec costs keep the engines, not the hosts, contended.
+        cluster.register_chain(&chain, |_| SimDuration::from_micros(2), driver.completion());
+        driver.start(&mut sim, &cluster, &chain, 64, 512);
+        drivers.push(driver);
+    }
+    sim.run();
+    let heavy = drivers[0].completed() as f64;
+    let light = drivers[1].completed() as f64;
+    let ratio = heavy / light;
+    assert!(
+        (2.2..=3.8).contains(&ratio),
+        "3:1 weights should yield ~3x the throughput, got {ratio} ({heavy} vs {light})"
+    );
+    // Isolation: neither tenant's pool leaked into the other's accounting.
+    for (tenant, driver) in [(t_heavy, &drivers[0]), (t_light, &drivers[1])] {
+        assert!(driver.completed() > 500, "{tenant} made progress");
+        for idx in 0..2 {
+            assert_eq!(cluster.pool(tenant, idx).stats().in_flight, 0);
+        }
+    }
+}
