@@ -266,15 +266,13 @@ pub fn run_echo(cfg: EchoConfig) -> EchoResult {
             .clone()
             .set_cq_waker(
                 cq,
-                Rc::new(move |sim| {
-                    loop {
-                        let cqes = fabric.poll_cq(cq, 16);
-                        if cqes.is_empty() {
-                            break;
-                        }
-                        for cqe in cqes {
-                            handle_cqe(&st, sim, is_client, cqe);
-                        }
+                Rc::new(move |sim| loop {
+                    let cqes = fabric.poll_cq(cq, 16);
+                    if cqes.is_empty() {
+                        break;
+                    }
+                    for cqe in cqes {
+                        handle_cqe(&st, sim, is_client, cqe);
                     }
                 }),
             )
@@ -377,7 +375,9 @@ fn plain_write(state: &Rc<RefCell<Shared>>, sim: &mut Sim, from_client: bool, re
             buf,
         )
     };
-    fabric.post_write(sim, qp, wr, buf, rkey, slot, req).unwrap();
+    fabric
+        .post_write(sim, qp, wr, buf, rkey, slot, req)
+        .unwrap();
 }
 
 /// OWDL's locked write: CAS-acquire → write → CAS-release, then done.
@@ -404,7 +404,13 @@ fn locked_write(state: &Rc<RefCell<Shared>>, sim: &mut Sim, from_client: bool, r
     fabric.post_cas(sim, qp, wr, rkey, slot, 0, 1).unwrap();
 }
 
-fn on_cas_acquire(state: &Rc<RefCell<Shared>>, sim: &mut Sim, from_client: bool, req: u64, cqe: Cqe) {
+fn on_cas_acquire(
+    state: &Rc<RefCell<Shared>>,
+    sim: &mut Sim,
+    from_client: bool,
+    req: u64,
+    cqe: Cqe,
+) {
     if cqe.imm != 0 {
         // Lock held: retry after a short backoff.
         let st2 = state.clone();
@@ -449,12 +455,18 @@ fn on_cas_acquire(state: &Rc<RefCell<Shared>>, sim: &mut Sim, from_client: bool,
         }));
         (fabric, side.qp, side.rkey_remote, slot, wr, buf)
     };
-    fabric.post_write(sim, qp, wr, buf, rkey, slot, req).unwrap();
+    fabric
+        .post_write(sim, qp, wr, buf, rkey, slot, req)
+        .unwrap();
 }
 
 /// Handles a completion on either side.
 fn handle_cqe(state: &Rc<RefCell<Shared>>, sim: &mut Sim, is_client: bool, cqe: Cqe) {
-    debug_assert_eq!(cqe.status, CqeStatus::Success, "echo drivers expect clean runs");
+    debug_assert_eq!(
+        cqe.status,
+        CqeStatus::Success,
+        "echo drivers expect clean runs"
+    );
     // Dispatched continuations (sends, writes, CAS chains).
     let cont = {
         let mut st = state.borrow_mut();
@@ -537,9 +549,15 @@ fn poll_once(state: &Rc<RefCell<Shared>>, sim: &mut Sim, client_side: bool) {
     let (fabric, node, rkey, window, finished) = {
         let st = state.borrow();
         let (node, rkey) = if client_side {
-            (st.client.node, st.fabric.rkey_of(st.client.node, TenantId(1), 0).unwrap())
+            (
+                st.client.node,
+                st.fabric.rkey_of(st.client.node, TenantId(1), 0).unwrap(),
+            )
         } else {
-            (st.server.node, st.fabric.rkey_of(st.server.node, TenantId(1), 0).unwrap())
+            (
+                st.server.node,
+                st.fabric.rkey_of(st.server.node, TenantId(1), 0).unwrap(),
+            )
         };
         (
             st.fabric.clone(),
@@ -583,8 +601,7 @@ fn poll_once(state: &Rc<RefCell<Shared>>, sim: &mut Sim, client_side: bool) {
             let primitive = st.cfg.primitive;
             let copy = match primitive.copy_rate() {
                 Some(rate) => {
-                    primitive.copy_fixed()
-                        + SimDuration::from_secs_f64(payload_len as f64 / rate)
+                    primitive.copy_fixed() + SimDuration::from_secs_f64(payload_len as f64 / rate)
                 }
                 None => SimDuration::ZERO,
             };
@@ -652,8 +669,7 @@ mod tests {
     fn owdl_is_2_to_3x_slower_than_two_sided_at_4k() {
         let two = run_echo(cfg(Primitive::TwoSided, 4096));
         let owdl = run_echo(cfg(Primitive::Owdl, 4096));
-        let ratio =
-            owdl.latency.mean().as_micros_f64() / two.latency.mean().as_micros_f64();
+        let ratio = owdl.latency.mean().as_micros_f64() / two.latency.mean().as_micros_f64();
         assert!(
             (1.8..=3.0).contains(&ratio),
             "OWDL/two-sided = {ratio} (paper: ~2.3x at 4KB)"
@@ -671,8 +687,14 @@ mod tests {
         assert!(t < b && b < w, "expected {t} < {b} < {w}");
         let ratio_b = b / t;
         let ratio_w = w / t;
-        assert!((1.15..=1.6).contains(&ratio_b), "Best/two-sided = {ratio_b}");
-        assert!((1.25..=1.8).contains(&ratio_w), "Worst/two-sided = {ratio_w}");
+        assert!(
+            (1.15..=1.6).contains(&ratio_b),
+            "Best/two-sided = {ratio_b}"
+        );
+        assert!(
+            (1.25..=1.8).contains(&ratio_w),
+            "Worst/two-sided = {ratio_w}"
+        );
     }
 
     #[test]
@@ -701,8 +723,7 @@ mod tests {
         cpu.proc = ProcessorKind::HostCpu;
         let r_dpu = run_echo(dpu);
         let r_cpu = run_echo(cpu);
-        let ratio =
-            r_dpu.latency.mean().as_micros_f64() / r_cpu.latency.mean().as_micros_f64();
+        let ratio = r_dpu.latency.mean().as_micros_f64() / r_cpu.latency.mean().as_micros_f64();
         assert!(
             (1.0..=1.25).contains(&ratio),
             "DPU/CPU echo latency = {ratio} (paper: minimal penalty)"

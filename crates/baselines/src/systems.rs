@@ -238,7 +238,10 @@ mod tests {
         // receiver; our model encodes the copy.
         let fuyao = SystemModel::for_kind(SystemKind::FuyaoF);
         assert!(fuyao.engine.as_ref().unwrap().copy_rate.is_some());
-        assert!(fuyao.intra.copy_rate.is_some(), "separate pools copy locally");
+        assert!(
+            fuyao.intra.copy_rate.is_some(),
+            "separate pools copy locally"
+        );
         // NADINO eliminates protocol processing within the cluster.
         assert_eq!(
             SystemModel::for_kind(SystemKind::NadinoDne).ingress,

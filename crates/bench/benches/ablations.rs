@@ -11,34 +11,20 @@
 //! - **DWRR quantum sweep**: fairness convergence vs. burst latency.
 //! - **MTT sweep**: hugepages (few translation entries) vs. 4 KiB pages.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-/// Keeps `cargo bench --workspace` fast: short warm-up and measurement
-/// windows with a small sample count are ample for these deterministic
-/// workloads.
-fn tune<'a, M: criterion::measurement::Measurement>(
-    g: &mut criterion::BenchmarkGroup<'a, M>,
-) {
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_secs(1));
-    g.sample_size(10);
-}
-
 use std::hint::black_box;
 
+use bench::harness::Bench;
 use dne::sched::{DwrrScheduler, TenantScheduler};
 use membuf::hugepage::{SegmentArena, HUGEPAGE_SIZE, PAGE_SIZE_4K};
 use membuf::tenant::TenantId;
 use rdma_sim::RdmaCosts;
 
-fn qp_cache_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_qp_cache");
-    tune(&mut g);
+fn qp_cache_sweep(b: &mut Bench) {
+    b.group("ablation_qp_cache");
     let costs = RdmaCosts::default();
     for active in [64usize, 128, 256, 512, 1024] {
-        g.bench_function(format!("active_qps_{active}"), |b| {
-            b.iter(|| black_box(costs.qp_cache_penalty(black_box(active))))
+        b.bench_function(&format!("active_qps_{active}"), || {
+            black_box(costs.qp_cache_penalty(black_box(active)));
         });
     }
     // Print the sweep once so the ablation result is visible in bench logs.
@@ -48,19 +34,14 @@ fn qp_cache_sweep(c: &mut Criterion) {
             costs.qp_cache_penalty(active).as_nanos()
         );
     }
-    g.finish();
 }
 
-fn mtt_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_mtt");
-    tune(&mut g);
-    g.sample_size(10);
+fn mtt_sweep(b: &mut Bench) {
+    b.group("ablation_mtt");
     for (name, seg) in [("hugepage_2m", HUGEPAGE_SIZE), ("page_4k", PAGE_SIZE_4K)] {
-        g.bench_function(format!("register_64mib_{name}"), |b| {
-            b.iter(|| {
-                let arena = SegmentArena::with_segment_size(64 * 1024 * 1024, seg);
-                black_box(arena.mtt_entries())
-            })
+        b.bench_function(&format!("register_64mib_{name}"), || {
+            let arena = SegmentArena::with_segment_size(64 * 1024 * 1024, seg);
+            black_box(arena.mtt_entries());
         });
     }
     let costs = RdmaCosts::default();
@@ -71,49 +52,40 @@ fn mtt_sweep(c: &mut Criterion) {
             costs.mtt_penalty(entries).as_nanos()
         );
     }
-    g.finish();
 }
 
-fn dwrr_quantum_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_dwrr_quantum");
-    tune(&mut g);
+fn dwrr_quantum_sweep(b: &mut Bench) {
+    b.group("ablation_dwrr_quantum");
     for quantum in [0.25f64, 1.0, 4.0, 16.0] {
-        g.bench_function(format!("quantum_{quantum}"), |b| {
-            b.iter(|| {
-                let mut s = DwrrScheduler::new(quantum);
-                s.register(TenantId(1), 6);
-                s.register(TenantId(2), 1);
-                s.register(TenantId(3), 2);
-                for i in 0..300u32 {
-                    s.enqueue(TenantId((i % 3 + 1) as u16), i);
-                }
-                let mut out = 0u32;
-                while s.dequeue().is_some() {
-                    out += 1;
-                }
-                black_box(out)
-            })
+        b.bench_function(&format!("quantum_{quantum}"), || {
+            let mut s = DwrrScheduler::new(quantum);
+            s.register(TenantId(1), 6);
+            s.register(TenantId(2), 1);
+            s.register(TenantId(3), 2);
+            for i in 0..300u32 {
+                s.enqueue(TenantId((i % 3 + 1) as u16), i);
+            }
+            let mut out = 0u32;
+            while s.dequeue().is_some() {
+                out += 1;
+            }
+            black_box(out);
         });
     }
-    g.finish();
 }
 
-fn wimpy_factor_sweep(c: &mut Criterion) {
+fn wimpy_factor_sweep(b: &mut Bench) {
     use dpu_sim::soc::{Processor, ProcessorKind};
     use simcore::{SimDuration, SimTime};
-    let mut g = c.benchmark_group("ablation_wimpy_factor");
-    tune(&mut g);
-    g.sample_size(10);
+    b.group("ablation_wimpy_factor");
     for factor in [1.0f64, 1.5, 2.0, 3.0, 4.0] {
-        g.bench_function(format!("factor_{factor}"), |b| {
-            b.iter(|| {
-                let mut p = Processor::with_factor(ProcessorKind::DpuArm, 1, factor);
-                let mut t = SimTime::ZERO;
-                for _ in 0..1_000 {
-                    t = p.run(t, SimDuration::from_nanos(1_920));
-                }
-                black_box(t)
-            })
+        b.bench_function(&format!("factor_{factor}"), || {
+            let mut p = Processor::with_factor(ProcessorKind::DpuArm, 1, factor);
+            let mut t = SimTime::ZERO;
+            for _ in 0..1_000 {
+                t = p.run(t, SimDuration::from_nanos(1_920));
+            }
+            black_box(t);
         });
         let per_msg_us = 1.92 * factor;
         eprintln!(
@@ -121,14 +93,12 @@ fn wimpy_factor_sweep(c: &mut Criterion) {
             1_000_000.0 / per_msg_us
         );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    qp_cache_sweep,
-    mtt_sweep,
-    dwrr_quantum_sweep,
-    wimpy_factor_sweep
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    qp_cache_sweep(&mut b);
+    mtt_sweep(&mut b);
+    dwrr_quantum_sweep(&mut b);
+    wimpy_factor_sweep(&mut b);
+}

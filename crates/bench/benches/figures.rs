@@ -1,67 +1,47 @@
-//! Criterion benches that regenerate (reduced-budget) versions of each
-//! figure — one bench per table/figure, as the reproduction contract
-//! requires. The measured quantity is the wall-clock cost of regenerating
-//! the figure; the figure *contents* are validated by the test suite and
+//! Benches that regenerate (reduced-budget) versions of each figure —
+//! one bench per table/figure, as the reproduction contract requires.
+//! The measured quantity is the wall-clock cost of regenerating the
+//! figure; the figure *contents* are validated by the test suite and
 //! printed by the `experiments` binary.
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
-/// Keeps `cargo bench --workspace` fast: short warm-up and measurement
-/// windows with a small sample count are ample for these deterministic
-/// workloads.
-fn tune<'a, M: criterion::measurement::Measurement>(
-    g: &mut criterion::BenchmarkGroup<'a, M>,
-) {
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_secs(1));
-    g.sample_size(10);
-}
 
 use std::hint::black_box;
 
 use baselines::SystemKind;
+use bench::harness::Bench;
 use nadino::experiment::{fig06, fig09, fig11, fig12, fig13, fig14, fig15, fig16, fig17};
 
-fn figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    tune(&mut g);
-
-    g.bench_function("fig06_isolation_cost", |b| {
-        b.iter(|| black_box(fig06::run(50, 10)))
+fn main() {
+    let mut b = Bench::from_args();
+    b.group("figures");
+    b.bench_function("fig06_isolation_cost", || {
+        black_box(fig06::run(50, 10));
     });
-    g.bench_function("fig09_comch_channels", |b| {
-        b.iter(|| black_box(fig09::run(50)))
+    b.bench_function("fig09_comch_channels", || {
+        black_box(fig09::run(50));
     });
-    g.bench_function("fig11_offpath_vs_onpath", |b| {
-        b.iter(|| black_box(fig11::run(5)))
+    b.bench_function("fig11_offpath_vs_onpath", || {
+        black_box(fig11::run(5));
     });
-    g.bench_function("fig12_rdma_primitives", |b| {
-        b.iter(|| black_box(fig12::run(50)))
+    b.bench_function("fig12_rdma_primitives", || {
+        black_box(fig12::run(50));
     });
-    g.bench_function("fig13_ingress_designs", |b| {
-        b.iter(|| black_box(fig13::run(5)))
+    b.bench_function("fig13_ingress_designs", || {
+        black_box(fig13::run(5));
     });
-    g.bench_function("fig14_ingress_autoscaling", |b| {
-        b.iter(|| black_box(fig14::run(8)))
+    b.bench_function("fig14_ingress_autoscaling", || {
+        black_box(fig14::run(8));
     });
-    g.bench_function("fig15_multi_tenancy", |b| {
-        b.iter(|| black_box(fig15::run(0.01)))
+    b.bench_function("fig15_multi_tenancy", || {
+        black_box(fig15::run(0.01));
     });
-    g.bench_function("fig16_table2_online_boutique", |b| {
-        b.iter(|| {
-            black_box(fig16::run_filtered(
-                20,
-                &[SystemKind::NadinoDne, SystemKind::Spright],
-                &[20],
-            ))
-        })
+    b.bench_function("fig16_table2_online_boutique", || {
+        black_box(fig16::run_filtered(
+            20,
+            &[SystemKind::NadinoDne, SystemKind::Spright],
+            &[20],
+        ));
     });
-    g.bench_function("fig17_tenant_scalability", |b| {
-        b.iter(|| black_box(fig17::run(0.01)))
+    b.bench_function("fig17_tenant_scalability", || {
+        black_box(fig17::run(0.01));
     });
-    g.finish();
 }
-
-criterion_group!(benches, figures);
-criterion_main!(benches);

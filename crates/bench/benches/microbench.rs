@@ -1,139 +1,136 @@
-//! Criterion microbenchmarks of the substrate primitives.
+//! Microbenchmarks of the substrate primitives.
 //!
 //! These measure the *implementation* (wall-clock cost of the functional
 //! layer), complementing the virtual-time experiments: buffer pool
 //! get/put, descriptor encode/decode, SPSC ring transfer, DWRR dequeue,
-//! HTTP parsing and the simulation engine's event dispatch rate.
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::time::Duration;
-
-/// Keeps `cargo bench --workspace` fast: short warm-up and measurement
-/// windows with a small sample count are ample for these deterministic
-/// workloads.
-fn tune<'a, M: criterion::measurement::Measurement>(
-    g: &mut criterion::BenchmarkGroup<'a, M>,
-) {
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_secs(1));
-    g.sample_size(10);
-}
+//! HTTP parsing and the simulation engine's event dispatch rate. The
+//! tracing benches demonstrate the near-zero cost of a disabled
+//! [`obs::Tracer`] relative to an enabled one.
 
 use std::hint::black_box;
 
+use bench::harness::Bench;
 use dne::sched::{DwrrScheduler, TenantScheduler};
 use ingress::http::HttpRequest;
 use membuf::descriptor::BufferDesc;
 use membuf::pool::{BufferPool, PoolConfig};
 use membuf::tenant::TenantId;
 use membuf::SpscRing;
-use simcore::{Sim, SimDuration};
+use obs::{Stage, Tracer};
+use simcore::{Sim, SimDuration, SimTime};
 
-fn bench_pool(c: &mut Criterion) {
-    let mut g = c.benchmark_group("membuf");
-    tune(&mut g);
+fn bench_pool(b: &mut Bench) {
+    b.group("membuf");
     let pool = BufferPool::new(PoolConfig::new(TenantId(1), 0, 4096, 1024)).unwrap();
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("pool_get_put", |b| {
-        b.iter(|| {
-            let buf = pool.get().unwrap();
-            black_box(&buf);
-        })
+    b.bench_function("pool_get_put", || {
+        let buf = pool.get().unwrap();
+        black_box(&buf);
     });
-    g.bench_function("detach_redeem", |b| {
-        b.iter(|| {
-            let buf = pool.get().unwrap();
-            let desc = buf.into_desc(7);
-            let buf = pool.redeem(black_box(desc)).unwrap();
-            black_box(&buf);
-        })
+    let pool2 = BufferPool::new(PoolConfig::new(TenantId(1), 1, 4096, 1024)).unwrap();
+    b.bench_function("detach_redeem", || {
+        let buf = pool2.get().unwrap();
+        let desc = buf.into_desc(7);
+        let buf = pool2.redeem(black_box(desc)).unwrap();
+        black_box(&buf);
     });
-    g.bench_function("desc_encode_decode", |b| {
-        let d = BufferDesc {
-            tenant: 1,
-            pool_id: 2,
-            buf_index: 3,
-            len: 4,
-            generation: 5,
-            dst_fn: 6,
-        };
-        b.iter(|| {
-            let bytes = black_box(d).encode();
-            black_box(BufferDesc::decode(&bytes))
-        })
+    let d = BufferDesc {
+        tenant: 1,
+        pool_id: 2,
+        buf_index: 3,
+        len: 4,
+        generation: 5,
+        dst_fn: 6,
+    };
+    b.bench_function("desc_encode_decode", || {
+        let bytes = black_box(d).encode();
+        black_box(BufferDesc::decode(&bytes));
     });
-    g.finish();
 }
 
-fn bench_spsc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spsc");
-    tune(&mut g);
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("push_pop", |b| {
-        let (tx, rx) = SpscRing::with_capacity::<u64>(1024);
-        b.iter(|| {
-            tx.push(black_box(42)).unwrap();
-            black_box(rx.pop())
-        })
+fn bench_spsc(b: &mut Bench) {
+    b.group("spsc");
+    let (tx, rx) = SpscRing::with_capacity::<u64>(1024);
+    b.bench_function("push_pop", || {
+        tx.push(black_box(42)).unwrap();
+        black_box(rx.pop());
     });
-    g.finish();
 }
 
-fn bench_dwrr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dwrr");
-    tune(&mut g);
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("enqueue_dequeue_8_tenants", |b| {
-        let mut s = DwrrScheduler::new(1.0);
-        for t in 0..8 {
-            s.register(TenantId(t), (t + 1) as u32);
-        }
-        let mut i = 0u16;
-        b.iter(|| {
-            i = (i + 1) % 8;
-            s.enqueue(TenantId(i), 42u32);
-            black_box(s.dequeue())
-        })
+fn bench_dwrr(b: &mut Bench) {
+    b.group("dwrr");
+    let mut s = DwrrScheduler::new(1.0);
+    for t in 0..8 {
+        s.register(TenantId(t), (t + 1) as u32);
+    }
+    let mut i = 0u16;
+    b.bench_function("enqueue_dequeue_8_tenants", || {
+        i = (i + 1) % 8;
+        s.enqueue(TenantId(i), 42u32);
+        black_box(s.dequeue());
     });
-    g.finish();
 }
 
-fn bench_http(c: &mut Criterion) {
-    let mut g = c.benchmark_group("http");
-    tune(&mut g);
-    let raw = b"POST /fn/home HTTP/1.1\r\nhost: gw\r\nx-tenant-id: 7\r\ncontent-length: 64\r\n\r\n".to_vec();
+fn bench_http(b: &mut Bench) {
+    b.group("http");
+    let raw = b"POST /fn/home HTTP/1.1\r\nhost: gw\r\nx-tenant-id: 7\r\ncontent-length: 64\r\n\r\n"
+        .to_vec();
     let mut req = raw.clone();
     req.extend_from_slice(&[b'x'; 64]);
-    g.throughput(Throughput::Bytes(req.len() as u64));
-    g.bench_function("parse_request", |b| {
-        b.iter(|| black_box(HttpRequest::parse(black_box(&req))).unwrap())
+    b.bench_function("parse_request", || {
+        black_box(HttpRequest::parse(black_box(&req))).unwrap();
     });
-    g.finish();
 }
 
-fn bench_sim_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simcore");
-    tune(&mut g);
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("dispatch_10k_events", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new();
-            for i in 0..10_000u64 {
-                sim.schedule_after(SimDuration::from_nanos(i), |_| {});
-            }
-            sim.run();
-            black_box(sim.executed_events())
-        })
+fn bench_sim_engine(b: &mut Bench) {
+    b.group("simcore");
+    b.bench_function("dispatch_10k_events", || {
+        let mut sim = Sim::new();
+        for i in 0..10_000u64 {
+            sim.schedule_after(SimDuration::from_nanos(i), |_| {});
+        }
+        sim.run();
+        black_box(sim.executed_events());
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pool,
-    bench_spsc,
-    bench_dwrr,
-    bench_http,
-    bench_sim_engine
-);
-criterion_main!(benches);
+fn bench_tracing(b: &mut Bench) {
+    b.group("obs");
+    // The acceptance bar: a disabled tracer must cost near nothing
+    // (< 5% regression on an instrumented hot loop).
+    let disabled = Tracer::disabled();
+    let mut t = 0u64;
+    b.bench_function("span_disabled", || {
+        t += 100;
+        disabled.span(
+            black_box(1),
+            1,
+            0,
+            Stage::DneTx,
+            SimTime::from_nanos(t),
+            SimTime::from_nanos(t + 50),
+        );
+    });
+    let enabled = Tracer::enabled();
+    let mut t = 0u64;
+    b.bench_function("span_enabled", || {
+        t += 100;
+        enabled.span(
+            black_box(1),
+            1,
+            0,
+            Stage::DneTx,
+            SimTime::from_nanos(t),
+            SimTime::from_nanos(t + 50),
+        );
+    });
+}
+
+fn main() {
+    let mut b = Bench::from_args();
+    bench_pool(&mut b);
+    bench_spsc(&mut b);
+    bench_dwrr(&mut b);
+    bench_http(&mut b);
+    bench_sim_engine(&mut b);
+    bench_tracing(&mut b);
+}

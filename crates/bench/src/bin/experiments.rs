@@ -4,6 +4,10 @@
 //! experiments [name ...]      # fig06 fig09 fig11 fig12 fig13 fig14
 //!                             # fig15 fig16 table2 fig17, or "all"
 //! experiments --quick [name]  # shorter runs for smoke testing
+//! experiments --trace-out t.json --metrics-out m.json
+//!                             # instrumented Online Boutique run: Perfetto
+//!                             # trace + metrics snapshot (no figures unless
+//!                             # names are also given)
 //! ```
 //!
 //! Each experiment prints its table(s) and writes a JSON twin under
@@ -11,7 +15,9 @@
 
 use std::path::PathBuf;
 
-use nadino::experiment::{ablations, summary, fig06, fig09, fig11, fig12, fig13, fig14, fig15, fig16, fig17};
+use nadino::experiment::{
+    ablations, fig06, fig09, fig11, fig12, fig13, fig14, fig15, fig16, fig17, summary,
+};
 use nadino::report::write_json;
 
 struct Budget {
@@ -49,7 +55,7 @@ fn results_dir() -> PathBuf {
     PathBuf::from("results")
 }
 
-fn emit<T: serde::Serialize>(name: &str, text: &str, value: &T) {
+fn emit<T: obs::ToJson>(name: &str, text: &str, value: &T) {
     println!("{text}");
     let path = results_dir().join(format!("{name}.json"));
     match write_json(&path, value) {
@@ -108,24 +114,118 @@ fn run_one(name: &str, b: &Budget) {
             emit("summary", &fig.render(), &fig);
         }
         other => {
-            eprintln!("unknown experiment {other:?}; known: {:?}", bench::EXPERIMENTS);
+            eprintln!(
+                "unknown experiment {other:?}; known: {:?}",
+                bench::EXPERIMENTS
+            );
             std::process::exit(2);
         }
     }
 }
 
+/// Runs a short instrumented Online Boutique workload with cluster-wide
+/// tracing and periodic metrics sampling, writing the requested outputs.
+fn instrumented_run(trace_out: Option<&PathBuf>, metrics_out: Option<&PathBuf>) {
+    use membuf::tenant::TenantId;
+    use nadino::boutique;
+    use nadino::cluster::{Cluster, ClusterConfig};
+    use nadino::workload::ClosedLoop;
+    use obs::ToJson;
+    use simcore::{Sim, SimDuration};
+    use std::rc::Rc;
+
+    eprintln!(">>> running instrumented boutique (trace/metrics export)");
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tenant = TenantId(1);
+    cluster
+        .add_tenant(&mut sim, tenant, 1)
+        .expect("tenant provisioning");
+    let chain = boutique::home_query(tenant);
+    for f in chain.functions() {
+        cluster.place(f, boutique::hotspot_placement(f));
+    }
+    let tracer = obs::Tracer::enabled();
+    cluster.set_tracer(&tracer);
+    let stop = sim.now() + SimDuration::from_millis(20);
+    let driver = ClosedLoop::new(stop);
+    cluster.register_chain(&chain, boutique::exec_cost, driver.completion());
+    driver.start(&mut sim, &cluster, &chain, 8, 256);
+    let cluster = Rc::new(cluster);
+    let reg = Rc::new(obs::MetricsRegistry::new());
+    cluster.start_obs_sampler(&mut sim, Rc::clone(&reg), SimDuration::from_millis(1), stop);
+    sim.run();
+    println!(
+        "instrumented run: {} requests, {} spans",
+        driver.completed(),
+        tracer.len()
+    );
+    if let Some(path) = trace_out {
+        let doc = obs::chrome_trace(&tracer.records());
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, doc.to_string_pretty()) {
+            Ok(()) => println!("[wrote {}]", path.display()),
+            Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+        }
+    }
+    if let Some(path) = metrics_out {
+        let snap = reg.snapshot();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, snap.to_json().to_string_pretty()) {
+            Ok(()) => println!("[wrote {}]", path.display()),
+            Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+        }
+    }
+}
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    args.retain(|a| a != "--quick");
-    let budget = if quick { Budget::quick() } else { Budget::full() };
-    let names: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        bench::EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--metrics-out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            _ => names.push(a),
+        }
+    }
+    let budget = if quick {
+        Budget::quick()
     } else {
-        args
+        Budget::full()
     };
+    let instrumented = trace_out.is_some() || metrics_out.is_some();
+    let names: Vec<String> =
+        if names.iter().any(|a| a == "all") || (names.is_empty() && !instrumented) {
+            bench::EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+        } else {
+            names
+        };
     for name in names {
         eprintln!(">>> running {name}");
         run_one(&name, &budget);
+    }
+    if instrumented {
+        instrumented_run(trace_out.as_ref(), metrics_out.as_ref());
     }
 }

@@ -5,14 +5,27 @@
 //! - the `experiments` binary (`cargo run -p bench --bin experiments`),
 //!   which regenerates every table and figure of the paper and writes
 //!   JSON results next to the printed tables;
-//! - the criterion benches (`cargo bench -p bench`): `microbench` for the
-//!   substrate primitives, `figures` for per-figure regeneration timing,
-//!   and `ablations` for the design-choice sweeps DESIGN.md calls out.
+//! - the hand-rolled benches (`cargo bench -p bench`): `microbench` for
+//!   the substrate primitives, `figures` for per-figure regeneration
+//!   timing, and `ablations` for the design-choice sweeps DESIGN.md calls
+//!   out. They use [`harness`], a dependency-free wall-clock timer, so the
+//!   workspace builds fully offline.
+
+pub mod harness;
 
 /// Known experiment names accepted by the `experiments` binary.
 pub const EXPERIMENTS: [&str; 11] = [
-    "fig06", "fig09", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-    "ablations", "summary",
+    "fig06",
+    "fig09",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "ablations",
+    "summary",
 ];
 
 /// Returns `true` if `name` names a known experiment.

@@ -62,7 +62,11 @@ impl BaselineCluster {
     /// Places a function (clamped to node 0 for single-node systems).
     pub fn place(&self, fn_id: u16, node: usize) {
         let mut inner = self.inner.borrow_mut();
-        let node = if inner.model.single_node_only { 0 } else { node };
+        let node = if inner.model.single_node_only {
+            0
+        } else {
+            node
+        };
         assert!(node < inner.nodes.len());
         inner.placement.insert(fn_id, node);
     }
@@ -162,7 +166,13 @@ impl BaselineCluster {
 
     /// Whether the engines busy-poll (their cores count as saturated).
     pub fn engine_polls(&self) -> bool {
-        self.inner.borrow().model.engine.as_ref().map(|e| e.polling).unwrap_or(false)
+        self.inner
+            .borrow()
+            .model
+            .engine
+            .as_ref()
+            .map(|e| e.polling)
+            .unwrap_or(false)
     }
 
     /// Returns the number of nodes actually in use.
@@ -255,7 +265,11 @@ mod tests {
         assert_eq!(bc.node_count(), 1);
         bc.place(boutique::fns::CART, 1); // clamped
         assert_eq!(
-            *bc.inner.borrow().placement.get(&boutique::fns::CART).unwrap(),
+            *bc.inner
+                .borrow()
+                .placement
+                .get(&boutique::fns::CART)
+                .unwrap(),
             0
         );
     }

@@ -148,21 +148,8 @@ pub fn checkout(tenant: TenantId) -> ChainSpec {
         "Checkout",
         tenant,
         vec![
-            FRONTEND,
-            CHECKOUT,
-            CART,
-            CHECKOUT,
-            SHIPPING,
-            CHECKOUT,
-            CURRENCY,
-            CHECKOUT,
-            PAYMENT,
-            CHECKOUT,
-            EMAIL,
-            CHECKOUT,
-            CART,
-            CHECKOUT,
-            FRONTEND,
+            FRONTEND, CHECKOUT, CART, CHECKOUT, SHIPPING, CHECKOUT, CURRENCY, CHECKOUT, PAYMENT,
+            CHECKOUT, EMAIL, CHECKOUT, CART, CHECKOUT, FRONTEND,
         ],
     )
 }

@@ -303,6 +303,82 @@ impl Cluster {
         true
     }
 
+    /// Installs `tracer` on every node's I/O library and network engine, so
+    /// one tracer sees a request's spans across the whole cluster.
+    pub fn set_tracer(&self, tracer: &obs::Tracer) {
+        for n in &self.nodes {
+            n.iolib.set_tracer(tracer.clone());
+        }
+    }
+
+    /// Samples the cluster's observability signals into `reg` at virtual
+    /// time `now`: per-tenant TX queue depth, DWRR deficit and shadow-QP
+    /// hit rate as labelled series, plus per-node engine gauges and RBR
+    /// counters. Call periodically (see [`Cluster::start_obs_sampler`]);
+    /// `window` should equal the sampling cadence so each tick finalizes
+    /// the previous series point.
+    pub fn sample_obs(&self, now: SimTime, reg: &obs::MetricsRegistry, window: SimDuration) {
+        // TimeSeries aggregates to a per-second rate; scale each sampled
+        // level by the window so the stored points keep level semantics.
+        let w_s = window.as_secs_f64();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let node_label = idx.to_string();
+            let nl = [("node", node_label.as_str())];
+            let stats = node.dne.stats();
+            reg.gauge("dne_engine_queued", &nl)
+                .set(node.dne.queued() as f64);
+            reg.gauge("dne_tx_posted_total", &nl)
+                .set(stats.tx_posted as f64);
+            reg.gauge("dne_rx_delivered_total", &nl)
+                .set(stats.rx_delivered as f64);
+            reg.gauge("dne_drops_total", &nl).set(stats.drops as f64);
+            reg.gauge("rbr_replenishes_total", &nl)
+                .set(stats.replenishes as f64);
+            reg.gauge("rbr_replenish_failures_total", &nl)
+                .set(stats.replenish_failures as f64);
+            reg.gauge("qp_cache_deactivations_total", &nl)
+                .set(node.dne.conn_deactivations() as f64);
+            reg.gauge("rnic_active_qps", &nl)
+                .set(self.fabric.active_qp_count(node.id) as f64);
+            for t in node.dne.tenant_ids() {
+                let tenant_label = t.0.to_string();
+                let labels = [
+                    ("node", node_label.as_str()),
+                    ("tenant", tenant_label.as_str()),
+                ];
+                reg.series("dne_tx_queue_depth", &labels, window)
+                    .record_at(now, node.dne.tenant_backlog(t) as f64 * w_s);
+                if let Some(d) = node.dne.dwrr_deficit(t) {
+                    reg.series("dne_dwrr_deficit", &labels, window)
+                        .record_at(now, d * w_s);
+                }
+                let (h, m) = node.dne.conn_hit_miss_of(t);
+                if h + m > 0 {
+                    reg.series("shadow_qp_hit_rate", &labels, window)
+                        .record_at(now, h as f64 / (h + m) as f64 * w_s);
+                }
+            }
+        }
+    }
+
+    /// Schedules a recurring [`Cluster::sample_obs`] every `every` until
+    /// `until`; the series build up inside `reg` as the simulation runs.
+    pub fn start_obs_sampler(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        reg: Rc<obs::MetricsRegistry>,
+        every: SimDuration,
+        until: SimTime,
+    ) {
+        let cluster = Rc::clone(self);
+        sim.schedule_after(every, move |sim| {
+            cluster.sample_obs(sim.now(), &reg, every);
+            if sim.now() < until {
+                Cluster::start_obs_sampler(&cluster, sim, reg, every, until);
+            }
+        });
+    }
+
     /// Sum of network-engine core utilization across nodes over `[a, b]`
     /// (the paper's "DPU utilization" for DNE runs, "CPU" for CNE).
     pub fn engine_utilization(&self, a: SimTime, b: SimTime) -> f64 {
@@ -360,12 +436,7 @@ mod tests {
             for (f, node) in [(1u16, 0usize), (2, 1), (3, 1), (4, 1), (5, 0)] {
                 cluster.place(f, node);
             }
-            let dag = runtime::DagSpec::new(
-                "fanout",
-                tenant,
-                1,
-                &[(1, &[2, 3, 4, 5][..])],
-            );
+            let dag = runtime::DagSpec::new("fanout", tenant, 1, &[(1, &[2, 3, 4, 5][..])]);
             let done: Rc<std::cell::Cell<Option<SimTime>>> = Rc::new(Cell::new(None));
             let sink = done.clone();
             cluster.register_dag(
@@ -386,8 +457,7 @@ mod tests {
             for (f, node) in [(1u16, 0usize), (2, 1), (3, 1), (4, 1), (5, 0)] {
                 cluster.place(f, node);
             }
-            let chain =
-                ChainSpec::new("seq", tenant, vec![1, 2, 1, 3, 1, 4, 1, 5, 1]);
+            let chain = ChainSpec::new("seq", tenant, vec![1, 2, 1, 3, 1, 4, 1, 5, 1]);
             let done: Rc<std::cell::Cell<Option<SimTime>>> = Rc::new(Cell::new(None));
             let sink = done.clone();
             cluster.register_chain(
@@ -405,6 +475,52 @@ mod tests {
         assert!(
             dag_us < 0.6 * chain_us,
             "fan-out ({dag_us}us) must overlap work the chain ({chain_us}us) serializes"
+        );
+    }
+
+    #[test]
+    fn obs_sampling_builds_per_tenant_series_and_traces_requests() {
+        let mut sim = Sim::new();
+        let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+        let tenant = TenantId(1);
+        cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+        let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+        cluster.place(1, 0);
+        cluster.place(2, 1);
+        let tracer = obs::Tracer::enabled();
+        cluster.set_tracer(&tracer);
+        let t0 = sim.now();
+        let driver = ClosedLoop::new(t0 + SimDuration::from_millis(10));
+        cluster.register_chain(&chain, |_| SimDuration::from_micros(5), driver.completion());
+        driver.start(&mut sim, &cluster, &chain, 4, 256);
+        let cluster = Rc::new(cluster);
+        let reg = Rc::new(obs::MetricsRegistry::new());
+        cluster.start_obs_sampler(
+            &mut sim,
+            Rc::clone(&reg),
+            SimDuration::from_millis(1),
+            t0 + SimDuration::from_millis(10),
+        );
+        sim.run();
+        assert!(driver.completed() > 0);
+        // Per-tenant labelled series exist on both nodes.
+        let labels = [("node", "0"), ("tenant", "1")];
+        let depth = reg.series("dne_tx_queue_depth", &labels, SimDuration::from_secs(60));
+        assert!(!depth.points().is_empty());
+        let deficit = reg.series("dne_dwrr_deficit", &labels, SimDuration::from_secs(60));
+        assert!(!deficit.points().is_empty());
+        let hit = reg.series("shadow_qp_hit_rate", &labels, SimDuration::from_secs(60));
+        assert!(!hit.points().is_empty());
+        let snap = reg.snapshot();
+        assert!(snap.gauge("dne_tx_posted_total", &[("node", "0")]).unwrap() > 0.0);
+        assert!(snap.to_text().contains("dne_tx_queue_depth"));
+        // Every completed request traced the full pipeline: at least six
+        // distinct stages (the acceptance bar for the Perfetto export).
+        let some_req = tracer.records()[0].req_id;
+        assert!(
+            tracer.stages_of(some_req).len() >= 6,
+            "stages: {:?}",
+            tracer.stages_of(some_req)
         );
     }
 
@@ -429,7 +545,11 @@ mod tests {
         cluster.place(2, 1);
         let t0 = sim.now();
         let driver = ClosedLoop::new(t0 + SimDuration::from_millis(20));
-        cluster.register_chain(&chain, |_| SimDuration::from_micros(50), driver.completion());
+        cluster.register_chain(
+            &chain,
+            |_| SimDuration::from_micros(50),
+            driver.completion(),
+        );
         driver.start(&mut sim, &cluster, &chain, 16, 128);
         sim.run();
         let t1 = sim.now();

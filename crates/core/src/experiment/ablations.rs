@@ -13,17 +13,16 @@
 use dne::types::{DneConfig, SchedPolicy};
 use membuf::tenant::TenantId;
 use runtime::ChainSpec;
-use serde::Serialize;
 use simcore::{Sim, SimDuration};
 
+use crate::boutique;
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::experiment::fig15;
 use crate::report::{fmt_f64, render_table};
 use crate::workload::ClosedLoop;
-use crate::boutique;
 
 /// One sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     pub sweep: String,
     pub setting: String,
@@ -31,11 +30,20 @@ pub struct AblationRow {
     pub value: f64,
 }
 
+obs::impl_to_json!(AblationRow {
+    sweep,
+    setting,
+    metric,
+    value
+});
+
 /// The full ablation report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Ablations {
     pub rows: Vec<AblationRow>,
 }
+
+obs::impl_to_json!(Ablations { rows });
 
 /// Boutique Home Query RPS for a given engine config (`millis` budget).
 fn boutique_rps(cfg: DneConfig, clients: usize, millis: u64) -> f64 {

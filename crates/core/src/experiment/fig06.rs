@@ -19,7 +19,6 @@ use baselines::{run_echo, EchoConfig, Primitive};
 use dpu_sim::soc::ProcessorKind;
 use membuf::tenant::TenantId;
 use runtime::ChainSpec;
-use serde::Serialize;
 use simcore::{Sim, SimDuration};
 
 use crate::cluster::{Cluster, ClusterConfig};
@@ -27,7 +26,7 @@ use crate::report::{fmt_f64, render_table};
 use crate::workload::ClosedLoop;
 
 /// One measured setting.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig06Row {
     pub setting: String,
     pub payload: usize,
@@ -35,11 +34,20 @@ pub struct Fig06Row {
     pub rps: f64,
 }
 
+obs::impl_to_json!(Fig06Row {
+    setting,
+    payload,
+    mean_us,
+    rps
+});
+
 /// The full figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig06 {
     pub rows: Vec<Fig06Row>,
 }
+
+obs::impl_to_json!(Fig06 { rows });
 
 /// Payload sizes swept (bytes).
 pub const PAYLOADS: [usize; 3] = [64, 1024, 4096];

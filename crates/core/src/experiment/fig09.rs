@@ -14,13 +14,12 @@ use std::rc::Rc;
 
 use dpu_sim::comch::{ChannelKind, ComchCosts};
 use dpu_sim::soc::{Processor, ProcessorKind};
-use serde::Serialize;
 use simcore::{Histogram, Sim, SimTime};
 
 use crate::report::{fmt_f64, render_table};
 
 /// One measured cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig09Row {
     pub channel: String,
     pub functions: usize,
@@ -28,11 +27,20 @@ pub struct Fig09Row {
     pub total_rps: f64,
 }
 
+obs::impl_to_json!(Fig09Row {
+    channel,
+    functions,
+    mean_rtt_us,
+    total_rps
+});
+
 /// The full figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig09 {
     pub rows: Vec<Fig09Row>,
 }
+
+obs::impl_to_json!(Fig09 { rows });
 
 /// Function counts swept.
 pub const FUNCTION_COUNTS: [usize; 5] = [1, 2, 4, 6, 8];

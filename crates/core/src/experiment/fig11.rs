@@ -14,7 +14,6 @@
 use dne::types::DneConfig;
 use membuf::tenant::TenantId;
 use runtime::ChainSpec;
-use serde::Serialize;
 use simcore::{Sim, SimDuration};
 
 use crate::cluster::{Cluster, ClusterConfig};
@@ -22,7 +21,7 @@ use crate::report::{fmt_f64, render_table};
 use crate::workload::ClosedLoop;
 
 /// One measured cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Row {
     pub mode: String,
     pub payload: usize,
@@ -31,12 +30,25 @@ pub struct Fig11Row {
     pub rps: f64,
 }
 
+obs::impl_to_json!(Fig11Row {
+    mode,
+    payload,
+    concurrency,
+    mean_us,
+    rps
+});
+
 /// The full figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11 {
     pub payload_sweep: Vec<Fig11Row>,
     pub concurrency_sweep: Vec<Fig11Row>,
 }
+
+obs::impl_to_json!(Fig11 {
+    payload_sweep,
+    concurrency_sweep
+});
 
 /// Payload sizes of sweep (1).
 pub const PAYLOADS: [usize; 4] = [64, 512, 1024, 4096];
@@ -62,7 +74,11 @@ fn run_one(cfg: DneConfig, payload: usize, clients: usize, millis: u64) -> (f64,
     let driver = ClosedLoop::new(stop);
     // The echo pair performs light application work per hop, as real
     // functions would; the data-plane difference rides on top of it.
-    cluster.register_chain(&chain, |_| SimDuration::from_micros(25), driver.completion());
+    cluster.register_chain(
+        &chain,
+        |_| SimDuration::from_micros(25),
+        driver.completion(),
+    );
     driver.start(&mut sim, &cluster, &chain, clients, payload);
     sim.run();
     (driver.latency().mean().as_micros_f64(), driver.rps())
@@ -110,7 +126,12 @@ impl Fig11 {
     fn find<'a>(rows: &'a [Fig11Row], mode: &str, key: usize, by_payload: bool) -> &'a Fig11Row {
         rows.iter()
             .find(|r| {
-                r.mode == mode && if by_payload { r.payload == key } else { r.concurrency == key }
+                r.mode == mode
+                    && if by_payload {
+                        r.payload == key
+                    } else {
+                        r.concurrency == key
+                    }
             })
             .expect("cell present")
     }
@@ -168,7 +189,10 @@ mod tests {
         let fig = run(40);
         let low = fig.rps_gain_at(1);
         let high = fig.rps_gain_at(64);
-        assert!(low > 1.0, "off-path must win even at low concurrency: {low}");
+        assert!(
+            low > 1.0,
+            "off-path must win even at low concurrency: {low}"
+        );
         assert!(
             high > low,
             "the gap must widen as the SoC DMA saturates: {low} -> {high}"

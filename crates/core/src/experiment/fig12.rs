@@ -11,12 +11,11 @@
 //! latency, and is ≥ 2.1× OWDL in throughput.
 
 use baselines::{run_echo, EchoConfig, Primitive};
-use serde::Serialize;
 
 use crate::report::{fmt_f64, render_table};
 
 /// One measured cell of the figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Row {
     pub primitive: String,
     pub payload: usize,
@@ -25,11 +24,21 @@ pub struct Fig12Row {
     pub rps: f64,
 }
 
+obs::impl_to_json!(Fig12Row {
+    primitive,
+    payload,
+    mean_us,
+    p99_us,
+    rps
+});
+
 /// The full figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12 {
     pub rows: Vec<Fig12Row>,
 }
+
+obs::impl_to_json!(Fig12 { rows });
 
 /// Payload sizes swept (bytes).
 pub const PAYLOADS: [usize; 4] = [64, 256, 1024, 4096];
@@ -125,7 +134,10 @@ mod tests {
         let two64 = fig.mean_us("NADINO (two-sided)", 64).unwrap();
         let two4k = fig.mean_us("NADINO (two-sided)", 4096).unwrap();
         assert!((7.0..=10.0).contains(&two64), "64B = {two64}us (paper 8.4)");
-        assert!((10.0..=13.5).contains(&two4k), "4KB = {two4k}us (paper 11.6)");
+        assert!(
+            (10.0..=13.5).contains(&two4k),
+            "4KB = {two4k}us (paper 11.6)"
+        );
 
         let owdl4k = fig.mean_us("OWDL", 4096).unwrap();
         let best4k = fig.mean_us("OWRC-Best", 4096).unwrap();

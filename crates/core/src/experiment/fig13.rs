@@ -14,13 +14,12 @@ use std::rc::Rc;
 use ingress::gateway::{Gateway, GatewayConfig, Reply, Upstream};
 use ingress::rss::FlowId;
 use ingress::stack::GatewayKind;
-use serde::Serialize;
 use simcore::{Histogram, MultiServer, Sim, SimDuration, SimTime};
 
 use crate::report::{fmt_f64, render_table};
 
 /// One measured cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13Row {
     pub ingress: String,
     pub clients: usize,
@@ -28,11 +27,20 @@ pub struct Fig13Row {
     pub rps: f64,
 }
 
+obs::impl_to_json!(Fig13Row {
+    ingress,
+    clients,
+    mean_us,
+    rps
+});
+
 /// The full figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13 {
     pub rows: Vec<Fig13Row>,
 }
+
+obs::impl_to_json!(Fig13 { rows });
 
 /// Client counts swept.
 pub const CLIENTS: [usize; 4] = [1, 4, 8, 16];
@@ -60,9 +68,7 @@ pub(crate) fn worker_upstream(kind: GatewayKind, worker_cost: SimDuration) -> Up
     Rc::new(move |sim: &mut Sim, _id, req_bytes, reply: Reply| {
         let worker = worker.clone();
         sim.schedule_after(transport, move |sim| {
-            let done = worker
-                .borrow_mut()
-                .admit(sim.now(), worker_cost + fn_exec);
+            let done = worker.borrow_mut().admit(sim.now(), worker_cost + fn_exec);
             sim.schedule_at(done + transport, move |sim| reply(sim, req_bytes));
         });
     })

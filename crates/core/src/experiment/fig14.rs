@@ -18,14 +18,13 @@ use ingress::autoscale::AutoscaleConfig;
 use ingress::gateway::{Gateway, GatewayConfig, Upstream};
 use ingress::rss::FlowId;
 use ingress::stack::GatewayKind;
-use serde::Serialize;
 use simcore::{Sim, SimDuration, SimTime, TimeSeries};
 
 use crate::experiment::fig13;
 use crate::report::{fmt_f64, render_table};
 
 /// One time-series sample.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14Sample {
     pub at_secs: f64,
     pub rps: f64,
@@ -33,8 +32,15 @@ pub struct Fig14Sample {
     pub workers: usize,
 }
 
+obs::impl_to_json!(Fig14Sample {
+    at_secs,
+    rps,
+    cpu_cores,
+    workers
+});
+
 /// One ingress design's full trace.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14Trace {
     pub ingress: String,
     pub samples: Vec<Fig14Sample>,
@@ -42,11 +48,20 @@ pub struct Fig14Trace {
     pub total_dropped: u64,
 }
 
+obs::impl_to_json!(Fig14Trace {
+    ingress,
+    samples,
+    total_completed,
+    total_dropped
+});
+
 /// The full figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14 {
     pub traces: Vec<Fig14Trace>,
 }
+
+obs::impl_to_json!(Fig14 { traces });
 
 struct RampState {
     gateway: Gateway,
@@ -197,7 +212,10 @@ fn run_trace(
             let (cpu_cores, workers) = cpu
                 .iter()
                 .min_by(|a, b| {
-                    (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("finite")
+                    (a.0 - t)
+                        .abs()
+                        .partial_cmp(&(b.0 - t).abs())
+                        .expect("finite")
                 })
                 .map(|&(_, c, w)| (c, w))
                 .unwrap_or((0.0, 0));
@@ -281,7 +299,10 @@ mod tests {
         let t = fig.trace("NADINO").unwrap();
         let first = t.samples.first().unwrap().workers;
         let peak = t.samples.iter().map(|s| s.workers).max().unwrap();
-        assert!(peak > first, "workers must grow under ramp: {first} -> {peak}");
+        assert!(
+            peak > first,
+            "workers must grow under ramp: {first} -> {peak}"
+        );
     }
 
     #[test]

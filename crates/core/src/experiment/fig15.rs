@@ -15,7 +15,6 @@
 use dne::types::{DneConfig, SchedPolicy};
 use membuf::tenant::TenantId;
 use runtime::ChainSpec;
-use serde::Serialize;
 use simcore::{Sim, SimDuration};
 
 use crate::cluster::{Cluster, ClusterConfig};
@@ -23,7 +22,7 @@ use crate::report::{fmt_f64, render_table};
 use crate::workload::ClosedLoop;
 
 /// One tenant's activity window and weight.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TenantSpec {
     pub tenant: u16,
     pub weight: u32,
@@ -31,8 +30,15 @@ pub struct TenantSpec {
     pub end_s: f64,
 }
 
+obs::impl_to_json!(TenantSpec {
+    tenant,
+    weight,
+    start_s,
+    end_s
+});
+
 /// One tenant's measured throughput series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TenantTrace {
     pub tenant: u16,
     pub weight: u32,
@@ -40,19 +46,30 @@ pub struct TenantTrace {
     pub completed: u64,
 }
 
+obs::impl_to_json!(TenantTrace {
+    tenant,
+    weight,
+    points,
+    completed
+});
+
 /// One scheduler's full run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15Run {
     pub scheduler: String,
     pub traces: Vec<TenantTrace>,
 }
 
+obs::impl_to_json!(Fig15Run { scheduler, traces });
+
 /// The full figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15 {
     pub duration_s: f64,
     pub runs: Vec<Fig15Run>,
 }
+
+obs::impl_to_json!(Fig15 { duration_s, runs });
 
 /// The paper's three tenants (windows scaled by `scale` from the paper's
 /// 240 s timeline: T1 always on, T2 20 s–200 s, T3 90 s–150 s).
@@ -205,7 +222,10 @@ impl Fig15 {
                 }
             }
             out.push_str(&render_table(
-                &format!("Fig. 15 - RDMA bandwidth shares, {} scheduler", run.scheduler),
+                &format!(
+                    "Fig. 15 - RDMA bandwidth shares, {} scheduler",
+                    run.scheduler
+                ),
                 &["tenant", "t_s", "rps"],
                 &rows,
             ));

@@ -17,7 +17,6 @@ use ingress::gateway::{Gateway, GatewayConfig, Reply, Upstream};
 use ingress::rss::FlowId;
 use membuf::tenant::TenantId;
 use runtime::ChainSpec;
-use serde::Serialize;
 use simcore::{Histogram, Sim, SimDuration, SimTime};
 
 use crate::baseline_cluster::BaselineCluster;
@@ -26,7 +25,7 @@ use crate::cluster::{Cluster, ClusterConfig};
 use crate::report::{fmt_f64, render_table};
 
 /// One measured configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig16Row {
     pub system: String,
     pub chain: String,
@@ -43,11 +42,24 @@ pub struct Fig16Row {
     pub host_cores: f64,
 }
 
+obs::impl_to_json!(Fig16Row {
+    system,
+    chain,
+    clients,
+    rps,
+    mean_ms,
+    engine_cores,
+    engine_is_dpu,
+    host_cores
+});
+
 /// The full figure + table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig16 {
     pub rows: Vec<Fig16Row>,
 }
+
+obs::impl_to_json!(Fig16 { rows });
 
 /// Client counts of Table 2.
 pub const CLIENTS: [usize; 3] = [20, 60, 80];
@@ -195,8 +207,7 @@ fn run_nadino(
                 reply(sim, 0); // shed under pool exhaustion
                 return;
             };
-            let mut payload =
-                runtime::encode_request_payload(req_id, boutique::PAYLOAD_BYTES);
+            let mut payload = runtime::encode_request_payload(req_id, boutique::PAYLOAD_BYTES);
             runtime::set_hop(&mut payload, 0);
             buf.write_payload(&payload).expect("payload fits");
             pending.borrow_mut().insert(req_id, reply);
@@ -422,10 +433,7 @@ mod tests {
     #[test]
     fn nightcore_trails_by_a_wide_margin() {
         let ratio = rps("NADINO (DNE)", 80) / rps("NightCore", 80);
-        assert!(
-            ratio > 4.5,
-            "DNE/NightCore = {ratio} (paper: 5.1-20.9x)"
-        );
+        assert!(ratio > 4.5, "DNE/NightCore = {ratio} (paper: 5.1-20.9x)");
     }
 
     #[test]
@@ -448,12 +456,20 @@ mod tests {
         let f = fig();
         // DNE Home Query at 20 clients is about a millisecond.
         let dne20 = f.get("NADINO (DNE)", "Home Query", 20).unwrap().mean_ms;
-        assert!((0.8..=1.4).contains(&dne20), "DNE@20 = {dne20}ms (paper 1.12)");
+        assert!(
+            (0.8..=1.4).contains(&dne20),
+            "DNE@20 = {dne20}ms (paper 1.12)"
+        );
         // Latency grows with clients for every system.
         for row in &f.rows {
             if row.clients == 20 {
                 let at80 = f.get(&row.system, &row.chain, 80).unwrap().mean_ms;
-                assert!(at80 > row.mean_ms, "{}: {} -> {at80}", row.system, row.mean_ms);
+                assert!(
+                    at80 > row.mean_ms,
+                    "{}: {} -> {at80}",
+                    row.system,
+                    row.mean_ms
+                );
             }
         }
         // NightCore has the worst latency everywhere.
@@ -471,7 +487,10 @@ mod tests {
         let f = fig();
         let dne = f.get("NADINO (DNE)", "Home Query", 20).unwrap().mean_ms;
         let cne = f.get("NADINO (CNE)", "Home Query", 20).unwrap().mean_ms;
-        assert!(cne < dne * 1.1, "CNE@20 {cne} vs DNE {dne} (paper: slightly lower)");
+        assert!(
+            cne < dne * 1.1,
+            "CNE@20 {cne} vs DNE {dne} (paper: slightly lower)"
+        );
     }
 
     #[test]

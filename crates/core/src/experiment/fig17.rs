@@ -7,18 +7,19 @@
 //! whether three or six tenants are active.
 
 use dne::types::SchedPolicy;
-use serde::Serialize;
 use simcore::SimDuration;
 
 use crate::experiment::fig15::{run_variant, Fig15Run, TenantSpec};
 use crate::report::{fmt_f64, render_table};
 
 /// The full appendix figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig17 {
     pub duration_s: f64,
     pub run: Fig15Run,
 }
+
+obs::impl_to_json!(Fig17 { duration_s, run });
 
 /// Six equal-weight tenants joining/leaving every 30 s (paper timeline),
 /// scaled by `scale`.
@@ -98,9 +99,7 @@ mod tests {
     #[test]
     fn equal_weights_get_equal_shares_with_six_tenants() {
         let (a, b) = all_active_window();
-        let shares: Vec<f64> = (1..=6u16)
-            .map(|t| fig().run.mean_rps(t, a, b))
-            .collect();
+        let shares: Vec<f64> = (1..=6u16).map(|t| fig().run.mean_rps(t, a, b)).collect();
         let mean = shares.iter().sum::<f64>() / 6.0;
         for (i, s) in shares.iter().enumerate() {
             assert!(

@@ -5,24 +5,31 @@
 //! (§1: 20.9× RPS, 21× latency, 7 CPU cores saved on two wimpy DPU cores).
 
 use baselines::SystemKind;
-use serde::Serialize;
 
 use crate::experiment::{fig12, fig13, fig16};
 use crate::report::{fmt_f64, render_table};
 
 /// One headline claim.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Claim {
     pub claim: String,
     pub paper: String,
     pub measured: f64,
 }
 
+obs::impl_to_json!(Claim {
+    claim,
+    paper,
+    measured
+});
+
 /// The summary table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     pub claims: Vec<Claim>,
 }
+
+obs::impl_to_json!(Summary { claims });
 
 /// Runs the quick-budget summary.
 pub fn run(millis: u64, requests: u64) -> Summary {

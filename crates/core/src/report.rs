@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
+use obs::json::ToJson;
 
 /// Renders an aligned text table (the format the `experiments` binary
 /// prints for each figure).
@@ -62,12 +62,36 @@ pub fn fmt_f64(v: f64) -> String {
 }
 
 /// Writes a serializable value as pretty JSON next to the text output.
-pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+pub fn write_json<T: ToJson>(path: &Path, value: &T) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let json = serde_json::to_string_pretty(value).expect("serializable");
+    let json = value.to_json().to_string_pretty();
     std::fs::write(path, json)
+}
+
+/// Renders a per-stage latency-attribution table from DNE stage stats.
+///
+/// One row per pipeline stage the engine accounts for: time waiting in the
+/// tenant TX queue, scheduling delay on the engine cores, and RNIC
+/// post-to-completion time.
+pub fn render_stage_breakdown(title: &str, stages: &[(&str, simcore::Histogram)]) -> String {
+    let headers = ["stage", "samples", "mean_us", "p50_us", "p99_us", "max_us"];
+    let rows: Vec<Vec<String>> = stages
+        .iter()
+        .map(|(name, h)| {
+            let s = h.summary();
+            vec![
+                name.to_string(),
+                s.count.to_string(),
+                fmt_f64(s.mean_us),
+                fmt_f64(s.p50_us),
+                fmt_f64(s.p99_us),
+                fmt_f64(s.max_us),
+            ]
+        })
+        .collect();
+    render_table(title, &headers, &rows)
 }
 
 #[cfg(test)]
@@ -95,7 +119,7 @@ mod tests {
     #[test]
     fn float_formatting_scales() {
         assert_eq!(fmt_f64(0.0), "0");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(3.17259), "3.17");
         assert_eq!(fmt_f64(42.42), "42.4");
         assert_eq!(fmt_f64(112345.6), "112346");
     }
@@ -104,10 +128,24 @@ mod tests {
     fn json_roundtrip() {
         let dir = std::env::temp_dir().join("nadino-report-test");
         let path = dir.join("out.json");
-        write_json(&path, &vec![1, 2, 3]).unwrap();
-        let back: Vec<u32> =
-            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
-        assert_eq!(back, vec![1, 2, 3]);
+        write_json(&path, &vec![1u32, 2, 3]).unwrap();
+        let back = obs::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let values: Vec<u64> = back
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(values, vec![1, 2, 3]);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stage_breakdown_renders_rows() {
+        let mut h = simcore::Histogram::new();
+        h.record(simcore::SimDuration::from_micros(12));
+        let out = render_stage_breakdown("DNE stages", &[("tx_queue_wait", h)]);
+        assert!(out.contains("tx_queue_wait"));
+        assert!(out.contains("p99_us"));
     }
 }

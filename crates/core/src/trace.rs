@@ -8,18 +8,19 @@
 //! and replays them against a cluster with per-chain latency accounting.
 
 use runtime::ChainSpec;
-use serde::Serialize;
 use simcore::{Sim, SimDuration, SimRng};
 
 use crate::cluster::Cluster;
 use crate::workload::ClosedLoop;
 
 /// One trace record: invoke `chain_idx` at `at` after replay start.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEntry {
     pub at_s: f64,
     pub chain_idx: usize,
 }
+
+obs::impl_to_json!(TraceEntry { at_s, chain_idx });
 
 /// Parameters of the synthetic trace.
 #[derive(Debug, Clone)]
@@ -92,7 +93,7 @@ pub fn generate(cfg: &TraceConfig) -> Vec<TraceEntry> {
 }
 
 /// Per-chain replay outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ChainOutcome {
     pub chain: String,
     pub invocations: u64,
@@ -100,6 +101,14 @@ pub struct ChainOutcome {
     pub mean_us: f64,
     pub p99_us: f64,
 }
+
+obs::impl_to_json!(ChainOutcome {
+    chain,
+    invocations,
+    completed,
+    mean_us,
+    p99_us
+});
 
 /// Replays `trace` against chains already registered on `cluster`.
 ///
@@ -225,10 +234,7 @@ mod tests {
         for f in boutique::all_functions() {
             cluster.place(f, boutique::hotspot_placement(f));
         }
-        let chains = vec![
-            boutique::add_to_cart(tenant),
-            boutique::serve_ads(tenant),
-        ];
+        let chains = vec![boutique::add_to_cart(tenant), boutique::serve_ads(tenant)];
         let cfg = TraceConfig {
             mean_rps: 2_000.0,
             duration: SimDuration::from_millis(200),

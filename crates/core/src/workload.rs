@@ -386,9 +386,12 @@ mod tests {
         cluster.place(1, 0);
         cluster.place(2, 1);
         let stop = sim.now() + SimDuration::from_millis(50);
-        let driver =
-            ClosedLoop::new(stop).with_series(SimDuration::from_millis(10));
-        cluster.register_chain(&chain, |_| SimDuration::from_micros(10), driver.completion());
+        let driver = ClosedLoop::new(stop).with_series(SimDuration::from_millis(10));
+        cluster.register_chain(
+            &chain,
+            |_| SimDuration::from_micros(10),
+            driver.completion(),
+        );
         driver.start(&mut sim, &cluster, &chain, 4, 128);
         sim.run();
         assert!(driver.completed() > 100);
@@ -417,7 +420,10 @@ mod tests {
         sim.run();
         // ~2000 offered at 10K RPS over 200 ms; all complete (underload).
         let offered = gen.offered();
-        assert!((1700..=2300).contains(&(offered as i64)), "offered {offered}");
+        assert!(
+            (1700..=2300).contains(&(offered as i64)),
+            "offered {offered}"
+        );
         assert_eq!(gen.completed(), offered);
         assert_eq!(gen.shed_count(), 0);
         assert!(gen.latency().mean().as_micros_f64() < 200.0);
@@ -454,7 +460,11 @@ mod tests {
         cluster.place(2, 1);
         let stop = sim.now() + SimDuration::from_millis(5);
         let driver = ClosedLoop::new(stop);
-        cluster.register_chain(&chain, |_| SimDuration::from_micros(10), driver.completion());
+        cluster.register_chain(
+            &chain,
+            |_| SimDuration::from_micros(10),
+            driver.completion(),
+        );
         driver.start(&mut sim, &cluster, &chain, 2, 64);
         sim.run();
         let total = driver.completed();

@@ -7,6 +7,7 @@
 //! node only has to bound the number of simultaneously active QPs to avoid
 //! cache thrashing.
 
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 use membuf::tenant::TenantId;
@@ -17,6 +18,14 @@ use rdma_sim::{Fabric, NodeId};
 #[derive(Debug, Default)]
 pub struct ConnPool {
     conns: HashMap<(TenantId, NodeId), Vec<QpHandle>>,
+    /// Picks that found the chosen QP already active (no RNIC-cache charge).
+    hits: Cell<u64>,
+    /// Picks that had to activate a shadow QP (a potential cache thrash).
+    misses: Cell<u64>,
+    /// Idle QPs returned to shadow state by the completion reaper.
+    deactivations: Cell<u64>,
+    /// Per-tenant `(hits, misses)` split of the pick counters.
+    per_tenant: RefCell<HashMap<TenantId, (u64, u64)>>,
 }
 
 impl ConnPool {
@@ -59,9 +68,40 @@ impl ConnPool {
             .filter(|&&qp| fabric.qp_ready(qp))
             .min_by_key(|&&qp| fabric.sq_depth(qp))
             .copied()?;
+        let mut per_tenant = self.per_tenant.borrow_mut();
+        let entry = per_tenant.entry(tenant).or_insert((0, 0));
+        if fabric.qp_is_active(best) {
+            self.hits.set(self.hits.get() + 1);
+            entry.0 += 1;
+        } else {
+            self.misses.set(self.misses.get() + 1);
+            entry.1 += 1;
+        }
+        drop(per_tenant);
         // Activation is what charges the QP against the RNIC cache.
         let _ = fabric.set_qp_active(best, true);
         Some(best)
+    }
+
+    /// Returns `(hits, misses)`: picks that found the chosen QP already
+    /// active vs. picks that had to activate one. A low hit rate under load
+    /// signals shadow-QP churn (QP-cache thrash).
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// Returns how many idle QPs the reaper has deactivated in total.
+    pub fn deactivations(&self) -> u64 {
+        self.deactivations.get()
+    }
+
+    /// Returns `(hits, misses)` for one tenant's picks.
+    pub fn hit_miss_of(&self, tenant: TenantId) -> (u64, u64) {
+        self.per_tenant
+            .borrow()
+            .get(&tenant)
+            .copied()
+            .unwrap_or((0, 0))
     }
 
     /// Deactivates every pooled QP whose send queue has drained, returning
@@ -76,6 +116,10 @@ impl ConnPool {
                     deactivated += 1;
                 }
             }
+        }
+        if deactivated > 0 {
+            self.deactivations
+                .set(self.deactivations.get() + deactivated as u64);
         }
         deactivated
     }
@@ -161,6 +205,25 @@ mod tests {
         let n = pool.deactivate_idle(&fabric);
         assert_eq!(n, 1);
         assert_eq!(fabric.active_qp_count(qp.node), 0);
+    }
+
+    #[test]
+    fn hit_miss_tracks_shadow_qp_churn() {
+        let (fabric, _sim, pool, tenant, peer, _) = setup(2);
+        assert_eq!(pool.hit_miss(), (0, 0));
+        // First pick activates a shadow QP: a miss.
+        let qp = pool.pick_least_congested(&fabric, tenant, peer).unwrap();
+        assert_eq!(pool.hit_miss(), (0, 1));
+        // Re-picking while still active (sq_depth 0 on both, so the picker
+        // may choose either; force the hit by deactivating the other).
+        let _ = fabric.set_qp_active(qp, true);
+        let again = pool.pick_least_congested(&fabric, tenant, peer).unwrap();
+        let (h, m) = pool.hit_miss();
+        assert_eq!(h + m, 2);
+        let _ = again;
+        // The reaper deactivates the drained QPs and counts them.
+        let n = pool.deactivate_idle(&fabric);
+        assert_eq!(pool.deactivations(), n as u64);
     }
 
     #[test]

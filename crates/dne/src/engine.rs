@@ -28,6 +28,7 @@ use membuf::descriptor::BufferDesc;
 use membuf::export::MappedPool;
 use membuf::pool::BufferPool;
 use membuf::tenant::TenantId;
+use obs::{Stage, Tracer};
 use rdma_sim::fabric::{CqId, QpHandle, RqId};
 use rdma_sim::types::{Cqe, CqeOpcode, CqeStatus};
 use rdma_sim::{Fabric, NodeId, RdmaError};
@@ -81,6 +82,15 @@ fn unpack_imm(imm: u64) -> (TenantId, u16) {
     (TenantId((imm >> 16) as u16), imm as u16)
 }
 
+/// Reads the request id convention (first eight payload bytes, LE).
+fn req_id_of(bytes: &[u8]) -> u64 {
+    if bytes.len() >= 8 {
+        u64::from_le_bytes(bytes[..8].try_into().expect("checked length"))
+    } else {
+        0
+    }
+}
+
 struct TenantState {
     pool: BufferPool,
     rq: RqId,
@@ -94,6 +104,22 @@ enum WorkItem {
     Rx(Cqe),
 }
 
+/// A TX descriptor queued in the tenant scheduler, stamped with its
+/// enqueue instant so dequeue can attribute the queueing delay.
+struct TxItem {
+    desc: BufferDesc,
+    enqueued_at: SimTime,
+}
+
+/// Bookkeeping for an in-flight RNIC send, keyed by WR id, so the send
+/// completion can close the fabric span and the post-to-completion
+/// histogram.
+struct PostedSend {
+    at: SimTime,
+    req_id: u64,
+    tenant: TenantId,
+}
+
 struct Inner {
     node: NodeId,
     fabric: Fabric,
@@ -104,13 +130,15 @@ struct Inner {
     tenants: HashMap<TenantId, TenantState>,
     routing: RoutingTable,
     endpoints: HashMap<u16, FnEndpoint>,
-    txq: Box<dyn TenantScheduler<BufferDesc>>,
+    txq: Box<dyn TenantScheduler<TxItem>>,
     conns: ConnPool,
     rbr: ReceiveBufferRegistry,
     soc_dma: SocDma,
     in_flight: usize,
     stats: DneStats,
     next_send_wr: u64,
+    tracer: Tracer,
+    posted: HashMap<u64, PostedSend>,
 }
 
 impl Inner {
@@ -118,11 +146,35 @@ impl Inner {
         self.txq.len() + self.fabric.cq_depth(self.cq)
     }
 
-    fn next_item(&mut self) -> Option<WorkItem> {
+    /// Reads the request id out of a still-pooled descriptor (tracing only).
+    fn req_id_of_desc(&self, tenant: TenantId, desc: BufferDesc) -> u64 {
+        self.tenants
+            .get(&tenant)
+            .and_then(|s| s.pool.peek_payload(desc, 8))
+            .map(|b| req_id_of(&b))
+            .unwrap_or(0)
+    }
+
+    fn next_item(&mut self, now: SimTime) -> Option<WorkItem> {
         if let Some(cqe) = self.fabric.poll_cq(self.cq, 1).pop() {
             return Some(WorkItem::Rx(cqe));
         }
-        self.txq.dequeue().map(|(t, d)| WorkItem::Tx(t, d))
+        let (tenant, item) = self.txq.dequeue()?;
+        self.stats
+            .tx_queue_wait
+            .record(now.saturating_since(item.enqueued_at));
+        if self.tracer.is_enabled() {
+            let req_id = self.req_id_of_desc(tenant, item.desc);
+            self.tracer.span(
+                req_id,
+                tenant.0,
+                self.node.0 as u32,
+                Stage::DwrrQueue,
+                item.enqueued_at,
+                now,
+            );
+        }
+        Some(WorkItem::Tx(tenant, item.desc))
     }
 
     fn service_for(&self, item: &WorkItem) -> SimDuration {
@@ -136,9 +188,7 @@ impl Inner {
         match item {
             WorkItem::Tx(..) => self.cfg.tx_stage + ipc + self.cfg.extra_per_msg + on_path_extra,
             WorkItem::Rx(cqe) => match cqe.opcode {
-                CqeOpcode::Recv => {
-                    self.cfg.rx_stage + ipc + self.cfg.extra_per_msg + on_path_extra
-                }
+                CqeOpcode::Recv => self.cfg.rx_stage + ipc + self.cfg.extra_per_msg + on_path_extra,
                 _ => self.cfg.send_completion,
             },
         }
@@ -163,6 +213,8 @@ impl Inner {
                 if self.fabric.post_recv(rq, wr, buf).is_err() {
                     self.rbr.consume(wr);
                     self.stats.replenish_failures += 1;
+                } else {
+                    self.stats.replenishes += 1;
                 }
             }
             Err(_) => self.stats.replenish_failures += 1,
@@ -186,7 +238,7 @@ impl Dne {
             Some(f) => Processor::with_factor(cfg.processor, cfg.cores, f),
             None => Processor::new(cfg.processor, cfg.cores),
         };
-        let txq: Box<dyn TenantScheduler<BufferDesc>> = match cfg.sched {
+        let txq: Box<dyn TenantScheduler<TxItem>> = match cfg.sched {
             SchedPolicy::Dwrr { quantum } => Box::new(DwrrScheduler::new(quantum)),
             SchedPolicy::Fcfs => Box::new(FcfsScheduler::new()),
         };
@@ -208,6 +260,8 @@ impl Dne {
             in_flight: 0,
             stats: DneStats::default(),
             next_send_wr: 0,
+            tracer: Tracer::disabled(),
+            posted: HashMap::new(),
         }));
         let weak: Weak<RefCell<Inner>> = Rc::downgrade(&inner);
         fabric.set_cq_waker(
@@ -318,8 +372,7 @@ impl Dne {
         let rq_a = a.tenant_rq(tenant)?;
         let rq_b = b.tenant_rq(tenant)?;
         for _ in 0..n {
-            let (ha, hb) =
-                fabric.connect(sim, tenant, node_a, cq_a, rq_a, node_b, cq_b, rq_b)?;
+            let (ha, hb) = fabric.connect(sim, tenant, node_a, cq_a, rq_a, node_b, cq_b, rq_b)?;
             a.inner.borrow_mut().conns.add(tenant, node_b, ha);
             b.inner.borrow_mut().conns.add(tenant, node_a, hb);
         }
@@ -333,11 +386,25 @@ impl Dne {
         let latency = {
             let mut inner = self.inner.borrow_mut();
             inner.stats.submitted += 1;
+            if inner.tracer.is_enabled() {
+                let req_id = inner.req_id_of_desc(tenant, desc);
+                inner.tracer.span(
+                    req_id,
+                    tenant.0,
+                    inner.node.0 as u32,
+                    Stage::ComchSubmit,
+                    sim.now(),
+                    sim.now() + inner.ipc.one_way_latency,
+                );
+            }
             inner.ipc.one_way_latency
         };
         let rc = self.inner.clone();
         sim.schedule_after(latency, move |sim| {
-            rc.borrow_mut().txq.enqueue(tenant, desc);
+            let enqueued_at = sim.now();
+            rc.borrow_mut()
+                .txq
+                .enqueue(tenant, TxItem { desc, enqueued_at });
             Dne::kick(&rc, sim);
         });
     }
@@ -345,15 +412,16 @@ impl Dne {
     /// Dispatches work onto idle engine cores.
     fn kick(rc: &Rc<RefCell<Inner>>, sim: &mut Sim) {
         loop {
+            let now = sim.now();
             let dispatched = {
                 let mut inner = rc.borrow_mut();
                 if inner.in_flight >= inner.cfg.cores {
                     None
                 } else {
-                    match inner.next_item() {
+                    match inner.next_item(now) {
                         Some(item) => {
                             let service = inner.service_for(&item);
-                            let done = inner.processor.run(sim.now(), service);
+                            let done = inner.processor.run(now, service);
                             inner.in_flight += 1;
                             Some((item, done))
                         }
@@ -366,22 +434,32 @@ impl Dne {
             };
             let rc2 = rc.clone();
             sim.schedule_at(done, move |sim| {
-                Dne::complete(&rc2, sim, item);
+                Dne::complete(&rc2, sim, item, now);
             });
         }
     }
 
     /// Finishes processing a work item and re-kicks the loop.
-    fn complete(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, item: WorkItem) {
+    fn complete(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, item: WorkItem, dispatched_at: SimTime) {
+        rc.borrow_mut()
+            .stats
+            .sched_delay
+            .record(sim.now().saturating_since(dispatched_at));
         match item {
-            WorkItem::Tx(tenant, desc) => Dne::complete_tx(rc, sim, tenant, desc),
-            WorkItem::Rx(cqe) => Dne::complete_rx(rc, sim, cqe),
+            WorkItem::Tx(tenant, desc) => Dne::complete_tx(rc, sim, tenant, desc, dispatched_at),
+            WorkItem::Rx(cqe) => Dne::complete_rx(rc, sim, cqe, dispatched_at),
         }
         rc.borrow_mut().in_flight -= 1;
         Dne::kick(rc, sim);
     }
 
-    fn complete_tx(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, tenant: TenantId, desc: BufferDesc) {
+    fn complete_tx(
+        rc: &Rc<RefCell<Inner>>,
+        sim: &mut Sim,
+        tenant: TenantId,
+        desc: BufferDesc,
+        dispatched_at: SimTime,
+    ) {
         // Phase 1 (engine state): redeem, route, pick connection.
         enum Action {
             Drop,
@@ -409,6 +487,18 @@ impl Dne {
                     return;
                 }
             };
+            let traced = inner.tracer.is_enabled();
+            let req_id = if traced { req_id_of(buf.as_slice()) } else { 0 };
+            if traced {
+                inner.tracer.span(
+                    req_id,
+                    tenant.0,
+                    inner.node.0 as u32,
+                    Stage::DneTx,
+                    dispatched_at,
+                    sim.now(),
+                );
+            }
             match inner.routing.lookup(dst_fn) {
                 None => {
                     inner.stats.drops += 1;
@@ -445,6 +535,36 @@ impl Dne {
                             if let Some(st) = inner.tenants.get_mut(&tenant) {
                                 st.tx_count += 1;
                             }
+                            let posted_at = dma_done.unwrap_or_else(|| sim.now());
+                            if traced {
+                                let node = inner.node.0 as u32;
+                                inner.tracer.span(
+                                    req_id,
+                                    tenant.0,
+                                    node,
+                                    Stage::ConnPick,
+                                    sim.now(),
+                                    sim.now(),
+                                );
+                                if let Some(at) = dma_done {
+                                    inner.tracer.span(
+                                        req_id,
+                                        tenant.0,
+                                        node,
+                                        Stage::SocDma,
+                                        sim.now(),
+                                        at,
+                                    );
+                                }
+                            }
+                            inner.posted.insert(
+                                wr.0,
+                                PostedSend {
+                                    at: posted_at,
+                                    req_id,
+                                    tenant,
+                                },
+                            );
                             Action::Send {
                                 fabric,
                                 qp,
@@ -479,14 +599,18 @@ impl Dne {
                 None => {
                     let rc2 = rc.clone();
                     if fabric.post_send(sim, qp, wr, buf, imm).is_err() {
-                        rc2.borrow_mut().stats.drops += 1;
+                        let mut inner = rc2.borrow_mut();
+                        inner.stats.drops += 1;
+                        inner.posted.remove(&wr.0);
                     }
                 }
                 Some(at) => {
                     let rc2 = rc.clone();
                     sim.schedule_at(at, move |sim| {
                         if fabric.post_send(sim, qp, wr, buf, imm).is_err() {
-                            rc2.borrow_mut().stats.drops += 1;
+                            let mut inner = rc2.borrow_mut();
+                            inner.stats.drops += 1;
+                            inner.posted.remove(&wr.0);
                         }
                     });
                 }
@@ -494,7 +618,7 @@ impl Dne {
         }
     }
 
-    fn complete_rx(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, cqe: Cqe) {
+    fn complete_rx(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, cqe: Cqe, dispatched_at: SimTime) {
         enum Action {
             None,
             Deliver(FnEndpoint, BufferDesc, SimDuration),
@@ -506,6 +630,24 @@ impl Dne {
                     inner.stats.send_completions += 1;
                     if cqe.status != CqeStatus::Success {
                         inner.stats.drops += 1;
+                    }
+                    // Close out the post-to-completion interval opened when
+                    // the WR was handed to the RNIC.
+                    if let Some(p) = inner.posted.remove(&cqe.wr_id.0) {
+                        inner
+                            .stats
+                            .post_to_completion
+                            .record(sim.now().saturating_since(p.at));
+                        if inner.tracer.is_enabled() {
+                            inner.tracer.span(
+                                p.req_id,
+                                p.tenant.0,
+                                inner.node.0 as u32,
+                                Stage::Fabric,
+                                p.at,
+                                sim.now(),
+                            );
+                        }
                     }
                     // Shadow-QP reaping: idle connections leave the cache.
                     let fabric = inner.fabric.clone();
@@ -529,6 +671,29 @@ impl Dne {
                         inner.stats.drops += 1;
                         return;
                     };
+                    let traced = inner.tracer.is_enabled();
+                    let req_id = if traced { req_id_of(buf.as_slice()) } else { 0 };
+                    if traced {
+                        let node = inner.node.0 as u32;
+                        inner.tracer.span(
+                            req_id,
+                            tenant.0,
+                            node,
+                            Stage::RxCompletion,
+                            dispatched_at,
+                            sim.now(),
+                        );
+                        // RBR lookup + replenish happen inline within the RX
+                        // stage; exported as an instant marker.
+                        inner.tracer.span(
+                            req_id,
+                            tenant.0,
+                            node,
+                            Stage::RbrRecover,
+                            sim.now(),
+                            sim.now(),
+                        );
+                    }
                     match inner.endpoints.get(&dst_fn).cloned() {
                         Some(ep) => {
                             let mut latency = inner.ipc.one_way_latency;
@@ -540,6 +705,16 @@ impl Dne {
                             inner.stats.rx_delivered += 1;
                             if let Some(st) = inner.tenants.get_mut(&tenant) {
                                 st.rx_count += 1;
+                            }
+                            if traced {
+                                inner.tracer.span(
+                                    req_id,
+                                    tenant.0,
+                                    inner.node.0 as u32,
+                                    Stage::ComchDeliver,
+                                    sim.now(),
+                                    sim.now() + latency,
+                                );
                             }
                             Action::Deliver(ep, buf.into_desc(dst_fn), latency)
                         }
@@ -558,7 +733,57 @@ impl Dne {
 
     /// Returns a snapshot of the engine's statistics.
     pub fn stats(&self) -> DneStats {
-        self.inner.borrow().stats
+        self.inner.borrow().stats.clone()
+    }
+
+    /// Attaches a span tracer; pass [`Tracer::disabled`] to turn tracing
+    /// back off. All clones of this engine share the tracer.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.borrow_mut().tracer = tracer;
+    }
+
+    /// Returns a handle to the engine's tracer.
+    pub fn tracer(&self) -> Tracer {
+        self.inner.borrow().tracer.clone()
+    }
+
+    /// Returns the engine's total work backlog (TX queue + unpolled CQEs) —
+    /// the occupancy of the engine's side of the Comch channel.
+    pub fn queued(&self) -> usize {
+        self.inner.borrow().queued()
+    }
+
+    /// Returns the tenant's current TX-queue backlog.
+    pub fn tenant_backlog(&self, tenant: TenantId) -> usize {
+        self.inner.borrow().txq.tenant_backlog(tenant)
+    }
+
+    /// Returns the tenant's current DWRR deficit (`None` under FCFS or for
+    /// unknown tenants).
+    pub fn dwrr_deficit(&self, tenant: TenantId) -> Option<f64> {
+        self.inner.borrow().txq.deficit_of(tenant)
+    }
+
+    /// Returns `(hits, misses)` of the connection pool's shadow-QP picker.
+    pub fn conn_hit_miss(&self) -> (u64, u64) {
+        self.inner.borrow().conns.hit_miss()
+    }
+
+    /// Returns how many idle QPs the completion reaper has deactivated.
+    pub fn conn_deactivations(&self) -> u64 {
+        self.inner.borrow().conns.deactivations()
+    }
+
+    /// Returns `(hits, misses)` of the shadow-QP picker for one tenant.
+    pub fn conn_hit_miss_of(&self, tenant: TenantId) -> (u64, u64) {
+        self.inner.borrow().conns.hit_miss_of(tenant)
+    }
+
+    /// Returns the tenants registered with this engine, sorted.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self.inner.borrow().tenants.keys().copied().collect();
+        ids.sort();
+        ids
     }
 
     /// Returns `(tx, rx)` message counters for a tenant.
@@ -767,7 +992,8 @@ mod tests {
     fn unknown_route_drops_and_recycles() {
         let mut env = setup(DneConfig::nadino_dne());
         let buf = env.pool_a.get().unwrap();
-        env.dne_a.submit(&mut env.sim, env.tenant, buf.into_desc(99));
+        env.dne_a
+            .submit(&mut env.sim, env.tenant, buf.into_desc(99));
         env.sim.run();
         assert_eq!(env.dne_a.stats().drops, 1);
         let prepost = DneConfig::nadino_dne().prepost_depth as u32;
@@ -832,7 +1058,91 @@ mod tests {
         };
         let off = run(DneConfig::nadino_dne());
         let on = run(DneConfig::on_path_dne());
-        assert!(on > off, "on-path ({on}us) must be slower than off-path ({off}us)");
+        assert!(
+            on > off,
+            "on-path ({on}us) must be slower than off-path ({off}us)"
+        );
+    }
+
+    #[test]
+    fn tracing_records_pipeline_stages_and_stage_histograms() {
+        let mut env = setup(DneConfig::nadino_dne());
+        let tracer = Tracer::enabled();
+        env.dne_a.set_tracer(tracer.clone());
+        env.dne_b.set_tracer(tracer.clone());
+        let pool_b = env.pool_b.clone();
+        env.dne_b.register_endpoint(
+            2,
+            Rc::new(move |_sim, desc| {
+                let _ = pool_b.redeem(desc).expect("valid descriptor");
+            }),
+        );
+        // Request-id convention: first eight payload bytes, little-endian.
+        let mut payload = [0u8; 16];
+        payload[..8].copy_from_slice(&42u64.to_le_bytes());
+        let mut buf = env.pool_a.get().unwrap();
+        buf.write_payload(&payload).unwrap();
+        env.dne_a.submit(&mut env.sim, env.tenant, buf.into_desc(2));
+        env.sim.run();
+
+        let stages = tracer.stages_of(42);
+        for want in [
+            Stage::ComchSubmit,
+            Stage::DwrrQueue,
+            Stage::DneTx,
+            Stage::ConnPick,
+            Stage::Fabric,
+            Stage::RxCompletion,
+            Stage::RbrRecover,
+            Stage::ComchDeliver,
+        ] {
+            assert!(
+                stages.contains(&want),
+                "missing stage {want:?} in {stages:?}"
+            );
+        }
+        // Time attribution ranks the expensive legs (Comch crossing and
+        // fabric flight) above the instant markers.
+        let totals = tracer.stage_totals();
+        assert!(totals[0].total_ns > 1_000, "top stage has real duration");
+        let fabric = totals.iter().find(|t| t.stage == Stage::Fabric).unwrap();
+        assert!(
+            fabric.mean_us() > 1.0,
+            "fabric leg = {}us",
+            fabric.mean_us()
+        );
+
+        let stats = env.dne_a.stats();
+        assert_eq!(stats.tx_queue_wait.count(), 1);
+        assert!(stats.sched_delay.count() >= 2, "TX + send-completion items");
+        assert_eq!(stats.post_to_completion.count(), 1);
+        assert!(stats.post_to_completion.summary().mean_us > 1.0);
+
+        let (hits, misses) = env.dne_a.conn_hit_miss();
+        assert_eq!(hits + misses, 1, "one connection pick");
+        assert!(
+            env.dne_a.conn_deactivations() >= 1,
+            "reaper ran after drain"
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_keeps_behaviour_and_records_nothing() {
+        let mut env = setup(DneConfig::nadino_dne());
+        let pool_b = env.pool_b.clone();
+        env.dne_b.register_endpoint(
+            2,
+            Rc::new(move |_sim, desc| {
+                let _ = pool_b.redeem(desc).expect("valid");
+            }),
+        );
+        let buf = env.pool_a.get().unwrap();
+        env.dne_a.submit(&mut env.sim, env.tenant, buf.into_desc(2));
+        env.sim.run();
+        assert!(env.dne_a.tracer().is_empty());
+        // The always-on stage histograms still populate.
+        assert_eq!(env.dne_a.stats().post_to_completion.count(), 1);
+        assert_eq!(env.dne_b.stats().rx_delivered, 1);
     }
 
     #[test]
@@ -939,8 +1249,7 @@ mod weight_tests {
         let mut cfg = PoolConfig::new(tenant, 0, 256, 16);
         cfg.segment_size = 4096;
         let pool = BufferPool::new(cfg).unwrap();
-        let mapped =
-            doca_mmap_create_from_export(&doca_mmap_export_full(&pool).unwrap()).unwrap();
+        let mapped = doca_mmap_create_from_export(&doca_mmap_export_full(&pool).unwrap()).unwrap();
         dne.register_tenant(tenant, 1, &mapped).unwrap();
         assert_eq!(dne.tenant_weight(tenant), Some(1));
         dne.set_tenant_weight(tenant, 6).unwrap();

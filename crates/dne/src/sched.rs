@@ -27,6 +27,16 @@ pub trait TenantScheduler<T> {
     }
     /// Returns the number of queued items for one tenant.
     fn tenant_backlog(&self, tenant: TenantId) -> usize;
+    /// Returns the tenant's current scheduling deficit, for policies that
+    /// maintain one (`None` otherwise — e.g. FCFS).
+    fn deficit_of(&self, tenant: TenantId) -> Option<f64> {
+        let _ = tenant;
+        None
+    }
+    /// Returns every registered tenant, for observability sweeps.
+    fn tenants(&self) -> Vec<TenantId> {
+        Vec::new()
+    }
 }
 
 struct DwrrQueue<T> {
@@ -144,6 +154,14 @@ impl<T> TenantScheduler<T> for DwrrScheduler<T> {
         self.index_of(tenant)
             .map(|i| self.queues[i].queue.len())
             .unwrap_or(0)
+    }
+
+    fn deficit_of(&self, tenant: TenantId) -> Option<f64> {
+        self.index_of(tenant).map(|i| self.queues[i].deficit)
+    }
+
+    fn tenants(&self) -> Vec<TenantId> {
+        self.queues.iter().map(|q| q.tenant).collect()
     }
 }
 
@@ -289,6 +307,28 @@ mod tests {
         assert_eq!(s.tenant_backlog(TenantId(2)), 1);
         assert_eq!(s.tenant_backlog(TenantId(3)), 0);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn deficit_is_observable_per_tenant() {
+        let mut s = DwrrScheduler::new(1.0);
+        s.register(TenantId(1), 4);
+        s.register(TenantId(2), 1);
+        assert_eq!(s.deficit_of(TenantId(1)), Some(0.0));
+        assert_eq!(s.deficit_of(TenantId(9)), None);
+        for i in 0..8u32 {
+            s.enqueue(TenantId(1), i);
+            s.enqueue(TenantId(2), i);
+        }
+        s.dequeue().unwrap();
+        // After a dequeue the serviced tenant carries deficit < its quantum.
+        let d = s.deficit_of(TenantId(1)).unwrap() + s.deficit_of(TenantId(2)).unwrap();
+        assert!(d >= 0.0);
+        assert_eq!(s.tenants(), vec![TenantId(1), TenantId(2)]);
+        // FCFS exposes no deficit.
+        let mut f = FcfsScheduler::new();
+        f.enqueue(TenantId(1), 0u32);
+        assert_eq!(f.deficit_of(TenantId(1)), None);
     }
 
     #[test]

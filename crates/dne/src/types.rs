@@ -174,8 +174,9 @@ impl DneConfig {
     }
 }
 
-/// Aggregate engine statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Aggregate engine statistics, including the per-stage latency breakdown
+/// the observability layer renders as a table.
+#[derive(Debug, Clone, Default)]
 pub struct DneStats {
     /// Descriptors accepted from host functions.
     pub submitted: u64,
@@ -190,6 +191,16 @@ pub struct DneStats {
     pub drops: u64,
     /// Receive-buffer replenishments that failed on an exhausted pool.
     pub replenish_failures: u64,
+    /// Receive-buffer replenishments performed.
+    pub replenishes: u64,
+    /// Time each TX descriptor waited in the tenant scheduler between
+    /// enqueue and DWRR/FCFS dequeue.
+    pub tx_queue_wait: simcore::Histogram,
+    /// Time from dispatch onto an engine core to service completion
+    /// (run-to-completion stage time, including processor queueing).
+    pub sched_delay: simcore::Histogram,
+    /// Time from RNIC post to the reaped send completion.
+    pub post_to_completion: simcore::Histogram,
 }
 
 #[cfg(test)]

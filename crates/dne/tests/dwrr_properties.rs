@@ -1,18 +1,29 @@
-//! Property tests on the DWRR scheduler: long-run fairness proportional to
-//! weights under arbitrary weight assignments and backlogs, and strict
-//! FIFO order within each tenant.
+//! Randomized tests on the DWRR scheduler: long-run fairness proportional
+//! to weights under seeded-random weight assignments and backlogs, and
+//! strict FIFO order within each tenant.
+//!
+//! The default-off `heavy-tests` feature scales case counts up for
+//! exhaustive runs.
 
 use dne::sched::{DwrrScheduler, FcfsScheduler, TenantScheduler};
 use membuf::tenant::TenantId;
-use proptest::prelude::*;
+use simcore::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn shares_track_weights(
-        weights in proptest::collection::vec(1u32..12, 2..6),
-        quantum in 0.25f64..4.0,
-    ) {
+fn cases(light: usize, heavy: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        heavy
+    } else {
+        light
+    }
+}
+
+#[test]
+fn shares_track_weights() {
+    let mut rng = SimRng::new(0xd11);
+    for _ in 0..cases(64, 512) {
+        let n = 2 + rng.gen_range(4) as usize;
+        let weights: Vec<u32> = (0..n).map(|_| 1 + rng.gen_range(11) as u32).collect();
+        let quantum = rng.uniform(0.25, 4.0);
         let mut s = DwrrScheduler::new(quantum);
         for (i, &w) in weights.iter().enumerate() {
             s.register(TenantId(i as u16), w);
@@ -35,17 +46,22 @@ proptest! {
         for (i, &w) in weights.iter().enumerate() {
             let expect = window as f64 * w as f64 / total_w as f64;
             let got = counts[i] as f64;
-            prop_assert!(
+            assert!(
                 (got - expect).abs() / expect < 0.10,
                 "tenant {i} (w={w}): got {got}, expected {expect} of {window}"
             );
         }
     }
+}
 
-    #[test]
-    fn per_tenant_fifo_order(
-        items in proptest::collection::vec((0u16..4, any::<u32>()), 1..300)
-    ) {
+#[test]
+fn per_tenant_fifo_order() {
+    let mut rng = SimRng::new(0xd22);
+    for _ in 0..cases(64, 512) {
+        let n = 1 + rng.gen_range(299) as usize;
+        let items: Vec<(u16, u32)> = (0..n)
+            .map(|_| (rng.gen_range(4) as u16, rng.next_u64() as u32))
+            .collect();
         let mut s = DwrrScheduler::new(1.0);
         let mut expected: Vec<Vec<u32>> = vec![Vec::new(); 4];
         for &(t, v) in &items {
@@ -56,31 +72,34 @@ proptest! {
         while let Some((t, v)) = s.dequeue() {
             got[t.0 as usize].push(v);
         }
-        prop_assert_eq!(got, expected, "items must stay FIFO within a tenant");
+        assert_eq!(got, expected, "items must stay FIFO within a tenant");
     }
+}
 
-    #[test]
-    fn no_items_lost_or_invented(
-        items in proptest::collection::vec((0u16..6, any::<u32>()), 0..400)
-    ) {
+#[test]
+fn no_items_lost_or_invented() {
+    let mut rng = SimRng::new(0xd33);
+    for _ in 0..cases(64, 512) {
+        let n = rng.gen_range(400) as usize;
+        let items: Vec<(u16, u32)> = (0..n)
+            .map(|_| (rng.gen_range(6) as u16, rng.next_u64() as u32))
+            .collect();
         let mut dwrr = DwrrScheduler::new(1.0);
         let mut fcfs = FcfsScheduler::new();
         for &(t, v) in &items {
             dwrr.enqueue(TenantId(t), v);
             fcfs.enqueue(TenantId(t), v);
         }
-        prop_assert_eq!(dwrr.len(), items.len());
-        let mut n = 0;
+        assert_eq!(dwrr.len(), items.len());
+        let mut served = 0;
         while dwrr.dequeue().is_some() {
-            n += 1;
+            served += 1;
         }
-        prop_assert_eq!(n, items.len());
-        prop_assert!(dwrr.is_empty());
+        assert_eq!(served, items.len());
+        assert!(dwrr.is_empty());
         // FCFS preserves global arrival order.
-        let order: Vec<(TenantId, u32)> =
-            std::iter::from_fn(|| fcfs.dequeue()).collect();
-        let expected: Vec<(TenantId, u32)> =
-            items.iter().map(|&(t, v)| (TenantId(t), v)).collect();
-        prop_assert_eq!(order, expected);
+        let order: Vec<(TenantId, u32)> = std::iter::from_fn(|| fcfs.dequeue()).collect();
+        let expected: Vec<(TenantId, u32)> = items.iter().map(|&(t, v)| (TenantId(t), v)).collect();
+        assert_eq!(order, expected);
     }
 }

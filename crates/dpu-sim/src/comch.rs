@@ -337,6 +337,18 @@ impl ComchServer {
     pub fn counters(&self) -> (u64, u64) {
         (self.polls, self.received)
     }
+
+    /// Returns the total number of descriptors currently waiting across all
+    /// monitored endpoints — the channel-occupancy signal the observability
+    /// layer samples.
+    pub fn occupancy(&self) -> usize {
+        self.endpoints.iter().map(|e| e.pending()).sum()
+    }
+
+    /// Returns the per-endpoint pending descriptor counts.
+    pub fn occupancy_per_endpoint(&self) -> Vec<usize> {
+        self.endpoints.iter().map(|e| e.pending()).collect()
+    }
 }
 
 impl Default for ComchServer {
@@ -398,6 +410,23 @@ mod server_tests {
             first.1.buf_index == 999 || second.1.buf_index == 999,
             "quiet endpoint starved: {first:?}, {second:?}"
         );
+    }
+
+    #[test]
+    fn occupancy_counts_pending_across_endpoints() {
+        let mut server = ComchServer::new();
+        let (host_a, dne_a) = DescriptorChannel::open(8);
+        let (host_b, dne_b) = DescriptorChannel::open(8);
+        server.register(dne_a);
+        server.register(dne_b);
+        assert_eq!(server.occupancy(), 0);
+        host_a.send(desc(1)).unwrap();
+        host_a.send(desc(2)).unwrap();
+        host_b.send(desc(3)).unwrap();
+        assert_eq!(server.occupancy(), 3);
+        assert_eq!(server.occupancy_per_endpoint(), vec![2, 1]);
+        server.poll().unwrap();
+        assert_eq!(server.occupancy(), 2);
     }
 
     #[test]

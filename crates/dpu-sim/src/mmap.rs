@@ -30,9 +30,7 @@ pub fn doca_mmap_export_full(pool: &BufferPool) -> Result<ExportDescriptor, Expo
 }
 
 /// Recreates the memory map on the DPU from a received export descriptor.
-pub fn doca_mmap_create_from_export(
-    export: &ExportDescriptor,
-) -> Result<MappedPool, ExportError> {
+pub fn doca_mmap_create_from_export(export: &ExportDescriptor) -> Result<MappedPool, ExportError> {
     export.import(ExportTarget::Pci)
 }
 

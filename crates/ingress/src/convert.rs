@@ -131,9 +131,15 @@ mod tests {
     #[test]
     fn bad_method_and_tenant_rejected() {
         let req = parse(b"DELETE /fn/home HTTP/1.1\r\n\r\n");
-        assert_eq!(extract_invocation(&req).unwrap_err(), ConvertError::BadMethod);
+        assert_eq!(
+            extract_invocation(&req).unwrap_err(),
+            ConvertError::BadMethod
+        );
         let req = parse(b"GET /fn/home HTTP/1.1\r\nx-tenant-id: lots\r\n\r\n");
-        assert_eq!(extract_invocation(&req).unwrap_err(), ConvertError::BadTenant);
+        assert_eq!(
+            extract_invocation(&req).unwrap_err(),
+            ConvertError::BadTenant
+        );
     }
 
     #[test]

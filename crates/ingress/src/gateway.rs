@@ -19,11 +19,16 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use obs::{Stage, Tracer};
 use simcore::{Server, Sim, SimDuration, SimTime};
 
 use crate::autoscale::{AutoscaleConfig, Hysteresis, ScaleDecision};
 use crate::rss::{rss_select, FlowId};
 use crate::stack::{GatewayKind, StackCosts};
+
+/// Synthetic node id the gateway's spans are attributed to (the gateway
+/// runs outside the worker-node address space).
+pub const GATEWAY_NODE: u32 = u32::MAX;
 
 /// Reply callback handed to the upstream: deliver `resp_bytes` back.
 pub type Reply = Box<dyn FnOnce(&mut Sim, usize)>;
@@ -102,6 +107,7 @@ struct GwInner {
     last_eval: SimTime,
     samples: Vec<ScaleSample>,
     autoscaler_running: bool,
+    tracer: Tracer,
 }
 
 /// The cluster-wide ingress gateway.
@@ -143,6 +149,7 @@ impl Gateway {
                 last_eval: SimTime::ZERO,
                 samples: Vec::new(),
                 autoscaler_running: false,
+                tracer: Tracer::disabled(),
             })),
         }
     }
@@ -171,6 +178,22 @@ impl Gateway {
     /// Returns the autoscaler's decision samples so far.
     pub fn scale_samples(&self) -> Vec<ScaleSample> {
         self.inner.borrow().samples.clone()
+    }
+
+    /// Returns `(scale_ups, scale_downs)` the autoscaler has performed.
+    pub fn scale_events(&self) -> (u64, u64) {
+        self.inner
+            .borrow()
+            .hysteresis
+            .as_ref()
+            .map(|h| h.events())
+            .unwrap_or((0, 0))
+    }
+
+    /// Installs a span tracer; gateway stages are recorded under node
+    /// [`GATEWAY_NODE`] with tenant 0.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.borrow_mut().tracer = tracer;
     }
 
     /// Returns aggregate worker-core busy utilization over `[a, b]`
@@ -210,6 +233,22 @@ impl Gateway {
             let service = inner.costs.ingress_rx(inner.in_flight, req_bytes);
             let floor = inner.available_at[widx];
             let rx_done = inner.workers[widx].admit_not_before(sim.now(), floor, service);
+            if inner.tracer.is_enabled() {
+                let now = sim.now();
+                // RSS steering is effectively instantaneous; HTTP parsing is
+                // the app-work share of the rx half; the Gateway span covers
+                // the whole ingress-side service (queueing included).
+                inner
+                    .tracer
+                    .span(req_id, 0, GATEWAY_NODE, Stage::RssDispatch, now, now);
+                let parse_end = (now + inner.costs.app_work).min(rx_done);
+                inner
+                    .tracer
+                    .span(req_id, 0, GATEWAY_NODE, Stage::HttpParse, now, parse_end);
+                inner
+                    .tracer
+                    .span(req_id, 0, GATEWAY_NODE, Stage::Gateway, now, rx_done);
+            }
             (req_id, widx, rx_done)
         };
         let gw = self.clone();
@@ -223,6 +262,11 @@ impl Gateway {
                     let t = inner.workers[widx].admit_not_before(sim.now(), floor, service);
                     inner.in_flight = inner.in_flight.saturating_sub(1);
                     inner.stats.completed += 1;
+                    if inner.tracer.is_enabled() {
+                        inner
+                            .tracer
+                            .span(req_id, 0, GATEWAY_NODE, Stage::Gateway, sim.now(), t);
+                    }
                     t
                 };
                 sim.schedule_at(tx_done, move |sim| done(sim, Ok(resp_bytes)));
@@ -334,9 +378,11 @@ mod tests {
 
     #[test]
     fn overload_drops_requests() {
-        let mut cfg = GatewayConfig::default();
-        cfg.kind = GatewayKind::KIngress;
-        cfg.max_backlog = SimDuration::from_micros(500);
+        let cfg = GatewayConfig {
+            kind: GatewayKind::KIngress,
+            max_backlog: SimDuration::from_micros(500),
+            ..GatewayConfig::default()
+        };
         let gw = Gateway::new(cfg);
         let mut sim = Sim::new();
         let drops = Rc::new(Cell::new(0u32));
@@ -365,12 +411,14 @@ mod tests {
 
     #[test]
     fn autoscaler_adds_workers_under_load_and_removes_when_idle() {
-        let mut cfg = GatewayConfig::default();
-        cfg.autoscale = Some(AutoscaleConfig {
-            max_workers: 4,
-            ..AutoscaleConfig::default()
-        });
-        cfg.autoscale_interval = SimDuration::from_millis(100);
+        let cfg = GatewayConfig {
+            autoscale: Some(AutoscaleConfig {
+                max_workers: 4,
+                ..AutoscaleConfig::default()
+            }),
+            autoscale_interval: SimDuration::from_millis(100),
+            ..GatewayConfig::default()
+        };
         let gw = Gateway::new(cfg);
         let mut sim = Sim::new();
         gw.start_autoscaler(&mut sim);
@@ -403,6 +451,55 @@ mod tests {
             "idle should trigger scale-down from {peak}"
         );
         assert!(!gw.scale_samples().is_empty());
+    }
+
+    #[test]
+    fn tracer_records_ingress_stages_per_request() {
+        let gw = Gateway::new(GatewayConfig::default());
+        let tracer = Tracer::enabled();
+        gw.set_tracer(tracer.clone());
+        let mut sim = Sim::new();
+        gw.submit(
+            &mut sim,
+            FlowId::from_client(1, 0),
+            64,
+            echo_upstream(SimDuration::from_micros(50), 128),
+            Box::new(|_, _| {}),
+        );
+        sim.run();
+        let stages = tracer.stages_of(0);
+        assert!(stages.contains(&Stage::RssDispatch));
+        assert!(stages.contains(&Stage::HttpParse));
+        assert!(stages.contains(&Stage::Gateway));
+        // Request and response halves each contribute a Gateway span.
+        let gw_spans = tracer
+            .records()
+            .iter()
+            .filter(|r| r.stage == Stage::Gateway)
+            .count();
+        assert_eq!(gw_spans, 2);
+        for r in tracer.records() {
+            assert_eq!(r.node, GATEWAY_NODE);
+            assert!(r.end_ns >= r.start_ns);
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_at_the_gateway() {
+        let gw = Gateway::new(GatewayConfig::default());
+        let tracer = Tracer::disabled();
+        gw.set_tracer(tracer.clone());
+        let mut sim = Sim::new();
+        gw.submit(
+            &mut sim,
+            FlowId::from_client(1, 0),
+            64,
+            echo_upstream(SimDuration::from_micros(5), 64),
+            Box::new(|_, _| {}),
+        );
+        sim.run();
+        assert!(tracer.is_empty());
+        assert_eq!(gw.stats().completed, 1);
     }
 
     #[test]

@@ -100,7 +100,9 @@ impl HttpRequest {
             (body, head_end + 4 + used)
         } else {
             let body_len = match headers.get("content-length") {
-                Some(v) => v.parse::<usize>().map_err(|_| HttpError::BadContentLength)?,
+                Some(v) => v
+                    .parse::<usize>()
+                    .map_err(|_| HttpError::BadContentLength)?,
                 None => 0,
             };
             let total = head_end + 4 + body_len;
@@ -245,8 +247,7 @@ fn decode_chunked(buf: &[u8]) -> Result<(Vec<u8>, usize), HttpError> {
             std::str::from_utf8(&buf[pos..pos + line_end]).map_err(|_| HttpError::BadHeader)?;
         // Ignore chunk extensions after ';'.
         let size_str = size_str.split(';').next().unwrap_or("").trim();
-        let size =
-            usize::from_str_radix(size_str, 16).map_err(|_| HttpError::BadContentLength)?;
+        let size = usize::from_str_radix(size_str, 16).map_err(|_| HttpError::BadContentLength)?;
         pos += line_end + 2;
         if size == 0 {
             // Final chunk: expect the terminating CRLF (no trailers).
@@ -272,7 +273,15 @@ fn decode_chunked(buf: &[u8]) -> Result<(Vec<u8>, usize), HttpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::SimRng;
+
+    fn cases(light: usize, heavy: usize) -> usize {
+        if cfg!(feature = "heavy-tests") {
+            heavy
+        } else {
+            light
+        }
+    }
 
     #[test]
     fn parses_get_without_body() {
@@ -377,13 +386,22 @@ mod tests {
         assert!(parsed.body.is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn request_serialize_parse_roundtrip(
-            method in "[A-Z]{3,7}",
-            path in "/[a-z0-9/]{0,20}",
-            body in proptest::collection::vec(any::<u8>(), 0..256),
-        ) {
+    #[test]
+    fn request_serialize_parse_roundtrip() {
+        let mut rng = SimRng::new(0x477);
+        for _ in 0..cases(256, 4_096) {
+            let method: String = (0..3 + rng.gen_range(5))
+                .map(|_| (b'A' + rng.gen_range(26) as u8) as char)
+                .collect();
+            let path: String = std::iter::once('/')
+                .chain((0..rng.gen_range(21)).map(|_| {
+                    let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789/";
+                    alphabet[rng.gen_range(alphabet.len() as u64) as usize] as char
+                }))
+                .collect();
+            let body: Vec<u8> = (0..rng.gen_range(256))
+                .map(|_| rng.next_u64() as u8)
+                .collect();
             let mut headers = HashMap::new();
             headers.insert("content-length".to_string(), body.len().to_string());
             let req = HttpRequest {
@@ -395,12 +413,18 @@ mod tests {
             };
             let wire = req.serialize();
             let (parsed, used) = HttpRequest::parse(&wire).unwrap();
-            prop_assert_eq!(used, wire.len());
-            prop_assert_eq!(parsed, req);
+            assert_eq!(used, wire.len());
+            assert_eq!(parsed, req);
         }
+    }
 
-        #[test]
-        fn parser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+    #[test]
+    fn parser_never_panics_on_garbage() {
+        let mut rng = SimRng::new(0x478);
+        for _ in 0..cases(256, 4_096) {
+            let data: Vec<u8> = (0..rng.gen_range(512))
+                .map(|_| rng.next_u64() as u8)
+                .collect();
             let _ = HttpRequest::parse(&data);
             let _ = HttpResponse::parse(&data);
         }

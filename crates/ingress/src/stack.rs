@@ -107,10 +107,7 @@ impl StackCosts {
         };
         let conn_cost = (self.stack_per_conn * conns as u64).mul_f64(livelock);
         let dir = self.stack_per_dir + conn_cost;
-        dir * self.stack_dirs as u64
-            + self.app_work
-            + self.rdma_work
-            + self.per_byte * bytes as u64
+        dir * self.stack_dirs as u64 + self.app_work + self.rdma_work + self.per_byte * bytes as u64
     }
 
     /// The receive-side half of [`StackCosts::ingress_service`] (request
@@ -162,8 +159,7 @@ mod tests {
             SimDuration::ZERO
         );
         assert!(
-            StackCosts::for_kind(GatewayKind::FIngress).worker_stack_per_req
-                > SimDuration::ZERO
+            StackCosts::for_kind(GatewayKind::FIngress).worker_stack_per_req > SimDuration::ZERO
         );
     }
 

@@ -14,13 +14,11 @@
 //! 14      dst_fn      u16   destination function id
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 /// Size of the encoded descriptor in bytes.
 pub const DESC_SIZE: usize = 16;
 
 /// A compact handle to a pool buffer, safe to copy across transports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferDesc {
     /// Owning tenant (function chain).
     pub tenant: u16,
@@ -77,7 +75,6 @@ impl BufferDesc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn encode_layout_is_stable() {
@@ -93,8 +90,8 @@ mod tests {
         assert_eq!(
             bytes,
             [
-                0x02, 0x01, 0x04, 0x03, 0x08, 0x07, 0x06, 0x05, 0x0c, 0x0b, 0x0a, 0x09, 0x0e,
-                0x0d, 0x10, 0x0f
+                0x02, 0x01, 0x04, 0x03, 0x08, 0x07, 0x06, 0x05, 0x0c, 0x0b, 0x0a, 0x09, 0x0e, 0x0d,
+                0x10, 0x0f
             ]
         );
     }
@@ -122,11 +119,35 @@ mod tests {
         assert_eq!(e.buf_index, d.buf_index);
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip(tenant: u16, pool_id: u16, buf_index: u32, len: u32, generation: u16, dst_fn: u16) {
-            let d = BufferDesc { tenant, pool_id, buf_index, len, generation, dst_fn };
-            prop_assert_eq!(BufferDesc::decode(&d.encode()), d);
+    #[test]
+    fn roundtrip_random_descriptors() {
+        // Deterministic SplitMix64 stream (same update as simcore::SimRng;
+        // membuf cannot depend on simcore without creating a cycle).
+        let mut state = 0x5eed_0001u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let cases = if cfg!(feature = "heavy-tests") {
+            65_536
+        } else {
+            1_024
+        };
+        for _ in 0..cases {
+            let a = next();
+            let b = next();
+            let d = BufferDesc {
+                tenant: a as u16,
+                pool_id: (a >> 16) as u16,
+                buf_index: (a >> 32) as u32,
+                len: b as u32,
+                generation: (b >> 32) as u16,
+                dst_fn: (b >> 48) as u16,
+            };
+            assert_eq!(BufferDesc::decode(&d.encode()), d);
         }
     }
 }

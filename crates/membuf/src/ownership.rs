@@ -7,10 +7,8 @@
 //! [`Semaphore`] is the counting semaphore and [`TokenChain`] wires one
 //! semaphore per edge of a linear chain.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
-
-use parking_lot::{Condvar, Mutex};
 
 /// A counting semaphore (the `sem_post`/`sem_wait` of §3.5.1).
 ///
@@ -40,7 +38,7 @@ impl Semaphore {
     /// Adds one token and wakes one waiter.
     pub fn post(&self) {
         let (lock, cvar) = &*self.inner;
-        let mut count = lock.lock();
+        let mut count = lock.lock().unwrap();
         *count += 1;
         cvar.notify_one();
     }
@@ -48,9 +46,9 @@ impl Semaphore {
     /// Blocks until a token is available, then consumes it.
     pub fn wait(&self) {
         let (lock, cvar) = &*self.inner;
-        let mut count = lock.lock();
+        let mut count = lock.lock().unwrap();
         while *count == 0 {
-            cvar.wait(&mut count);
+            count = cvar.wait(count).unwrap();
         }
         *count -= 1;
     }
@@ -58,7 +56,7 @@ impl Semaphore {
     /// Consumes a token if one is available without blocking.
     pub fn try_wait(&self) -> bool {
         let (lock, _) = &*self.inner;
-        let mut count = lock.lock();
+        let mut count = lock.lock().unwrap();
         if *count > 0 {
             *count -= 1;
             true
@@ -70,10 +68,16 @@ impl Semaphore {
     /// Waits up to `timeout` for a token; returns `false` on timeout.
     pub fn wait_timeout(&self, timeout: Duration) -> bool {
         let (lock, cvar) = &*self.inner;
-        let mut count = lock.lock();
+        let mut count = lock.lock().unwrap();
         let deadline = std::time::Instant::now() + timeout;
         while *count == 0 {
-            if cvar.wait_until(&mut count, deadline).timed_out() {
+            let now = std::time::Instant::now();
+            let Some(left) = deadline.checked_duration_since(now) else {
+                return false;
+            };
+            let (guard, result) = cvar.wait_timeout(count, left).unwrap();
+            count = guard;
+            if result.timed_out() && *count == 0 {
                 return false;
             }
         }
@@ -83,7 +87,7 @@ impl Semaphore {
 
     /// Returns the current token count (racy; for tests and diagnostics).
     pub fn value(&self) -> u64 {
-        *self.inner.0.lock()
+        *self.inner.0.lock().unwrap()
     }
 }
 
@@ -193,18 +197,18 @@ mod tests {
             let order = order.clone();
             handles.push(std::thread::spawn(move || {
                 chain.acquire(stage);
-                order.lock().push(stage);
+                order.lock().unwrap().push(stage);
                 if stage + 1 < chain.stages() {
                     chain.pass(stage);
                 }
             }));
         }
-        order.lock().push(0);
+        order.lock().unwrap().push(0);
         chain.pass(0);
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(*order.lock(), vec![0, 1, 2]);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
     }
 
     #[test]

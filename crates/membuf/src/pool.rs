@@ -17,9 +17,7 @@
 //! this is the mechanical core of the paper's lock-free zero-copy claim.
 
 use std::fmt;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::descriptor::BufferDesc;
 use crate::hugepage::SegmentArena;
@@ -217,7 +215,7 @@ impl BufferPool {
 
     /// Allocates a free buffer (`rte_mempool_get()` analogue).
     pub fn get(&self) -> Result<OwnedBuf, PoolError> {
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.state.lock().unwrap();
         match st.free.pop() {
             Some(index) => {
                 debug_assert_eq!(st.states[index as usize], BufState::Free);
@@ -242,7 +240,7 @@ impl BufferPool {
         if desc.len as usize > self.shared.config.buf_size {
             return Err(PoolError::LengthTooLarge);
         }
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.state.lock().unwrap();
         let idx = desc.buf_index as usize;
         if idx >= st.states.len() {
             st.failed_redeems += 1;
@@ -276,7 +274,7 @@ impl BufferPool {
 
     /// Returns current statistics.
     pub fn stats(&self) -> PoolStats {
-        let st = self.shared.state.lock();
+        let st = self.shared.state.lock().unwrap();
         let mut owned = 0u32;
         let mut in_flight = 0u32;
         for s in &st.states {
@@ -298,6 +296,46 @@ impl BufferPool {
             failed_gets: st.failed_gets,
             failed_redeems: st.failed_redeems,
         }
+    }
+
+    /// Reads up to `n` leading payload bytes of an in-flight buffer without
+    /// transferring ownership.
+    ///
+    /// The caller must hold the descriptor (i.e. be the logical owner of the
+    /// in-flight buffer); the descriptor is validated exactly like
+    /// [`BufferPool::redeem`] so stale or foreign descriptors return `None`.
+    /// Used by tracing to recover the request id carried in the payload
+    /// header while the buffer transits the data plane.
+    pub fn peek_payload(&self, desc: BufferDesc, n: usize) -> Option<Vec<u8>> {
+        if desc.tenant != self.shared.config.tenant.0 || desc.pool_id != self.shared.config.pool_id
+        {
+            return None;
+        }
+        let len = (desc.len as usize).min(self.shared.config.buf_size);
+        let take = n.min(len);
+        {
+            let st = self.shared.state.lock().unwrap();
+            let idx = desc.buf_index as usize;
+            if idx >= st.states.len()
+                || st.states[idx] != BufState::InFlight
+                || st.generations[idx] != desc.generation
+            {
+                return None;
+            }
+        }
+        let bps = self.shared.bufs_per_segment;
+        let seg = desc.buf_index as usize / bps;
+        let within = desc.buf_index as usize % bps;
+        let off = seg * self.shared.config.segment_size + within * self.shared.config.buf_size;
+        let (base, inner) = self
+            .shared
+            .arena
+            .resolve(off, self.shared.config.buf_size)?;
+        // SAFETY: the buffer is InFlight, so no `OwnedBuf` (and hence no
+        // mutable reference) exists for it; the descriptor holder is its
+        // logical owner and we only copy bytes out under that authority.
+        let slice = unsafe { std::slice::from_raw_parts(base.add(inner), take) };
+        Some(slice.to_vec())
     }
 
     pub(crate) fn shared(&self) -> &Arc<PoolShared> {
@@ -421,7 +459,7 @@ impl OwnedBuf {
     /// once by [`BufferPool::redeem`] on the receiving side.
     pub fn into_desc(mut self, dst_fn: u16) -> BufferDesc {
         let generation = {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.state.lock().unwrap();
             let idx = self.index as usize;
             debug_assert_eq!(st.states[idx], BufState::Owned);
             st.states[idx] = BufState::InFlight;
@@ -453,7 +491,7 @@ impl Drop for OwnedBuf {
         if self.detached {
             return;
         }
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.state.lock().unwrap();
         let idx = self.index as usize;
         debug_assert_eq!(st.states[idx], BufState::Owned);
         st.states[idx] = BufState::Free;

@@ -54,8 +54,7 @@ impl SpscRing {
     pub fn with_capacity<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         assert!(capacity > 0, "ring capacity must be positive");
         let cap = capacity.next_power_of_two();
-        let buf: Box<[UnsafeCell<Option<T>>]> =
-            (0..cap).map(|_| UnsafeCell::new(None)).collect();
+        let buf: Box<[UnsafeCell<Option<T>>]> = (0..cap).map(|_| UnsafeCell::new(None)).collect();
         let shared = Arc::new(RingShared {
             buf,
             mask: cap - 1,
@@ -93,7 +92,10 @@ impl<T: Send> Producer<T> {
         // SAFETY: SPSC discipline — this slot index is not yet published to
         // the consumer (tail not advanced) and only this producer writes.
         unsafe { *slot.get() = Some(item) };
-        self.shared.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        self.shared
+            .tail
+            .0
+            .store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -129,7 +131,10 @@ impl<T: Send> Consumer<T> {
         // this consumer reads/clears slots.
         let item = unsafe { (*slot.get()).take() };
         debug_assert!(item.is_some(), "published slot must contain an item");
-        self.shared.head.0.store(head.wrapping_add(1), Ordering::Release);
+        self.shared
+            .head
+            .0
+            .store(head.wrapping_add(1), Ordering::Release);
         item
     }
 

@@ -10,15 +10,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
+use std::sync::{Arc, RwLock};
 
 use crate::pool::BufferPool;
 
 /// Identifier of a tenant; the paper treats each function chain as a tenant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TenantId(pub u16);
 
 impl fmt::Display for TenantId {
@@ -96,7 +93,7 @@ impl TenantRegistry {
 
     /// Registers `pool` under `prefix` (primary-process role).
     pub fn register(&self, prefix: &str, pool: BufferPool) -> Result<(), RegistryError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         if inner.pools.contains_key(prefix) {
             return Err(RegistryError::PrefixTaken(prefix.to_string()));
         }
@@ -109,7 +106,7 @@ impl TenantRegistry {
     pub fn attach(&self, prefix: &str, caller: TenantId) -> Result<BufferPool, RegistryError> {
         // Fast path under the read lock.
         {
-            let inner = self.inner.read();
+            let inner = self.inner.read().unwrap();
             match inner.pools.get(prefix) {
                 Some(pool) if pool.tenant() == caller => return Ok(pool.clone()),
                 Some(_) => {}
@@ -117,7 +114,7 @@ impl TenantRegistry {
             }
         }
         // Record the violation under the write lock.
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         inner.violations += 1;
         let owner = inner
             .pools
@@ -133,27 +130,27 @@ impl TenantRegistry {
 
     /// Removes the pool behind `prefix`, returning it if present.
     pub fn unregister(&self, prefix: &str) -> Option<BufferPool> {
-        self.inner.write().pools.remove(prefix)
+        self.inner.write().unwrap().pools.remove(prefix)
     }
 
     /// Returns the number of registered pools.
     pub fn len(&self) -> usize {
-        self.inner.read().pools.len()
+        self.inner.read().unwrap().pools.len()
     }
 
     /// Returns `true` when no pools are registered.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().pools.is_empty()
+        self.inner.read().unwrap().pools.is_empty()
     }
 
     /// Returns how many isolation violations were attempted.
     pub fn violations(&self) -> u64 {
-        self.inner.read().violations
+        self.inner.read().unwrap().violations
     }
 
     /// Lists registered prefixes (sorted, for deterministic output).
     pub fn prefixes(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().pools.keys().cloned().collect();
+        let mut v: Vec<String> = self.inner.read().unwrap().pools.keys().cloned().collect();
         v.sort();
         v
     }

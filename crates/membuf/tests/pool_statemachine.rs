@@ -1,12 +1,31 @@
-//! Property-based state-machine test of the buffer pool's ownership
+//! Randomized state-machine test of the buffer pool's ownership
 //! discipline: arbitrary interleavings of get/detach/redeem/put/stale-
 //! redeem must never violate the conservation invariant or grant two
 //! owners access to one buffer.
+//!
+//! Cases are driven by a seeded SplitMix64 stream, so every run explores
+//! the same interleavings; the default-off `heavy-tests` feature scales
+//! the case count up for exhaustive runs.
 
 use membuf::descriptor::BufferDesc;
 use membuf::pool::{BufferPool, OwnedBuf, PoolConfig, PoolError};
 use membuf::tenant::TenantId;
-use proptest::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -18,78 +37,93 @@ enum Op {
     WriteRead(usize, u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Get),
-        (0usize..8).prop_map(Op::Put),
-        ((0usize..8), any::<u16>()).prop_map(|(i, d)| Op::Detach(i, d)),
-        (0usize..8).prop_map(Op::Redeem),
-        (0usize..8).prop_map(Op::RedeemStale),
-        ((0usize..8), any::<u8>()).prop_map(|(i, v)| Op::WriteRead(i, v)),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(6) {
+        0 => Op::Get,
+        1 => Op::Put(rng.below(8) as usize),
+        2 => Op::Detach(rng.below(8) as usize, rng.next() as u16),
+        3 => Op::Redeem(rng.below(8) as usize),
+        4 => Op::RedeemStale(rng.below(8) as usize),
+        _ => Op::WriteRead(rng.below(8) as usize, rng.next() as u8),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn ownership_state_machine_holds(ops in proptest::collection::vec(op_strategy(), 1..200)) {
-        let capacity = 16u32;
-        let mut cfg = PoolConfig::new(TenantId(1), 0, 256, capacity);
-        cfg.segment_size = 8192;
-        let pool = BufferPool::new(cfg).unwrap();
-        let mut owned: Vec<OwnedBuf> = Vec::new();
-        let mut in_flight: Vec<BufferDesc> = Vec::new();
-        let mut stale: Vec<BufferDesc> = Vec::new();
-
-        for op in ops {
-            match op {
-                Op::Get => match pool.get() {
-                    Ok(b) => owned.push(b),
-                    Err(e) => prop_assert_eq!(e, PoolError::Exhausted),
-                },
-                Op::Put(i) if !owned.is_empty() => {
-                    let b = owned.swap_remove(i % owned.len());
-                    pool.put(b);
-                }
-                Op::Detach(i, dst) if !owned.is_empty() => {
-                    let b = owned.swap_remove(i % owned.len());
-                    in_flight.push(b.into_desc(dst));
-                }
-                Op::Redeem(i) if !in_flight.is_empty() => {
-                    let d = in_flight.swap_remove(i % in_flight.len());
-                    let b = pool.redeem(d).expect("live descriptor must redeem");
-                    // Redeeming again with the same descriptor must fail.
-                    prop_assert!(pool.redeem(d).is_err());
-                    stale.push(d);
-                    owned.push(b);
-                }
-                Op::RedeemStale(i) if !stale.is_empty() => {
-                    let d = stale[i % stale.len()];
-                    prop_assert!(pool.redeem(d).is_err(), "stale descriptor must not redeem");
-                }
-                Op::WriteRead(i, v) if !owned.is_empty() => {
-                    let idx = i % owned.len();
-                    owned[idx].write_payload(&[v; 64]).unwrap();
-                    prop_assert!(owned[idx].as_slice().iter().all(|&x| x == v));
-                }
-                _ => {}
-            }
-            // Conservation: every buffer is in exactly one state.
-            let s = pool.stats();
-            prop_assert_eq!(
-                s.free + s.owned + s.in_flight,
-                capacity,
-                "conservation violated: {:?}",
-                s
-            );
-            prop_assert_eq!(s.owned as usize, owned.len());
-            prop_assert_eq!(s.in_flight as usize, in_flight.len());
-        }
-        // Drain: everything returns to free.
-        owned.clear();
-        for d in in_flight.drain(..) {
-            drop(pool.redeem(d).unwrap());
-        }
-        prop_assert_eq!(pool.stats().free, capacity);
+#[test]
+fn ownership_state_machine_holds() {
+    let cases = if cfg!(feature = "heavy-tests") {
+        2_048
+    } else {
+        256
+    };
+    let mut rng = Rng(0x1009_57a7e);
+    for case in 0..cases {
+        let ops: Vec<Op> = {
+            let n = 1 + rng.below(199) as usize;
+            (0..n).map(|_| random_op(&mut rng)).collect()
+        };
+        run_case(case, ops);
     }
+}
+
+fn run_case(case: u64, ops: Vec<Op>) {
+    let capacity = 16u32;
+    let mut cfg = PoolConfig::new(TenantId(1), 0, 256, capacity);
+    cfg.segment_size = 8192;
+    let pool = BufferPool::new(cfg).unwrap();
+    let mut owned: Vec<OwnedBuf> = Vec::new();
+    let mut in_flight: Vec<BufferDesc> = Vec::new();
+    let mut stale: Vec<BufferDesc> = Vec::new();
+
+    for op in ops {
+        match op {
+            Op::Get => match pool.get() {
+                Ok(b) => owned.push(b),
+                Err(e) => assert_eq!(e, PoolError::Exhausted, "case {case}"),
+            },
+            Op::Put(i) if !owned.is_empty() => {
+                let b = owned.swap_remove(i % owned.len());
+                pool.put(b);
+            }
+            Op::Detach(i, dst) if !owned.is_empty() => {
+                let b = owned.swap_remove(i % owned.len());
+                in_flight.push(b.into_desc(dst));
+            }
+            Op::Redeem(i) if !in_flight.is_empty() => {
+                let d = in_flight.swap_remove(i % in_flight.len());
+                let b = pool.redeem(d).expect("live descriptor must redeem");
+                // Redeeming again with the same descriptor must fail.
+                assert!(pool.redeem(d).is_err(), "case {case}");
+                stale.push(d);
+                owned.push(b);
+            }
+            Op::RedeemStale(i) if !stale.is_empty() => {
+                let d = stale[i % stale.len()];
+                assert!(
+                    pool.redeem(d).is_err(),
+                    "case {case}: stale descriptor must not redeem"
+                );
+            }
+            Op::WriteRead(i, v) if !owned.is_empty() => {
+                let idx = i % owned.len();
+                owned[idx].write_payload(&[v; 64]).unwrap();
+                assert!(owned[idx].as_slice().iter().all(|&x| x == v), "case {case}");
+            }
+            _ => {}
+        }
+        // Conservation: every buffer is in exactly one state.
+        let s = pool.stats();
+        assert_eq!(
+            s.free + s.owned + s.in_flight,
+            capacity,
+            "case {case}: conservation violated: {s:?}"
+        );
+        assert_eq!(s.owned as usize, owned.len(), "case {case}");
+        assert_eq!(s.in_flight as usize, in_flight.len(), "case {case}");
+    }
+    // Drain: everything returns to free.
+    owned.clear();
+    for d in in_flight.drain(..) {
+        drop(pool.redeem(d).unwrap());
+    }
+    assert_eq!(pool.stats().free, capacity, "case {case}");
 }

@@ -1,0 +1,29 @@
+//! Zero-dependency observability for the NADINO reproduction.
+//!
+//! Everything the evaluation needs to see *inside* the data plane:
+//!
+//! - [`metrics`] — a labelled registry of counters, gauges, log-bucketed
+//!   histograms and windowed time series, with cheap recording handles and
+//!   deterministic snapshots;
+//! - [`span`] — per-request stage tracing over virtual time, keyed by the
+//!   request id carried in the payload header;
+//! - [`perfetto`] — Chrome-trace-event JSON export for
+//!   <https://ui.perfetto.dev>;
+//! - [`json`] — the hand-rolled JSON tree, [`json::ToJson`] trait and
+//!   [`impl_to_json!`] macro backing every exporter (the workspace builds
+//!   fully offline, so there is no serde).
+//!
+//! Tracing is flag-gated at run time: a default [`span::Tracer`] is
+//! disabled and costs one branch per call site.
+
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod span;
+
+pub use json::{parse, JsonValue, ToJson};
+pub use metrics::{
+    Counter, Gauge, HistogramHandle, MetricsRegistry, MetricsSnapshot, SeriesHandle,
+};
+pub use perfetto::chrome_trace;
+pub use span::{SpanRecord, Stage, StageTotal, Tracer};

@@ -1,0 +1,499 @@
+//! A labelled metrics registry with cheap recording handles.
+//!
+//! Components register named, labelled instruments once at wiring time and
+//! keep the returned handle; recording through a handle is a `Cell`/`RefCell`
+//! poke with no name hashing on the hot path. The registry itself produces a
+//! deterministic [`MetricsSnapshot`] (JSON or plain text) at any instant.
+//!
+//! Four instrument kinds cover the paper's evaluation needs:
+//! [`Counter`] (monotone totals), [`Gauge`] (instantaneous levels, sampled
+//! into a windowed series on demand), [`HistogramHandle`]
+//! (log-bucketed latency distributions from `simcore::stats`), and
+//! [`SeriesHandle`] (windowed rates over virtual time).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use simcore::{Histogram, SimDuration, SimTime, TimeSeries};
+
+use crate::json::{JsonValue, ToJson};
+
+/// Label set attached to an instrument, e.g. `[("tenant", "3")]`.
+pub type Labels = Vec<(String, String)>;
+
+fn labels_of(pairs: &[(&str, &str)]) -> Labels {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn labels_json(labels: &Labels) -> JsonValue {
+    JsonValue::Obj(
+        labels
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+            .collect(),
+    )
+}
+
+fn labels_text(labels: &Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone)]
+pub struct Counter {
+    value: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get() + n);
+    }
+
+    /// Returns the current total.
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+}
+
+/// An instantaneous-level gauge handle.
+#[derive(Clone)]
+pub struct Gauge {
+    value: Rc<Cell<f64>>,
+}
+
+impl Gauge {
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.value.set(v);
+    }
+
+    /// Adds a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        self.value.set(self.value.get() + delta);
+    }
+
+    /// Returns the current level.
+    pub fn get(&self) -> f64 {
+        self.value.get()
+    }
+}
+
+/// A latency histogram handle.
+#[derive(Clone)]
+pub struct HistogramHandle {
+    hist: Rc<RefCell<Histogram>>,
+}
+
+impl HistogramHandle {
+    /// Records one duration sample.
+    #[inline]
+    pub fn record(&self, d: SimDuration) {
+        self.hist.borrow_mut().record(d);
+    }
+
+    /// Returns a copy of the underlying histogram.
+    pub fn histogram(&self) -> Histogram {
+        self.hist.borrow().clone()
+    }
+}
+
+/// A windowed time-series handle (events per second per window).
+#[derive(Clone)]
+pub struct SeriesHandle {
+    series: Rc<RefCell<TimeSeries>>,
+}
+
+impl SeriesHandle {
+    /// Records `weight` worth of events at virtual instant `t`.
+    #[inline]
+    pub fn record_at(&self, t: SimTime, weight: f64) {
+        self.series.borrow_mut().record_at(t, weight);
+    }
+
+    /// Returns the points finalized so far.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.series.borrow().points().to_vec()
+    }
+}
+
+struct Registered<H> {
+    name: String,
+    labels: Labels,
+    handle: H,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<Registered<Counter>>,
+    gauges: Vec<Registered<Gauge>>,
+    histograms: Vec<Registered<HistogramHandle>>,
+    series: Vec<Registered<SeriesHandle>>,
+}
+
+/// The process-wide metrics registry; cloning shares the same store.
+///
+/// # Examples
+///
+/// ```
+/// use obs::metrics::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let sent = reg.counter("dne_tx_posted", &[("tenant", "1")]);
+/// sent.inc();
+/// sent.add(2);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("dne_tx_posted", &[("tenant", "1")]), Some(3));
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Rc<RefCell<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter registered under `name` + `labels`, creating it
+    /// on first use. Re-registering returns a handle to the same counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let labels = labels_of(labels);
+        let mut inner = self.inner.borrow_mut();
+        if let Some(r) = inner
+            .counters
+            .iter()
+            .find(|r| r.name == name && r.labels == labels)
+        {
+            return r.handle.clone();
+        }
+        let handle = Counter {
+            value: Rc::new(Cell::new(0)),
+        };
+        inner.counters.push(Registered {
+            name: name.to_string(),
+            labels,
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Returns the gauge registered under `name` + `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let labels = labels_of(labels);
+        let mut inner = self.inner.borrow_mut();
+        if let Some(r) = inner
+            .gauges
+            .iter()
+            .find(|r| r.name == name && r.labels == labels)
+        {
+            return r.handle.clone();
+        }
+        let handle = Gauge {
+            value: Rc::new(Cell::new(0.0)),
+        };
+        inner.gauges.push(Registered {
+            name: name.to_string(),
+            labels,
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Returns the histogram registered under `name` + `labels`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        let labels = labels_of(labels);
+        let mut inner = self.inner.borrow_mut();
+        if let Some(r) = inner
+            .histograms
+            .iter()
+            .find(|r| r.name == name && r.labels == labels)
+        {
+            return r.handle.clone();
+        }
+        let handle = HistogramHandle {
+            hist: Rc::new(RefCell::new(Histogram::new())),
+        };
+        inner.histograms.push(Registered {
+            name: name.to_string(),
+            labels,
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Returns the windowed series registered under `name` + `labels`.
+    pub fn series(&self, name: &str, labels: &[(&str, &str)], window: SimDuration) -> SeriesHandle {
+        let labels = labels_of(labels);
+        let mut inner = self.inner.borrow_mut();
+        if let Some(r) = inner
+            .series
+            .iter()
+            .find(|r| r.name == name && r.labels == labels)
+        {
+            return r.handle.clone();
+        }
+        let handle = SeriesHandle {
+            series: Rc::new(RefCell::new(TimeSeries::new(window))),
+        };
+        inner.series.push(Registered {
+            name: name.to_string(),
+            labels,
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Merges all histograms sharing `name` (across label sets) into one.
+    ///
+    /// This is the aggregation the paper's tables need: per-tenant or
+    /// per-node distributions roll up exactly because the underlying
+    /// buckets are identical.
+    pub fn merged_histogram(&self, name: &str) -> Histogram {
+        let inner = self.inner.borrow();
+        let mut merged = Histogram::new();
+        for r in inner.histograms.iter().filter(|r| r.name == name) {
+            merged.merge(&r.handle.hist.borrow());
+        }
+        merged
+    }
+
+    /// Captures a point-in-time snapshot of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.borrow();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|r| (r.name.clone(), r.labels.clone(), r.handle.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|r| (r.name.clone(), r.labels.clone(), r.handle.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|r| (r.name.clone(), r.labels.clone(), r.handle.histogram()))
+                .collect(),
+            series: inner
+                .series
+                .iter()
+                .map(|r| (r.name.clone(), r.labels.clone(), r.handle.points()))
+                .collect(),
+        }
+    }
+}
+
+/// Finalized points of one time series: `(t_secs, value)` pairs.
+pub type SeriesPoints = Vec<(f64, f64)>;
+
+/// A point-in-time copy of every registered instrument.
+pub struct MetricsSnapshot {
+    counters: Vec<(String, Labels, u64)>,
+    gauges: Vec<(String, Labels, f64)>,
+    histograms: Vec<(String, Labels, Histogram)>,
+    series: Vec<(String, Labels, SeriesPoints)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter total by name and exact labels.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let labels = labels_of(labels);
+        self.counters
+            .iter()
+            .find(|(n, l, _)| n == name && *l == labels)
+            .map(|(_, _, v)| *v)
+    }
+
+    /// Looks up a gauge level by name and exact labels.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let labels = labels_of(labels);
+        self.gauges
+            .iter()
+            .find(|(n, l, _)| n == name && *l == labels)
+            .map(|(_, _, v)| *v)
+    }
+
+    /// Returns all `(labels, value)` rows of a counter family.
+    pub fn counter_family(&self, name: &str) -> Vec<(&Labels, u64)> {
+        self.counters
+            .iter()
+            .filter(|(n, _, _)| n == name)
+            .map(|(_, l, v)| (l, *v))
+            .collect()
+    }
+
+    /// Renders a Prometheus-style plain-text exposition.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, labels, v) in &self.counters {
+            out.push_str(&format!("{name}{} {v}\n", labels_text(labels)));
+        }
+        for (name, labels, v) in &self.gauges {
+            out.push_str(&format!("{name}{} {v}\n", labels_text(labels)));
+        }
+        for (name, labels, h) in &self.histograms {
+            let s = h.summary();
+            out.push_str(&format!(
+                "{name}{} count={} mean_us={:.2} p50_us={:.2} p99_us={:.2} max_us={:.2}\n",
+                labels_text(labels),
+                s.count,
+                s.mean_us,
+                s.p50_us,
+                s.p99_us,
+                s.max_us
+            ));
+        }
+        for (name, labels, points) in &self.series {
+            out.push_str(&format!(
+                "{name}{} points={}\n",
+                labels_text(labels),
+                points.len()
+            ));
+        }
+        out
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> JsonValue {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, labels, v)| {
+                JsonValue::obj(vec![
+                    ("name", JsonValue::Str(name.clone())),
+                    ("labels", labels_json(labels)),
+                    ("value", JsonValue::UInt(*v)),
+                ])
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, labels, v)| {
+                JsonValue::obj(vec![
+                    ("name", JsonValue::Str(name.clone())),
+                    ("labels", labels_json(labels)),
+                    ("value", JsonValue::Float(*v)),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, labels, h)| {
+                JsonValue::obj(vec![
+                    ("name", JsonValue::Str(name.clone())),
+                    ("labels", labels_json(labels)),
+                    ("summary", h.summary().to_json()),
+                ])
+            })
+            .collect();
+        let series = self
+            .series
+            .iter()
+            .map(|(name, labels, points)| {
+                JsonValue::obj(vec![
+                    ("name", JsonValue::Str(name.clone())),
+                    ("labels", labels_json(labels)),
+                    ("points", points.to_json()),
+                ])
+            })
+            .collect();
+        JsonValue::obj(vec![
+            ("counters", JsonValue::Arr(counters)),
+            ("gauges", JsonValue::Arr(gauges)),
+            ("histograms", JsonValue::Arr(histograms)),
+            ("series", JsonValue::Arr(series)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_reregistration_shares_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x", &[("tenant", "1")]);
+        let b = reg.counter("x", &[("tenant", "1")]);
+        let other = reg.counter("x", &[("tenant", "2")]);
+        a.inc();
+        b.inc();
+        other.add(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x", &[("tenant", "1")]), Some(2));
+        assert_eq!(snap.counter("x", &[("tenant", "2")]), Some(5));
+        assert_eq!(snap.counter_family("x").len(), 2);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth", &[]);
+        g.set(4.0);
+        g.add(-1.5);
+        assert_eq!(reg.snapshot().gauge("depth", &[]), Some(2.5));
+    }
+
+    #[test]
+    fn histograms_merge_across_labels() {
+        let reg = MetricsRegistry::new();
+        let h1 = reg.histogram("lat", &[("tenant", "1")]);
+        let h2 = reg.histogram("lat", &[("tenant", "2")]);
+        h1.record(SimDuration::from_micros(10));
+        h2.record(SimDuration::from_micros(20));
+        let merged = reg.merged_histogram("lat");
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.max(), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn series_records_windowed_rates() {
+        let reg = MetricsRegistry::new();
+        let s = reg.series("rps", &[], SimDuration::from_secs(1));
+        s.record_at(SimTime::from_nanos(100_000_000), 1.0);
+        s.record_at(SimTime::from_nanos(1_200_000_000), 2.0);
+        let pts = s.points();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0], (1.0, 1.0));
+    }
+
+    #[test]
+    fn snapshot_serializes_and_renders() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("k", "v")]).inc();
+        reg.gauge("g", &[]).set(1.0);
+        reg.histogram("h", &[]).record(SimDuration::from_micros(5));
+        reg.series("s", &[], SimDuration::from_secs(1));
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert_eq!(json.get("counters").unwrap().as_arr().unwrap().len(), 1);
+        let text = snap.to_text();
+        assert!(text.contains("c{k=\"v\"} 1"));
+        assert!(text.contains("g 1"));
+        // The document parses back.
+        assert!(crate::json::parse(&json.to_string_pretty()).is_ok());
+    }
+}

@@ -1,0 +1,407 @@
+//! Per-request span tracing over virtual time.
+//!
+//! A [`Tracer`] is a cheap cloneable handle shared by every component a
+//! request passes through. Components record [`SpanRecord`]s — closed
+//! `[start, end)` virtual-time intervals tagged with a pipeline [`Stage`] —
+//! keyed by the request id carried in the first eight payload bytes of
+//! every buffer. A default-constructed tracer is disabled and every
+//! recording call returns after a single branch, so instrumented hot paths
+//! cost nearly nothing when tracing is off.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simcore::SimTime;
+
+/// The pipeline stages a request traverses, in data-plane order.
+///
+/// One request produces one span per stage it visits; chained functions
+/// repeat the DNE/fabric stages once per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Ingress HTTP/1.1 request parse.
+    HttpParse,
+    /// RSS flow-hash dispatch to a gateway worker.
+    RssDispatch,
+    /// Gateway worker service (HTTP/TCP-to-RDMA conversion).
+    Gateway,
+    /// Descriptor submission crossing the host→DPU Comch channel.
+    ComchSubmit,
+    /// Waiting in the per-tenant TX queue until the DWRR scheduler
+    /// dequeues the descriptor.
+    DwrrQueue,
+    /// DNE run-to-completion TX service (engine core occupancy).
+    DneTx,
+    /// RC connection-pool pick, including shadow-QP activation.
+    ConnPick,
+    /// SoC DMA staging for on-path offload.
+    SocDma,
+    /// Posting the work request to the RNIC send queue.
+    RnicPost,
+    /// Network fabric flight time (post → remote completion).
+    Fabric,
+    /// DNE RX completion handling.
+    RxCompletion,
+    /// Receive-buffer-registry lookup and replenishment.
+    RbrRecover,
+    /// Descriptor delivery crossing the DPU→host Comch channel.
+    ComchDeliver,
+    /// Intra-node SK_MSG delivery between co-located functions.
+    SkMsg,
+    /// Serverless function execution.
+    FnExec,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 15] = [
+        Stage::HttpParse,
+        Stage::RssDispatch,
+        Stage::Gateway,
+        Stage::ComchSubmit,
+        Stage::DwrrQueue,
+        Stage::DneTx,
+        Stage::ConnPick,
+        Stage::SocDma,
+        Stage::RnicPost,
+        Stage::Fabric,
+        Stage::RxCompletion,
+        Stage::RbrRecover,
+        Stage::ComchDeliver,
+        Stage::SkMsg,
+        Stage::FnExec,
+    ];
+
+    /// Returns the stable exported name of the stage.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::HttpParse => "http_parse",
+            Stage::RssDispatch => "rss_dispatch",
+            Stage::Gateway => "gateway",
+            Stage::ComchSubmit => "comch_submit",
+            Stage::DwrrQueue => "dwrr_queue",
+            Stage::DneTx => "dne_tx",
+            Stage::ConnPick => "conn_pick",
+            Stage::SocDma => "soc_dma",
+            Stage::RnicPost => "rnic_post",
+            Stage::Fabric => "fabric",
+            Stage::RxCompletion => "rx_completion",
+            Stage::RbrRecover => "rbr_recover",
+            Stage::ComchDeliver => "comch_deliver",
+            Stage::SkMsg => "sk_msg",
+            Stage::FnExec => "fn_exec",
+        }
+    }
+}
+
+/// One closed stage interval of one request, in virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Request id (first eight payload bytes, little-endian).
+    pub req_id: u64,
+    /// Owning tenant.
+    pub tenant: u16,
+    /// Node where the stage executed.
+    pub node: u32,
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Interval start, virtual ns.
+    pub start_ns: u64,
+    /// Interval end, virtual ns.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Returns the span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[derive(Default)]
+struct TraceInner {
+    records: Vec<SpanRecord>,
+    /// Open intervals keyed by (request, stage) for begin/end call sites
+    /// where the two endpoints live in different callbacks.
+    open: HashMap<(u64, Stage), (u16, u32, u64)>,
+    dropped: u64,
+    capacity: usize,
+}
+
+/// A shared handle for recording request spans.
+///
+/// `Tracer::default()` / [`Tracer::disabled`] produce a no-op handle:
+/// every record call tests one `Option` discriminant and returns. Cloning
+/// an enabled tracer shares the same record buffer.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<TraceInner>>>,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer (all recording calls are no-ops).
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Creates an enabled tracer with a default record capacity.
+    pub fn enabled() -> Tracer {
+        Tracer::with_capacity(1 << 20)
+    }
+
+    /// Creates an enabled tracer retaining at most `capacity` records;
+    /// further spans are counted as dropped rather than growing without
+    /// bound on long runs.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(TraceInner {
+                capacity,
+                ..TraceInner::default()
+            }))),
+        }
+    }
+
+    /// Returns `true` when spans are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a closed stage interval.
+    #[inline]
+    pub fn span(
+        &self,
+        req_id: u64,
+        tenant: u16,
+        node: u32,
+        stage: Stage,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let mut inner = inner.borrow_mut();
+        if inner.records.len() >= inner.capacity {
+            inner.dropped += 1;
+            return;
+        }
+        inner.records.push(SpanRecord {
+            req_id,
+            tenant,
+            node,
+            stage,
+            start_ns: start.as_nanos(),
+            end_ns: end.as_nanos(),
+        });
+    }
+
+    /// Opens an interval whose end will arrive in a later callback.
+    ///
+    /// A second `begin` for the same (request, stage) before the matching
+    /// [`Tracer::end`] overwrites the first.
+    #[inline]
+    pub fn begin(&self, req_id: u64, tenant: u16, node: u32, stage: Stage, at: SimTime) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .borrow_mut()
+            .open
+            .insert((req_id, stage), (tenant, node, at.as_nanos()));
+    }
+
+    /// Closes an interval opened by [`Tracer::begin`]; unmatched ends are
+    /// ignored.
+    #[inline]
+    pub fn end(&self, req_id: u64, stage: Stage, at: SimTime) {
+        let Some(inner) = &self.inner else { return };
+        let mut inner = inner.borrow_mut();
+        if let Some((tenant, node, start_ns)) = inner.open.remove(&(req_id, stage)) {
+            if inner.records.len() >= inner.capacity {
+                inner.dropped += 1;
+                return;
+            }
+            inner.records.push(SpanRecord {
+                req_id,
+                tenant,
+                node,
+                stage,
+                start_ns,
+                end_ns: at.as_nanos(),
+            });
+        }
+    }
+
+    /// Returns a copy of all recorded spans, ordered by start time.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut records = inner.borrow().records.clone();
+        records.sort_by_key(|r| (r.start_ns, r.req_id, r.stage));
+        records
+    }
+
+    /// Returns the number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.borrow().records.len())
+    }
+
+    /// Returns `true` when no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the number of spans dropped after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.borrow().dropped)
+    }
+
+    /// Aggregates total time and span count per stage, sorted by total
+    /// time descending — the "where did the time go" view.
+    pub fn stage_totals(&self) -> Vec<StageTotal> {
+        let mut by_stage: HashMap<Stage, StageTotal> = HashMap::new();
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        for r in &inner.borrow().records {
+            let entry = by_stage.entry(r.stage).or_insert(StageTotal {
+                stage: r.stage,
+                spans: 0,
+                total_ns: 0,
+                max_ns: 0,
+            });
+            entry.spans += 1;
+            entry.total_ns += r.duration_ns();
+            entry.max_ns = entry.max_ns.max(r.duration_ns());
+        }
+        let mut totals: Vec<StageTotal> = by_stage.into_values().collect();
+        totals.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.stage.cmp(&b.stage)));
+        totals
+    }
+
+    /// Returns the distinct stages recorded for one request.
+    pub fn stages_of(&self, req_id: u64) -> Vec<Stage> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut stages: Vec<Stage> = inner
+            .borrow()
+            .records
+            .iter()
+            .filter(|r| r.req_id == req_id)
+            .map(|r| r.stage)
+            .collect();
+        stages.sort();
+        stages.dedup();
+        stages
+    }
+}
+
+/// Aggregate time attribution for one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTotal {
+    pub stage: Stage,
+    pub spans: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+impl StageTotal {
+    /// Mean span duration in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.spans == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.spans as f64 / 1_000.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.span(1, 0, 0, Stage::Fabric, at(0), at(10));
+        t.begin(1, 0, 0, Stage::DwrrQueue, at(0));
+        t.end(1, Stage::DwrrQueue, at(5));
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        assert!(t.records().is_empty());
+        assert!(t.stage_totals().is_empty());
+    }
+
+    #[test]
+    fn span_and_begin_end_record() {
+        let t = Tracer::enabled();
+        t.span(7, 2, 1, Stage::Fabric, at(10), at(30));
+        t.begin(7, 2, 0, Stage::DwrrQueue, at(2));
+        t.end(7, Stage::DwrrQueue, at(8));
+        let records = t.records();
+        assert_eq!(records.len(), 2);
+        // Sorted by start time: the queue span opened at t=2 comes first.
+        assert_eq!(records[0].stage, Stage::DwrrQueue);
+        assert_eq!(records[0].duration_ns(), 6_000);
+        assert_eq!(records[1].stage, Stage::Fabric);
+        assert_eq!(records[1].tenant, 2);
+        assert_eq!(records[1].node, 1);
+    }
+
+    #[test]
+    fn unmatched_end_is_ignored() {
+        let t = Tracer::enabled();
+        t.end(1, Stage::Fabric, at(5));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Tracer::enabled();
+        let u = t.clone();
+        u.span(1, 0, 0, Stage::FnExec, at(0), at(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_and_counts_drops() {
+        let t = Tracer::with_capacity(2);
+        for i in 0..5 {
+            t.span(i, 0, 0, Stage::FnExec, at(i), at(i + 1));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn stage_totals_rank_by_time() {
+        let t = Tracer::enabled();
+        t.span(1, 0, 0, Stage::Fabric, at(0), at(100));
+        t.span(1, 0, 0, Stage::FnExec, at(100), at(110));
+        t.span(2, 0, 0, Stage::Fabric, at(0), at(50));
+        let totals = t.stage_totals();
+        assert_eq!(totals[0].stage, Stage::Fabric);
+        assert_eq!(totals[0].spans, 2);
+        assert_eq!(totals[0].total_ns, 150_000);
+        assert_eq!(totals[0].max_ns, 100_000);
+        assert_eq!(totals[1].stage, Stage::FnExec);
+    }
+
+    #[test]
+    fn stages_of_deduplicates() {
+        let t = Tracer::enabled();
+        t.span(1, 0, 0, Stage::Fabric, at(0), at(1));
+        t.span(1, 0, 0, Stage::Fabric, at(2), at(3));
+        t.span(1, 0, 0, Stage::FnExec, at(3), at(4));
+        t.span(2, 0, 0, Stage::Gateway, at(0), at(1));
+        assert_eq!(t.stages_of(1), vec![Stage::Fabric, Stage::FnExec]);
+    }
+}

@@ -60,6 +60,20 @@ pub(crate) struct Qp {
     pub(crate) active: bool,
     pub(crate) sq_outstanding: u32,
     pub(crate) sends_posted: u64,
+    pub(crate) sends_completed: u64,
+    pub(crate) bytes_posted: u64,
+}
+
+/// Per-QP traffic counters (observability surface for the DNE's
+/// connection-pool and per-QP dashboards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QpCounters {
+    /// Sends posted on this QP.
+    pub posted: u64,
+    /// Send completions generated (success or error).
+    pub completed: u64,
+    /// Payload bytes posted.
+    pub bytes: u64,
 }
 
 struct RecvWr {
@@ -195,15 +209,17 @@ impl Inner {
             let qp = node.qps.get_mut(&h.qp).expect("validated above");
             qp.sq_outstanding += 1;
             qp.sends_posted += 1;
+            qp.bytes_posted += len as u64;
             peer_node = qp.peer_node;
         }
         Ok((peer_node, depart))
     }
 
-    /// Marks a WR as having left the SQ.
+    /// Marks a WR as having left the SQ (a send completion was generated).
     pub(crate) fn retire_wr(&mut self, h: QpHandle) {
         if let Some(qp) = self.nodes[h.node.0 as usize].qps.get_mut(&h.qp) {
             qp.sq_outstanding = qp.sq_outstanding.saturating_sub(1);
+            qp.sends_completed += 1;
         }
     }
 }
@@ -261,10 +277,7 @@ impl Fabric {
     pub fn add_node(&self) -> NodeId {
         let mut inner = self.inner.borrow_mut();
         let id = NodeId(inner.nodes.len() as u16);
-        let egress = TokenBucket::new(
-            inner.costs.link_bytes_per_sec,
-            inner.costs.link_burst_bytes,
-        );
+        let egress = TokenBucket::new(inner.costs.link_bytes_per_sec, inner.costs.link_burst_bytes);
         inner.nodes.push(NodeState {
             rnic_tx: Server::new(),
             rnic_rx: Server::new(),
@@ -416,6 +429,8 @@ impl Fabric {
                 active: false,
                 sq_outstanding: 0,
                 sends_posted: 0,
+                sends_completed: 0,
+                bytes_posted: 0,
             };
             let qp_a = mk(b, qb, cq_a);
             let qp_b = mk(a, qa, cq_b);
@@ -516,6 +531,20 @@ impl Fabric {
             .qp(h.node, h.qp)
             .map(|q| q.sends_posted)
             .unwrap_or(0)
+    }
+
+    /// Returns the traffic counters for one QP: posted sends, generated
+    /// send completions, and bytes posted.
+    pub fn qp_counters(&self, h: QpHandle) -> QpCounters {
+        self.inner
+            .borrow()
+            .qp(h.node, h.qp)
+            .map(|q| QpCounters {
+                posted: q.sends_posted,
+                completed: q.sends_completed,
+                bytes: q.bytes_posted,
+            })
+            .unwrap_or_default()
     }
 
     /// Returns whether the QP is currently marked active.
@@ -633,7 +662,9 @@ impl Fabric {
     fn deliver_send(inner_rc: Rc<RefCell<Inner>>, sim: &mut Sim, d: Delivery, buf: OwnedBuf) {
         let mut inner = inner_rc.borrow_mut();
         let (peer_node, peer_qp) = {
-            let qp = inner.qp(d.sender.node, d.sender.qp).expect("sender QP exists");
+            let qp = inner
+                .qp(d.sender.node, d.sender.qp)
+                .expect("sender QP exists");
             (qp.peer_node, qp.peer_qp)
         };
         let penalty = inner.per_op_penalty(peer_node);
@@ -991,6 +1022,24 @@ mod tests {
     }
 
     #[test]
+    fn qp_counters_track_posted_completed_bytes() {
+        let mut p = setup();
+        assert_eq!(p.fabric.qp_counters(p.h_ab), QpCounters::default());
+        let recv_buf = p.pool_b.get().unwrap();
+        p.fabric.post_recv(p.rq_b, WrId(100), recv_buf).unwrap();
+        let mut send_buf = p.pool_a.get().unwrap();
+        send_buf.write_payload(&[9u8; 48]).unwrap();
+        p.fabric
+            .post_send(&mut p.sim, p.h_ab, WrId(1), send_buf, 0)
+            .unwrap();
+        let mid = p.fabric.qp_counters(p.h_ab);
+        assert_eq!((mid.posted, mid.completed, mid.bytes), (1, 0, 48));
+        p.sim.run();
+        let done = p.fabric.qp_counters(p.h_ab);
+        assert_eq!((done.posted, done.completed, done.bytes), (1, 1, 48));
+    }
+
+    #[test]
     fn shadow_qp_accounting() {
         let p = setup();
         assert_eq!(p.fabric.active_qp_count(NodeId(0)), 0);
@@ -1015,15 +1064,19 @@ mod tests {
         let recv_buf = p.pool_b.get().unwrap();
         p.fabric.post_recv(p.rq_b, WrId(0), recv_buf).unwrap();
         let buf = p.pool_a.get().unwrap();
-        p.fabric.post_send(&mut p.sim, p.h_ab, WrId(1), buf, 0).unwrap();
+        p.fabric
+            .post_send(&mut p.sim, p.h_ab, WrId(1), buf, 0)
+            .unwrap();
         p.sim.run();
         assert_eq!(woke.get(), 1);
     }
 
     #[test]
     fn oversize_message_rejected() {
-        let mut costs = RdmaCosts::default();
-        costs.max_msg_size = 16;
+        let costs = RdmaCosts {
+            max_msg_size: 16,
+            ..RdmaCosts::default()
+        };
         let fabric = Fabric::new(costs);
         let a = fabric.add_node();
         let b = fabric.add_node();
@@ -1056,7 +1109,9 @@ mod tests {
             buf.set_len(size.min(buf.buf_size())).unwrap();
             // 64 KiB does not fit an 8 KiB buffer; use full buffer for "large".
             let t0 = p.sim.now();
-            p.fabric.post_send(&mut p.sim, p.h_ab, WrId(1), buf, 0).unwrap();
+            p.fabric
+                .post_send(&mut p.sim, p.h_ab, WrId(1), buf, 0)
+                .unwrap();
             p.sim.run();
             let _ = p.fabric.poll_cq(p.cq_b, 16);
             let _ = p.fabric.poll_cq(p.cq_a, 16);

@@ -30,5 +30,5 @@ pub mod onesided;
 pub mod types;
 
 pub use cost::RdmaCosts;
-pub use fabric::{Fabric, QpHandle};
+pub use fabric::{Fabric, QpCounters, QpHandle};
 pub use types::{Cqe, CqeStatus, NodeId, QpId, RdmaError, WrId};

@@ -394,7 +394,9 @@ mod tests {
         let slot_buf = e.pool_b.get().unwrap();
         e.fabric.post_landing(e.b, e.rkey_b, 0, slot_buf).unwrap();
         assert_eq!(
-            e.fabric.poll_landing(e.sim.now(), e.b, e.rkey_b, 0).unwrap(),
+            e.fabric
+                .poll_landing(e.sim.now(), e.b, e.rkey_b, 0)
+                .unwrap(),
             None
         );
         let mut buf = e.pool_a.get().unwrap();

@@ -191,7 +191,16 @@ impl DagFunction {
                     sim.schedule_at(done, move |sim| {
                         let kids = dag.children_of(fn_id);
                         if kids.is_empty() {
-                            Self::respond(sim, &dag, fn_id, src, req_id, &pool, &iolib, &on_complete);
+                            Self::respond(
+                                sim,
+                                &dag,
+                                fn_id,
+                                src,
+                                req_id,
+                                &pool,
+                                &iolib,
+                                &on_complete,
+                            );
                             return;
                         }
                         joins.borrow_mut().insert(
@@ -202,7 +211,16 @@ impl DagFunction {
                             },
                         );
                         for &child in kids {
-                            Self::send_msg(sim, &dag, fn_id, child, req_id, DagMsg::Call, &pool, &iolib);
+                            Self::send_msg(
+                                sim,
+                                &dag,
+                                fn_id,
+                                child,
+                                req_id,
+                                DagMsg::Call,
+                                &pool,
+                                &iolib,
+                            );
                         }
                     });
                 }
@@ -261,7 +279,16 @@ impl DagFunction {
             on_complete(sim, req_id);
             return;
         }
-        Self::send_msg(sim, dag, fn_id, caller, req_id, DagMsg::Response, pool, iolib);
+        Self::send_msg(
+            sim,
+            dag,
+            fn_id,
+            caller,
+            req_id,
+            DagMsg::Response,
+            pool,
+            iolib,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -301,12 +328,7 @@ mod tests {
 
     #[test]
     fn spec_accounting() {
-        let dag = DagSpec::new(
-            "t",
-            TenantId(1),
-            1,
-            &[(1, &[2, 3, 4][..]), (4, &[2][..])],
-        );
+        let dag = DagSpec::new("t", TenantId(1), 1, &[(1, &[2, 3, 4][..]), (4, &[2][..])]);
         assert_eq!(dag.functions(), vec![1, 2, 3, 4]);
         assert_eq!(dag.children_of(1), &[2, 3, 4]);
         assert!(dag.children_of(2).is_empty());

@@ -17,6 +17,7 @@ use dne::engine::FnEndpoint;
 use dpu_sim::soc::Processor;
 use membuf::pool::BufferPool;
 use membuf::tenant::TenantId;
+use obs::Stage;
 use simcore::{Sim, SimDuration};
 
 use crate::iolib::IoLib;
@@ -85,6 +86,17 @@ impl ChainStep {
                 return;
             };
             let done = cpu.borrow_mut().run(sim.now(), exec_cost);
+            let tracer = iolib.tracer();
+            if tracer.is_enabled() {
+                tracer.span(
+                    decode_request_id(buf.as_slice()),
+                    tenant.0,
+                    iolib.node().0 as u32,
+                    Stage::FnExec,
+                    sim.now(),
+                    done,
+                );
+            }
             let iolib = iolib.clone();
             let on_complete = on_complete.clone();
             sim.schedule_at(done, move |sim| match next {
@@ -130,6 +142,17 @@ impl ChainFunction {
                 return;
             };
             let done = cpu.borrow_mut().run(sim.now(), exec_cost);
+            let tracer = iolib.tracer();
+            if tracer.is_enabled() {
+                tracer.span(
+                    decode_request_id(buf.as_slice()),
+                    tenant.0,
+                    iolib.node().0 as u32,
+                    Stage::FnExec,
+                    sim.now(),
+                    done,
+                );
+            }
             let chain = chain.clone();
             let iolib = iolib.clone();
             let on_complete = on_complete.clone();
@@ -216,12 +239,28 @@ mod tests {
         io0.register_function(
             1,
             tenant,
-            ChainStep::endpoint(tenant, exec, Some(2), pool0.clone(), cpu0.clone(), io0.clone(), None),
+            ChainStep::endpoint(
+                tenant,
+                exec,
+                Some(2),
+                pool0.clone(),
+                cpu0.clone(),
+                io0.clone(),
+                None,
+            ),
         );
         io1.register_function(
             2,
             tenant,
-            ChainStep::endpoint(tenant, exec, Some(3), pool1.clone(), cpu1.clone(), io1.clone(), None),
+            ChainStep::endpoint(
+                tenant,
+                exec,
+                Some(3),
+                pool1.clone(),
+                cpu1.clone(),
+                io1.clone(),
+                None,
+            ),
         );
         io0.register_function(
             3,
@@ -239,6 +278,11 @@ mod tests {
             ),
         );
         sim.run(); // connections up
+
+        // Trace the request across both nodes' engines and IPC paths.
+        let tracer = obs::Tracer::enabled();
+        io0.set_tracer(tracer.clone());
+        io1.set_tracer(tracer.clone());
 
         // Inject a request at f1 the way the ingress would: write the
         // payload into node 0's pool and deliver the descriptor.
@@ -264,6 +308,29 @@ mod tests {
         assert_eq!(pool1.stats().free, pool1.capacity() - 64);
         assert_eq!(pool0.stats().in_flight, 0);
         assert_eq!(pool1.stats().in_flight, 0);
+        // The trace shows the whole pipeline: intra-node SK_MSG, three
+        // function executions, and the inter-node RDMA stages.
+        let stages = tracer.stages_of(77);
+        for s in [
+            Stage::SkMsg,
+            Stage::FnExec,
+            Stage::ComchSubmit,
+            Stage::DwrrQueue,
+            Stage::DneTx,
+            Stage::ConnPick,
+            Stage::Fabric,
+            Stage::RxCompletion,
+            Stage::RbrRecover,
+            Stage::ComchDeliver,
+        ] {
+            assert!(stages.contains(&s), "missing stage {s:?} in {stages:?}");
+        }
+        let fn_execs = tracer
+            .records()
+            .iter()
+            .filter(|r| r.stage == Stage::FnExec)
+            .count();
+        assert_eq!(fn_execs, 3, "one FnExec span per chain position");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use dpu_sim::soc::Processor;
 use membuf::descriptor::BufferDesc;
 use membuf::pool::BufferPool;
 use membuf::tenant::TenantId;
+use obs::{Stage, Tracer};
 use rdma_sim::NodeId;
 use simcore::Sim;
 
@@ -49,6 +50,23 @@ struct IoInner {
     skmsg: IpcCosts,
     dne_ipc: IpcCosts,
     stats: IoStats,
+    tracer: Tracer,
+}
+
+impl IoInner {
+    /// Request id of the in-flight descriptor, read from the payload head
+    /// (only called when tracing is on; peeking costs a pool lookup).
+    fn req_id_of_desc(&self, tenant: TenantId, desc: BufferDesc) -> u64 {
+        self.pools
+            .get(&tenant)
+            .and_then(|p| p.peek_payload(desc, 8))
+            .map(|b| {
+                let mut le = [0u8; 8];
+                le.copy_from_slice(&b);
+                u64::from_le_bytes(le)
+            })
+            .unwrap_or(0)
+    }
 }
 
 /// The per-node unified I/O library.
@@ -79,6 +97,7 @@ impl IoLib {
                 skmsg: IpcCosts::for_kind(IpcKind::SkMsg),
                 dne_ipc,
                 stats: IoStats::default(),
+                tracer: Tracer::disabled(),
             })),
         }
     }
@@ -133,6 +152,17 @@ impl IoLib {
                             let service = inner.skmsg.host_service + Sidecar::CHECK_COST;
                             let cpu_done = inner.cpu.borrow_mut().run(sim.now(), service);
                             inner.stats.local_sends += 1;
+                            if inner.tracer.is_enabled() {
+                                let req_id = inner.req_id_of_desc(tenant, desc);
+                                inner.tracer.span(
+                                    req_id,
+                                    tenant.0,
+                                    inner.node.0 as u32,
+                                    Stage::SkMsg,
+                                    sim.now(),
+                                    cpu_done + inner.skmsg.one_way_latency,
+                                );
+                            }
                             Path::Local(ep, cpu_done, inner.skmsg.one_way_latency)
                         }
                         None => {
@@ -142,10 +172,7 @@ impl IoLib {
                     },
                     AccessDecision::AllowWithCopy => {
                         let dst_tenant = inner.sidecar.owner_of(desc.dst_fn);
-                        match (
-                            inner.endpoints.get(&desc.dst_fn).cloned(),
-                            dst_tenant,
-                        ) {
+                        match (inner.endpoints.get(&desc.dst_fn).cloned(), dst_tenant) {
                             (Some(ep), Some(dst_tenant)) => {
                                 // The copy itself is memory-bound; charge
                                 // it unscaled on top of the IPC work.
@@ -154,11 +181,26 @@ impl IoLib {
                                 let copy = simcore::SimDuration::from_secs_f64(
                                     desc.len as f64 / 8_000_000_000.0,
                                 );
-                                let cpu_done =
-                                    inner.cpu.borrow_mut().run_unscaled(sim.now(), copy);
+                                let cpu_done = inner.cpu.borrow_mut().run_unscaled(sim.now(), copy);
                                 inner.stats.local_sends += 1;
                                 inner.stats.cross_tenant_copies += 1;
-                                Path::LocalCopy(ep, dst_tenant, cpu_done, inner.skmsg.one_way_latency)
+                                if inner.tracer.is_enabled() {
+                                    let req_id = inner.req_id_of_desc(tenant, desc);
+                                    inner.tracer.span(
+                                        req_id,
+                                        tenant.0,
+                                        inner.node.0 as u32,
+                                        Stage::SkMsg,
+                                        sim.now(),
+                                        cpu_done + inner.skmsg.one_way_latency,
+                                    );
+                                }
+                                Path::LocalCopy(
+                                    ep,
+                                    dst_tenant,
+                                    cpu_done,
+                                    inner.skmsg.one_way_latency,
+                                )
                             }
                             _ => {
                                 inner.stats.dropped += 1;
@@ -238,6 +280,19 @@ impl IoLib {
         let inner = self.inner.borrow();
         (inner.sidecar.checks(), inner.sidecar.denials())
     }
+
+    /// Installs a span tracer for intra-node SK_MSG deliveries and threads
+    /// it into the node's DNE for the RDMA path.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        let mut inner = self.inner.borrow_mut();
+        inner.dne.set_tracer(tracer.clone());
+        inner.tracer = tracer;
+    }
+
+    /// Returns a handle to the installed tracer (disabled by default).
+    pub fn tracer(&self) -> Tracer {
+        self.inner.borrow().tracer.clone()
+    }
 }
 
 #[cfg(test)]
@@ -272,8 +327,7 @@ mod tests {
         let tenant = TenantId(1);
         let pool = mk_pool(1);
         let dne = Dne::new(fabric, node, DneConfig::nadino_dne()).unwrap();
-        let mapped =
-            doca_mmap_create_from_export(&doca_mmap_export_full(&pool).unwrap()).unwrap();
+        let mapped = doca_mmap_create_from_export(&doca_mmap_export_full(&pool).unwrap()).unwrap();
         dne.register_tenant(tenant, 1, &mapped).unwrap();
         let placement = Rc::new(RefCell::new(Placement::new()));
         placement.borrow_mut().place(1, node);
@@ -355,6 +409,29 @@ mod tests {
         env.sim.run();
         assert_eq!(env.iolib.stats().dropped, 1);
         assert_eq!(env.pool.stats().free, free_before);
+    }
+
+    #[test]
+    fn local_send_traces_the_skmsg_stage() {
+        let mut env = setup();
+        let tracer = Tracer::enabled();
+        env.iolib.set_tracer(tracer.clone());
+        let pool = env.pool.clone();
+        env.iolib.register_function(
+            2,
+            env.tenant,
+            Rc::new(move |_sim, desc| {
+                let _ = pool.redeem(desc).unwrap();
+            }),
+        );
+        let mut buf = env.pool.get().unwrap();
+        buf.write_payload(&77u64.to_le_bytes()).unwrap();
+        env.iolib.send(&mut env.sim, env.tenant, buf.into_desc(2));
+        env.sim.run();
+        assert_eq!(tracer.stages_of(77), vec![Stage::SkMsg]);
+        let rec = &tracer.records()[0];
+        assert_eq!(rec.tenant, env.tenant.0);
+        assert!(rec.duration_ns() > 1_000, "SK_MSG leg spans the IPC hop");
     }
 
     #[test]

@@ -18,18 +18,18 @@
 pub mod chain;
 pub mod dag;
 pub mod function;
-pub mod keepwarm;
 pub mod iolib;
+pub mod keepwarm;
 pub mod placement;
 pub mod sidecar;
 
 pub use chain::ChainSpec;
 pub use dag::{DagFunction, DagSpec};
-pub use keepwarm::{InstanceManager, KeepWarmPolicy};
 pub use function::{
     decode_hop, decode_request_id, encode_request_payload, set_hop, ChainFunction, ChainStep,
     CompletionFn,
 };
 pub use iolib::IoLib;
+pub use keepwarm::{InstanceManager, KeepWarmPolicy};
 pub use placement::Placement;
 pub use sidecar::{AccessDecision, Sidecar};

@@ -57,6 +57,23 @@ pub struct Sim {
     seq: u64,
     heap: BinaryHeap<Reverse<Scheduled>>,
     executed: u64,
+    peak_pending: usize,
+    depth_samples: Vec<(SimTime, usize)>,
+}
+
+/// Engine-level profile: how much work the simulation itself did.
+///
+/// `scheduled_events` / `executed_events` count closures pushed/popped;
+/// `peak_pending` is the event-heap high-water mark (a proxy for model
+/// fan-out); `depth_samples` holds explicit [`Sim::sample_depth`] calls,
+/// typically driven by a [`Ticker`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimProfile {
+    pub scheduled_events: u64,
+    pub executed_events: u64,
+    pub pending_events: usize,
+    pub peak_pending: usize,
+    pub depth_samples: Vec<(SimTime, usize)>,
 }
 
 impl Default for Sim {
@@ -73,6 +90,8 @@ impl Sim {
             seq: 0,
             heap: BinaryHeap::new(),
             executed: 0,
+            peak_pending: 0,
+            depth_samples: Vec::new(),
         }
     }
 
@@ -97,7 +116,11 @@ impl Sim {
     /// "now" (still after all currently ready events) and a debug assertion
     /// fires in test builds.
     pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, f: F) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -106,6 +129,25 @@ impl Sim {
             seq,
             run: Box::new(f),
         }));
+        self.peak_pending = self.peak_pending.max(self.heap.len());
+    }
+
+    /// Records one `(now, pending_events)` sample into the profile.
+    ///
+    /// Call from a [`Ticker`] for a periodic queue-depth series.
+    pub fn sample_depth(&mut self) {
+        self.depth_samples.push((self.now, self.heap.len()));
+    }
+
+    /// Returns the engine profile accumulated so far.
+    pub fn profile(&self) -> SimProfile {
+        SimProfile {
+            scheduled_events: self.seq,
+            executed_events: self.executed,
+            pending_events: self.heap.len(),
+            peak_pending: self.peak_pending,
+            depth_samples: self.depth_samples.clone(),
+        }
     }
 
     /// Schedules `f` to run `delay` after the current instant.
@@ -238,6 +280,26 @@ mod tests {
         sim.run_for(SimDuration::from_micros(1));
         sim.run_for(SimDuration::from_micros(1));
         assert_eq!(sim.now(), SimTime::from_nanos(2_000));
+    }
+
+    #[test]
+    fn profile_tracks_events_and_depth() {
+        let mut sim = Sim::new();
+        for t in [5u64, 15, 25] {
+            sim.schedule_at(SimTime::from_nanos(t), |_| {});
+        }
+        assert_eq!(sim.profile().peak_pending, 3);
+        sim.sample_depth();
+        sim.run_until(SimTime::from_nanos(20));
+        sim.sample_depth();
+        let p = sim.profile();
+        assert_eq!(p.scheduled_events, 3);
+        assert_eq!(p.executed_events, 2);
+        assert_eq!(p.pending_events, 1);
+        assert_eq!(
+            p.depth_samples,
+            vec![(SimTime::ZERO, 3), (SimTime::from_nanos(20), 1)]
+        );
     }
 }
 

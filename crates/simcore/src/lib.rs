@@ -22,7 +22,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::Sim;
+pub use engine::{Sim, SimProfile};
 pub use resource::{MultiServer, Server};
 pub use rng::SimRng;
 pub use stats::{Histogram, TimeSeries};

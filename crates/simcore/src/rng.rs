@@ -82,7 +82,10 @@ impl SimRng {
     /// Panics if `weights` is empty or sums to zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
-        assert!(!weights.is_empty() && total > 0.0, "weights must be non-empty and positive");
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weights must be non-empty and positive"
+        );
         let mut x = self.next_f64() * total;
         for (i, &w) in weights.iter().enumerate() {
             if x < w {

@@ -1,8 +1,6 @@
 //! Measurement utilities: latency histograms, streaming moments, and
 //! windowed time series used to regenerate the paper's figures.
 
-use serde::Serialize;
-
 use crate::time::{SimDuration, SimTime};
 
 /// A log-bucketed histogram of durations with percentile queries.
@@ -154,7 +152,7 @@ impl Histogram {
 }
 
 /// A serializable latency summary (all values in microseconds).
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencySummary {
     pub count: u64,
     pub mean_us: f64,
@@ -303,9 +301,9 @@ mod tests {
         assert_eq!(h.min(), SimDuration::from_micros(1));
         assert_eq!(h.max(), SimDuration::from_micros(100));
         let p50 = h.percentile(50.0).as_micros_f64();
-        assert!(p50 >= 45.0 && p50 <= 50.0, "p50 = {p50}");
+        assert!((45.0..=50.0).contains(&p50), "p50 = {p50}");
         let p99 = h.percentile(99.0).as_micros_f64();
-        assert!(p99 >= 92.0 && p99 <= 99.0, "p99 = {p99}");
+        assert!((92.0..=99.0).contains(&p99), "p99 = {p99}");
     }
 
     #[test]
@@ -326,6 +324,95 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), SimDuration::from_micros(10));
         assert_eq!(a.max(), SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn bucket_boundaries_at_linear_log_transition() {
+        // Values below MINOR (16) are their own buckets: exact.
+        for ns in 0..16u64 {
+            let idx = bucket_index(ns);
+            assert_eq!(idx, ns as usize);
+            assert_eq!(bucket_lower_bound(idx), ns);
+        }
+        // 15 and 16 land in different buckets (end of the linear region).
+        assert_ne!(bucket_index(15), bucket_index(16));
+        assert_eq!(bucket_lower_bound(bucket_index(16)), 16);
+    }
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        for k in 5..40u32 {
+            let p = 1u64 << k;
+            for ns in [p - 1, p, p + 1] {
+                let idx = bucket_index(ns);
+                let lo = bucket_lower_bound(idx);
+                let hi = bucket_lower_bound(idx + 1);
+                assert!(lo <= ns && ns < hi, "ns={ns} not in [{lo}, {hi})");
+            }
+            // A power of two starts its own bucket exactly.
+            assert_eq!(bucket_lower_bound(bucket_index(p)), p);
+            // p-1 and p are always separated.
+            assert_ne!(bucket_index(p - 1), bucket_index(p));
+        }
+    }
+
+    #[test]
+    fn zero_sample_is_recorded_exactly() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        assert_eq!(h.percentile(50.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_extremes() {
+        let h = Histogram::new();
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), SimDuration::ZERO);
+        }
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        // The metrics registry merges per-component histograms into an
+        // aggregate snapshot; the merge must be exact, not approximate.
+        let mut merged = Histogram::new();
+        let mut reference = Histogram::new();
+        let mut parts = vec![Histogram::new(), Histogram::new(), Histogram::new()];
+        let mut state = 0xfeedu64;
+        for i in 0..3_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let ns = state >> 40;
+            parts[(i % 3) as usize].record(SimDuration::from_nanos(ns));
+            reference.record(SimDuration::from_nanos(ns));
+        }
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.count(), reference.count());
+        assert_eq!(merged.min(), reference.min());
+        assert_eq!(merged.max(), reference.max());
+        assert_eq!(merged.mean(), reference.mean());
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(merged.percentile(p), reference.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::from_micros(7));
+        let before = a.summary();
+        a.merge(&Histogram::new());
+        assert_eq!(a.summary(), before);
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.summary(), before);
     }
 
     #[test]

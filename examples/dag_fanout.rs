@@ -38,12 +38,7 @@ fn main() {
         &[
             (
                 fns::FRONTEND,
-                &[
-                    fns::CURRENCY,
-                    fns::CART,
-                    fns::RECOMMENDATION,
-                    fns::AD,
-                ][..],
+                &[fns::CURRENCY, fns::CART, fns::RECOMMENDATION, fns::AD][..],
             ),
             (fns::RECOMMENDATION, &[fns::PRODUCT_CATALOG][..]),
         ],
@@ -55,9 +50,13 @@ fn main() {
         place_all(&cluster);
         let done: Rc<Cell<Option<SimTime>>> = Rc::new(Cell::new(None));
         let sink = done.clone();
-        cluster.register_dag(&dag, boutique::exec_cost, Rc::new(move |sim, _| {
-            sink.set(Some(sim.now()));
-        }));
+        cluster.register_dag(
+            &dag,
+            boutique::exec_cost,
+            Rc::new(move |sim, _| {
+                sink.set(Some(sim.now()));
+            }),
+        );
         let t0 = sim.now();
         assert!(cluster.inject_dag(&mut sim, &dag, 1));
         sim.run();
@@ -73,9 +72,13 @@ fn main() {
         let chain = boutique::home_query(tenant);
         let done: Rc<Cell<Option<SimTime>>> = Rc::new(Cell::new(None));
         let sink = done.clone();
-        cluster.register_chain(&chain, boutique::exec_cost, Rc::new(move |sim, _| {
-            sink.set(Some(sim.now()));
-        }));
+        cluster.register_chain(
+            &chain,
+            boutique::exec_cost,
+            Rc::new(move |sim, _| {
+                sink.set(Some(sim.now()));
+            }),
+        );
         let t0 = sim.now();
         assert!(cluster.inject(&mut sim, &chain, 1, boutique::PAYLOAD_BYTES));
         sim.run();
@@ -83,7 +86,10 @@ fn main() {
     };
 
     println!("home page over NADINO's data plane:");
-    println!("  sequential chain : {chain_us:>8.1} us  ({} exchanges)", 12);
+    println!(
+        "  sequential chain : {chain_us:>8.1} us  ({} exchanges)",
+        12
+    );
     println!(
         "  DAG fan-out      : {dag_us:>8.1} us  ({} messages, overlapped)",
         dag.messages_per_request()

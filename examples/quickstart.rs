@@ -33,7 +33,11 @@ fn main() {
     // 4. Drive it with 8 closed-loop clients for 100 ms of virtual time.
     let stop = sim.now() + SimDuration::from_millis(100);
     let driver = ClosedLoop::new(stop);
-    cluster.register_chain(&chain, |_| SimDuration::from_micros(20), driver.completion());
+    cluster.register_chain(
+        &chain,
+        |_| SimDuration::from_micros(20),
+        driver.completion(),
+    );
     driver.start(&mut sim, &cluster, &chain, 8, 512);
     let t0 = sim.now();
     sim.run();

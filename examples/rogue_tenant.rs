@@ -24,9 +24,7 @@ fn victim_echo_rtt(fabric: &Fabric, sim: &mut Sim, setup: &VictimSetup) -> f64 {
         .unwrap();
     let t0 = sim.now();
     let buf = setup.pool_a.get().unwrap();
-    fabric
-        .post_send(sim, setup.qp, WrId(1), buf, 0)
-        .unwrap();
+    fabric.post_send(sim, setup.qp, WrId(1), buf, 0).unwrap();
     sim.run();
     let _ = fabric.poll_cq(setup.cq_b, 8);
     let _ = fabric.poll_cq(setup.cq_a, 8);
@@ -44,9 +42,11 @@ struct VictimSetup {
 
 fn main() {
     // A small QP cache makes the effect visible quickly.
-    let mut costs = RdmaCosts::default();
-    costs.qp_cache_entries = 32;
-    costs.qp_cache_miss_penalty = SimDuration::from_micros(6);
+    let costs = RdmaCosts {
+        qp_cache_entries: 32,
+        qp_cache_miss_penalty: SimDuration::from_micros(6),
+        ..RdmaCosts::default()
+    };
     let fabric = Fabric::new(costs);
     let mut sim = Sim::new();
     let a = fabric.add_node();

@@ -61,9 +61,7 @@ fn cross_tenant_traffic_is_denied() {
     let mut buf = cluster.pool(t1, 0).get().unwrap();
     buf.write_payload(&runtime::encode_request_payload(99, 64))
         .unwrap();
-    cluster.nodes[0]
-        .iolib
-        .send(&mut sim, t1, buf.into_desc(21));
+    cluster.nodes[0].iolib.send(&mut sim, t1, buf.into_desc(21));
     sim.run();
 
     // The victim never saw a completion and the sidecar logged the denial.
@@ -91,11 +89,22 @@ fn experiments_are_deterministic() {
         cluster.register_chain(&chain, |_| SimDuration::from_micros(7), driver.completion());
         driver.start(&mut sim, &cluster, &chain, 5, 256);
         sim.run();
+        let stats = cluster.nodes[0].dne.stats();
         (
             driver.completed(),
             driver.latency().mean().as_nanos(),
             sim.now().as_nanos(),
-            cluster.nodes[0].dne.stats(),
+            (
+                stats.submitted,
+                stats.tx_posted,
+                stats.rx_delivered,
+                stats.drops,
+            ),
+            (
+                stats.tx_queue_wait.summary().p99_us,
+                stats.sched_delay.summary().mean_us,
+                stats.post_to_completion.summary().p99_us,
+            ),
         )
     };
     let a = run();
@@ -104,6 +113,7 @@ fn experiments_are_deterministic() {
     assert_eq!(a.1, b.1);
     assert_eq!(a.2, b.2);
     assert_eq!(a.3, b.3);
+    assert_eq!(a.4, b.4);
 }
 
 /// Scaling the number of worker nodes spreads a long chain and still
@@ -125,7 +135,11 @@ fn three_node_cluster_runs_a_spread_chain() {
     cluster.place(2, 1);
     cluster.place(3, 2);
     let driver = ClosedLoop::new(sim.now() + SimDuration::from_millis(30));
-    cluster.register_chain(&chain, |_| SimDuration::from_micros(10), driver.completion());
+    cluster.register_chain(
+        &chain,
+        |_| SimDuration::from_micros(10),
+        driver.completion(),
+    );
     driver.start(&mut sim, &cluster, &chain, 4, 128);
     sim.run();
     assert!(driver.completed() > 100);

@@ -72,9 +72,11 @@ fn two_sided_transfer_preserves_content() {
 #[test]
 fn qp_cache_thrashing_inflates_latency() {
     let run_with_active = |extra_active: usize| -> f64 {
-        let mut costs = RdmaCosts::default();
-        costs.qp_cache_entries = 16;
-        costs.qp_cache_miss_penalty = SimDuration::from_micros(4);
+        let costs = RdmaCosts {
+            qp_cache_entries: 16,
+            qp_cache_miss_penalty: SimDuration::from_micros(4),
+            ..RdmaCosts::default()
+        };
         let fabric = Fabric::new(costs);
         let mut sim = Sim::new();
         let a = fabric.add_node();
@@ -104,15 +106,17 @@ fn qp_cache_thrashing_inflates_latency() {
             .unwrap();
         let t0 = sim.now();
         let buf = pool_a.get().unwrap();
-        fabric.post_send(&mut sim, handles[0], WrId(1), buf, 0).unwrap();
+        fabric
+            .post_send(&mut sim, handles[0], WrId(1), buf, 0)
+            .unwrap();
         sim.run();
         let _ = fabric.poll_cq(cq_b, 4);
         (sim.now() - t0).as_micros_f64()
     };
     let cold = run_with_active(0); // 1 active QP, fits the cache
     let hot = run_with_active(63); // 64 active QPs >> 16-entry cache
-    // 48 of 64 active QPs overflow the 16-entry cache: 0.75 x 4us penalty
-    // on the requester side.
+                                   // 48 of 64 active QPs overflow the 16-entry cache: 0.75 x 4us penalty
+                                   // on the requester side.
     assert!(
         hot > cold + 2.5,
         "cache thrash must add latency: {cold}us -> {hot}us"
@@ -224,7 +228,13 @@ fn connection_pooling_amortizes_setup_cost() {
     let _ = fabric.poll_cq(cq_b, 4);
     let warm_us = (sim.now() - t1).as_micros_f64();
 
-    assert!(cold_ms >= 20.0, "cold first byte = {cold_ms}ms (paper: tens of ms)");
+    assert!(
+        cold_ms >= 20.0,
+        "cold first byte = {cold_ms}ms (paper: tens of ms)"
+    );
     assert!(warm_us < 10.0, "pooled connection = {warm_us}us");
-    assert!(cold_ms * 1_000.0 / warm_us > 1_000.0, "pooling wins by 3+ orders");
+    assert!(
+        cold_ms * 1_000.0 / warm_us > 1_000.0,
+        "pooling wins by 3+ orders"
+    );
 }
