@@ -4,6 +4,9 @@
 //! experiments [name ...]      # fig06 fig09 fig11 fig12 fig13 fig14
 //!                             # fig15 fig16 table2 fig17, or "all"
 //! experiments --quick [name]  # shorter runs for smoke testing
+//! experiments --jobs N        # fan figures and sweep points out over N
+//!                             # threads (default: available cores); output
+//!                             # is byte-identical to --jobs 1
 //! experiments --trace-out t.json --metrics-out m.json
 //!                             # instrumented Online Boutique run: Perfetto
 //!                             # trace + metrics snapshot (no figures unless
@@ -11,15 +14,20 @@
 //! ```
 //!
 //! Each experiment prints its table(s) and writes a JSON twin under
-//! `results/`.
+//! `results/`. With `--jobs N` each requested figure runs on its own
+//! thread, and fig06/fig09/fig11/fig12 further split into one thread per
+//! independent sweep cell; results are printed and written in request
+//! order, so the text and JSON are byte-identical whatever `N` is.
 
 use std::path::PathBuf;
 
+use nadino::experiment::parallel::{default_jobs, pmap};
 use nadino::experiment::{
     ablations, fig06, fig09, fig11, fig12, fig13, fig14, fig15, fig16, fig17, summary,
 };
-use nadino::report::write_json;
+use obs::ToJson;
 
+#[derive(Clone, Copy)]
 struct Budget {
     /// Virtual milliseconds per steady-state cell.
     millis: u64,
@@ -55,71 +63,90 @@ fn results_dir() -> PathBuf {
     PathBuf::from("results")
 }
 
-fn emit<T: obs::ToJson>(name: &str, text: &str, value: &T) {
-    println!("{text}");
-    let path = results_dir().join(format!("{name}.json"));
-    match write_json(&path, value) {
-        Ok(()) => println!("[wrote {}]\n", path.display()),
-        Err(e) => eprintln!("[failed to write {}: {e}]\n", path.display()),
+/// One figure's finished output: results-file stem, rendered table text
+/// and pretty JSON. Produced on a worker thread, emitted in request order
+/// by the main thread.
+struct Output {
+    stem: &'static str,
+    text: String,
+    json: String,
+}
+
+fn out<T: ToJson>(stem: &'static str, text: String, value: &T) -> Output {
+    Output {
+        stem,
+        text,
+        json: value.to_json().to_string_pretty(),
     }
 }
 
-fn run_one(name: &str, b: &Budget) {
+/// Runs one experiment; `jobs` is the sweep-cell fan-out for the figures
+/// that decompose into independent `Sim`s.
+fn run_one(name: &str, b: &Budget, jobs: usize) -> Output {
     match name {
         "fig06" => {
-            let fig = fig06::run(b.requests, b.millis);
-            emit("fig06", &fig.render(), &fig);
+            let fig = fig06::run_jobs(b.requests, b.millis, jobs);
+            out("fig06", fig.render(), &fig)
         }
         "fig09" => {
-            let fig = fig09::run(b.requests);
-            emit("fig09", &fig.render(), &fig);
+            let fig = fig09::run_jobs(b.requests, jobs);
+            out("fig09", fig.render(), &fig)
         }
         "fig11" => {
-            let fig = fig11::run(b.millis);
-            emit("fig11", &fig.render(), &fig);
+            let fig = fig11::run_jobs(b.millis, jobs);
+            out("fig11", fig.render(), &fig)
         }
         "fig12" => {
-            let fig = fig12::run(b.requests);
-            emit("fig12", &fig.render(), &fig);
+            let fig = fig12::run_jobs(b.requests, jobs);
+            out("fig12", fig.render(), &fig)
         }
         "fig13" => {
             let fig = fig13::run(b.millis);
-            emit("fig13", &fig.render(), &fig);
+            out("fig13", fig.render(), &fig)
         }
         "fig14" => {
             let fig = fig14::run(b.ramp_secs);
-            emit("fig14", &fig.render(), &fig);
+            out("fig14", fig.render(), &fig)
         }
         "fig15" => {
             let fig = fig15::run(b.scale);
-            emit("fig15", &fig.render(), &fig);
+            out("fig15", fig.render(), &fig)
         }
         "fig16" | "table2" => {
             let fig = fig16::run(b.millis);
             let mut text = fig.render();
             text.push('\n');
             text.push_str(&fig.render_table2());
-            emit("fig16", &text, &fig);
+            out("fig16", text, &fig)
         }
         "fig17" => {
             let fig = fig17::run(b.scale);
-            emit("fig17", &fig.render(), &fig);
+            out("fig17", fig.render(), &fig)
         }
         "ablations" => {
             let fig = ablations::run(b.millis, b.scale.min(0.05));
-            emit("ablations", &fig.render(), &fig);
+            out("ablations", fig.render(), &fig)
         }
         "summary" => {
             let fig = summary::run(b.millis, b.requests);
-            emit("summary", &fig.render(), &fig);
+            out("summary", fig.render(), &fig)
         }
-        other => {
-            eprintln!(
-                "unknown experiment {other:?}; known: {:?}",
-                bench::EXPERIMENTS
-            );
-            std::process::exit(2);
+        other => unreachable!("unvalidated experiment name {other:?}"),
+    }
+}
+
+fn emit(o: &Output) {
+    println!("{}", o.text);
+    let path = results_dir().join(format!("{}.json", o.stem));
+    let write = || -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
         }
+        std::fs::write(&path, &o.json)
+    };
+    match write() {
+        Ok(()) => println!("[wrote {}]\n", path.display()),
+        Err(e) => eprintln!("[failed to write {}: {e}]\n", path.display()),
     }
 }
 
@@ -185,6 +212,7 @@ fn instrumented_run(trace_out: Option<&PathBuf>, metrics_out: Option<&PathBuf>) 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut jobs = default_jobs();
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut names: Vec<String> = Vec::new();
@@ -192,6 +220,13 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--trace-out" => match it.next() {
                 Some(p) => trace_out = Some(PathBuf::from(p)),
                 None => {
@@ -221,9 +256,29 @@ fn main() {
         } else {
             names
         };
-    for name in names {
-        eprintln!(">>> running {name}");
-        run_one(&name, &budget);
+    for name in &names {
+        if !bench::is_known(name) {
+            eprintln!(
+                "unknown experiment {name:?}; known: {:?}",
+                bench::EXPERIMENTS
+            );
+            std::process::exit(2);
+        }
+    }
+    // Each figure runs on its own thread (and the sweep figures fan their
+    // cells out further); outputs are emitted strictly in request order.
+    let tasks: Vec<_> = names
+        .iter()
+        .map(|name| {
+            let name = name.clone();
+            move || {
+                eprintln!(">>> running {name}");
+                run_one(&name, &budget, jobs)
+            }
+        })
+        .collect();
+    for output in pmap(tasks, jobs) {
+        emit(&output);
     }
     if instrumented {
         instrumented_run(trace_out.as_ref(), metrics_out.as_ref());

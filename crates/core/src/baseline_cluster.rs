@@ -140,7 +140,9 @@ impl BaselineCluster {
                     src_engine.process(
                         sim,
                         payload,
-                        Box::new(move |sim| sim.schedule_after(latency, cont)),
+                        Box::new(move |sim| {
+                            sim.schedule_after(latency, cont);
+                        }),
                     );
                 } else {
                     let cpu_done = src_cpu.borrow_mut().run(sim.now(), service);

@@ -373,6 +373,14 @@ impl Cluster {
         let cluster = Rc::clone(self);
         sim.schedule_after(every, move |sim| {
             cluster.sample_obs(sim.now(), &reg, every);
+            // Engine self-observation: how fast the simulator itself is
+            // chewing through events (wall clock, not virtual time).
+            let p = sim.profile();
+            reg.gauge("sim_events_per_sec", &[]).set(p.events_per_sec());
+            reg.gauge("sim_executed_events_total", &[])
+                .set(p.executed_events as f64);
+            reg.gauge("sim_pending_events", &[])
+                .set(p.pending_events as f64);
             if sim.now() < until {
                 Cluster::start_obs_sampler(&cluster, sim, reg, every, until);
             }

@@ -22,6 +22,7 @@ use runtime::ChainSpec;
 use simcore::{Sim, SimDuration};
 
 use crate::cluster::{Cluster, ClusterConfig};
+use crate::experiment::parallel::pmap;
 use crate::report::{fmt_f64, render_table};
 use crate::workload::ClosedLoop;
 
@@ -70,58 +71,77 @@ fn dne_echo(payload: usize, clients: usize, millis: u64) -> (f64, f64) {
     (driver.latency().mean().as_micros_f64(), driver.rps())
 }
 
+/// One native cell: raw verbs on `proc` cores, latency + throughput runs.
+fn native_cell(requests: u64, payload: usize, proc: ProcessorKind, name: &str) -> Fig06Row {
+    // Native functions run full verb management per message. Most
+    // of that work is I/O-bound (doorbell MMIO, CQ poll waits), so
+    // only a small CPU-bound fraction is penalized by wimpy cores
+    // — exactly why the paper finds the DPU penalty minimal.
+    let per_msg = SimDuration::from_nanos(700);
+    let per_msg_unscaled = SimDuration::from_micros(3);
+    let lat = run_echo(EchoConfig {
+        primitive: Primitive::TwoSided,
+        payload,
+        window: 1,
+        requests,
+        proc,
+        per_msg,
+        per_msg_unscaled,
+        ..EchoConfig::default()
+    });
+    let thr = run_echo(EchoConfig {
+        primitive: Primitive::TwoSided,
+        payload,
+        window: 16,
+        requests,
+        proc,
+        per_msg,
+        per_msg_unscaled,
+        ..EchoConfig::default()
+    });
+    Fig06Row {
+        setting: name.to_string(),
+        payload,
+        mean_us: lat.latency.mean().as_micros_f64(),
+        rps: thr.rps,
+    }
+}
+
+/// One DNE cell: latency (1 client) and throughput (16 clients) runs.
+fn dne_cell(payload: usize, millis: u64) -> Fig06Row {
+    let (lat_us, _) = dne_echo(payload, 1, millis);
+    let (_, rps) = dne_echo(payload, 16, millis);
+    Fig06Row {
+        setting: "NADINO (DNE)".to_string(),
+        payload,
+        mean_us: lat_us,
+        rps,
+    }
+}
+
 /// Runs the experiment (`requests` echoes per native cell, `millis` of
 /// virtual time per DNE cell).
 pub fn run(requests: u64, millis: u64) -> Fig06 {
-    let mut rows = Vec::new();
+    run_jobs(requests, millis, 1)
+}
+
+/// Same experiment with the nine independent cells (each a fresh `Sim`)
+/// fanned out across `jobs` threads; row order — and thus rendering and
+/// JSON — is byte-identical to the sequential run.
+pub fn run_jobs(requests: u64, millis: u64, jobs: usize) -> Fig06 {
+    let mut cells: Vec<Box<dyn FnOnce() -> Fig06Row + Send>> = Vec::new();
     for payload in PAYLOADS {
         for (proc, name) in [
             (ProcessorKind::HostCpu, "native RDMA (CPU)"),
             (ProcessorKind::DpuArm, "native RDMA (DPU)"),
         ] {
-            // Native functions run full verb management per message. Most
-            // of that work is I/O-bound (doorbell MMIO, CQ poll waits), so
-            // only a small CPU-bound fraction is penalized by wimpy cores
-            // — exactly why the paper finds the DPU penalty minimal.
-            let per_msg = SimDuration::from_nanos(700);
-            let per_msg_unscaled = SimDuration::from_micros(3);
-            let lat = run_echo(EchoConfig {
-                primitive: Primitive::TwoSided,
-                payload,
-                window: 1,
-                requests,
-                proc,
-                per_msg,
-                per_msg_unscaled,
-                ..EchoConfig::default()
-            });
-            let thr = run_echo(EchoConfig {
-                primitive: Primitive::TwoSided,
-                payload,
-                window: 16,
-                requests,
-                proc,
-                per_msg,
-                per_msg_unscaled,
-                ..EchoConfig::default()
-            });
-            rows.push(Fig06Row {
-                setting: name.to_string(),
-                payload,
-                mean_us: lat.latency.mean().as_micros_f64(),
-                rps: thr.rps,
-            });
+            cells.push(Box::new(move || native_cell(requests, payload, proc, name)));
         }
-        let (lat_us, _) = dne_echo(payload, 1, millis);
-        let (_, rps) = dne_echo(payload, 16, millis);
-        rows.push(Fig06Row {
-            setting: "NADINO (DNE)".to_string(),
-            payload,
-            mean_us: lat_us,
-            rps,
-        });
+        cells.push(Box::new(move || dne_cell(payload, millis)));
     }
-    Fig06 { rows }
+    Fig06 {
+        rows: pmap(cells, jobs),
+    }
 }
 
 impl Fig06 {
@@ -188,5 +208,12 @@ mod tests {
         let fig = run(100, 15);
         assert_eq!(fig.rows.len(), 9);
         assert!(fig.render().contains("NADINO (DNE)"));
+    }
+
+    #[test]
+    fn parallel_run_renders_identically() {
+        let seq = run_jobs(100, 15, 1);
+        let par = run_jobs(100, 15, 4);
+        assert_eq!(seq.render(), par.render());
     }
 }

@@ -16,6 +16,7 @@ use dpu_sim::comch::{ChannelKind, ComchCosts};
 use dpu_sim::soc::{Processor, ProcessorKind};
 use simcore::{Histogram, Sim, SimTime};
 
+use crate::experiment::parallel::pmap;
 use crate::report::{fmt_f64, render_table};
 
 /// One measured cell.
@@ -93,41 +94,54 @@ fn issue(state: &Rc<RefCell<EchoState>>, sim: &mut Sim) {
     });
 }
 
+/// One sweep cell: `functions` echo loops over one channel kind.
+fn cell(kind: ChannelKind, name: &str, functions: usize, per_function: u64) -> Fig09Row {
+    let costs = ComchCosts::for_kind(kind);
+    let state = Rc::new(RefCell::new(EchoState {
+        dne: Processor::new(ProcessorKind::DpuArm, 1),
+        costs,
+        functions,
+        completed: 0,
+        target: per_function * functions as u64,
+        hist: Histogram::new(),
+        ended: SimTime::ZERO,
+    }));
+    let mut sim = Sim::new();
+    for _ in 0..functions {
+        issue(&state, &mut sim);
+    }
+    sim.run();
+    let st = state.borrow();
+    let secs = st.ended.as_secs_f64();
+    Fig09Row {
+        channel: name.to_string(),
+        functions,
+        mean_rtt_us: st.hist.mean().as_micros_f64(),
+        total_rps: if secs > 0.0 {
+            st.completed as f64 / secs
+        } else {
+            0.0
+        },
+    }
+}
+
 /// Runs the experiment with `per_function` echoes per function.
 pub fn run(per_function: u64) -> Fig09 {
-    let mut rows = Vec::new();
+    run_jobs(per_function, 1)
+}
+
+/// Same experiment with the fifteen independent cells fanned out across
+/// `jobs` threads; row order matches the sequential run exactly.
+pub fn run_jobs(per_function: u64, jobs: usize) -> Fig09 {
+    let mut cells: Vec<Box<dyn FnOnce() -> Fig09Row + Send>> = Vec::new();
     for (kind, name) in CHANNELS {
         for functions in FUNCTION_COUNTS {
-            let costs = ComchCosts::for_kind(kind);
-            let state = Rc::new(RefCell::new(EchoState {
-                dne: Processor::new(ProcessorKind::DpuArm, 1),
-                costs,
-                functions,
-                completed: 0,
-                target: per_function * functions as u64,
-                hist: Histogram::new(),
-                ended: SimTime::ZERO,
-            }));
-            let mut sim = Sim::new();
-            for _ in 0..functions {
-                issue(&state, &mut sim);
-            }
-            sim.run();
-            let st = state.borrow();
-            let secs = st.ended.as_secs_f64();
-            rows.push(Fig09Row {
-                channel: name.to_string(),
-                functions,
-                mean_rtt_us: st.hist.mean().as_micros_f64(),
-                total_rps: if secs > 0.0 {
-                    st.completed as f64 / secs
-                } else {
-                    0.0
-                },
-            });
+            cells.push(Box::new(move || cell(kind, name, functions, per_function)));
         }
     }
-    Fig09 { rows }
+    Fig09 {
+        rows: pmap(cells, jobs),
+    }
 }
 
 impl Fig09 {

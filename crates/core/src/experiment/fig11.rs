@@ -17,6 +17,7 @@ use runtime::ChainSpec;
 use simcore::{Sim, SimDuration};
 
 use crate::cluster::{Cluster, ClusterConfig};
+use crate::experiment::parallel::pmap;
 use crate::report::{fmt_f64, render_table};
 use crate::workload::ClosedLoop;
 
@@ -86,38 +87,52 @@ fn run_one(cfg: DneConfig, payload: usize, clients: usize, millis: u64) -> (f64,
 
 /// Runs both sweeps with `millis` of virtual time per cell.
 pub fn run(millis: u64) -> Fig11 {
+    run_jobs(millis, 1)
+}
+
+/// Same experiment with all sixteen independent sweep points (each a
+/// fresh `Sim`) fanned out across `jobs` threads; row order in both
+/// panels matches the sequential run exactly.
+pub fn run_jobs(millis: u64, jobs: usize) -> Fig11 {
     let modes = [
         (DneConfig::nadino_dne(), "off-path"),
         (DneConfig::on_path_dne(), "on-path"),
     ];
-    let mut payload_sweep = Vec::new();
+    let mut cells: Vec<Box<dyn FnOnce() -> Fig11Row + Send>> = Vec::new();
     for (cfg, name) in &modes {
         for payload in PAYLOADS {
-            let (mean_us, rps) = run_one(cfg.clone(), payload, 1, millis);
-            payload_sweep.push(Fig11Row {
-                mode: name.to_string(),
-                payload,
-                concurrency: 1,
-                mean_us,
-                rps,
-            });
+            let cfg = cfg.clone();
+            cells.push(Box::new(move || {
+                let (mean_us, rps) = run_one(cfg, payload, 1, millis);
+                Fig11Row {
+                    mode: name.to_string(),
+                    payload,
+                    concurrency: 1,
+                    mean_us,
+                    rps,
+                }
+            }));
         }
     }
-    let mut concurrency_sweep = Vec::new();
     for (cfg, name) in &modes {
         for clients in CONCURRENCY {
-            let (mean_us, rps) = run_one(cfg.clone(), 1024, clients, millis);
-            concurrency_sweep.push(Fig11Row {
-                mode: name.to_string(),
-                payload: 1024,
-                concurrency: clients,
-                mean_us,
-                rps,
-            });
+            let cfg = cfg.clone();
+            cells.push(Box::new(move || {
+                let (mean_us, rps) = run_one(cfg, 1024, clients, millis);
+                Fig11Row {
+                    mode: name.to_string(),
+                    payload: 1024,
+                    concurrency: clients,
+                    mean_us,
+                    rps,
+                }
+            }));
         }
     }
+    let mut rows = pmap(cells, jobs);
+    let concurrency_sweep = rows.split_off(PAYLOADS.len() * modes.len());
     Fig11 {
-        payload_sweep,
+        payload_sweep: rows,
         concurrency_sweep,
     }
 }

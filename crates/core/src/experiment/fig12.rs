@@ -12,6 +12,7 @@
 
 use baselines::{run_echo, EchoConfig, Primitive};
 
+use crate::experiment::parallel::pmap;
 use crate::report::{fmt_f64, render_table};
 
 /// One measured cell of the figure.
@@ -51,37 +52,49 @@ pub const PRIMITIVES: [(Primitive, &str); 4] = [
     (Primitive::Owdl, "OWDL"),
 ];
 
+/// One cell: latency (window 1) and throughput (window 8) runs.
+fn cell(primitive: Primitive, name: &str, payload: usize, requests: u64) -> Fig12Row {
+    let lat = run_echo(EchoConfig {
+        primitive,
+        payload,
+        window: 1,
+        requests,
+        ..EchoConfig::default()
+    });
+    // Throughput: a window of 8 keeps the pipe full.
+    let thr = run_echo(EchoConfig {
+        primitive,
+        payload,
+        window: 8,
+        requests,
+        ..EchoConfig::default()
+    });
+    Fig12Row {
+        primitive: name.to_string(),
+        payload,
+        mean_us: lat.latency.mean().as_micros_f64(),
+        p99_us: lat.latency.percentile(99.0).as_micros_f64(),
+        rps: thr.rps,
+    }
+}
+
 /// Runs the experiment with `requests` echoes per cell.
 pub fn run(requests: u64) -> Fig12 {
-    let mut rows = Vec::new();
+    run_jobs(requests, 1)
+}
+
+/// Same experiment with the sixteen independent cells fanned out across
+/// `jobs` threads; row order matches the sequential run exactly.
+pub fn run_jobs(requests: u64, jobs: usize) -> Fig12 {
+    let mut cells: Vec<Box<dyn FnOnce() -> Fig12Row + Send>> = Vec::new();
     for (primitive, name) in PRIMITIVES {
         for payload in PAYLOADS {
-            // Latency: single outstanding request.
-            let lat = run_echo(EchoConfig {
-                primitive,
-                payload,
-                window: 1,
-                requests,
-                ..EchoConfig::default()
-            });
-            // Throughput: a window of 8 keeps the pipe full.
-            let thr = run_echo(EchoConfig {
-                primitive,
-                payload,
-                window: 8,
-                requests,
-                ..EchoConfig::default()
-            });
-            rows.push(Fig12Row {
-                primitive: name.to_string(),
-                payload,
-                mean_us: lat.latency.mean().as_micros_f64(),
-                p99_us: lat.latency.percentile(99.0).as_micros_f64(),
-                rps: thr.rps,
-            });
+            cells.push(Box::new(move || cell(primitive, name, payload, requests)));
         }
     }
-    Fig12 { rows }
+    Fig12 {
+        rows: pmap(cells, jobs),
+    }
 }
 
 impl Fig12 {

@@ -15,4 +15,5 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod parallel;
 pub mod summary;

@@ -32,7 +32,7 @@ use obs::{Stage, Tracer};
 use rdma_sim::fabric::{CqId, QpHandle, RqId};
 use rdma_sim::types::{Cqe, CqeOpcode, CqeStatus};
 use rdma_sim::{Fabric, NodeId, RdmaError};
-use simcore::{Sim, SimDuration, SimTime};
+use simcore::{Sim, SimDuration, SimTime, Ticker};
 
 use crate::connpool::ConnPool;
 use crate::rbr::ReceiveBufferRegistry;
@@ -139,6 +139,8 @@ struct Inner {
     next_send_wr: u64,
     tracer: Tracer,
     posted: HashMap<u64, PostedSend>,
+    /// Periodic idle-QP reaper, when armed (see [`Dne::start_conn_reaper`]).
+    conn_reaper: Option<Ticker>,
 }
 
 impl Inner {
@@ -262,6 +264,7 @@ impl Dne {
             next_send_wr: 0,
             tracer: Tracer::disabled(),
             posted: HashMap::new(),
+            conn_reaper: None,
         }));
         let weak: Weak<RefCell<Inner>> = Rc::downgrade(&inner);
         fabric.set_cq_waker(
@@ -774,6 +777,34 @@ impl Dne {
         self.inner.borrow().conns.deactivations()
     }
 
+    /// Arms a periodic idle-QP reaper sweeping every `every`.
+    ///
+    /// The engine already reaps opportunistically on send completions; the
+    /// periodic sweep additionally catches QPs that went idle with no
+    /// further completion traffic to piggyback on (e.g. after a tenant's
+    /// burst ends). Idempotent while armed.
+    pub fn start_conn_reaper(&self, sim: &mut Sim, every: SimDuration) {
+        if self.inner.borrow().conn_reaper.is_some() {
+            return;
+        }
+        let weak: Weak<RefCell<Inner>> = Rc::downgrade(&self.inner);
+        let ticker = Ticker::start(sim, every, move |_sim| {
+            if let Some(rc) = weak.upgrade() {
+                let inner = rc.borrow();
+                let fabric = inner.fabric.clone();
+                inner.conns.deactivate_idle(&fabric);
+            }
+        });
+        self.inner.borrow_mut().conn_reaper = Some(ticker);
+    }
+
+    /// Disarms the periodic reaper, descheduling its pending sweep.
+    pub fn stop_conn_reaper(&self, sim: &mut Sim) {
+        if let Some(t) = self.inner.borrow_mut().conn_reaper.take() {
+            t.cancel_in(sim);
+        }
+    }
+
     /// Returns `(hits, misses)` of the shadow-QP picker for one tenant.
     pub fn conn_hit_miss_of(&self, tenant: TenantId) -> (u64, u64) {
         self.inner.borrow().conns.hit_miss_of(tenant)
@@ -917,6 +948,38 @@ mod tests {
         // 256 buffers sit pre-posted in the receive queue).
         let prepost = DneConfig::nadino_dne().prepost_depth as u32;
         assert_eq!(env.pool_a.stats().free, env.pool_a.capacity() - prepost);
+    }
+
+    #[test]
+    fn periodic_conn_reaper_sweeps_and_deschedules_on_stop() {
+        let mut env = setup(DneConfig::nadino_dne());
+        let pool_b = env.pool_b.clone();
+        env.dne_b.register_endpoint(
+            2,
+            Rc::new(move |_sim, desc| {
+                let _ = pool_b.redeem(desc).expect("valid");
+            }),
+        );
+        env.dne_a
+            .start_conn_reaper(&mut env.sim, SimDuration::from_micros(100));
+        env.dne_a
+            .start_conn_reaper(&mut env.sim, SimDuration::from_micros(100)); // idempotent
+        assert_eq!(env.sim.pending_events(), 1, "one sweep armed");
+        let buf = env.pool_a.get().unwrap();
+        env.dne_a.submit(&mut env.sim, env.tenant, buf.into_desc(2));
+        env.sim.run_for(SimDuration::from_millis(1));
+        assert!(
+            env.dne_a.conn_deactivations() >= 1,
+            "sweep reaped the drained QP"
+        );
+        env.dne_a.stop_conn_reaper(&mut env.sim);
+        assert_eq!(
+            env.sim.pending_events(),
+            0,
+            "pending sweep descheduled, not zombied"
+        );
+        env.dne_a.stop_conn_reaper(&mut env.sim); // idempotent
+        env.sim.run();
     }
 
     #[test]

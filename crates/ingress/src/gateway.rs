@@ -20,7 +20,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use obs::{Stage, Tracer};
-use simcore::{Server, Sim, SimDuration, SimTime};
+use simcore::{Server, Sim, SimDuration, SimTime, TimerHandle};
 
 use crate::autoscale::{AutoscaleConfig, Hysteresis, ScaleDecision};
 use crate::rss::{rss_select, FlowId};
@@ -107,6 +107,9 @@ struct GwInner {
     last_eval: SimTime,
     samples: Vec<ScaleSample>,
     autoscaler_running: bool,
+    /// Pending autoscaler evaluation, so [`Gateway::stop_autoscaler`] can
+    /// deschedule it instead of leaving a dead closure to fire.
+    autoscaler_timer: Option<TimerHandle>,
     tracer: Tracer,
 }
 
@@ -149,6 +152,7 @@ impl Gateway {
                 last_eval: SimTime::ZERO,
                 samples: Vec::new(),
                 autoscaler_running: false,
+                autoscaler_timer: None,
                 tracer: Tracer::disabled(),
             })),
         }
@@ -290,10 +294,33 @@ impl Gateway {
 
     fn schedule_eval(gw: Gateway, sim: &mut Sim) {
         let interval = gw.inner.borrow().cfg.autoscale_interval;
-        sim.schedule_after(interval, move |sim| {
+        let slot = gw.clone();
+        let handle = sim.schedule_after(interval, move |sim| {
+            gw.inner.borrow_mut().autoscaler_timer = None;
+            if !gw.inner.borrow().autoscaler_running {
+                return;
+            }
             gw.evaluate_once(sim);
             Gateway::schedule_eval(gw.clone(), sim);
         });
+        slot.inner.borrow_mut().autoscaler_timer = Some(handle);
+    }
+
+    /// Stops the autoscaler loop, descheduling the pending evaluation.
+    ///
+    /// Idempotent; [`Gateway::start_autoscaler`] can restart it later.
+    pub fn stop_autoscaler(&self, sim: &mut Sim) {
+        let handle = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.autoscaler_running {
+                return;
+            }
+            inner.autoscaler_running = false;
+            inner.autoscaler_timer.take()
+        };
+        if let Some(h) = handle {
+            sim.cancel(h);
+        }
     }
 
     fn evaluate_once(&self, sim: &mut Sim) {
@@ -451,6 +478,28 @@ mod tests {
             "idle should trigger scale-down from {peak}"
         );
         assert!(!gw.scale_samples().is_empty());
+    }
+
+    #[test]
+    fn stop_autoscaler_deschedules_the_pending_evaluation() {
+        let cfg = GatewayConfig {
+            autoscale: Some(AutoscaleConfig::default()),
+            autoscale_interval: SimDuration::from_millis(100),
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::new(cfg);
+        let mut sim = Sim::new();
+        gw.start_autoscaler(&mut sim);
+        assert_eq!(sim.pending_events(), 1, "evaluation armed");
+        gw.stop_autoscaler(&mut sim);
+        assert_eq!(sim.pending_events(), 0, "evaluation descheduled");
+        gw.stop_autoscaler(&mut sim); // idempotent
+        assert_eq!(sim.profile().cancelled_events, 1);
+        // Restart works and the loop self-sustains again.
+        gw.start_autoscaler(&mut sim);
+        assert_eq!(sim.pending_events(), 1);
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(250));
+        assert_eq!(sim.executed_events(), 2, "two evaluation periods elapsed");
     }
 
     #[test]

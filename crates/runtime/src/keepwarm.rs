@@ -6,10 +6,19 @@
 //! cold-start penalty when a request arrives after the instance expired.
 //! [`InstanceManager`] tracks warmth per function in virtual time and
 //! reports the start-up delay each invocation must absorb.
+//!
+//! Warmth can be tracked two ways: purely virtually (ask
+//! [`InstanceManager::is_warm`] at invocation time, as the closed-loop
+//! experiments do) or eagerly via [`ExpiryReaper`], which arms one
+//! cancellable expiry timer per function — each re-invocation deschedules
+//! and re-arms it, and the instance is actually torn down (evicted) when
+//! the grace period elapses, the way a real keep-warm reaper behaves.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
-use simcore::{SimDuration, SimTime};
+use simcore::{Sim, SimDuration, SimTime, TimerHandle};
 
 /// Keep-warm configuration.
 #[derive(Debug, Clone)]
@@ -84,6 +93,17 @@ impl InstanceManager {
         (self.cold_starts, self.warm_hits)
     }
 
+    /// Returns the policy in force.
+    pub fn policy(&self) -> &KeepWarmPolicy {
+        &self.policy
+    }
+
+    /// Tears down `fn_id`'s instance immediately, forgetting its warmth.
+    /// Returns `true` if an instance was tracked.
+    pub fn evict(&mut self, fn_id: u16) -> bool {
+        self.last_used.remove(&fn_id).is_some()
+    }
+
     /// Returns the functions currently warm at `now` (sorted).
     pub fn warm_set(&self, now: SimTime) -> Vec<u16> {
         let mut v: Vec<u16> = self
@@ -94,6 +114,78 @@ impl InstanceManager {
             .collect();
         v.sort_unstable();
         v
+    }
+}
+
+/// Event-driven keep-warm reaper: one cancellable expiry timer per warm
+/// instance.
+///
+/// Each invocation (or prewarm) arms a timer `keep_warm_for` out; a
+/// re-invocation *deschedules* the pending timer through its
+/// [`TimerHandle`] and re-arms it, so the engine never dispatches stale
+/// expiry closures. When a timer does fire, the instance is evicted from
+/// the shared [`InstanceManager`] — the next invocation pays the cold
+/// start, exactly as the virtual-time `is_warm` check would conclude.
+#[derive(Clone)]
+pub struct ExpiryReaper {
+    mgr: Rc<RefCell<InstanceManager>>,
+    timers: Rc<RefCell<HashMap<u16, TimerHandle>>>,
+    evictions: Rc<std::cell::Cell<u64>>,
+}
+
+impl ExpiryReaper {
+    /// Wraps a shared manager. The reaper only owns the timers; warmth
+    /// state stays in the manager.
+    pub fn new(mgr: Rc<RefCell<InstanceManager>>) -> Self {
+        ExpiryReaper {
+            mgr,
+            timers: Rc::new(RefCell::new(HashMap::new())),
+            evictions: Rc::new(std::cell::Cell::new(0)),
+        }
+    }
+
+    /// Records an invocation, re-arming `fn_id`'s expiry timer. Returns
+    /// the start-up delay (see [`InstanceManager::invoke`]).
+    pub fn invoke(&self, sim: &mut Sim, fn_id: u16) -> SimDuration {
+        let delay = self.mgr.borrow_mut().invoke(fn_id, sim.now());
+        self.arm(sim, fn_id);
+        delay
+    }
+
+    /// Pre-warms `fn_id`, arming its expiry timer.
+    pub fn prewarm(&self, sim: &mut Sim, fn_id: u16) {
+        self.mgr.borrow_mut().prewarm(fn_id, sim.now());
+        self.arm(sim, fn_id);
+    }
+
+    /// Timer-driven teardowns so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Cancels every pending expiry timer (shutdown path); warm state in
+    /// the manager is left untouched.
+    pub fn stop(&self, sim: &mut Sim) {
+        for (_, h) in self.timers.borrow_mut().drain() {
+            sim.cancel(h);
+        }
+    }
+
+    fn arm(&self, sim: &mut Sim, fn_id: u16) {
+        if let Some(h) = self.timers.borrow_mut().remove(&fn_id) {
+            sim.cancel(h);
+        }
+        // `is_warm` treats elapsed == keep_warm_for as still warm, so the
+        // teardown fires one nanosecond after the grace period closes.
+        let grace = self.mgr.borrow().policy.keep_warm_for + SimDuration::from_nanos(1);
+        let this = self.clone();
+        let h = sim.schedule_after(grace, move |_sim| {
+            this.timers.borrow_mut().remove(&fn_id);
+            if this.mgr.borrow_mut().evict(fn_id) {
+                this.evictions.set(this.evictions.get() + 1);
+            }
+        });
+        self.timers.borrow_mut().insert(fn_id, h);
     }
 }
 
@@ -161,5 +253,47 @@ mod tests {
         m.invoke(1, at(0));
         assert_eq!(m.invoke(2, at(1)), SimDuration::from_millis(100));
         assert_eq!(m.invoke(1, at(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reaper_evicts_after_grace_and_reinvoke_rearms() {
+        let mgr = Rc::new(RefCell::new(InstanceManager::new(policy())));
+        let reaper = ExpiryReaper::new(mgr.clone());
+        let mut sim = Sim::new();
+        assert_eq!(reaper.invoke(&mut sim, 1), SimDuration::from_millis(100));
+        assert_eq!(sim.pending_events(), 1, "expiry timer armed");
+        // Re-invoke at t=5s: old timer descheduled, new one armed.
+        sim.run_until(at(5));
+        assert_eq!(reaper.invoke(&mut sim, 1), SimDuration::ZERO);
+        assert_eq!(sim.pending_events(), 1);
+        assert_eq!(sim.profile().cancelled_events, 1, "stale timer descheduled");
+        // Nothing re-invokes; the timer fires at 15s + 1ns and evicts.
+        sim.run();
+        assert_eq!(reaper.evictions(), 1);
+        assert!(!mgr.borrow().is_warm(1, sim.now()));
+        assert_eq!(
+            reaper.invoke(&mut sim, 1),
+            SimDuration::from_millis(100),
+            "post-eviction invocation is cold"
+        );
+        reaper.stop(&mut sim);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn reaper_matches_virtual_time_warmth() {
+        // The reaper's eager eviction must agree with the pure
+        // virtual-time is_warm check for any invocation pattern.
+        let mgr = Rc::new(RefCell::new(InstanceManager::new(policy())));
+        let reaper = ExpiryReaper::new(mgr.clone());
+        let mut sim = Sim::new();
+        let mut oracle = InstanceManager::new(policy());
+        for (t, f) in [(0u64, 1u16), (3, 2), (9, 1), (20, 1), (31, 2), (32, 1)] {
+            sim.run_until(at(t));
+            let got = reaper.invoke(&mut sim, f);
+            let want = oracle.invoke(f, at(t));
+            assert_eq!(got, want, "t={t}s fn={f}");
+        }
+        assert_eq!(mgr.borrow().counters(), oracle.counters());
     }
 }

@@ -30,6 +30,6 @@ pub use function::{
     CompletionFn,
 };
 pub use iolib::IoLib;
-pub use keepwarm::{InstanceManager, KeepWarmPolicy};
+pub use keepwarm::{ExpiryReaper, InstanceManager, KeepWarmPolicy};
 pub use placement::Placement;
 pub use sidecar::{AccessDecision, Sidecar};

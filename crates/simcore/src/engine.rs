@@ -1,39 +1,29 @@
 //! The discrete-event engine.
 //!
-//! [`Sim`] owns the virtual clock and a binary heap of scheduled events. An
-//! event is a boxed `FnOnce(&mut Sim)`; components are usually shared via
-//! `Rc<RefCell<_>>` and captured by the closures they schedule. Ties in time
-//! are broken by a monotonically increasing sequence number so execution
-//! order is fully deterministic.
+//! [`Sim`] owns the virtual clock and a hierarchical timing wheel of
+//! scheduled events ([`crate::wheel`]): scheduling and popping are O(1)
+//! amortized instead of the O(log n) of a global binary heap, and event
+//! closures are stored inline in a reusable slab ([`crate::event`]) so the
+//! steady-state hot path does zero allocations. Components are usually
+//! shared via `Rc<RefCell<_>>` and captured by the closures they schedule.
+//! Ties in time are broken by a monotonically increasing sequence number,
+//! so execution order is fully deterministic — and bit-for-bit identical
+//! to the reference binary-heap engine ([`crate::baseline::BaselineSim`]),
+//! which survives for differential tests and benchmarks.
+//!
+//! Every `schedule_*` call returns a [`TimerHandle`]; [`Sim::cancel`]
+//! deschedules the event (dropping its closure immediately) instead of
+//! letting a dead closure fire, which is what retry/timeout-heavy
+//! components (connection reapers, keep-warm eviction, autoscaler masters)
+//! want.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::time::Instant;
 
+pub use crate::wheel::{TimerHandle, DEFAULT_TICK_SHIFT};
+
+use crate::event::EventFn;
 use crate::time::{SimDuration, SimTime};
-
-/// A scheduled event: fires at `at`, FIFO among same-instant events.
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    run: Box<dyn FnOnce(&mut Sim)>,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+use crate::wheel::TimingWheel;
 
 /// A deterministic single-threaded discrete-event simulator.
 ///
@@ -52,28 +42,59 @@ impl Ord for Scheduled {
 /// assert_eq!(hits.get(), 1);
 /// assert_eq!(sim.now().as_nanos(), 5_000);
 /// ```
+///
+/// Cancellation:
+///
+/// ```
+/// use simcore::{Sim, SimDuration};
+///
+/// let mut sim = Sim::new();
+/// let h = sim.schedule_after(SimDuration::from_micros(1), |_| panic!("descheduled"));
+/// assert!(sim.cancel(h));
+/// sim.run(); // nothing fires
+/// assert_eq!(sim.profile().cancelled_events, 1);
+/// ```
 pub struct Sim {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    wheel: TimingWheel,
     executed: u64,
+    cancelled: u64,
     peak_pending: usize,
     depth_samples: Vec<(SimTime, usize)>,
+    wall_ns: u64,
 }
 
 /// Engine-level profile: how much work the simulation itself did.
 ///
-/// `scheduled_events` / `executed_events` count closures pushed/popped;
-/// `peak_pending` is the event-heap high-water mark (a proxy for model
-/// fan-out); `depth_samples` holds explicit [`Sim::sample_depth`] calls,
-/// typically driven by a [`Ticker`].
-#[derive(Debug, Clone, Default, PartialEq)]
+/// `scheduled_events` / `executed_events` / `cancelled_events` count
+/// closures pushed, popped and descheduled; `peak_pending` is the event
+/// queue's high-water mark (a proxy for model fan-out); `wall_ns` is the
+/// wall-clock time spent inside [`Sim::run`] / [`Sim::run_until`], from
+/// which [`SimProfile::events_per_sec`] derives the engine's raw event
+/// throughput. Queue-depth samples are recorded separately via
+/// [`Sim::sample_depth`] and read back with [`Sim::depth_samples`] (a
+/// borrowed view — the profile snapshot itself is O(1), not O(samples)).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimProfile {
     pub scheduled_events: u64,
     pub executed_events: u64,
+    pub cancelled_events: u64,
     pub pending_events: usize,
     pub peak_pending: usize,
-    pub depth_samples: Vec<(SimTime, usize)>,
+    pub wall_ns: u64,
+}
+
+impl SimProfile {
+    /// Wall-clock event throughput of the run loops so far (0 before any
+    /// `run*` call has returned).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.executed_events as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
 }
 
 impl Default for Sim {
@@ -83,15 +104,32 @@ impl Default for Sim {
 }
 
 impl Sim {
-    /// Creates an empty simulator at time zero.
+    /// Creates an empty simulator at time zero with the default 64 ns
+    /// wheel tick.
     pub fn new() -> Self {
+        Sim::with_tick_shift(DEFAULT_TICK_SHIFT)
+    }
+
+    /// Creates an empty simulator with a wheel tick of 2^`tick_shift` ns.
+    ///
+    /// The tick only affects bucketing performance, never ordering:
+    /// same-tick events still execute in exact `(time, seq)` order. Pick a
+    /// coarser tick for workloads whose events cluster at millisecond
+    /// scales, a finer one for nanosecond-dense traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_shift > 26` (ticks above ~67 ms defeat the wheel).
+    pub fn with_tick_shift(tick_shift: u32) -> Self {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            wheel: TimingWheel::new(tick_shift),
             executed: 0,
+            cancelled: 0,
             peak_pending: 0,
             depth_samples: Vec::new(),
+            wall_ns: 0,
         }
     }
 
@@ -107,15 +145,16 @@ impl Sim {
 
     /// Returns the number of events currently pending.
     pub fn pending_events(&self) -> usize {
-        self.heap.len()
+        self.wheel.live()
     }
 
-    /// Schedules `f` to run at absolute instant `at`.
+    /// Schedules `f` to run at absolute instant `at`, returning a handle
+    /// that can later [`Sim::cancel`] it.
     ///
     /// Scheduling in the past is a logic error; the event is clamped to run
     /// "now" (still after all currently ready events) and a debug assertion
     /// fires in test builds.
-    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, f: F) {
+    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, f: F) -> TimerHandle {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at:?} < {:?}",
@@ -124,50 +163,90 @@ impl Sim {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
-            at,
-            seq,
-            run: Box::new(f),
-        }));
-        self.peak_pending = self.peak_pending.max(self.heap.len());
+        let handle = self.wheel.insert(at, seq, EventFn::new(f));
+        self.peak_pending = self.peak_pending.max(self.wheel.live());
+        handle
     }
 
-    /// Records one `(now, pending_events)` sample into the profile.
+    /// Schedules `f` to run `delay` after the current instant.
+    pub fn schedule_after<F: FnOnce(&mut Sim) + 'static>(
+        &mut self,
+        delay: SimDuration,
+        f: F,
+    ) -> TimerHandle {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Schedules `f` to run at the current instant, after already-ready events.
+    pub fn schedule_now<F: FnOnce(&mut Sim) + 'static>(&mut self, f: F) -> TimerHandle {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Deschedules a pending event, dropping its closure immediately.
     ///
-    /// Call from a [`Ticker`] for a periodic queue-depth series.
-    pub fn sample_depth(&mut self) {
-        self.depth_samples.push((self.now, self.heap.len()));
+    /// Returns `true` if the event was pending; `false` for stale handles
+    /// (the event already fired or was already cancelled), which is always
+    /// safe.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        if self.wheel.cancel(handle) {
+            self.cancelled += 1;
+            true
+        } else {
+            false
+        }
     }
 
-    /// Returns the engine profile accumulated so far.
+    /// Returns `true` while the event behind `handle` is still pending.
+    pub fn is_scheduled(&self, handle: TimerHandle) -> bool {
+        self.wheel.is_pending(handle)
+    }
+
+    /// Records one `(now, pending_events)` sample.
+    ///
+    /// Call from a [`Ticker`] for a periodic queue-depth series; read the
+    /// series back with [`Sim::depth_samples`] or drain it with
+    /// [`Sim::take_depth_samples`].
+    pub fn sample_depth(&mut self) {
+        self.depth_samples.push((self.now, self.wheel.live()));
+    }
+
+    /// Borrowed view of the queue-depth samples recorded so far.
+    pub fn depth_samples(&self) -> &[(SimTime, usize)] {
+        &self.depth_samples
+    }
+
+    /// Drains and returns the queue-depth samples (the internal buffer is
+    /// left empty), for callers that want ownership without a copy.
+    pub fn take_depth_samples(&mut self) -> Vec<(SimTime, usize)> {
+        std::mem::take(&mut self.depth_samples)
+    }
+
+    /// Returns the engine profile accumulated so far. O(1): depth samples
+    /// are not copied (see [`Sim::depth_samples`]).
     pub fn profile(&self) -> SimProfile {
         SimProfile {
             scheduled_events: self.seq,
             executed_events: self.executed,
-            pending_events: self.heap.len(),
+            cancelled_events: self.cancelled,
+            pending_events: self.wheel.live(),
             peak_pending: self.peak_pending,
-            depth_samples: self.depth_samples.clone(),
+            wall_ns: self.wall_ns,
         }
     }
 
-    /// Schedules `f` to run `delay` after the current instant.
-    pub fn schedule_after<F: FnOnce(&mut Sim) + 'static>(&mut self, delay: SimDuration, f: F) {
-        self.schedule_at(self.now + delay, f);
-    }
-
-    /// Schedules `f` to run at the current instant, after already-ready events.
-    pub fn schedule_now<F: FnOnce(&mut Sim) + 'static>(&mut self, f: F) {
-        self.schedule_at(self.now, f);
+    /// Wall-clock event throughput of the run loops so far.
+    pub fn events_per_sec(&self) -> f64 {
+        self.profile().events_per_sec()
     }
 
     /// Executes the single next event, returning `false` if none remain.
     pub fn step(&mut self) -> bool {
-        match self.heap.pop() {
-            Some(Reverse(ev)) => {
-                debug_assert!(ev.at >= self.now);
-                self.now = ev.at;
+        match self.wheel.pop_due(u64::MAX, SimTime::MAX) {
+            Some((at, _seq, event)) => {
+                debug_assert!(at >= self.now);
+                self.now = at;
                 self.executed += 1;
-                (ev.run)(self);
+                event.invoke(self);
                 true
             }
             None => false,
@@ -176,7 +255,9 @@ impl Sim {
 
     /// Runs until the event queue drains.
     pub fn run(&mut self) {
+        let t0 = Instant::now();
         while self.step() {}
+        self.wall_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Runs events with `at <= deadline`, then advances the clock to
@@ -184,15 +265,17 @@ impl Sim {
     ///
     /// Events scheduled beyond the deadline remain pending.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.at > deadline {
-                break;
-            }
-            self.step();
+        let t0 = Instant::now();
+        let limit_tick = self.wheel.tick_of(deadline);
+        while let Some((at, _seq, event)) = self.wheel.pop_due(limit_tick, deadline) {
+            self.now = at;
+            self.executed += 1;
+            event.invoke(self);
         }
         if self.now < deadline {
             self.now = deadline;
         }
+        self.wall_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Runs for `span` of virtual time from the current instant.
@@ -297,17 +380,83 @@ mod tests {
         assert_eq!(p.executed_events, 2);
         assert_eq!(p.pending_events, 1);
         assert_eq!(
-            p.depth_samples,
-            vec![(SimTime::ZERO, 3), (SimTime::from_nanos(20), 1)]
+            sim.depth_samples(),
+            &[(SimTime::ZERO, 3), (SimTime::from_nanos(20), 1)]
+        );
+        assert!(p.wall_ns > 0, "run_until accrues wall time");
+        assert!(p.events_per_sec() > 0.0);
+        let drained = sim.take_depth_samples();
+        assert_eq!(drained.len(), 2);
+        assert!(sim.depth_samples().is_empty());
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut sim = Sim::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        let h1 = {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime::from_nanos(10), move |_| *hits.borrow_mut() += 1)
+        };
+        let _h2 = {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime::from_nanos(20), move |_| *hits.borrow_mut() += 10)
+        };
+        assert!(sim.is_scheduled(h1));
+        assert!(sim.cancel(h1));
+        assert!(!sim.is_scheduled(h1));
+        assert!(!sim.cancel(h1), "double-cancel is a no-op");
+        sim.run();
+        assert_eq!(*hits.borrow(), 10);
+        let p = sim.profile();
+        assert_eq!(p.cancelled_events, 1);
+        assert_eq!(p.executed_events, 1);
+        assert_eq!(p.scheduled_events, 2);
+    }
+
+    #[test]
+    fn cancel_from_within_an_event() {
+        let mut sim = Sim::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        let victim = {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime::from_nanos(50), move |_| *hits.borrow_mut() += 1)
+        };
+        sim.schedule_at(SimTime::from_nanos(10), move |sim| {
+            assert!(sim.cancel(victim));
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+    }
+
+    #[test]
+    fn coarse_tick_keeps_exact_order() {
+        // 1.048ms ticks: everything below lands in very few buckets, yet
+        // order stays exact.
+        let mut sim = Sim::with_tick_shift(20);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[900u64, 100, 500, 100, 2_000_000, 1_500_000] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_nanos(t), move |_| log.borrow_mut().push(t));
+        }
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![100, 100, 500, 900, 1_500_000, 2_000_000]
         );
     }
 }
 
 /// A cancellable periodic timer.
 ///
-/// Several components (autoscaler masters, landing-zone pollers, samplers)
-/// need "run `f` every `interval` until told to stop"; [`Ticker`] packages
-/// the recursive-scheduling idiom with a drop-safe cancel flag.
+/// Several components (autoscaler masters, connection reapers, keep-warm
+/// eviction, samplers) need "run `f` every `interval` until told to stop";
+/// [`Ticker`] packages the recursive-scheduling idiom. Cancellation comes
+/// in two strengths: [`Ticker::cancel`] flips a flag so the pending firing
+/// becomes a no-op (no `&mut Sim` needed), while [`Ticker::cancel_in`]
+/// additionally *deschedules* the pending event through its
+/// [`TimerHandle`], so the engine never touches a dead closure again —
+/// use it wherever the simulator is at hand.
 ///
 /// # Examples
 ///
@@ -324,12 +473,14 @@ mod tests {
 ///     h.set(h.get() + 1);
 /// });
 /// sim.run_until(SimTime::from_nanos(35_000));
-/// ticker.cancel();
+/// ticker.cancel_in(&mut sim);
+/// assert_eq!(sim.pending_events(), 0, "pending firing was descheduled");
 /// sim.run_until(SimTime::from_nanos(100_000));
 /// assert_eq!(hits.get(), 3); // t = 10us, 20us, 30us
 /// ```
 pub struct Ticker {
     alive: std::rc::Rc<std::cell::Cell<bool>>,
+    next: std::rc::Rc<std::cell::Cell<Option<TimerHandle>>>,
 }
 
 impl Ticker {
@@ -348,27 +499,40 @@ impl Ticker {
             "ticker interval must be positive"
         );
         let alive = std::rc::Rc::new(std::cell::Cell::new(true));
-        fn tick<F: FnMut(&mut Sim) + 'static>(
+        let next = std::rc::Rc::new(std::cell::Cell::new(None));
+        fn arm<F: FnMut(&mut Sim) + 'static>(
             sim: &mut Sim,
             interval: SimDuration,
             mut f: F,
             alive: std::rc::Rc<std::cell::Cell<bool>>,
+            next: std::rc::Rc<std::cell::Cell<Option<TimerHandle>>>,
         ) {
-            sim.schedule_after(interval, move |sim| {
+            let slot = next.clone();
+            let h = sim.schedule_after(interval, move |sim| {
                 if !alive.get() {
                     return;
                 }
                 f(sim);
-                tick(sim, interval, f, alive);
+                arm(sim, interval, f, alive, next);
             });
+            slot.set(Some(h));
         }
-        tick(sim, interval, f, alive.clone());
-        Ticker { alive }
+        arm(sim, interval, f, alive.clone(), next.clone());
+        Ticker { alive, next }
     }
 
     /// Stops the ticker; the pending firing becomes a no-op.
     pub fn cancel(&self) {
         self.alive.set(false);
+    }
+
+    /// Stops the ticker *and* deschedules the pending firing, so the dead
+    /// closure is dropped now instead of being dispatched as a no-op.
+    pub fn cancel_in(&self, sim: &mut Sim) {
+        self.alive.set(false);
+        if let Some(h) = self.next.take() {
+            sim.cancel(h);
+        }
     }
 
     /// Returns `true` while the ticker is armed.
@@ -398,6 +562,24 @@ mod ticker_tests {
         assert!(!t.is_active());
         sim.run();
         assert_eq!(count.get(), 4, "no firings after cancel");
+    }
+
+    #[test]
+    fn cancel_in_deschedules_the_pending_firing() {
+        let mut sim = Sim::new();
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let t = Ticker::start(&mut sim, SimDuration::from_micros(5), move |_| {
+            c.set(c.get() + 1);
+        });
+        sim.run_until(SimTime::from_nanos(12_000));
+        assert_eq!(count.get(), 2);
+        assert_eq!(sim.pending_events(), 1, "next firing armed");
+        t.cancel_in(&mut sim);
+        assert_eq!(sim.pending_events(), 0, "firing descheduled, not zombied");
+        assert_eq!(sim.profile().cancelled_events, 1);
+        sim.run();
+        assert_eq!(count.get(), 2);
     }
 
     #[test]

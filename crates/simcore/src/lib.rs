@@ -5,7 +5,11 @@
 //! event queue it provides the building blocks every substrate crate uses:
 //!
 //! - [`time`]: nanosecond-resolution virtual time ([`SimTime`], [`SimDuration`]).
-//! - [`engine`]: the event loop ([`Sim`]) with closure events.
+//! - [`engine`]: the event loop ([`Sim`]) with closure events, backed by a
+//!   hierarchical timing wheel ([`wheel`]) and slab-stored inline closures
+//!   ([`event`]) so the hot path is O(1) amortized and allocation-free.
+//! - [`baseline`]: the reference binary-heap engine, kept for differential
+//!   tests and old-vs-new benchmarks.
 //! - [`resource`]: FIFO single-/multi-server resources with utilization
 //!   accounting, used to model CPU cores, DPU cores and DMA engines.
 //! - [`rng`]: seeded SplitMix64 RNG plus the distributions the workloads use.
@@ -14,15 +18,18 @@
 //! - [`ratelimit`]: token bucket used for bandwidth shaping.
 //! - [`queue`]: bounded FIFO with drop accounting.
 
+pub mod baseline;
 pub mod engine;
+pub mod event;
 pub mod queue;
 pub mod ratelimit;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub(crate) mod wheel;
 
-pub use engine::{Sim, SimProfile};
+pub use engine::{Sim, SimProfile, Ticker, TimerHandle};
 pub use resource::{MultiServer, Server};
 pub use rng::SimRng;
 pub use stats::{Histogram, TimeSeries};
