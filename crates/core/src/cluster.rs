@@ -311,6 +311,16 @@ impl Cluster {
         }
     }
 
+    /// Installs `handler` on every node's engine, so a delivery the DNE
+    /// gave up on (retry budget exhausted, no reconnectable route) reaches
+    /// one place — typically the ingress, which answers the client with a
+    /// `503` instead of leaving the request hanging.
+    pub fn set_delivery_failure_handler(&self, handler: dne::DeliveryFailureHandler) {
+        for n in &self.nodes {
+            n.dne.set_failure_handler(handler.clone());
+        }
+    }
+
     /// Samples the cluster's observability signals into `reg` at virtual
     /// time `now`: per-tenant TX queue depth, DWRR deficit and shadow-QP
     /// hit rate as labelled series, plus per-node engine gauges and RBR
@@ -332,6 +342,20 @@ impl Cluster {
             reg.gauge("dne_rx_delivered_total", &nl)
                 .set(stats.rx_delivered as f64);
             reg.gauge("dne_drops_total", &nl).set(stats.drops as f64);
+            reg.gauge("dne_retries_total", &nl)
+                .set(stats.retries as f64);
+            reg.gauge("dne_failovers_total", &nl)
+                .set(stats.failovers as f64);
+            reg.gauge("dne_reconnects_total", &nl)
+                .set(stats.reconnects as f64);
+            reg.gauge("dne_give_ups_total", &nl)
+                .set(stats.give_ups as f64);
+            if stats.retry_latency.count() > 0 {
+                reg.gauge("dne_retry_latency_mean_us", &nl)
+                    .set(stats.retry_latency.mean().as_micros_f64());
+                reg.gauge("dne_retry_latency_p99_us", &nl)
+                    .set(stats.retry_latency.percentile(99.0).as_micros_f64());
+            }
             reg.gauge("rbr_replenishes_total", &nl)
                 .set(stats.replenishes as f64);
             reg.gauge("rbr_replenish_failures_total", &nl)

@@ -69,7 +69,7 @@ pub(crate) fn worker_upstream(kind: GatewayKind, worker_cost: SimDuration) -> Up
         let worker = worker.clone();
         sim.schedule_after(transport, move |sim| {
             let done = worker.borrow_mut().admit(sim.now(), worker_cost + fn_exec);
-            sim.schedule_at(done + transport, move |sim| reply(sim, req_bytes));
+            sim.schedule_at(done + transport, move |sim| reply(sim, Ok(req_bytes)));
         });
     })
 }

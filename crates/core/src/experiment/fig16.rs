@@ -173,10 +173,18 @@ fn run_nadino(
         boutique::exec_cost,
         Rc::new(move |sim, req| {
             if let Some(reply) = p2.borrow_mut().remove(&req) {
-                reply(sim, boutique::PAYLOAD_BYTES);
+                reply(sim, Ok(boutique::PAYLOAD_BYTES));
             }
         }),
     );
+    // A delivery the DNE gave up on resolves the same pending reply with a
+    // typed failure, so the gateway answers 503 instead of hanging.
+    let p3 = pending.clone();
+    cluster.set_delivery_failure_handler(Rc::new(move |sim, failure| {
+        if let Some(reply) = p3.borrow_mut().remove(&failure.req_id) {
+            reply(sim, Err(ingress::DeliveryFailed));
+        }
+    }));
     let gateway = Gateway::new(GatewayConfig {
         kind: model.ingress,
         initial_workers: 2,
@@ -200,11 +208,11 @@ fn run_nadino(
                 .find(|(t, i, _)| *t == chain.tenant && *i == 0)
                 .map(|(_, _, p)| p);
             let Some(pool) = pool else {
-                reply(sim, 0);
+                reply(sim, Ok(0));
                 return;
             };
             let Ok(mut buf) = pool.get() else {
-                reply(sim, 0); // shed under pool exhaustion
+                reply(sim, Ok(0)); // shed under pool exhaustion
                 return;
             };
             let mut payload = runtime::encode_request_payload(req_id, boutique::PAYLOAD_BYTES);
@@ -266,7 +274,7 @@ fn run_baseline(
                     chain3,
                     Rc::new(boutique::exec_cost),
                     bytes,
-                    Box::new(move |sim| reply(sim, bytes)),
+                    Box::new(move |sim| reply(sim, Ok(bytes))),
                 );
             });
         });

@@ -18,6 +18,10 @@ use rdma_sim::{Fabric, NodeId};
 #[derive(Debug, Default)]
 pub struct ConnPool {
     conns: HashMap<(TenantId, NodeId), Vec<QpHandle>>,
+    /// QPs this pool has activated and not yet reaped, in activation order.
+    /// Keeping the set explicit makes the completion-reap sweep proportional
+    /// to the number of *active* QPs instead of every pooled QP.
+    active: RefCell<Vec<QpHandle>>,
     /// Picks that found the chosen QP already active (no RNIC-cache charge).
     hits: Cell<u64>,
     /// Picks that had to activate a shadow QP (a potential cache thrash).
@@ -62,12 +66,31 @@ impl ConnPool {
         tenant: TenantId,
         peer: NodeId,
     ) -> Option<QpHandle> {
-        let best = self
-            .conns(tenant, peer)
+        self.pick_least_congested_excluding(fabric, tenant, peer, None)
+    }
+
+    /// Like [`ConnPool::pick_least_congested`] but avoids `avoid` — the
+    /// shadow-QP failover path: a retry should ride a different connection
+    /// than the one whose send just failed. Falls back to `avoid` when it is
+    /// the only ready connection left.
+    pub fn pick_least_congested_excluding(
+        &self,
+        fabric: &Fabric,
+        tenant: TenantId,
+        peer: NodeId,
+        avoid: Option<rdma_sim::QpId>,
+    ) -> Option<QpHandle> {
+        let list = self.conns(tenant, peer);
+        let best = list
             .iter()
-            .filter(|&&qp| fabric.qp_ready(qp))
+            .filter(|&&qp| fabric.qp_ready(qp) && Some(qp.qp) != avoid)
             .min_by_key(|&&qp| fabric.sq_depth(qp))
-            .copied()?;
+            .copied()
+            .or_else(|| {
+                list.iter()
+                    .find(|&&qp| Some(qp.qp) == avoid && fabric.qp_ready(qp))
+                    .copied()
+            })?;
         let mut per_tenant = self.per_tenant.borrow_mut();
         let entry = per_tenant.entry(tenant).or_insert((0, 0));
         if fabric.qp_is_active(best) {
@@ -80,6 +103,10 @@ impl ConnPool {
         drop(per_tenant);
         // Activation is what charges the QP against the RNIC cache.
         let _ = fabric.set_qp_active(best, true);
+        let mut active = self.active.borrow_mut();
+        if !active.contains(&best) {
+            active.push(best);
+        }
         Some(best)
     }
 
@@ -104,19 +131,26 @@ impl ConnPool {
             .unwrap_or((0, 0))
     }
 
-    /// Deactivates every pooled QP whose send queue has drained, returning
+    /// Deactivates every active QP whose send queue has drained, returning
     /// how many were deactivated. The DNE calls this when reaping send
-    /// completions, keeping the active set proportional to load.
+    /// completions; the sweep walks only the tracked active set, not every
+    /// pooled QP of every tenant.
     pub fn deactivate_idle(&self, fabric: &Fabric) -> usize {
+        let mut active = self.active.borrow_mut();
         let mut deactivated = 0;
-        for qps in self.conns.values() {
-            for &qp in qps {
-                if fabric.qp_is_active(qp) && fabric.sq_depth(qp) == 0 {
-                    let _ = fabric.set_qp_active(qp, false);
-                    deactivated += 1;
-                }
+        active.retain(|&qp| {
+            if !fabric.qp_is_active(qp) {
+                // Deactivated behind our back (e.g. an injected QP error
+                // released the cache charge): untrack without counting.
+                return false;
             }
-        }
+            if fabric.sq_depth(qp) == 0 {
+                let _ = fabric.set_qp_active(qp, false);
+                deactivated += 1;
+                return false;
+            }
+            true
+        });
         if deactivated > 0 {
             self.deactivations
                 .set(self.deactivations.get() + deactivated as u64);
@@ -224,6 +258,80 @@ mod tests {
         // The reaper deactivates the drained QPs and counts them.
         let n = pool.deactivate_idle(&fabric);
         assert_eq!(pool.deactivations(), n as u64);
+    }
+
+    /// What the pre-optimization reaper would count: a full scan over every
+    /// pooled QP for active-and-drained ones.
+    fn full_scan_idle(pool: &ConnPool, fabric: &Fabric) -> usize {
+        pool.conns
+            .values()
+            .flatten()
+            .filter(|&&qp| fabric.qp_is_active(qp) && fabric.sq_depth(qp) == 0)
+            .count()
+    }
+
+    #[test]
+    fn active_set_reap_matches_full_scan_counters() {
+        use rdma_sim::WrId;
+        let (fabric, mut sim, pool, tenant, peer, pool_a) = setup(4);
+        // Round 1: a drained active QP → reaped, matching the full scan.
+        let _q1 = pool.pick_least_congested(&fabric, tenant, peer).unwrap();
+        let expect = full_scan_idle(&pool, &fabric);
+        assert_eq!(expect, 1);
+        assert_eq!(pool.deactivate_idle(&fabric), expect);
+        assert_eq!(pool.deactivations(), expect as u64);
+        // Round 2: one busy QP (send stuck in RNR retry) and one drained;
+        // only the drained one is reaped.
+        let busy = pool.pick_least_congested(&fabric, tenant, peer).unwrap();
+        let buf = pool_a.get().unwrap();
+        fabric.post_send(&mut sim, busy, WrId(0), buf, 0).unwrap();
+        let idle = pool
+            .pick_least_congested_excluding(&fabric, tenant, peer, Some(busy.qp))
+            .unwrap();
+        assert_ne!(busy.qp, idle.qp);
+        let expect2 = full_scan_idle(&pool, &fabric);
+        assert_eq!(expect2, 1, "only the drained QP is reapable");
+        let before = pool.deactivations();
+        assert_eq!(pool.deactivate_idle(&fabric), expect2);
+        assert_eq!(pool.deactivations(), before + expect2 as u64);
+        // Round 3: a killed QP loses its active flag externally; the reaper
+        // untracks it without counting, exactly like the full scan.
+        let killed = pool
+            .pick_least_congested_excluding(&fabric, tenant, peer, Some(busy.qp))
+            .unwrap();
+        fabric.inject_qp_error(killed).unwrap();
+        let expect3 = full_scan_idle(&pool, &fabric);
+        assert_eq!(expect3, 0);
+        let before = pool.deactivations();
+        assert_eq!(pool.deactivate_idle(&fabric), expect3);
+        assert_eq!(pool.deactivations(), before + expect3 as u64);
+        assert_eq!(
+            pool.active.borrow().as_slice(),
+            &[busy],
+            "only the still-busy QP stays tracked"
+        );
+    }
+
+    #[test]
+    fn excluding_avoids_failed_qp_unless_it_is_the_only_one() {
+        let (fabric, _sim, pool, tenant, peer, _) = setup(2);
+        let first = pool.pick_least_congested(&fabric, tenant, peer).unwrap();
+        let other = pool
+            .pick_least_congested_excluding(&fabric, tenant, peer, Some(first.qp))
+            .unwrap();
+        assert_ne!(first.qp, other.qp, "failover avoids the failed QP");
+        // Break the alternative: the avoided QP is the only ready one left,
+        // so the picker falls back to it rather than returning None.
+        fabric.inject_qp_error(other).unwrap();
+        let fallback = pool
+            .pick_least_congested_excluding(&fabric, tenant, peer, Some(first.qp))
+            .unwrap();
+        assert_eq!(fallback.qp, first.qp);
+        // Nothing ready at all → None.
+        fabric.inject_qp_error(first).unwrap();
+        assert!(pool
+            .pick_least_congested_excluding(&fabric, tenant, peer, Some(first.qp))
+            .is_none());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! [`OffloadMode::OnPath`]: crate::types::OffloadMode::OnPath
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::{Rc, Weak};
 
@@ -26,22 +26,29 @@ use dpu_sim::dma::SocDma;
 use dpu_sim::soc::Processor;
 use membuf::descriptor::BufferDesc;
 use membuf::export::MappedPool;
-use membuf::pool::BufferPool;
+use membuf::pool::{BufferPool, OwnedBuf};
 use membuf::tenant::TenantId;
 use obs::{Stage, Tracer};
 use rdma_sim::fabric::{CqId, QpHandle, RqId};
-use rdma_sim::types::{Cqe, CqeOpcode, CqeStatus};
+use rdma_sim::types::{Cqe, CqeOpcode, CqeStatus, QpId};
 use rdma_sim::{Fabric, NodeId, RdmaError};
-use simcore::{Sim, SimDuration, SimTime, Ticker};
+use simcore::{Sim, SimDuration, SimTime, Ticker, TimerHandle};
 
 use crate::connpool::ConnPool;
 use crate::rbr::ReceiveBufferRegistry;
 use crate::routing::RoutingTable;
 use crate::sched::{DwrrScheduler, FcfsScheduler, TenantScheduler};
-use crate::types::{DneConfig, DneStats, IpcCosts, OffloadMode, SchedPolicy};
+use crate::types::{
+    DeliveryFailure, DneConfig, DneStats, FailureReason, IpcCosts, OffloadMode, SchedPolicy,
+    TenantFailureStats,
+};
 
 /// Callback by which the engine delivers a descriptor to a host function.
 pub type FnEndpoint = Rc<dyn Fn(&mut Sim, BufferDesc)>;
+
+/// Callback by which the engine reports a delivery failure upstream once
+/// recovery (retry, failover, reconnect) is exhausted.
+pub type DeliveryFailureHandler = Rc<dyn Fn(&mut Sim, DeliveryFailure)>;
 
 /// Errors surfaced by engine control-plane calls.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +104,7 @@ struct TenantState {
     weight: u32,
     tx_count: u64,
     rx_count: u64,
+    failures: TenantFailureStats,
 }
 
 enum WorkItem {
@@ -113,11 +121,48 @@ struct TxItem {
 
 /// Bookkeeping for an in-flight RNIC send, keyed by WR id, so the send
 /// completion can close the fabric span and the post-to-completion
-/// histogram.
+/// histogram, and — on an error CQE — drive the retry pipeline.
 struct PostedSend {
     at: SimTime,
+    /// When the *first* attempt of this send was posted (retry latency).
+    first_at: SimTime,
     req_id: u64,
     tenant: TenantId,
+    dst_fn: u16,
+    /// Attempts already completed before this post (0 for the first).
+    attempts: u32,
+}
+
+/// A failed (or not-yet-postable) send parked for a later retry, holding
+/// its payload buffer so nothing leaks while the backoff timer runs or a
+/// background reconnect brings a connection up.
+struct PendingRetry {
+    buf: OwnedBuf,
+    tenant: TenantId,
+    dst_fn: u16,
+    peer: NodeId,
+    req_id: u64,
+    first_at: SimTime,
+    /// Attempts already made (0 when parked before any post succeeded).
+    attempts: u32,
+    /// The QP whose send failed; the failover pick steers around it.
+    avoid: Option<QpId>,
+}
+
+/// What `connect_pair` recorded about the remote engine so a background
+/// reconnect can re-establish a `(tenant, peer)` pool that ran dry.
+struct PeerLink {
+    cq: CqId,
+    rq: RqId,
+    engine: Weak<RefCell<Inner>>,
+}
+
+/// What the engine decided about an errored send completion.
+enum FailedSendOutcome {
+    /// Parked under `id`; arm a backoff timer for it.
+    Retry { id: u64, backoff: SimDuration },
+    /// Recovery exhausted; surface the typed failure.
+    Fail(DeliveryFailure),
 }
 
 struct Inner {
@@ -141,6 +186,18 @@ struct Inner {
     posted: HashMap<u64, PostedSend>,
     /// Periodic idle-QP reaper, when armed (see [`Dne::start_conn_reaper`]).
     conn_reaper: Option<Ticker>,
+    /// Sends parked for retry, keyed by retry id.
+    retries: HashMap<u64, PendingRetry>,
+    /// Pending backoff timers per retry id (absent for retries parked on a
+    /// reconnect, which fire when the connection comes up instead).
+    retry_timers: HashMap<u64, TimerHandle>,
+    next_retry_id: u64,
+    /// `(tenant, peer)` pairs with a background reconnect in flight.
+    reconnecting: HashSet<(TenantId, NodeId)>,
+    /// Remote-engine wiring recorded at `connect_pair` time, so reconnects
+    /// know where to point the new QP.
+    peer_links: HashMap<(TenantId, NodeId), PeerLink>,
+    failure_handler: Option<DeliveryFailureHandler>,
 }
 
 impl Inner {
@@ -222,6 +279,147 @@ impl Inner {
             Err(_) => self.stats.replenish_failures += 1,
         }
     }
+
+    /// Attributes a drop to `tenant` (the aggregate `stats.drops` counter is
+    /// bumped separately by each drop site).
+    fn tenant_drop(&mut self, tenant: TenantId) {
+        if let Some(st) = self.tenants.get_mut(&tenant) {
+            st.failures.drops += 1;
+        }
+    }
+
+    /// Abandons a send after recovery is exhausted, updating aggregate and
+    /// per-tenant counters, and returns the typed failure to surface.
+    #[allow(clippy::too_many_arguments)]
+    fn give_up(
+        &mut self,
+        now: SimTime,
+        tenant: TenantId,
+        dst_fn: u16,
+        req_id: u64,
+        attempts: u32,
+        first_at: SimTime,
+        reason: FailureReason,
+    ) -> DeliveryFailure {
+        self.stats.drops += 1;
+        self.stats.give_ups += 1;
+        if attempts > 0 {
+            self.stats
+                .retry_latency
+                .record(now.saturating_since(first_at));
+        }
+        if let Some(st) = self.tenants.get_mut(&tenant) {
+            st.failures.drops += 1;
+            st.failures.give_ups += 1;
+        }
+        DeliveryFailure {
+            tenant,
+            dst_fn,
+            req_id,
+            attempts,
+            reason,
+        }
+    }
+
+    /// Decides what to do about an errored send completion: re-park under
+    /// the retry budget (the next pick steers around the failed QP), or give
+    /// up and surface a typed failure.
+    fn on_failed_send(
+        &mut self,
+        now: SimTime,
+        cqe: Cqe,
+        posted: Option<PostedSend>,
+    ) -> FailedSendOutcome {
+        let (imm_tenant, imm_dst) = unpack_imm(cqe.imm);
+        let (tenant, dst_fn, first_at, prior) = match posted {
+            Some(p) => (p.tenant, p.dst_fn, p.first_at, p.attempts),
+            None => (imm_tenant, imm_dst, now, 0),
+        };
+        let attempts = prior + 1; // counting the attempt that just failed
+        let Some(buf) = cqe.buf else {
+            // No buffer came back with the CQE: nothing left to retry with.
+            return FailedSendOutcome::Fail(self.give_up(
+                now,
+                tenant,
+                dst_fn,
+                0,
+                attempts,
+                first_at,
+                FailureReason::RetryBudgetExhausted,
+            ));
+        };
+        let req_id = req_id_of(buf.as_slice());
+        let Some(peer) = self.routing.lookup(dst_fn) else {
+            return FailedSendOutcome::Fail(self.give_up(
+                now,
+                tenant,
+                dst_fn,
+                req_id,
+                attempts,
+                first_at,
+                FailureReason::NoConnection,
+            ));
+        };
+        if attempts > self.cfg.retry_budget {
+            // buf drops here → recycled, not leaked.
+            return FailedSendOutcome::Fail(self.give_up(
+                now,
+                tenant,
+                dst_fn,
+                req_id,
+                attempts,
+                first_at,
+                FailureReason::RetryBudgetExhausted,
+            ));
+        }
+        self.stats.retries += 1;
+        if let Some(st) = self.tenants.get_mut(&tenant) {
+            st.failures.retries += 1;
+        }
+        let id = self.park_retry(
+            buf,
+            tenant,
+            dst_fn,
+            peer,
+            req_id,
+            first_at,
+            attempts,
+            Some(cqe.qp),
+        );
+        let backoff = self.cfg.retry_backoff * (1u64 << (attempts - 1).min(16));
+        FailedSendOutcome::Retry { id, backoff }
+    }
+
+    /// Parks a send for retry, returning the retry id.
+    #[allow(clippy::too_many_arguments)]
+    fn park_retry(
+        &mut self,
+        buf: OwnedBuf,
+        tenant: TenantId,
+        dst_fn: u16,
+        peer: NodeId,
+        req_id: u64,
+        first_at: SimTime,
+        attempts: u32,
+        avoid: Option<QpId>,
+    ) -> u64 {
+        let id = self.next_retry_id;
+        self.next_retry_id += 1;
+        self.retries.insert(
+            id,
+            PendingRetry {
+                buf,
+                tenant,
+                dst_fn,
+                peer,
+                req_id,
+                first_at,
+                attempts,
+                avoid,
+            },
+        );
+        id
+    }
 }
 
 /// A node's network engine instance.
@@ -265,6 +463,12 @@ impl Dne {
             tracer: Tracer::disabled(),
             posted: HashMap::new(),
             conn_reaper: None,
+            retries: HashMap::new(),
+            retry_timers: HashMap::new(),
+            next_retry_id: 0,
+            reconnecting: HashSet::new(),
+            peer_links: HashMap::new(),
+            failure_handler: None,
         }));
         let weak: Weak<RefCell<Inner>> = Rc::downgrade(&inner);
         fabric.set_cq_waker(
@@ -319,6 +523,7 @@ impl Dne {
                 weight,
                 tx_count: 0,
                 rx_count: 0,
+                failures: TenantFailureStats::default(),
             },
         );
         inner.txq.register(tenant, weight);
@@ -379,6 +584,24 @@ impl Dne {
             a.inner.borrow_mut().conns.add(tenant, node_b, ha);
             b.inner.borrow_mut().conns.add(tenant, node_a, hb);
         }
+        // Record how to reach the peer engine so a pool that later runs dry
+        // (every QP errored) can reconnect in the background.
+        a.inner.borrow_mut().peer_links.insert(
+            (tenant, node_b),
+            PeerLink {
+                cq: cq_b,
+                rq: rq_b,
+                engine: Rc::downgrade(&b.inner),
+            },
+        );
+        b.inner.borrow_mut().peer_links.insert(
+            (tenant, node_a),
+            PeerLink {
+                cq: cq_a,
+                rq: rq_a,
+                engine: Rc::downgrade(&a.inner),
+            },
+        );
         Ok(())
     }
 
@@ -471,10 +694,14 @@ impl Dne {
                 fabric: Fabric,
                 qp: QpHandle,
                 wr: rdma_sim::WrId,
-                buf: membuf::pool::OwnedBuf,
+                buf: OwnedBuf,
                 imm: u64,
                 dma_done: Option<SimTime>,
             },
+            /// The `(tenant, peer)` pool is dry: the descriptor was parked
+            /// and a background reconnect must be (or already is) underway.
+            Reconnect(TenantId, NodeId),
+            Fail(DeliveryFailure),
         }
         let action = {
             let mut inner = rc.borrow_mut();
@@ -487,11 +714,12 @@ impl Dne {
                 Ok(b) => b,
                 Err(_) => {
                     inner.stats.drops += 1;
+                    inner.tenant_drop(tenant);
                     return;
                 }
             };
             let traced = inner.tracer.is_enabled();
-            let req_id = if traced { req_id_of(buf.as_slice()) } else { 0 };
+            let req_id = req_id_of(buf.as_slice());
             if traced {
                 inner.tracer.span(
                     req_id,
@@ -505,6 +733,7 @@ impl Dne {
             match inner.routing.lookup(dst_fn) {
                 None => {
                     inner.stats.drops += 1;
+                    inner.tenant_drop(tenant);
                     Action::Drop // buf dropped → recycled
                 }
                 Some(peer) if peer == inner.node => {
@@ -517,6 +746,7 @@ impl Dne {
                         }
                         None => {
                             inner.stats.drops += 1;
+                            inner.tenant_drop(tenant);
                             Action::Drop
                         }
                     }
@@ -564,8 +794,11 @@ impl Dne {
                                 wr.0,
                                 PostedSend {
                                     at: posted_at,
+                                    first_at: posted_at,
                                     req_id,
                                     tenant,
+                                    dst_fn,
+                                    attempts: 0,
                                 },
                             );
                             Action::Send {
@@ -578,8 +811,27 @@ impl Dne {
                             }
                         }
                         None => {
-                            inner.stats.drops += 1;
-                            Action::Drop
+                            // Pool dry (every QP errored or still setting
+                            // up): park the send and reconnect in the
+                            // background instead of dropping it.
+                            let rid = req_id_of(buf.as_slice());
+                            if inner.peer_links.contains_key(&(tenant, peer)) {
+                                let now = sim.now();
+                                inner.park_retry(buf, tenant, dst_fn, peer, rid, now, 0, None);
+                                Action::Reconnect(tenant, peer)
+                            } else {
+                                let now = sim.now();
+                                let f = inner.give_up(
+                                    now,
+                                    tenant,
+                                    dst_fn,
+                                    rid,
+                                    0,
+                                    now,
+                                    FailureReason::NoConnection,
+                                );
+                                Action::Fail(f)
+                            }
                         }
                     }
                 }
@@ -602,22 +854,43 @@ impl Dne {
                 None => {
                     let rc2 = rc.clone();
                     if fabric.post_send(sim, qp, wr, buf, imm).is_err() {
-                        let mut inner = rc2.borrow_mut();
-                        inner.stats.drops += 1;
-                        inner.posted.remove(&wr.0);
+                        Dne::post_send_failed(&rc2, sim, wr);
                     }
                 }
                 Some(at) => {
                     let rc2 = rc.clone();
                     sim.schedule_at(at, move |sim| {
                         if fabric.post_send(sim, qp, wr, buf, imm).is_err() {
-                            let mut inner = rc2.borrow_mut();
-                            inner.stats.drops += 1;
-                            inner.posted.remove(&wr.0);
+                            Dne::post_send_failed(&rc2, sim, wr);
                         }
                     });
                 }
             },
+            Action::Reconnect(tenant, peer) => Dne::start_reconnect(rc, sim, tenant, peer),
+            Action::Fail(f) => Dne::notify_failure(rc, sim, f),
+        }
+    }
+
+    /// A synchronous `post_send` error (QP died between the pick and the
+    /// post): the buffer was already recycled by the fabric, so surface a
+    /// typed failure rather than silently dropping the bookkeeping.
+    fn post_send_failed(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, wr: rdma_sim::WrId) {
+        let failure = {
+            let mut inner = rc.borrow_mut();
+            inner.posted.remove(&wr.0).map(|p| {
+                inner.give_up(
+                    sim.now(),
+                    p.tenant,
+                    p.dst_fn,
+                    p.req_id,
+                    p.attempts,
+                    p.first_at,
+                    FailureReason::NoConnection,
+                )
+            })
+        };
+        if let Some(f) = failure {
+            Dne::notify_failure(rc, sim, f);
         }
     }
 
@@ -625,18 +898,18 @@ impl Dne {
         enum Action {
             None,
             Deliver(FnEndpoint, BufferDesc, SimDuration),
+            Retry { id: u64, backoff: SimDuration },
+            Fail(DeliveryFailure),
         }
         let action = {
             let mut inner = rc.borrow_mut();
             match cqe.opcode {
                 CqeOpcode::Send | CqeOpcode::Write | CqeOpcode::Read | CqeOpcode::CompareSwap => {
                     inner.stats.send_completions += 1;
-                    if cqe.status != CqeStatus::Success {
-                        inner.stats.drops += 1;
-                    }
                     // Close out the post-to-completion interval opened when
                     // the WR was handed to the RNIC.
-                    if let Some(p) = inner.posted.remove(&cqe.wr_id.0) {
+                    let posted = inner.posted.remove(&cqe.wr_id.0);
+                    if let Some(p) = &posted {
                         inner
                             .stats
                             .post_to_completion
@@ -651,18 +924,34 @@ impl Dne {
                                 sim.now(),
                             );
                         }
+                        if cqe.status == CqeStatus::Success && p.attempts > 0 {
+                            inner
+                                .stats
+                                .retry_latency
+                                .record(sim.now().saturating_since(p.first_at));
+                        }
                     }
                     // Shadow-QP reaping: idle connections leave the cache.
                     let fabric = inner.fabric.clone();
                     inner.conns.deactivate_idle(&fabric);
-                    // cqe.buf drops here → sender buffer recycled.
-                    Action::None
+                    if cqe.status == CqeStatus::Success {
+                        // cqe.buf drops here → sender buffer recycled.
+                        Action::None
+                    } else {
+                        match inner.on_failed_send(sim.now(), cqe, posted) {
+                            FailedSendOutcome::Retry { id, backoff } => {
+                                Action::Retry { id, backoff }
+                            }
+                            FailedSendOutcome::Fail(f) => Action::Fail(f),
+                        }
+                    }
                 }
                 CqeOpcode::Recv => {
                     let tenant = inner.rbr.consume(cqe.wr_id);
                     if cqe.status != CqeStatus::Success {
                         inner.stats.drops += 1;
                         if let Some(t) = tenant {
+                            inner.tenant_drop(t);
                             inner.replenish(t);
                         }
                         return;
@@ -672,6 +961,7 @@ impl Dne {
                     inner.replenish(tenant);
                     let Some(buf) = cqe.buf else {
                         inner.stats.drops += 1;
+                        inner.tenant_drop(tenant);
                         return;
                     };
                     let traced = inner.tracer.is_enabled();
@@ -723,15 +1013,266 @@ impl Dne {
                         }
                         None => {
                             inner.stats.drops += 1;
+                            inner.tenant_drop(tenant);
                             Action::None // buf drops → recycled
                         }
                     }
                 }
             }
         };
-        if let Action::Deliver(ep, desc, latency) = action {
-            sim.schedule_after(latency, move |sim| ep(sim, desc));
+        match action {
+            Action::None => {}
+            Action::Deliver(ep, desc, latency) => {
+                sim.schedule_after(latency, move |sim| ep(sim, desc));
+            }
+            Action::Retry { id, backoff } => {
+                let rc2 = rc.clone();
+                let handle = sim.schedule_after(backoff, move |sim| Dne::run_retry(&rc2, sim, id));
+                rc.borrow_mut().retry_timers.insert(id, handle);
+            }
+            Action::Fail(f) => Dne::notify_failure(rc, sim, f),
         }
+    }
+
+    /// Fires a parked retry: re-picks a pooled QP (steering around the one
+    /// that failed — shadow-QP failover) and re-posts. A retry whose id is
+    /// no longer parked (already flushed by a reconnect, or the send
+    /// ultimately gave up) is a no-op, so a stale backoff timer can never
+    /// duplicate a send.
+    fn run_retry(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, id: u64) {
+        enum Step {
+            Post {
+                fabric: Fabric,
+                qp: QpHandle,
+                wr: rdma_sim::WrId,
+                buf: OwnedBuf,
+                imm: u64,
+            },
+            Reconnect(TenantId, NodeId),
+            Fail(DeliveryFailure),
+        }
+        let step = {
+            let mut inner = rc.borrow_mut();
+            inner.retry_timers.remove(&id);
+            let Some(p) = inner.retries.remove(&id) else {
+                return; // cancelled or already flushed: fire as a no-op
+            };
+            let fabric = inner.fabric.clone();
+            match inner
+                .conns
+                .pick_least_congested_excluding(&fabric, p.tenant, p.peer, p.avoid)
+            {
+                Some(qp) => {
+                    if p.avoid.is_some() && Some(qp.qp) != p.avoid {
+                        inner.stats.failovers += 1;
+                    }
+                    let wr = inner.fresh_wr();
+                    let imm = pack_imm(p.tenant, p.dst_fn);
+                    inner.stats.tx_posted += 1;
+                    if let Some(st) = inner.tenants.get_mut(&p.tenant) {
+                        st.tx_count += 1;
+                    }
+                    inner.posted.insert(
+                        wr.0,
+                        PostedSend {
+                            at: sim.now(),
+                            first_at: p.first_at,
+                            req_id: p.req_id,
+                            tenant: p.tenant,
+                            dst_fn: p.dst_fn,
+                            attempts: p.attempts,
+                        },
+                    );
+                    Step::Post {
+                        fabric,
+                        qp,
+                        wr,
+                        buf: p.buf,
+                        imm,
+                    }
+                }
+                None if inner.peer_links.contains_key(&(p.tenant, p.peer)) => {
+                    // Pool still dry: park again (no timer) and wait for the
+                    // background reconnect to flush us.
+                    let (tenant, peer) = (p.tenant, p.peer);
+                    inner.retries.insert(id, p);
+                    Step::Reconnect(tenant, peer)
+                }
+                None => {
+                    let f = inner.give_up(
+                        sim.now(),
+                        p.tenant,
+                        p.dst_fn,
+                        p.req_id,
+                        p.attempts,
+                        p.first_at,
+                        FailureReason::NoConnection,
+                    );
+                    Step::Fail(f)
+                }
+            }
+        };
+        match step {
+            Step::Post {
+                fabric,
+                qp,
+                wr,
+                buf,
+                imm,
+            } => {
+                if fabric.post_send(sim, qp, wr, buf, imm).is_err() {
+                    Dne::post_send_failed(rc, sim, wr);
+                }
+            }
+            Step::Reconnect(tenant, peer) => Dne::start_reconnect(rc, sim, tenant, peer),
+            Step::Fail(f) => Dne::notify_failure(rc, sim, f),
+        }
+    }
+
+    /// Kicks off a background reconnect for a dry `(tenant, peer)` pool,
+    /// charging the full connection-setup delay (tens of milliseconds,
+    /// §3.3). Idempotent while one is already in flight.
+    fn start_reconnect(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, tenant: TenantId, peer: NodeId) {
+        let wiring = {
+            let mut inner = rc.borrow_mut();
+            if inner.reconnecting.contains(&(tenant, peer)) {
+                return;
+            }
+            let Some(rq) = inner.tenants.get(&tenant).map(|t| t.rq) else {
+                return;
+            };
+            let Some((peer_cq, peer_rq, peer_engine)) = inner
+                .peer_links
+                .get(&(tenant, peer))
+                .map(|l| (l.cq, l.rq, l.engine.clone()))
+            else {
+                return;
+            };
+            inner.reconnecting.insert((tenant, peer));
+            (
+                inner.fabric.clone(),
+                inner.node,
+                inner.cq,
+                rq,
+                peer_cq,
+                peer_rq,
+                peer_engine,
+            )
+        };
+        let (fabric, node, cq, rq, peer_cq, peer_rq, peer_engine) = wiring;
+        match fabric.connect(sim, tenant, node, cq, rq, peer, peer_cq, peer_rq) {
+            Ok((ha, hb)) => {
+                {
+                    let mut inner = rc.borrow_mut();
+                    inner.conns.add(tenant, peer, ha);
+                    inner.stats.reconnects += 1;
+                }
+                if let Some(peer_rc) = peer_engine.upgrade() {
+                    peer_rc.borrow_mut().conns.add(tenant, node, hb);
+                }
+                // The fabric flips the QPs to Ready at now + connect_delay;
+                // that event was scheduled first, so by FIFO same-time
+                // ordering the new connection is usable when the flush runs.
+                let rc2 = rc.clone();
+                let delay = fabric.costs().connect_delay;
+                sim.schedule_after(delay, move |sim| {
+                    Dne::finish_reconnect(&rc2, sim, tenant, peer);
+                });
+            }
+            Err(_) => Dne::abort_reconnect(rc, sim, tenant, peer),
+        }
+    }
+
+    /// The reconnect came up: flush every retry parked on `(tenant, peer)`
+    /// immediately, cancelling their backoff timers (a cancelled timer that
+    /// already raced into the queue fires as a no-op).
+    fn finish_reconnect(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, tenant: TenantId, peer: NodeId) {
+        let ids = {
+            let mut inner = rc.borrow_mut();
+            inner.reconnecting.remove(&(tenant, peer));
+            let mut ids: Vec<u64> = inner
+                .retries
+                .iter()
+                .filter(|(_, p)| p.tenant == tenant && p.peer == peer)
+                .map(|(id, _)| *id)
+                .collect();
+            // HashMap iteration order is not deterministic; the flush order
+            // must be.
+            ids.sort_unstable();
+            for id in &ids {
+                if let Some(p) = inner.retries.get_mut(id) {
+                    p.avoid = None; // the failed QP is history; pick freely
+                }
+            }
+            ids
+        };
+        for id in ids {
+            let handle = rc.borrow_mut().retry_timers.remove(&id);
+            if let Some(h) = handle {
+                sim.cancel(h);
+            }
+            Dne::run_retry(rc, sim, id);
+        }
+    }
+
+    /// The reconnect could not even start: fail every retry parked on the
+    /// pair (defensive; `connect` only errors on unknown nodes/queues).
+    fn abort_reconnect(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, tenant: TenantId, peer: NodeId) {
+        let failures = {
+            let mut inner = rc.borrow_mut();
+            inner.reconnecting.remove(&(tenant, peer));
+            let mut ids: Vec<u64> = inner
+                .retries
+                .iter()
+                .filter(|(_, p)| p.tenant == tenant && p.peer == peer)
+                .map(|(id, _)| *id)
+                .collect();
+            ids.sort_unstable();
+            let mut failures = Vec::with_capacity(ids.len());
+            for id in ids {
+                inner.retry_timers.remove(&id);
+                if let Some(p) = inner.retries.remove(&id) {
+                    let f = inner.give_up(
+                        sim.now(),
+                        p.tenant,
+                        p.dst_fn,
+                        p.req_id,
+                        p.attempts,
+                        p.first_at,
+                        FailureReason::NoConnection,
+                    );
+                    failures.push(f);
+                }
+            }
+            failures
+        };
+        for f in failures {
+            Dne::notify_failure(rc, sim, f);
+        }
+    }
+
+    /// Invokes the installed failure handler (outside any engine borrow).
+    fn notify_failure(rc: &Rc<RefCell<Inner>>, sim: &mut Sim, failure: DeliveryFailure) {
+        let handler = rc.borrow().failure_handler.clone();
+        if let Some(h) = handler {
+            h(sim, failure);
+        }
+    }
+
+    /// Installs the callback invoked when a send exhausts its recovery
+    /// budget. All clones of this engine share the handler.
+    pub fn set_failure_handler(&self, handler: DeliveryFailureHandler) {
+        self.inner.borrow_mut().failure_handler = Some(handler);
+    }
+
+    /// Returns per-tenant failure accounting (drops, retries, give-ups).
+    pub fn tenant_failure_stats(&self, tenant: TenantId) -> TenantFailureStats {
+        self.inner
+            .borrow()
+            .tenants
+            .get(&tenant)
+            .map(|t| t.failures)
+            .unwrap_or_default()
     }
 
     /// Returns a snapshot of the engine's statistics.
@@ -1285,14 +1826,158 @@ mod failover_tests {
         assert_eq!(*delivered.borrow(), 20, "traffic rides the survivor");
         assert_eq!(dne_a.stats().drops, 0);
 
-        // Break the last connection: sends have nowhere to go and drop.
+        // Break the last connection: the pool runs dry, the send parks, a
+        // background reconnect (tens of ms) brings a fresh QP up, and the
+        // parked send flushes through it — no drop.
         fabric.inject_qp_error(conns[2]).unwrap();
         let buf = pool_a.get().unwrap();
         dne_a.submit(&mut sim, tenant, buf.into_desc(2));
         sim.run();
-        assert_eq!(*delivered.borrow(), 20);
-        assert_eq!(dne_a.stats().drops, 1, "total partition is surfaced");
-        // The dropped request's buffer was recycled, not leaked.
+        assert_eq!(*delivered.borrow(), 21, "reconnect recovers the send");
+        let stats = dne_a.stats();
+        assert_eq!(stats.drops, 0, "nothing is lost");
+        assert_eq!(stats.reconnects, 1);
+        assert_eq!(pool_a.stats().in_flight, 0);
+    }
+
+    /// Two engines wired for recovery tests, with the standard fn-2-on-B
+    /// routing and a delivery counter on B.
+    #[allow(clippy::type_complexity)]
+    fn recovery_setup(
+        cfg: DneConfig,
+        conns: usize,
+    ) -> (
+        Fabric,
+        Sim,
+        Dne,
+        Dne,
+        BufferPool,
+        BufferPool,
+        TenantId,
+        Rc<StdRefCell<u32>>,
+    ) {
+        let fabric = Fabric::new(RdmaCosts::default());
+        let mut sim = Sim::new();
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let tenant = TenantId(1);
+        let mk_pool = || {
+            let mut pc = PoolConfig::new(tenant, 0, 4096, 256);
+            pc.segment_size = 256 * 1024;
+            BufferPool::new(pc).unwrap()
+        };
+        let pool_a = mk_pool();
+        let pool_b = mk_pool();
+        let dne_a = Dne::new(fabric.clone(), a, cfg.clone()).unwrap();
+        let dne_b = Dne::new(fabric.clone(), b, cfg).unwrap();
+        for (dne, pool) in [(&dne_a, &pool_a), (&dne_b, &pool_b)] {
+            let mapped =
+                doca_mmap_create_from_export(&doca_mmap_export_full(pool).unwrap()).unwrap();
+            dne.register_tenant(tenant, 1, &mapped).unwrap();
+        }
+        Dne::connect_pair(&mut sim, &dne_a, &dne_b, tenant, conns).unwrap();
+        sim.run();
+        dne_a.set_route(2, b);
+        dne_b.set_route(2, b);
+        let delivered: Rc<StdRefCell<u32>> = Rc::new(StdRefCell::new(0));
+        let sink = delivered.clone();
+        let pb = pool_b.clone();
+        dne_b.register_endpoint(
+            2,
+            Rc::new(move |_sim, desc| {
+                let _ = pb.redeem(desc).unwrap();
+                *sink.borrow_mut() += 1;
+            }),
+        );
+        (fabric, sim, dne_a, dne_b, pool_a, pool_b, tenant, delivered)
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_typed_failure() {
+        use crate::types::{DeliveryFailure, FailureReason, TenantFailureStats};
+        let (fabric, mut sim, dne_a, _dne_b, pool_a, _pool_b, tenant, delivered) =
+            recovery_setup(DneConfig::nadino_dne(), 2);
+        let (a, b) = (NodeId(0), NodeId(1));
+        fabric.with_fault_plane(|fp| fp.set_link_loss(a, b, 1.0));
+        let failures: Rc<StdRefCell<Vec<DeliveryFailure>>> = Rc::new(StdRefCell::new(Vec::new()));
+        let fsink = failures.clone();
+        dne_a.set_failure_handler(Rc::new(move |_sim, f| fsink.borrow_mut().push(f)));
+
+        let mut buf = pool_a.get().unwrap();
+        buf.write_payload(&77u64.to_le_bytes()).unwrap();
+        dne_a.submit(&mut sim, tenant, buf.into_desc(2));
+        sim.run();
+
+        assert_eq!(*delivered.borrow(), 0);
+        let stats = dne_a.stats();
+        assert_eq!(stats.retries, 3, "budget of 3 retries was spent");
+        assert_eq!(
+            stats.failovers, 3,
+            "each retry rode a different QP than the one that failed"
+        );
+        assert_eq!(stats.give_ups, 1);
+        assert_eq!(stats.drops, 1);
+        assert_eq!(stats.retry_latency.count(), 1);
+        let f = failures.borrow()[0];
+        assert_eq!(f.tenant, tenant);
+        assert_eq!(f.dst_fn, 2);
+        assert_eq!(f.req_id, 77, "failure carries the request id");
+        assert_eq!(f.attempts, 4, "initial post + three retries");
+        assert_eq!(f.reason, FailureReason::RetryBudgetExhausted);
+        assert_eq!(
+            dne_a.tenant_failure_stats(tenant),
+            TenantFailureStats {
+                drops: 1,
+                retries: 3,
+                give_ups: 1
+            }
+        );
+        // The abandoned send's buffer was recycled, not leaked.
+        assert_eq!(pool_a.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn reconnect_flush_cancels_backoff_timers_and_retries_fire_as_noops() {
+        use crate::types::DneConfig;
+        let mut cfg = DneConfig::nadino_dne();
+        // Long backoff so parked retries are still pending when the
+        // reconnect-driven flush overtakes them.
+        cfg.retry_backoff = SimDuration::from_millis(50);
+        let (fabric, mut sim, dne_a, _dne_b, pool_a, _pool_b, tenant, delivered) =
+            recovery_setup(cfg, 2);
+        let (a, b) = (NodeId(0), NodeId(1));
+
+        // Two sends vanish on the wire and park with ~50 ms backoff timers.
+        fabric.with_fault_plane(|fp| fp.set_link_loss(a, b, 1.0));
+        for _ in 0..2 {
+            let buf = pool_a.get().unwrap();
+            dne_a.submit(&mut sim, tenant, buf.into_desc(2));
+        }
+        sim.run_for(SimDuration::from_millis(5));
+        assert_eq!(dne_a.stats().retries, 2, "both sends parked for retry");
+
+        // Heal the wire but kill every pooled QP: the next send finds the
+        // pool dry and starts a background reconnect.
+        fabric.with_fault_plane(|fp| fp.set_link_loss(a, b, 0.0));
+        let conns: Vec<QpHandle> = {
+            let inner = dne_a.inner.borrow();
+            inner.conns.conns(tenant, b).to_vec()
+        };
+        for qp in conns {
+            fabric.inject_qp_error(qp).unwrap();
+        }
+        let buf = pool_a.get().unwrap();
+        dne_a.submit(&mut sim, tenant, buf.into_desc(2));
+        sim.run();
+
+        // The reconnect (20 ms) finished well before the 50 ms backoff
+        // timers; the flush cancelled them and re-posted all three parked
+        // sends exactly once — a timer that still fired was a no-op.
+        assert_eq!(*delivered.borrow(), 3, "no loss and no duplicates");
+        let stats = dne_a.stats();
+        assert_eq!(stats.drops, 0);
+        assert_eq!(stats.reconnects, 1, "one reconnect covers the pair");
+        assert_eq!(stats.retries, 2, "the flush re-posts without re-parking");
         assert_eq!(pool_a.stats().in_flight, 0);
     }
 }

@@ -32,7 +32,10 @@ pub mod routing;
 pub mod sched;
 pub mod types;
 
-pub use engine::Dne;
+pub use engine::{DeliveryFailureHandler, Dne};
 pub use routing::RoutingTable;
 pub use sched::{DwrrScheduler, FcfsScheduler, TenantScheduler};
-pub use types::{DneConfig, DneStats, IpcCosts, IpcKind, OffloadMode, SchedPolicy};
+pub use types::{
+    DeliveryFailure, DneConfig, DneStats, FailureReason, IpcCosts, IpcKind, OffloadMode,
+    SchedPolicy, TenantFailureStats,
+};

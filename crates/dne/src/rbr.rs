@@ -44,9 +44,16 @@ impl ReceiveBufferRegistry {
     }
 
     /// Returns the number of WRs currently outstanding for `tenant`.
+    ///
+    /// Saturating: `consumed` can never legitimately exceed `posted` (every
+    /// consume requires a live entry), but a counter-accounting bug must
+    /// surface as zero, not as a wrapped ~2^64 that poisons replenishment.
     pub fn outstanding(&self, tenant: TenantId) -> u64 {
-        self.posted.get(&tenant).copied().unwrap_or(0)
-            - self.consumed.get(&tenant).copied().unwrap_or(0)
+        self.posted
+            .get(&tenant)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(self.consumed.get(&tenant).copied().unwrap_or(0))
     }
 
     /// Returns the total consumed count for `tenant`.
@@ -99,5 +106,56 @@ mod tests {
         let mut rbr = ReceiveBufferRegistry::new();
         assert_eq!(rbr.consume(WrId(99)), None);
         assert!(rbr.is_empty());
+    }
+
+    /// Property: across randomized interleavings of registrations, valid
+    /// consumes, double consumes and bogus-WR consumes (the failure paths a
+    /// faulty fabric exercises), `outstanding` always equals the model count
+    /// and never underflows.
+    #[test]
+    fn outstanding_never_underflows_under_random_interleavings() {
+        use simcore::SimRng;
+        for seed in 0..8u64 {
+            let mut rng = SimRng::new(0xB0F + seed);
+            let mut rbr = ReceiveBufferRegistry::new();
+            let tenants = [TenantId(1), TenantId(2), TenantId(3)];
+            let mut live: Vec<(WrId, TenantId)> = Vec::new();
+            let mut dead: Vec<WrId> = Vec::new();
+            let mut model: HashMap<TenantId, u64> = HashMap::new();
+            for _ in 0..2_000 {
+                match rng.gen_range(4) {
+                    0 | 1 => {
+                        let t = tenants[rng.gen_range(tenants.len() as u64) as usize];
+                        live.push((rbr.register(t), t));
+                        *model.entry(t).or_insert(0) += 1;
+                    }
+                    2 if !live.is_empty() => {
+                        let i = rng.gen_range(live.len() as u64) as usize;
+                        let (wr, t) = live.swap_remove(i);
+                        assert_eq!(rbr.consume(wr), Some(t));
+                        *model.get_mut(&t).expect("registered") -= 1;
+                        dead.push(wr);
+                    }
+                    _ => {
+                        // Failure interleaving: double consume or bogus WR.
+                        let wr = if !dead.is_empty() && rng.chance(0.5) {
+                            dead[rng.gen_range(dead.len() as u64) as usize]
+                        } else {
+                            WrId(u64::MAX - rng.gen_range(1_000))
+                        };
+                        let was_live = live.iter().any(|(w, _)| *w == wr);
+                        if !was_live {
+                            assert_eq!(rbr.consume(wr), None);
+                        }
+                    }
+                }
+                for t in tenants {
+                    let out = rbr.outstanding(t);
+                    assert_eq!(out, model.get(&t).copied().unwrap_or(0));
+                    assert!(out < 1 << 32, "no underflow wrap: {out}");
+                }
+            }
+            assert_eq!(rbr.len() as u64, model.values().sum::<u64>());
+        }
     }
 }

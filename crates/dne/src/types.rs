@@ -2,6 +2,7 @@
 
 use dpu_sim::comch::{ChannelKind, ComchCosts};
 use dpu_sim::soc::ProcessorKind;
+use membuf::tenant::TenantId;
 use simcore::SimDuration;
 
 /// The IPC mechanism between the engine and host functions.
@@ -118,6 +119,12 @@ pub struct DneConfig {
     pub prepost_depth: usize,
     /// RC connections to establish per (tenant, peer) pair.
     pub conns_per_peer: usize,
+    /// How many times a failed send is retried (shadow-QP failover with
+    /// exponential backoff) before the engine reports a typed delivery
+    /// failure upstream.
+    pub retry_budget: u32,
+    /// Base backoff before the first retry; each further attempt doubles it.
+    pub retry_backoff: SimDuration,
 }
 
 impl Default for DneConfig {
@@ -136,6 +143,8 @@ impl Default for DneConfig {
             dma_program: SimDuration::from_nanos(350),
             prepost_depth: 256,
             conns_per_peer: 2,
+            retry_budget: 3,
+            retry_backoff: SimDuration::from_micros(10),
         }
     }
 }
@@ -201,6 +210,53 @@ pub struct DneStats {
     pub sched_delay: simcore::Histogram,
     /// Time from RNIC post to the reaped send completion.
     pub post_to_completion: simcore::Histogram,
+    /// Failed sends re-posted (possibly on another pooled QP).
+    pub retries: u64,
+    /// Retries that landed on a different QP than the one that failed.
+    pub failovers: u64,
+    /// Background reconnects started after a `(tenant, peer)` pool ran dry.
+    pub reconnects: u64,
+    /// Sends abandoned after the retry budget (typed failure surfaced).
+    pub give_ups: u64,
+    /// Time from the first post of a send to its terminal outcome, recorded
+    /// only for sends that needed at least one retry.
+    pub retry_latency: simcore::Histogram,
+}
+
+/// Why a send was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// Every attempt within the retry budget failed.
+    RetryBudgetExhausted,
+    /// No connection to the destination exists and none could be set up.
+    NoConnection,
+}
+
+/// A typed delivery failure the engine reports upstream once recovery is
+/// exhausted — the signal the gateway turns into a `503` instead of letting
+/// the request hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryFailure {
+    pub tenant: TenantId,
+    /// Destination function the payload was addressed to.
+    pub dst_fn: u16,
+    /// Request id (first eight payload bytes, LE; 0 when too short).
+    pub req_id: u64,
+    /// Send attempts made before giving up.
+    pub attempts: u32,
+    pub reason: FailureReason,
+}
+
+/// Per-tenant failure accounting (so a tenant whose QPs are failing does
+/// not look healthy in aggregate stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantFailureStats {
+    /// Descriptors of this tenant dropped.
+    pub drops: u64,
+    /// Failed sends of this tenant re-posted.
+    pub retries: u64,
+    /// Sends of this tenant abandoned after the retry budget.
+    pub give_ups: u64,
 }
 
 #[cfg(test)]

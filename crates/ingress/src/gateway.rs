@@ -30,8 +30,14 @@ use crate::stack::{GatewayKind, StackCosts};
 /// runs outside the worker-node address space).
 pub const GATEWAY_NODE: u32 = u32::MAX;
 
-/// Reply callback handed to the upstream: deliver `resp_bytes` back.
-pub type Reply = Box<dyn FnOnce(&mut Sim, usize)>;
+/// Reply callback handed to the upstream: deliver `Ok(resp_bytes)`, or
+/// `Err(DeliveryFailed)` when the cluster reported the request lost (the
+/// gateway then answers `503` instead of letting the client hang).
+pub type Reply = Box<dyn FnOnce(&mut Sim, Result<usize, DeliveryFailed>)>;
+
+/// Marker for an upstream request whose delivery the cluster gave up on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryFailed;
 
 /// The cluster side of the gateway: invoked once the request is converted;
 /// receives `(request id, request bytes, reply callback)`.
@@ -40,9 +46,21 @@ pub type Upstream = Rc<dyn Fn(&mut Sim, u64, usize, Reply)>;
 /// Completion callback: `Ok(resp_bytes)` or `Err(Dropped)`.
 pub type Completion = Box<dyn FnOnce(&mut Sim, Result<usize, Dropped>)>;
 
-/// Marker for a request dropped at an overloaded gateway.
+/// Why the gateway answered without a function response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Dropped;
+pub enum Dropped {
+    /// The worker's backlog exceeded the bound; the request never ran.
+    Overload,
+    /// The cluster exhausted delivery recovery for this request.
+    Delivery,
+}
+
+impl Dropped {
+    /// The wire answer for either cause: `503 Service Unavailable`.
+    pub fn to_response(&self) -> crate::http::HttpResponse {
+        crate::http::HttpResponse::unavailable()
+    }
+}
 
 /// Gateway configuration.
 #[derive(Debug, Clone)]
@@ -80,6 +98,8 @@ pub struct GatewayStats {
     pub accepted: u64,
     pub completed: u64,
     pub dropped: u64,
+    /// Accepted requests whose upstream delivery failed (answered `503`).
+    pub failed: u64,
 }
 
 /// A sample of the autoscaler's view, for the Fig. 14 time series.
@@ -227,7 +247,7 @@ impl Gateway {
             if inner.workers[widx].backlog(sim.now()) > inner.cfg.max_backlog {
                 inner.stats.dropped += 1;
                 drop(inner);
-                done(sim, Err(Dropped));
+                done(sim, Err(Dropped::Overload));
                 return;
             }
             inner.stats.accepted += 1;
@@ -258,14 +278,21 @@ impl Gateway {
         let gw = self.clone();
         sim.schedule_at(rx_done, move |sim| {
             let reply_gw = gw.clone();
-            let reply: Reply = Box::new(move |sim, resp_bytes| {
+            let reply: Reply = Box::new(move |sim, outcome| {
+                // A failed delivery still sends a response — the 503 page —
+                // so the tx half is charged either way; only the books and
+                // the completion value differ.
+                let resp_bytes = outcome.map_or(0, |b| b);
                 let tx_done = {
                     let mut inner = reply_gw.inner.borrow_mut();
                     let service = inner.costs.ingress_tx(inner.in_flight, resp_bytes);
                     let floor = inner.available_at[widx];
                     let t = inner.workers[widx].admit_not_before(sim.now(), floor, service);
                     inner.in_flight = inner.in_flight.saturating_sub(1);
-                    inner.stats.completed += 1;
+                    match outcome {
+                        Ok(_) => inner.stats.completed += 1,
+                        Err(DeliveryFailed) => inner.stats.failed += 1,
+                    }
                     if inner.tracer.is_enabled() {
                         inner
                             .tracer
@@ -273,7 +300,13 @@ impl Gateway {
                     }
                     t
                 };
-                sim.schedule_at(tx_done, move |sim| done(sim, Ok(resp_bytes)));
+                sim.schedule_at(tx_done, move |sim| {
+                    let result = match outcome {
+                        Ok(_) => Ok(resp_bytes),
+                        Err(DeliveryFailed) => Err(Dropped::Delivery),
+                    };
+                    done(sim, result);
+                });
             });
             upstream(sim, req_id, req_bytes, reply);
         });
@@ -377,8 +410,39 @@ mod tests {
     /// An upstream that replies after a fixed delay.
     fn echo_upstream(delay: SimDuration, resp_bytes: usize) -> Upstream {
         Rc::new(move |sim: &mut Sim, _id, _req, reply: Reply| {
-            sim.schedule_after(delay, move |sim| reply(sim, resp_bytes));
+            sim.schedule_after(delay, move |sim| reply(sim, Ok(resp_bytes)));
         })
+    }
+
+    /// An upstream whose delivery always fails after a fixed delay.
+    fn failing_upstream(delay: SimDuration) -> Upstream {
+        Rc::new(move |sim: &mut Sim, _id, _req, reply: Reply| {
+            sim.schedule_after(delay, move |sim| reply(sim, Err(DeliveryFailed)));
+        })
+    }
+
+    #[test]
+    fn delivery_failure_surfaces_as_503_not_a_hang() {
+        let gw = Gateway::new(GatewayConfig::default());
+        let mut sim = Sim::new();
+        let got = Rc::new(Cell::new(None));
+        let g = got.clone();
+        gw.submit(
+            &mut sim,
+            FlowId::from_client(1, 0),
+            64,
+            failing_upstream(SimDuration::from_micros(30)),
+            Box::new(move |sim, r| g.set(Some((sim.now(), r)))),
+        );
+        sim.run();
+        let (_, r) = got.get().expect("completion fired — client did not hang");
+        assert_eq!(r, Err(Dropped::Delivery));
+        let s = gw.stats();
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.accepted, 1);
+        assert_eq!(Dropped::Delivery.to_response().status, 503);
+        assert_eq!(Dropped::Overload.to_response().status, 503);
     }
 
     #[test]

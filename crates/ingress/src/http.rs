@@ -105,7 +105,11 @@ impl HttpRequest {
                     .map_err(|_| HttpError::BadContentLength)?,
                 None => 0,
             };
-            let total = head_end + 4 + body_len;
+            // A Content-Length near usize::MAX parses fine but would wrap
+            // the total; reject it instead of panicking.
+            let total = (head_end + 4)
+                .checked_add(body_len)
+                .ok_or(HttpError::BadContentLength)?;
             if buf.len() < total {
                 return Err(HttpError::Incomplete);
             }
@@ -199,6 +203,7 @@ impl HttpResponse {
             .map_err(|_| HttpError::BadRequestLine)?;
         let reason = parts.next().unwrap_or("").to_string();
         let mut body_len = 0;
+        let mut chunked = false;
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -209,17 +214,29 @@ impl HttpResponse {
                     .trim()
                     .parse::<usize>()
                     .map_err(|_| HttpError::BadContentLength)?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
             }
         }
-        let total = head_end + 4 + body_len;
-        if buf.len() < total {
-            return Err(HttpError::Incomplete);
-        }
+        let (body, total) = if chunked {
+            let (body, used) = decode_chunked(&buf[head_end + 4..])?;
+            (body, head_end + 4 + used)
+        } else {
+            let total = (head_end + 4)
+                .checked_add(body_len)
+                .ok_or(HttpError::BadContentLength)?;
+            if buf.len() < total {
+                return Err(HttpError::Incomplete);
+            }
+            (buf[head_end + 4..total].to_vec(), total)
+        };
         Ok((
             HttpResponse {
                 status,
                 reason,
-                body: buf[head_end + 4..total].to_vec(),
+                body,
             },
             total,
         ))
@@ -259,14 +276,18 @@ fn decode_chunked(buf: &[u8]) -> Result<(Vec<u8>, usize), HttpError> {
             }
             return Ok((body, pos + 2));
         }
-        if buf.len() < pos + size + 2 {
+        // A chunk size near usize::MAX would wrap these offsets; reject it
+        // instead of panicking.
+        let data_end = pos.checked_add(size).ok_or(HttpError::BadContentLength)?;
+        let chunk_end = data_end.checked_add(2).ok_or(HttpError::BadContentLength)?;
+        if buf.len() < chunk_end {
             return Err(HttpError::Incomplete);
         }
-        body.extend_from_slice(&buf[pos..pos + size]);
-        if &buf[pos + size..pos + size + 2] != b"\r\n" {
+        body.extend_from_slice(&buf[pos..data_end]);
+        if &buf[data_end..chunk_end] != b"\r\n" {
             return Err(HttpError::BadHeader);
         }
-        pos += size + 2;
+        pos = chunk_end;
     }
 }
 
@@ -364,6 +385,32 @@ mod tests {
     }
 
     #[test]
+    fn near_max_content_length_is_rejected_not_panicking() {
+        // Parses as a valid usize but wraps when added to the head length.
+        let huge = usize::MAX - 2;
+        let req = format!("POST / HTTP/1.1\r\ncontent-length: {huge}\r\n\r\n");
+        assert_eq!(
+            HttpRequest::parse(req.as_bytes()).unwrap_err(),
+            HttpError::BadContentLength
+        );
+        let resp = format!("HTTP/1.1 200 OK\r\ncontent-length: {huge}\r\n\r\n");
+        assert_eq!(
+            HttpResponse::parse(resp.as_bytes()).unwrap_err(),
+            HttpError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn near_max_chunk_size_is_rejected_not_panicking() {
+        let raw = b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n\
+                    ffffffffffffffff\r\nhi";
+        assert_eq!(
+            HttpRequest::parse(raw).unwrap_err(),
+            HttpError::BadContentLength
+        );
+    }
+
+    #[test]
     fn header_names_are_lowercased() {
         let raw = b"GET / HTTP/1.1\r\nX-Tenant-ID: 7\r\n\r\n";
         let (req, _) = HttpRequest::parse(raw).unwrap();
@@ -377,6 +424,24 @@ mod tests {
         let (parsed, used) = HttpResponse::parse(&wire).unwrap();
         assert_eq!(parsed, resp);
         assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn chunked_response_round_trips() {
+        let raw = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n\
+                    5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let (resp, used) = HttpResponse::parse(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hello world");
+        assert_eq!(used, raw.len());
+        // Re-serializing frames the same body by Content-Length.
+        let (again, _) = HttpResponse::parse(&resp.serialize()).unwrap();
+        assert_eq!(again, resp);
+        // Truncated mid-chunk → Incomplete, as for requests.
+        assert_eq!(
+            HttpResponse::parse(&raw[..raw.len() - 4]).unwrap_err(),
+            HttpError::Incomplete
+        );
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod stack;
 
 pub use autoscale::{AutoscaleConfig, Hysteresis, ScaleDecision};
 pub use convert::{extract_invocation, wrap_response, Invocation};
-pub use gateway::{Gateway, GatewayConfig, GatewayStats};
+pub use gateway::{DeliveryFailed, Dropped, Gateway, GatewayConfig, GatewayStats};
 pub use http::{HttpError, HttpRequest, HttpResponse};
 pub use stack::{GatewayKind, StackCosts};

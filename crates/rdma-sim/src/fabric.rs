@@ -27,6 +27,7 @@ use simcore::ratelimit::TokenBucket;
 use simcore::{Server, Sim, SimDuration, SimTime};
 
 use crate::cost::RdmaCosts;
+use crate::fault::{FaultPlane, FaultStats, FaultVerdict};
 use crate::mr::MrTable;
 use crate::types::{Cqe, CqeOpcode, CqeStatus, NodeId, QpId, RKey, RdmaError, WrId};
 
@@ -127,6 +128,8 @@ pub(crate) struct Inner {
     pub(crate) cqs: HashMap<CqId, CqState>,
     pub(crate) rqs: HashMap<RqId, RqState>,
     pub(crate) qp_rq: HashMap<QpId, RqId>,
+    /// Optional deterministic fault model; `None` leaves delivery untouched.
+    pub(crate) faults: Option<FaultPlane>,
     next_qp: u32,
     next_cq: u32,
     next_rq: u32,
@@ -261,6 +264,7 @@ impl Fabric {
                 cqs: HashMap::new(),
                 rqs: HashMap::new(),
                 qp_rq: HashMap::new(),
+                faults: None,
                 next_qp: 0,
                 next_cq: 0,
                 next_rq: 0,
@@ -488,6 +492,52 @@ impl Fabric {
         Ok(())
     }
 
+    /// Installs a deterministic fault plane, replacing any existing one.
+    ///
+    /// A plane with all probabilities at zero and no scheduled events
+    /// leaves delivery byte-identical to a fabric without one.
+    pub fn install_fault_plane(&self, fp: FaultPlane) {
+        self.inner.borrow_mut().faults = Some(fp);
+    }
+
+    /// Runs `f` against the fault plane, installing a zero-fault plane
+    /// (seed 0) first if none is present.
+    pub fn with_fault_plane<R>(&self, f: impl FnOnce(&mut FaultPlane) -> R) -> R {
+        let mut inner = self.inner.borrow_mut();
+        f(inner.faults.get_or_insert_with(|| FaultPlane::new(0)))
+    }
+
+    /// Returns the fault counters (all zero when no plane is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner
+            .borrow()
+            .faults
+            .as_ref()
+            .map(|f| f.stats)
+            .unwrap_or_default()
+    }
+
+    /// Schedules a QP kill at `at`: the connection breaks at both ends as
+    /// with [`Fabric::inject_qp_error`], and the fault plane counts it.
+    pub fn schedule_qp_kill(&self, sim: &mut Sim, at: SimTime, h: QpHandle) {
+        let this = self.clone();
+        sim.schedule_at(at, move |_| {
+            if this.inject_qp_error(h).is_ok() {
+                if let Some(fp) = this.inner.borrow_mut().faults.as_mut() {
+                    fp.stats.qp_kills += 1;
+                }
+            }
+        });
+    }
+
+    /// Registers a crash window `[from, until)` for `node`: every message
+    /// to or from the node inside the window is dropped on the wire and the
+    /// sender eventually sees [`CqeStatus::TransportRetryExceeded`].
+    /// Installs a zero-fault plane if none is present.
+    pub fn schedule_node_outage(&self, node: NodeId, from: SimTime, until: SimTime) {
+        self.with_fault_plane(|fp| fp.add_outage(node, from, until));
+    }
+
     /// Marks a QP active/inactive (shadow-QP mechanism, §3.3). Only active
     /// QPs count against the RNIC QP cache.
     pub fn set_qp_active(&self, h: QpHandle, active: bool) -> Result<(), RdmaError> {
@@ -671,6 +721,37 @@ impl Fabric {
         let rx_fixed = inner.costs.rnic_rx_fixed + inner.costs.host_dma(buf.len());
         let ack = inner.costs.ack_delay;
         let rnr_timer = inner.costs.rnr_timer;
+
+        // Wire faults first: a lost message (link loss or crashed endpoint)
+        // never reaches the responder RNIC. The requester retransmits until
+        // its transport retry timer expires, then completes in error with
+        // the buffer handed back for recycling.
+        let verdict = match inner.faults.as_mut() {
+            Some(fp) => fp.roll_wire(d.sender.node, peer_node, sim.now()),
+            None => FaultVerdict::Deliver,
+        };
+        if verdict != FaultVerdict::Deliver {
+            let sender_cq = inner.qp(d.sender.node, d.sender.qp).expect("sender QP").cq;
+            inner.retire_wr(d.sender);
+            let len = buf.len() as u32;
+            Self::schedule_cqe(
+                &inner_rc,
+                sim,
+                sim.now() + rnr_timer,
+                sender_cq,
+                Cqe {
+                    wr_id: d.wr_id,
+                    qp: d.sender.qp,
+                    opcode: CqeOpcode::Send,
+                    status: CqeStatus::TransportRetryExceeded,
+                    byte_len: len,
+                    imm: d.imm,
+                    buf: Some(buf),
+                },
+            );
+            return;
+        }
+
         let rq_id = *inner.qp_rq.get(&peer_qp).expect("peer QP has an RQ");
         let rx_done = {
             let node = &mut inner.nodes[peer_node.0 as usize];
@@ -717,6 +798,48 @@ impl Fabric {
             buf: mut recv_buf,
         } = rq.queue.pop_front().expect("non-empty");
         rq.consumed += 1;
+
+        // Corruption is detected at the responder after a buffer was popped:
+        // both ends complete in error, exactly like the length-error path.
+        let corrupted = match inner.faults.as_mut() {
+            Some(fp) => fp.roll_corruption(d.sender.node, peer_node),
+            None => false,
+        };
+        if corrupted {
+            inner.retire_wr(d.sender);
+            let len = buf.len() as u32;
+            Self::schedule_cqe(
+                &inner_rc,
+                sim,
+                rx_done,
+                recv_cq,
+                Cqe {
+                    wr_id: recv_wr,
+                    qp: peer_qp,
+                    opcode: CqeOpcode::Recv,
+                    status: CqeStatus::DataCorrupted,
+                    byte_len: len,
+                    imm: d.imm,
+                    buf: Some(recv_buf),
+                },
+            );
+            Self::schedule_cqe(
+                &inner_rc,
+                sim,
+                rx_done + ack,
+                sender_cq,
+                Cqe {
+                    wr_id: d.wr_id,
+                    qp: d.sender.qp,
+                    opcode: CqeOpcode::Send,
+                    status: CqeStatus::DataCorrupted,
+                    byte_len: len,
+                    imm: d.imm,
+                    buf: Some(buf),
+                },
+            );
+            return;
+        }
 
         if recv_buf.buf_size() < buf.len() {
             // Posted buffer too small: error completions on both ends.
@@ -1194,6 +1317,136 @@ mod fault_tests {
             .unwrap();
         sim.run();
         assert_eq!(fabric.poll_cq(cq_b, 4).len(), 1, "healthy QP still works");
+    }
+
+    struct FaultPair {
+        fabric: Fabric,
+        sim: Sim,
+        pool_a: BufferPool,
+        pool_b: BufferPool,
+        cq_a: CqId,
+        cq_b: CqId,
+        rq_b: RqId,
+        h: QpHandle,
+        peer: QpHandle,
+    }
+
+    fn fault_setup() -> FaultPair {
+        let fabric = Fabric::new(RdmaCosts::default());
+        let mut sim = Sim::new();
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let t = TenantId(1);
+        let pool_a = mk_pool(1);
+        let pool_b = mk_pool(1);
+        fabric.register_pool(a, pool_a.clone()).unwrap();
+        fabric.register_pool(b, pool_b.clone()).unwrap();
+        let cq_a = fabric.create_cq(a).unwrap();
+        let cq_b = fabric.create_cq(b).unwrap();
+        let rq_a = fabric.create_rq(a, t).unwrap();
+        let rq_b = fabric.create_rq(b, t).unwrap();
+        let (h, peer) = fabric
+            .connect(&mut sim, t, a, cq_a, rq_a, b, cq_b, rq_b)
+            .unwrap();
+        sim.run();
+        FaultPair {
+            fabric,
+            sim,
+            pool_a,
+            pool_b,
+            cq_a,
+            cq_b,
+            rq_b,
+            h,
+            peer,
+        }
+    }
+
+    #[test]
+    fn lost_message_times_out_with_error_cqe() {
+        let mut p = fault_setup();
+        let mut fp = crate::fault::FaultPlane::new(1);
+        fp.set_link_loss(NodeId(0), NodeId(1), 1.0);
+        p.fabric.install_fault_plane(fp);
+        p.fabric
+            .post_recv(p.rq_b, WrId(5), p.pool_b.get().unwrap())
+            .unwrap();
+        p.fabric
+            .post_send(&mut p.sim, p.h, WrId(1), p.pool_a.get().unwrap(), 0)
+            .unwrap();
+        p.sim.run();
+        let tx = p.fabric.poll_cq(p.cq_a, 4);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].status, CqeStatus::TransportRetryExceeded);
+        assert!(tx[0].buf.is_some(), "send buffer comes back on loss");
+        assert_eq!(p.fabric.poll_cq(p.cq_b, 4).len(), 0, "receiver saw nothing");
+        assert_eq!(p.fabric.rq_depth(p.rq_b), 1, "recv buffer stays posted");
+        assert_eq!(p.fabric.fault_stats().lost, 1);
+    }
+
+    #[test]
+    fn corrupted_message_errors_both_ends() {
+        let mut p = fault_setup();
+        let mut fp = crate::fault::FaultPlane::new(1);
+        fp.set_link_corruption(NodeId(0), NodeId(1), 1.0);
+        p.fabric.install_fault_plane(fp);
+        p.fabric
+            .post_recv(p.rq_b, WrId(5), p.pool_b.get().unwrap())
+            .unwrap();
+        p.fabric
+            .post_send(&mut p.sim, p.h, WrId(1), p.pool_a.get().unwrap(), 0)
+            .unwrap();
+        p.sim.run();
+        let rx = p.fabric.poll_cq(p.cq_b, 4);
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx[0].status, CqeStatus::DataCorrupted);
+        assert!(rx[0].buf.is_some(), "recv buffer recycled via the CQE");
+        let tx = p.fabric.poll_cq(p.cq_a, 4);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].status, CqeStatus::DataCorrupted);
+        assert!(tx[0].buf.is_some());
+        assert_eq!(p.fabric.fault_stats().corrupted, 1);
+    }
+
+    #[test]
+    fn node_outage_window_drops_then_recovers() {
+        let mut p = fault_setup();
+        let now = p.sim.now();
+        p.fabric
+            .schedule_node_outage(NodeId(1), now, now + SimDuration::from_millis(5));
+        p.fabric
+            .post_recv(p.rq_b, WrId(5), p.pool_b.get().unwrap())
+            .unwrap();
+        p.fabric
+            .post_send(&mut p.sim, p.h, WrId(1), p.pool_a.get().unwrap(), 0)
+            .unwrap();
+        p.sim.run();
+        let tx = p.fabric.poll_cq(p.cq_a, 4);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].status, CqeStatus::TransportRetryExceeded);
+        assert_eq!(p.fabric.fault_stats().outage_drops, 1);
+        // After the window closes the same link delivers again.
+        p.sim.run_for(SimDuration::from_millis(6));
+        p.fabric
+            .post_send(&mut p.sim, p.h, WrId(2), p.pool_a.get().unwrap(), 0)
+            .unwrap();
+        p.sim.run();
+        let rx = p.fabric.poll_cq(p.cq_b, 4);
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx[0].status, CqeStatus::Success);
+    }
+
+    #[test]
+    fn scheduled_qp_kill_breaks_connection_and_counts() {
+        let mut p = fault_setup();
+        p.fabric
+            .install_fault_plane(crate::fault::FaultPlane::new(0));
+        let at = p.sim.now() + SimDuration::from_millis(1);
+        p.fabric.schedule_qp_kill(&mut p.sim, at, p.h);
+        p.sim.run();
+        assert!(!p.fabric.qp_ready(p.h));
+        assert!(!p.fabric.qp_ready(p.peer));
+        assert_eq!(p.fabric.fault_stats().qp_kills, 1);
     }
 }
 #[cfg(test)]

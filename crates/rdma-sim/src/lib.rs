@@ -25,10 +25,12 @@
 
 pub mod cost;
 pub mod fabric;
+pub mod fault;
 pub mod mr;
 pub mod onesided;
 pub mod types;
 
 pub use cost::RdmaCosts;
 pub use fabric::{Fabric, QpCounters, QpHandle};
+pub use fault::{FaultPlane, FaultStats};
 pub use types::{Cqe, CqeStatus, NodeId, QpId, RdmaError, WrId};

@@ -37,6 +37,12 @@ pub enum CqeStatus {
     LocalLengthError,
     /// The remote key did not resolve on the responder.
     RemoteAccessError,
+    /// Transport-level retries timed out: the message was lost on the wire
+    /// (injected link loss or a crashed endpoint) and never acknowledged.
+    TransportRetryExceeded,
+    /// The payload arrived damaged (injected corruption); both ends see
+    /// error completions.
+    DataCorrupted,
 }
 
 /// The operation a completion refers to.

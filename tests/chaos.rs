@@ -1,0 +1,257 @@
+//! Chaos differential tests: the fault plane vs. the recovery pipeline.
+//!
+//! Two properties anchor the fault model:
+//!
+//! 1. **No request is ever silently lost.** Under a seeded fault plane
+//!    (wire loss, corruption, a node crash window) every injected request
+//!    either completes its chain or surfaces exactly one typed
+//!    [`dne::DeliveryFailure`]; pools drain back to baseline and the same
+//!    seed reproduces the run counter-for-counter.
+//! 2. **A zero-fault plane is invisible.** Installing a plane with all
+//!    probabilities at zero consumes no randomness and leaves the run
+//!    byte-identical to one with no plane at all.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use membuf::tenant::TenantId;
+use nadino::cluster::{Cluster, ClusterConfig};
+use nadino::workload::ClosedLoop;
+use rdma_sim::{FaultPlane, FaultStats};
+use runtime::ChainSpec;
+use simcore::{Sim, SimDuration};
+
+const REQUESTS: u64 = 200;
+const REQ_BASE: u64 = 1_000;
+
+/// Everything a faulty run observed, for equality across same-seed runs.
+#[derive(Debug, PartialEq, Eq)]
+struct FaultyRunOutcome {
+    completed: Vec<u64>,
+    failed: Vec<u64>,
+    end_ns: u64,
+    faults: FaultStats,
+    /// Per node: (tx_posted, rx_delivered, drops, retries, failovers,
+    /// reconnects, give_ups).
+    engines: Vec<(u64, u64, u64, u64, u64, u64, u64)>,
+}
+
+/// Runs a 1→2→1 echo chain under a seeded fault plane: 5% wire loss, 1%
+/// corruption, and a 1ms crash window on node 1 long enough to exhaust
+/// retry budgets (typed give-ups, not just transparent retries).
+fn faulty_run(seed: u64) -> FaultyRunOutcome {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+    cluster.place(1, 0);
+    cluster.place(2, 1);
+
+    let completed: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let failed: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let c2 = completed.clone();
+    cluster.register_chain(
+        &chain,
+        |_| SimDuration::from_micros(5),
+        Rc::new(move |_sim, req| c2.borrow_mut().push(req)),
+    );
+    let f2 = failed.clone();
+    cluster.set_delivery_failure_handler(Rc::new(move |_sim, failure| {
+        f2.borrow_mut().push(failure.req_id);
+    }));
+
+    // Faults start only after provisioning, so setup is never perturbed.
+    let mut fp = FaultPlane::new(seed);
+    fp.set_default_loss(0.05);
+    fp.set_default_corruption(0.01);
+    cluster.fabric.install_fault_plane(fp);
+    let crash_from = sim.now() + SimDuration::from_millis(3);
+    let crash_until = crash_from + SimDuration::from_millis(1);
+    cluster
+        .fabric
+        .schedule_node_outage(cluster.nodes[1].id, crash_from, crash_until);
+
+    // Open loop: one request every 50us, so the crash window catches a
+    // batch mid-flight while the rest see only stochastic wire faults.
+    for i in 0..REQUESTS {
+        assert!(
+            cluster.inject(&mut sim, &chain, REQ_BASE + i, 256),
+            "entry pool exhausted at request {i}"
+        );
+        sim.run_for(SimDuration::from_micros(50));
+    }
+    sim.run();
+
+    let completed = completed.borrow().clone();
+    let failed = failed.borrow().clone();
+    FaultyRunOutcome {
+        completed,
+        failed,
+        end_ns: sim.now().as_nanos(),
+        faults: cluster.fabric.fault_stats(),
+        engines: cluster
+            .nodes
+            .iter()
+            .map(|n| {
+                let s = n.dne.stats();
+                (
+                    s.tx_posted,
+                    s.rx_delivered,
+                    s.drops,
+                    s.retries,
+                    s.failovers,
+                    s.reconnects,
+                    s.give_ups,
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Every request terminates exactly once — delivery or typed failure — and
+/// every buffer returns to its pool.
+#[test]
+fn faults_never_lose_requests_silently() {
+    let out = faulty_run(0xC4A0);
+
+    // The run actually exercised the fault plane.
+    assert!(
+        out.faults.lost > 0,
+        "wire loss never fired: {:?}",
+        out.faults
+    );
+    assert!(
+        out.faults.outage_drops > 0,
+        "crash window never fired: {:?}",
+        out.faults
+    );
+    let retries: u64 = out.engines.iter().map(|e| e.3).sum();
+    assert!(retries > 0, "no retries despite faults");
+
+    // Exactly-once termination: completed and failed partition the ids.
+    let done: HashSet<u64> = out.completed.iter().copied().collect();
+    let lost: HashSet<u64> = out.failed.iter().copied().collect();
+    assert_eq!(done.len(), out.completed.len(), "duplicate completion");
+    assert!(
+        done.is_disjoint(&lost),
+        "requests both completed and failed: {:?}",
+        done.intersection(&lost).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        done.len() + lost.len(),
+        REQUESTS as usize,
+        "requests vanished: {} completed + {} failed (failed more than once: {})",
+        done.len(),
+        lost.len(),
+        lost.len() != out.failed.len(),
+    );
+    for id in REQ_BASE..REQ_BASE + REQUESTS {
+        assert!(
+            done.contains(&id) || lost.contains(&id),
+            "request {id} hung"
+        );
+    }
+    assert!(
+        !out.failed.is_empty(),
+        "the crash window should exhaust some retry budgets"
+    );
+
+    // Give-ups at the engines match the typed failures that surfaced.
+    let give_ups: u64 = out.engines.iter().map(|e| e.6).sum();
+    assert_eq!(give_ups as usize, out.failed.len());
+}
+
+/// Pool occupancy returns to baseline after a faulty run (no leaked
+/// descriptors parked in retry state or dropped on error paths).
+#[test]
+fn faults_leak_no_buffers() {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+    cluster.place(1, 0);
+    cluster.place(2, 1);
+    cluster.register_chain(&chain, |_| SimDuration::from_micros(5), Rc::new(|_, _| {}));
+    cluster.set_delivery_failure_handler(Rc::new(|_, _| {}));
+    let baseline: Vec<_> = (0..2)
+        .map(|idx| cluster.pool(tenant, idx).stats().in_flight)
+        .collect();
+
+    let mut fp = FaultPlane::new(7);
+    fp.set_default_loss(0.1);
+    fp.set_default_corruption(0.05);
+    cluster.fabric.install_fault_plane(fp);
+    for i in 0..REQUESTS {
+        cluster.inject(&mut sim, &chain, i, 256);
+        sim.run_for(SimDuration::from_micros(50));
+    }
+    sim.run();
+
+    for (idx, base) in baseline.iter().enumerate() {
+        let stats = cluster.pool(tenant, idx).stats();
+        assert_eq!(
+            stats.in_flight, *base,
+            "node {idx}: descriptors leaked under faults"
+        );
+    }
+}
+
+/// Same seed, same run: the fault plane's RNG stream is the only source of
+/// randomness, so two identically-seeded runs agree on every counter.
+#[test]
+fn same_seed_reproduces_the_run_exactly() {
+    let a = faulty_run(0xD15EA5E);
+    let b = faulty_run(0xD15EA5E);
+    assert_eq!(a, b);
+}
+
+/// A zero-fault plane draws no randomness and perturbs nothing: the run is
+/// byte-identical (event count, virtual end time, every counter) to a run
+/// with no plane installed.
+#[test]
+fn zero_fault_plane_is_byte_identical_to_no_plane() {
+    let run = |plane: Option<FaultPlane>| {
+        let mut sim = Sim::new();
+        let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+        if let Some(fp) = plane {
+            // Installed before provisioning: even setup crosses it.
+            cluster.fabric.install_fault_plane(fp);
+        }
+        let tenant = TenantId(1);
+        cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+        let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+        cluster.place(1, 0);
+        cluster.place(2, 1);
+        let driver = ClosedLoop::new(sim.now() + SimDuration::from_millis(20));
+        cluster.register_chain(&chain, |_| SimDuration::from_micros(7), driver.completion());
+        driver.start(&mut sim, &cluster, &chain, 5, 256);
+        sim.run();
+        let stats = cluster.nodes[0].dne.stats();
+        (
+            driver.completed(),
+            driver.latency().mean().as_nanos(),
+            sim.now().as_nanos(),
+            sim.executed_events(),
+            (
+                stats.submitted,
+                stats.tx_posted,
+                stats.rx_delivered,
+                stats.drops,
+                stats.retries,
+                stats.give_ups,
+            ),
+            cluster.fabric.fault_stats(),
+        )
+    };
+    let bare = run(None);
+    let zeroed = run(Some(FaultPlane::new(0xFEED)));
+    assert_eq!(bare, zeroed);
+    assert_eq!(
+        zeroed.5,
+        FaultStats::default(),
+        "zero plane injected faults"
+    );
+}
