@@ -1,0 +1,148 @@
+//! Tracing-overhead benchmark: the fig06 echo workload (two worker nodes,
+//! DNE-proxied two-sided RDMA, closed loop) run under three observability
+//! configurations:
+//!
+//! - `disabled`: no tracer installed — the zero-cost baseline every hot
+//!   path must preserve (`Tracer::is_enabled()` is a single branch);
+//! - `enabled`: a full causal tracer records every stage span and stamps
+//!   trace context into each payload;
+//! - `tail_sampled`: the tracer plus the full [`obs::TracePipeline`] —
+//!   per-request trace drain, critical-path analysis input, tail sampler
+//!   and flight-recorder ring.
+//!
+//! Besides the usual ns/iter report, the run writes
+//! `results/BENCH_obs.json` with the median wall time per mode and the
+//! relative overhead of each traced mode over the disabled baseline.
+
+use bench::harness::Bench;
+use membuf::tenant::TenantId;
+use nadino::cluster::{Cluster, ClusterConfig};
+use nadino::workload::ClosedLoop;
+use runtime::ChainSpec;
+use simcore::{Sim, SimDuration};
+use std::hint::black_box;
+
+/// Tracing configuration under test.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Disabled,
+    Enabled,
+    TailSampled,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Disabled => "disabled",
+            Mode::Enabled => "enabled",
+            Mode::TailSampled => "tail_sampled",
+        }
+    }
+}
+
+/// Virtual time simulated per iteration.
+const RUN_MILLIS: u64 = 2;
+/// Closed-loop clients.
+const CLIENTS: usize = 8;
+/// Request payload (bytes).
+const PAYLOAD: usize = 256;
+
+/// One complete fig06-style echo run; returns completed requests.
+fn run(mode: Mode) -> u64 {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tracer = match mode {
+        Mode::Disabled => obs::Tracer::disabled(),
+        _ => obs::Tracer::enabled(),
+    };
+    cluster.set_tracer(&tracer);
+    if mode == Mode::TailSampled {
+        cluster.enable_trace_pipeline(obs::PipelineConfig::default());
+    }
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+    cluster.place(1, 0);
+    cluster.place(2, 1);
+    let stop = sim.now() + SimDuration::from_millis(RUN_MILLIS);
+    let driver = ClosedLoop::new(stop);
+    cluster.register_chain(&chain, |_| SimDuration::ZERO, driver.completion());
+    driver.start(&mut sim, &cluster, &chain, CLIENTS, PAYLOAD);
+    sim.run();
+    driver.completed()
+}
+
+struct ModeReport {
+    mode: String,
+    median_ns: f64,
+    overhead_pct: f64,
+}
+
+obs::impl_to_json!(ModeReport {
+    mode,
+    median_ns,
+    overhead_pct
+});
+
+struct Report {
+    workload: String,
+    run_millis: u64,
+    clients: usize,
+    payload: usize,
+    modes: Vec<ModeReport>,
+}
+
+obs::impl_to_json!(Report {
+    workload,
+    run_millis,
+    clients,
+    payload,
+    modes
+});
+
+fn main() {
+    let mut b = Bench::from_args();
+    b.group("tracer_overhead");
+    for mode in [Mode::Disabled, Mode::Enabled, Mode::TailSampled] {
+        b.bench_function(mode.name(), move || {
+            black_box(run(mode));
+        });
+    }
+
+    let find = |name: &str| b.results().iter().find(|r| r.name == name).cloned();
+    let Some(base) = find("disabled") else {
+        return;
+    };
+    let mut modes = Vec::new();
+    for mode in [Mode::Disabled, Mode::Enabled, Mode::TailSampled] {
+        let Some(r) = find(mode.name()) else { continue };
+        let overhead_pct = if base.median_ns > 0.0 {
+            (r.median_ns / base.median_ns - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "tracer_overhead/{}: median {:.0} ns ({overhead_pct:+.1}% vs disabled)",
+            mode.name(),
+            r.median_ns
+        );
+        modes.push(ModeReport {
+            mode: mode.name().to_string(),
+            median_ns: r.median_ns,
+            overhead_pct,
+        });
+    }
+    let report = Report {
+        workload: "fig06_echo".to_string(),
+        run_millis: RUN_MILLIS,
+        clients: CLIENTS,
+        payload: PAYLOAD,
+        modes,
+    };
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_obs.json");
+    match nadino::report::write_json(&path, &report) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+    }
+}

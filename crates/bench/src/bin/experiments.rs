@@ -11,6 +11,15 @@
 //!                             # instrumented Online Boutique run: Perfetto
 //!                             # trace + metrics snapshot (no figures unless
 //!                             # names are also given)
+//! experiments --tail-sample --trace-out t.json
+//!                             # same run with the trace pipeline enabled:
+//!                             # keep only the slowest/error traces, print
+//!                             # the per-tenant critical-path table, export
+//!                             # kept traces (with cross-node flow arrows)
+//! experiments --flight-out f.json
+//!                             # dump the flight-recorder bundle (recent
+//!                             # trace ring + SLO counters + metric deltas)
+//!                             # at end of run
 //! ```
 //!
 //! Each experiment prints its table(s) and writes a JSON twin under
@@ -152,7 +161,15 @@ fn emit(o: &Output) {
 
 /// Runs a short instrumented Online Boutique workload with cluster-wide
 /// tracing and periodic metrics sampling, writing the requested outputs.
-fn instrumented_run(trace_out: Option<&PathBuf>, metrics_out: Option<&PathBuf>) {
+/// With `tail_sample` the trace pipeline drains completed traces through
+/// the tail sampler (slowest-k + errors) and the export covers only the
+/// kept traces; `flight_out` dumps the flight-recorder bundle at the end.
+fn instrumented_run(
+    trace_out: Option<&PathBuf>,
+    metrics_out: Option<&PathBuf>,
+    tail_sample: bool,
+    flight_out: Option<&PathBuf>,
+) {
     use membuf::tenant::TenantId;
     use nadino::boutique;
     use nadino::cluster::{Cluster, ClusterConfig};
@@ -174,27 +191,78 @@ fn instrumented_run(trace_out: Option<&PathBuf>, metrics_out: Option<&PathBuf>) 
     }
     let tracer = obs::Tracer::enabled();
     cluster.set_tracer(&tracer);
+    let pipelined = tail_sample || flight_out.is_some();
+    if pipelined {
+        cluster.enable_trace_pipeline(obs::PipelineConfig::default());
+    }
     let stop = sim.now() + SimDuration::from_millis(20);
     let driver = ClosedLoop::new(stop);
     cluster.register_chain(&chain, boutique::exec_cost, driver.completion());
     driver.start(&mut sim, &cluster, &chain, 8, 256);
     let cluster = Rc::new(cluster);
     let reg = Rc::new(obs::MetricsRegistry::new());
+    cluster.with_trace_pipeline(|p| p.attach_metrics((*reg).clone()));
     cluster.start_obs_sampler(&mut sim, Rc::clone(&reg), SimDuration::from_millis(1), stop);
     sim.run();
+    // With the pipeline on, completed traces were drained out of the
+    // tracer: the export covers the retained (slowest/error) traces, and
+    // the critical-path table attributes their latency per tenant.
+    let records: Vec<obs::SpanRecord> = if tail_sample {
+        let mut spans: Vec<obs::SpanRecord> = cluster
+            .with_trace_pipeline(|p| {
+                p.tail()
+                    .kept()
+                    .iter()
+                    .flat_map(|t| t.spans.iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default();
+        spans.sort_by_key(|r| (r.start_ns, r.req_id, r.span_id));
+        spans
+    } else {
+        tracer.records()
+    };
     println!(
-        "instrumented run: {} requests, {} spans",
+        "instrumented run: {} requests, {} exported spans",
         driver.completed(),
-        tracer.len()
+        records.len()
     );
+    if tail_sample {
+        let (kept, discarded) = cluster
+            .with_trace_pipeline(|p| (p.tail().kept().len(), p.tail().discarded()))
+            .unwrap_or((0, 0));
+        println!("tail sampler: kept {kept} traces, discarded {discarded}");
+        let paths: Vec<obs::CriticalPath> = cluster
+            .with_trace_pipeline(|p| {
+                p.tail()
+                    .kept()
+                    .iter()
+                    .filter_map(|t| obs::critical_path::analyze(&t.spans))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let rows = obs::critical_path::tenant_breakdown(&paths);
+        print!("{}", obs::critical_path::render_breakdown(&rows));
+    }
     if let Some(path) = trace_out {
-        let doc = obs::chrome_trace(&tracer.records());
+        let doc = obs::chrome_trace(&records);
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);
         }
         match std::fs::write(path, doc.to_string_pretty()) {
             Ok(()) => println!("[wrote {}]", path.display()),
             Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+        }
+    }
+    if let Some(path) = flight_out {
+        if let Some(dump) = cluster.dump_flight_recorder(&sim) {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::write(path, dump.to_string_pretty()) {
+                Ok(()) => println!("[wrote {}]", path.display()),
+                Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+            }
         }
     }
     if let Some(path) = metrics_out {
@@ -215,6 +283,8 @@ fn main() {
     let mut jobs = default_jobs();
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut tail_sample = false;
+    let mut flight_out: Option<PathBuf> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -241,6 +311,14 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--tail-sample" => tail_sample = true,
+            "--flight-out" => match it.next() {
+                Some(p) => flight_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--flight-out needs a path");
+                    std::process::exit(2);
+                }
+            },
             _ => names.push(a),
         }
     }
@@ -249,7 +327,8 @@ fn main() {
     } else {
         Budget::full()
     };
-    let instrumented = trace_out.is_some() || metrics_out.is_some();
+    let instrumented =
+        trace_out.is_some() || metrics_out.is_some() || tail_sample || flight_out.is_some();
     let names: Vec<String> =
         if names.iter().any(|a| a == "all") || (names.is_empty() && !instrumented) {
             bench::EXPERIMENTS.iter().map(|s| s.to_string()).collect()
@@ -281,6 +360,11 @@ fn main() {
         emit(&output);
     }
     if instrumented {
-        instrumented_run(trace_out.as_ref(), metrics_out.as_ref());
+        instrumented_run(
+            trace_out.as_ref(),
+            metrics_out.as_ref(),
+            tail_sample,
+            flight_out.as_ref(),
+        );
     }
 }

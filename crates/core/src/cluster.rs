@@ -64,6 +64,19 @@ pub struct NodeHandle {
     pub iolib: IoLib,
 }
 
+/// Cluster-wide observability state shared by the failure dispatcher,
+/// completion hooks and the public dump API.
+#[derive(Default)]
+struct ObsHub {
+    /// The cluster tracer (disabled until [`Cluster::set_tracer`]).
+    tracer: obs::Tracer,
+    /// Tail sampler + flight recorder + SLO monitor, when enabled.
+    pipeline: Option<obs::TracePipeline>,
+    /// The user's delivery-failure handler, invoked after the pipeline has
+    /// taken its dump.
+    user_failure: Option<dne::DeliveryFailureHandler>,
+}
+
 /// A fully wired NADINO cluster.
 pub struct Cluster {
     /// The RDMA fabric connecting the nodes.
@@ -74,6 +87,7 @@ pub struct Cluster {
     pub placement: Rc<RefCell<Placement>>,
     cfg: ClusterConfig,
     pools: HashMap<(TenantId, usize), BufferPool>,
+    obs_hub: Rc<RefCell<ObsHub>>,
 }
 
 impl Cluster {
@@ -99,6 +113,25 @@ impl Cluster {
                 iolib,
             });
         }
+        // Every engine reports failures through the hub dispatcher: the
+        // trace pipeline (when enabled) records/dumps first, then the
+        // user's handler runs.
+        let obs_hub: Rc<RefCell<ObsHub>> = Rc::new(RefCell::new(ObsHub::default()));
+        for node in &nodes {
+            let hub = obs_hub.clone();
+            node.dne.set_failure_handler(Rc::new(move |sim, failure| {
+                let user = {
+                    let mut h = hub.borrow_mut();
+                    if let Some(p) = h.pipeline.as_mut() {
+                        p.on_failure(sim.now(), failure.req_id);
+                    }
+                    h.user_failure.clone()
+                };
+                if let Some(u) = user {
+                    u(sim, failure);
+                }
+            }));
+        }
         // Nothing is scheduled yet; run to settle any setup events.
         sim.run_until(sim.now());
         Cluster {
@@ -107,6 +140,7 @@ impl Cluster {
             placement,
             cfg,
             pools: HashMap::new(),
+            obs_hub,
         }
     }
 
@@ -201,6 +235,7 @@ impl Cluster {
         exec_cost: impl Fn(u16) -> SimDuration,
         on_complete: CompletionFn,
     ) {
+        let on_complete = self.hook_completion(on_complete);
         let chain = Rc::new(chain.clone());
         for f in chain.functions() {
             let idx = self
@@ -228,6 +263,7 @@ impl Cluster {
         exec_cost: impl Fn(u16) -> SimDuration,
         on_complete: CompletionFn,
     ) {
+        let on_complete = self.hook_completion(on_complete);
         let dag = Rc::new(dag.clone());
         for f in dag.functions() {
             let idx = self
@@ -248,6 +284,23 @@ impl Cluster {
         }
     }
 
+    /// Wraps a user completion so the trace pipeline (when enabled) drains
+    /// each finished trace before the user callback observes it.
+    fn hook_completion(&self, on_complete: CompletionFn) -> CompletionFn {
+        let hub = self.obs_hub.clone();
+        Rc::new(move |sim, req| {
+            {
+                let mut h = hub.borrow_mut();
+                if let Some(p) = h.pipeline.as_mut() {
+                    // An SLO burn takes its dump here; retrievable via
+                    // last_dump() after the run.
+                    p.on_complete(sim.now(), req);
+                }
+            }
+            on_complete(sim, req);
+        })
+    }
+
     /// Injects one request into a DAG's root function.
     pub fn inject_dag(&self, sim: &mut Sim, dag: &runtime::DagSpec, req_id: u64) -> bool {
         let Some(idx) = self.node_index_of(dag.root) else {
@@ -263,6 +316,7 @@ impl Cluster {
             runtime::dag::DagMsg::Call,
             runtime::dag::CLIENT_CALLER,
         );
+        self.stamp_root_ctx(&mut payload, req_id, idx);
         if buf.write_payload(&payload).is_err() {
             return false;
         }
@@ -270,6 +324,25 @@ impl Cluster {
             .iolib
             .send(sim, dag.tenant, buf.into_desc(dag.root));
         true
+    }
+
+    /// Roots a trace at injection: adopts any gateway-side cursor (the
+    /// ingress records its spans under a synthetic node id, linked when it
+    /// forwards the same request id) and stamps the initial on-wire
+    /// context into the payload.
+    fn stamp_root_ctx(&self, payload: &mut [u8], req_id: u64, entry_idx: usize) {
+        let hub = self.obs_hub.borrow();
+        if !hub.tracer.is_enabled() {
+            return;
+        }
+        let entry_node = self.nodes[entry_idx].id.0 as u32;
+        let gw = hub.tracer.cursor(req_id, ingress::gateway::GATEWAY_NODE);
+        hub.tracer.adopt_parent(req_id, entry_node, gw);
+        obs::ctx::write_ctx(
+            payload,
+            hub.tracer.cursor(req_id, entry_node),
+            hub.tracer.head_keep(req_id),
+        );
     }
 
     /// Injects one request into a chain: writes the payload into the entry
@@ -292,8 +365,12 @@ impl Cluster {
         let Ok(mut buf) = pool.get() else {
             return false;
         };
-        let mut payload = runtime::encode_request_payload(req_id, payload_len.max(10));
+        // Payloads are sized to carry the on-wire trace context (16 bytes)
+        // even when the caller asked for less.
+        let mut payload =
+            runtime::encode_request_payload(req_id, payload_len.max(obs::CTX_MIN_PAYLOAD));
         runtime::set_hop(&mut payload, 0);
+        self.stamp_root_ctx(&mut payload, req_id, idx);
         if buf.write_payload(&payload).is_err() {
             return false;
         }
@@ -303,22 +380,56 @@ impl Cluster {
         true
     }
 
-    /// Installs `tracer` on every node's I/O library and network engine, so
-    /// one tracer sees a request's spans across the whole cluster.
+    /// Installs `tracer` on every node's I/O library and network engine
+    /// plus the fabric, so one tracer sees a request's spans — including
+    /// fault-plane annotations — across the whole cluster.
+    ///
+    /// Call before [`Cluster::enable_trace_pipeline`] so the pipeline
+    /// drains the same tracer.
     pub fn set_tracer(&self, tracer: &obs::Tracer) {
         for n in &self.nodes {
             n.iolib.set_tracer(tracer.clone());
         }
+        self.fabric.set_tracer(tracer.clone());
+        self.obs_hub.borrow_mut().tracer = tracer.clone();
     }
 
-    /// Installs `handler` on every node's engine, so a delivery the DNE
-    /// gave up on (retry budget exhausted, no reconnectable route) reaches
-    /// one place — typically the ingress, which answers the client with a
-    /// `503` instead of leaving the request hanging.
+    /// Enables the trace pipeline: completed traces drain through the
+    /// tail sampler, flight recorder and (optional) per-tenant SLO burn
+    /// monitor; a typed `DeliveryFailure` or an SLO burn freezes a dump.
+    pub fn enable_trace_pipeline(&self, cfg: obs::PipelineConfig) {
+        let mut hub = self.obs_hub.borrow_mut();
+        let tracer = hub.tracer.clone();
+        hub.pipeline = Some(obs::TracePipeline::new(tracer, cfg));
+    }
+
+    /// Runs `f` against the trace pipeline, when one is enabled.
+    pub fn with_trace_pipeline<R>(
+        &self,
+        f: impl FnOnce(&mut obs::TracePipeline) -> R,
+    ) -> Option<R> {
+        self.obs_hub.borrow_mut().pipeline.as_mut().map(f)
+    }
+
+    /// Takes an explicit flight-recorder dump: the current ring of recent
+    /// traces, SLO counters and metric deltas as one self-contained JSON
+    /// bundle. Returns `None` when no pipeline is enabled.
+    pub fn dump_flight_recorder(&self, sim: &Sim) -> Option<obs::JsonValue> {
+        self.obs_hub
+            .borrow_mut()
+            .pipeline
+            .as_mut()
+            .map(|p| p.trigger(obs::TriggerReason::Explicit, sim.now()).clone())
+    }
+
+    /// Installs `handler` on the cluster failure dispatcher, so a delivery
+    /// the DNE gave up on (retry budget exhausted, no reconnectable route)
+    /// reaches one place — typically the ingress, which answers the client
+    /// with a `503` instead of leaving the request hanging. When the trace
+    /// pipeline is enabled it records the failure (and takes its dump)
+    /// before the handler runs.
     pub fn set_delivery_failure_handler(&self, handler: dne::DeliveryFailureHandler) {
-        for n in &self.nodes {
-            n.dne.set_failure_handler(handler.clone());
-        }
+        self.obs_hub.borrow_mut().user_failure = Some(handler);
     }
 
     /// Samples the cluster's observability signals into `reg` at virtual
@@ -331,6 +442,13 @@ impl Cluster {
         // TimeSeries aggregates to a per-second rate; scale each sampled
         // level by the window so the stored points keep level semantics.
         let w_s = window.as_secs_f64();
+        {
+            let hub = self.obs_hub.borrow();
+            if hub.tracer.is_enabled() {
+                reg.gauge("tracer_spans_dropped", &[])
+                    .set(hub.tracer.dropped() as f64);
+            }
+        }
         for (idx, node) in self.nodes.iter().enumerate() {
             let node_label = idx.to_string();
             let nl = [("node", node_label.as_str())];

@@ -145,6 +145,9 @@ struct PendingRetry {
     first_at: SimTime,
     /// Attempts already made (0 when parked before any post succeeded).
     attempts: u32,
+    /// When the send was first parked, so the eventual repost can record
+    /// the whole backoff/reconnect wait as a `RetryBackoff` span.
+    parked_at: SimTime,
     /// The QP whose send failed; the failover pick steers around it.
     avoid: Option<QpId>,
 }
@@ -384,6 +387,7 @@ impl Inner {
             req_id,
             first_at,
             attempts,
+            now,
             Some(cqe.qp),
         );
         let backoff = self.cfg.retry_backoff * (1u64 << (attempts - 1).min(16));
@@ -401,6 +405,7 @@ impl Inner {
         req_id: u64,
         first_at: SimTime,
         attempts: u32,
+        parked_at: SimTime,
         avoid: Option<QpId>,
     ) -> u64 {
         let id = self.next_retry_id;
@@ -415,6 +420,7 @@ impl Inner {
                 req_id,
                 first_at,
                 attempts,
+                parked_at,
                 avoid,
             },
         );
@@ -710,7 +716,7 @@ impl Dne {
                 inner.stats.drops += 1;
                 return;
             };
-            let buf = match state.pool.redeem(desc) {
+            let mut buf = match state.pool.redeem(desc) {
                 Ok(b) => b,
                 Err(_) => {
                     inner.stats.drops += 1;
@@ -789,6 +795,12 @@ impl Dne {
                                         at,
                                     );
                                 }
+                                // Stamp the on-wire trace context so the
+                                // receiver's spans parent on this node's
+                                // causal chain.
+                                let parent = inner.tracer.cursor(req_id, node);
+                                let sampled = inner.tracer.head_keep(req_id);
+                                obs::ctx::write_ctx(buf.as_mut_slice(), parent, sampled);
                             }
                             inner.posted.insert(
                                 wr.0,
@@ -817,7 +829,7 @@ impl Dne {
                             let rid = req_id_of(buf.as_slice());
                             if inner.peer_links.contains_key(&(tenant, peer)) {
                                 let now = sim.now();
-                                inner.park_retry(buf, tenant, dst_fn, peer, rid, now, 0, None);
+                                inner.park_retry(buf, tenant, dst_fn, peer, rid, now, 0, now, None);
                                 Action::Reconnect(tenant, peer)
                             } else {
                                 let now = sim.now();
@@ -968,6 +980,14 @@ impl Dne {
                     let req_id = if traced { req_id_of(buf.as_slice()) } else { 0 };
                     if traced {
                         let node = inner.node.0 as u32;
+                        // Adopt the sender's causal cursor from the payload
+                        // trace context: the RX spans below parent on the
+                        // remote send chain instead of starting a new root.
+                        if let Some(c) = obs::ctx::read_ctx(buf.as_slice()) {
+                            if c.sampled {
+                                inner.tracer.adopt_parent(req_id, node, c.parent_span);
+                            }
+                        }
                         inner.tracer.span(
                             req_id,
                             tenant.0,
@@ -1054,7 +1074,7 @@ impl Dne {
         let step = {
             let mut inner = rc.borrow_mut();
             inner.retry_timers.remove(&id);
-            let Some(p) = inner.retries.remove(&id) else {
+            let Some(mut p) = inner.retries.remove(&id) else {
                 return; // cancelled or already flushed: fire as a no-op
             };
             let fabric = inner.fabric.clone();
@@ -1071,6 +1091,24 @@ impl Dne {
                     inner.stats.tx_posted += 1;
                     if let Some(st) = inner.tenants.get_mut(&p.tenant) {
                         st.tx_count += 1;
+                    }
+                    if inner.tracer.is_enabled() {
+                        let node = inner.node.0 as u32;
+                        // The whole park → repost wait is attributable
+                        // retry/backoff time on the critical path.
+                        inner.tracer.span(
+                            p.req_id,
+                            p.tenant.0,
+                            node,
+                            Stage::RetryBackoff,
+                            p.parked_at,
+                            sim.now(),
+                        );
+                        // Re-stamp the context: the re-sent payload now
+                        // parents downstream spans on the backoff span.
+                        let parent = inner.tracer.cursor(p.req_id, node);
+                        let sampled = inner.tracer.head_keep(p.req_id);
+                        obs::ctx::write_ctx(p.buf.as_mut_slice(), parent, sampled);
                     }
                     inner.posted.insert(
                         wr.0,

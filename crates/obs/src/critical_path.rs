@@ -1,0 +1,297 @@
+//! Critical-path attribution for completed traces.
+//!
+//! Stage histograms say *how much* time a stage consumed across a run;
+//! they cannot say which stage made one request slow, because concurrent
+//! spans (a retry backoff overlapping a queue wait, a fan-out executing on
+//! two nodes at once) double-count wall time. The analyzer here walks one
+//! trace's spans and attributes every nanosecond of the end-to-end
+//! interval to exactly one stage:
+//!
+//! 1. cut the trace timeline at every span start/end boundary;
+//! 2. charge each segment to the *innermost* covering span — the covering
+//!    span with the latest start (ties broken by the larger span id, i.e.
+//!    the more recently recorded one);
+//! 3. charge segments no span covers to the synthetic `"untracked"`
+//!    stage.
+//!
+//! Because the segments partition `[min start, max end)` exactly, the
+//! per-stage attribution always sums to the end-to-end latency — the
+//! invariant the acceptance test asserts and the property that makes
+//! breakdown tables comparable across traces.
+
+use std::collections::HashMap;
+
+use crate::json::JsonValue;
+use crate::span::SpanRecord;
+
+/// Stage label used for timeline segments no span covers.
+pub const UNTRACKED: &str = "untracked";
+
+/// Nanoseconds attributed to one stage of one trace (or one aggregate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageShare {
+    /// Stage name, or [`UNTRACKED`] for uncovered time.
+    pub stage: String,
+    /// Attributed nanoseconds.
+    pub ns: u64,
+}
+
+/// The critical-path attribution of one completed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    pub trace_id: u64,
+    /// Owning tenant (the maximum tenant id over the trace's spans, which
+    /// is the request tenant: gateway spans record tenant 0).
+    pub tenant: u16,
+    /// Earliest span start, virtual ns.
+    pub start_ns: u64,
+    /// Latest span end, virtual ns.
+    pub end_ns: u64,
+    /// Per-stage attribution, largest share first. Sums to
+    /// [`CriticalPath::total_ns`] exactly.
+    pub stages: Vec<StageShare>,
+}
+
+impl CriticalPath {
+    /// End-to-end latency of the trace in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Nanoseconds attributed to one stage (0 when absent).
+    pub fn stage_ns(&self, stage: &str) -> u64 {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .map_or(0, |s| s.ns)
+    }
+
+    /// JSON form used by flight-recorder bundles and trace exports.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("trace_id", JsonValue::UInt(self.trace_id)),
+            ("tenant", JsonValue::UInt(self.tenant as u64)),
+            ("start_ns", JsonValue::UInt(self.start_ns)),
+            ("end_ns", JsonValue::UInt(self.end_ns)),
+            ("total_ns", JsonValue::UInt(self.total_ns())),
+            (
+                "stages",
+                JsonValue::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            JsonValue::obj(vec![
+                                ("stage", JsonValue::Str(s.stage.clone())),
+                                ("ns", JsonValue::UInt(s.ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Attributes one trace's end-to-end latency to stages. Returns `None`
+/// for an empty span set.
+pub fn analyze(spans: &[SpanRecord]) -> Option<CriticalPath> {
+    if spans.is_empty() {
+        return None;
+    }
+    let trace_id = spans[0].req_id;
+    let tenant = spans.iter().map(|s| s.tenant).max().unwrap_or(0);
+    let start_ns = spans.iter().map(|s| s.start_ns).min().unwrap();
+    let end_ns = spans.iter().map(|s| s.end_ns).max().unwrap();
+
+    // Cut the timeline at every span boundary.
+    let mut cuts: Vec<u64> = Vec::with_capacity(spans.len() * 2);
+    for s in spans {
+        cuts.push(s.start_ns);
+        cuts.push(s.end_ns);
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    // Charge each segment to its innermost covering span.
+    let mut by_stage: Vec<(String, u64)> = Vec::new();
+    let mut index: HashMap<&str, usize> = HashMap::new();
+    for pair in cuts.windows(2) {
+        let (seg_start, seg_end) = (pair[0], pair[1]);
+        let covering = spans
+            .iter()
+            .filter(|s| s.start_ns <= seg_start && s.end_ns >= seg_end && s.start_ns < s.end_ns)
+            .max_by_key(|s| (s.start_ns, s.span_id));
+        let stage = covering.map_or(UNTRACKED, |s| s.stage.name());
+        let at = *index.entry(stage).or_insert_with(|| {
+            by_stage.push((stage.to_string(), 0));
+            by_stage.len() - 1
+        });
+        by_stage[at].1 += seg_end - seg_start;
+    }
+
+    let mut stages: Vec<StageShare> = by_stage
+        .into_iter()
+        .filter(|(_, ns)| *ns > 0)
+        .map(|(stage, ns)| StageShare { stage, ns })
+        .collect();
+    stages.sort_by(|a, b| b.ns.cmp(&a.ns).then_with(|| a.stage.cmp(&b.stage)));
+    Some(CriticalPath {
+        trace_id,
+        tenant,
+        start_ns,
+        end_ns,
+        stages,
+    })
+}
+
+/// Per-tenant aggregate of many critical paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantBreakdown {
+    pub tenant: u16,
+    /// Number of traces aggregated.
+    pub traces: u64,
+    /// Sum of end-to-end latencies, ns.
+    pub total_ns: u64,
+    /// Per-stage attributed time, largest first; sums to `total_ns`.
+    pub stages: Vec<StageShare>,
+}
+
+/// Aggregates critical paths per tenant, sorted by tenant id.
+pub fn tenant_breakdown(paths: &[CriticalPath]) -> Vec<TenantBreakdown> {
+    let mut by_tenant: HashMap<u16, HashMap<String, u64>> = HashMap::new();
+    let mut counts: HashMap<u16, (u64, u64)> = HashMap::new();
+    for p in paths {
+        let stages = by_tenant.entry(p.tenant).or_default();
+        for s in &p.stages {
+            *stages.entry(s.stage.clone()).or_insert(0) += s.ns;
+        }
+        let c = counts.entry(p.tenant).or_insert((0, 0));
+        c.0 += 1;
+        c.1 += p.total_ns();
+    }
+    let mut rows: Vec<TenantBreakdown> = by_tenant
+        .into_iter()
+        .map(|(tenant, stages)| {
+            let mut stages: Vec<StageShare> = stages
+                .into_iter()
+                .map(|(stage, ns)| StageShare { stage, ns })
+                .collect();
+            stages.sort_by(|a, b| b.ns.cmp(&a.ns).then_with(|| a.stage.cmp(&b.stage)));
+            let (traces, total_ns) = counts[&tenant];
+            TenantBreakdown {
+                tenant,
+                traces,
+                total_ns,
+                stages,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| r.tenant);
+    rows
+}
+
+/// Renders a per-tenant critical-path table: one row per (tenant, stage)
+/// with attributed time and its share of the tenant's end-to-end total.
+pub fn render_breakdown(rows: &[TenantBreakdown]) -> String {
+    let mut out = String::new();
+    out.push_str("critical-path attribution (per tenant)\n");
+    out.push_str(&format!(
+        "  {:<8} {:<14} {:>14} {:>8}\n",
+        "tenant", "stage", "time_us", "share"
+    ));
+    for row in rows {
+        for s in &row.stages {
+            let share = if row.total_ns == 0 {
+                0.0
+            } else {
+                s.ns as f64 / row.total_ns as f64 * 100.0
+            };
+            out.push_str(&format!(
+                "  {:<8} {:<14} {:>14.3} {:>7.2}%\n",
+                row.tenant,
+                s.stage,
+                s.ns as f64 / 1_000.0,
+                share
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<8} {:<14} {:>14.3} {:>7} ({} traces)\n",
+            row.tenant,
+            "total",
+            row.total_ns as f64 / 1_000.0,
+            "",
+            row.traces
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Stage, Tracer};
+    use simcore::SimTime;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn attribution_sums_to_end_to_end_latency() {
+        let t = Tracer::enabled();
+        // Nested + overlapping + gapped spans on one trace.
+        t.span(1, 3, 0, Stage::Gateway, at(0), at(100));
+        t.span(1, 3, 0, Stage::DwrrQueue, at(20), at(60));
+        t.span(1, 3, 1, Stage::Fabric, at(50), at(150));
+        t.span(1, 3, 1, Stage::FnExec, at(200), at(260));
+        let cp = analyze(&t.take_trace(1)).unwrap();
+        assert_eq!(cp.total_ns(), 260);
+        let sum: u64 = cp.stages.iter().map(|s| s.ns).sum();
+        assert_eq!(sum, cp.total_ns(), "attribution must partition the trace");
+        // Innermost wins: the queue wait (20..50, until fabric starts) is
+        // charged over the gateway span that contains it, and the fabric
+        // span (50..150) over both.
+        assert_eq!(cp.stage_ns("gateway"), 20);
+        assert_eq!(cp.stage_ns("dwrr_queue"), 30);
+        assert_eq!(cp.stage_ns("fabric"), 100);
+        assert_eq!(cp.stage_ns("fn_exec"), 60);
+        assert_eq!(cp.stage_ns(UNTRACKED), 50, "the 150..200 gap");
+        assert_eq!(cp.tenant, 3);
+    }
+
+    #[test]
+    fn empty_trace_yields_none() {
+        assert_eq!(analyze(&[]), None);
+    }
+
+    #[test]
+    fn zero_length_spans_charge_nothing() {
+        let t = Tracer::enabled();
+        t.span(1, 0, 0, Stage::RssDispatch, at(5), at(5));
+        t.span(1, 0, 0, Stage::Gateway, at(0), at(10));
+        let cp = analyze(&t.take_trace(1)).unwrap();
+        assert_eq!(cp.stage_ns("gateway"), 10);
+        assert_eq!(cp.stage_ns("rss_dispatch"), 0);
+    }
+
+    #[test]
+    fn breakdown_aggregates_per_tenant() {
+        let t = Tracer::enabled();
+        t.span(1, 1, 0, Stage::Fabric, at(0), at(100));
+        t.span(2, 1, 0, Stage::Fabric, at(0), at(50));
+        t.span(3, 2, 0, Stage::FnExec, at(0), at(30));
+        let paths: Vec<CriticalPath> = [1u64, 2, 3]
+            .iter()
+            .filter_map(|&id| analyze(&t.take_trace(id)))
+            .collect();
+        let rows = tenant_breakdown(&paths);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].tenant, 1);
+        assert_eq!(rows[0].traces, 2);
+        assert_eq!(rows[0].total_ns, 150);
+        assert_eq!(rows[1].tenant, 2);
+        let text = render_breakdown(&rows);
+        assert!(text.contains("fabric"));
+        assert!(text.contains("fn_exec"));
+    }
+}

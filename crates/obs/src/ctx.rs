@@ -1,0 +1,115 @@
+//! The on-wire trace context.
+//!
+//! A [`TraceCtx`] is the compact causal link that rides inside every
+//! request payload so a trace reconstructs across node boundaries without
+//! any out-of-band channel. The encoding piggybacks on the existing
+//! payload header conventions:
+//!
+//! ```text
+//! byte  0..8   req_id (LE u64)        — doubles as the trace id
+//! byte  8..11  chain hop / DAG header — owned by the runtime, untouched
+//! byte 11..15  parent span id (LE u32)
+//! byte 15      flags (bit 0 = sampled)
+//! ```
+//!
+//! The fabric copies sender payloads verbatim into posted receive
+//! buffers, so the context crosses the wire for free; the receiving DNE
+//! reads it back and adopts the parent into its tracer's causal cursor.
+//! Payloads shorter than [`CTX_MIN_PAYLOAD`] simply carry no context —
+//! [`write_ctx`] is a no-op and [`read_ctx`] returns `None`, degrading to
+//! per-node span chains rather than failing.
+
+/// Smallest payload that can carry a trace context.
+pub const CTX_MIN_PAYLOAD: usize = 16;
+
+/// Byte offset of the parent span id within the payload.
+const PARENT_OFFSET: usize = 11;
+/// Byte offset of the flags byte within the payload.
+const FLAGS_OFFSET: usize = 15;
+/// Flags bit 0: the trace is sampled (record spans downstream).
+const FLAG_SAMPLED: u8 = 1;
+
+/// A decoded on-wire trace context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The trace id — the request id from the payload head.
+    pub trace_id: u64,
+    /// Span id the next downstream span should parent on (0 = none).
+    pub parent_span: u32,
+    /// Whether the head/tail sampling decision kept this trace.
+    pub sampled: bool,
+}
+
+/// Stamps `parent_span` and the sampling bit into a payload, leaving the
+/// req-id and runtime header bytes untouched. Returns `false` (and writes
+/// nothing) when the payload is too short to carry a context.
+pub fn write_ctx(payload: &mut [u8], parent_span: u32, sampled: bool) -> bool {
+    if payload.len() < CTX_MIN_PAYLOAD {
+        return false;
+    }
+    payload[PARENT_OFFSET..PARENT_OFFSET + 4].copy_from_slice(&parent_span.to_le_bytes());
+    payload[FLAGS_OFFSET] = if sampled { FLAG_SAMPLED } else { 0 };
+    true
+}
+
+/// Reads the trace context out of a payload, or `None` when the payload
+/// is too short to carry one.
+pub fn read_ctx(payload: &[u8]) -> Option<TraceCtx> {
+    if payload.len() < CTX_MIN_PAYLOAD {
+        return None;
+    }
+    let trace_id = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let parent_span = u32::from_le_bytes(
+        payload[PARENT_OFFSET..PARENT_OFFSET + 4]
+            .try_into()
+            .unwrap(),
+    );
+    let sampled = payload[FLAGS_OFFSET] & FLAG_SAMPLED != 0;
+    Some(TraceCtx {
+        trace_id,
+        parent_span,
+        sampled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_a_payload() {
+        let mut payload = vec![0u8; 64];
+        payload[0..8].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+        assert!(write_ctx(&mut payload, 42, true));
+        let ctx = read_ctx(&payload).unwrap();
+        assert_eq!(
+            ctx,
+            TraceCtx {
+                trace_id: 0xDEAD_BEEF,
+                parent_span: 42,
+                sampled: true
+            }
+        );
+    }
+
+    #[test]
+    fn leaves_runtime_header_bytes_alone() {
+        let mut payload = vec![0u8; 16];
+        payload[8] = 0xAA; // DAG kind byte
+        payload[9] = 0xBB; // src_fn low
+        payload[10] = 0xCC; // src_fn high
+        write_ctx(&mut payload, u32::MAX, false);
+        assert_eq!(&payload[8..11], &[0xAA, 0xBB, 0xCC]);
+        let ctx = read_ctx(&payload).unwrap();
+        assert_eq!(ctx.parent_span, u32::MAX);
+        assert!(!ctx.sampled);
+    }
+
+    #[test]
+    fn short_payloads_carry_no_ctx() {
+        let mut short = vec![0u8; CTX_MIN_PAYLOAD - 1];
+        assert!(!write_ctx(&mut short, 7, true));
+        assert!(short.iter().all(|&b| b == 0), "nothing written");
+        assert_eq!(read_ctx(&short), None);
+    }
+}

@@ -1,0 +1,496 @@
+//! Anomaly-triggered flight recorder and per-tenant latency-SLO monitor.
+//!
+//! A production data plane cannot afford to persist every trace, but when
+//! something goes wrong the traces that explain it have usually already
+//! been discarded. The [`FlightRecorder`] squares that: it keeps a fixed
+//! ring of the most recent completed trace trees, and on a trigger —
+//! a typed `DeliveryFailure`, an SLO burn detected by [`SloMonitor`], or
+//! an explicit operator call — freezes the ring into a self-contained
+//! JSON bundle (traces, per-trace critical paths, SLO counters, metric
+//! deltas since the recorder was armed). All timestamps are virtual, so
+//! the same seed produces a byte-identical dump.
+//!
+//! The [`TracePipeline`] is the glue the cluster wires to its completion
+//! and failure paths: it drains each finished trace out of the tracer
+//! exactly once and fans it to the recorder, the SLO monitor and the
+//! tail-based [`TailSampler`].
+
+use std::collections::VecDeque;
+
+use simcore::SimTime;
+
+use crate::critical_path;
+use crate::json::JsonValue;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::sampler::{TailSampler, TraceSummary};
+use crate::span::{SpanRecord, Tracer};
+
+/// Why a flight-recorder dump was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerReason {
+    /// A request exhausted its retry budget and surfaced a typed failure.
+    DeliveryFailure,
+    /// A tenant's latency-SLO breach fraction crossed the burn threshold.
+    SloBurn,
+    /// An operator asked for a dump (`Cluster::dump_flight_recorder`).
+    Explicit,
+}
+
+impl TriggerReason {
+    /// Stable exported name of the trigger.
+    pub fn name(self) -> &'static str {
+        match self {
+            TriggerReason::DeliveryFailure => "delivery_failure",
+            TriggerReason::SloBurn => "slo_burn",
+            TriggerReason::Explicit => "explicit",
+        }
+    }
+}
+
+/// A bounded ring of the most recently completed trace trees.
+pub struct FlightRecorder {
+    ring: VecDeque<TraceSummary>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` traces.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: VecDeque::new(),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Records a completed trace, evicting the oldest when full.
+    pub fn record(&mut self, summary: TraceSummary) {
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        if self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+            self.evicted += 1;
+        }
+        self.ring.push_back(summary);
+    }
+
+    /// The retained traces, oldest first.
+    pub fn traces(&self) -> impl Iterator<Item = &TraceSummary> {
+        self.ring.iter()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Returns `true` when no trace has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Number of traces evicted after the ring filled.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+/// Per-tenant latency-SLO configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Latency target: a request above this breaches the SLO.
+    pub target_ns: u64,
+    /// Fixed evaluation window, in requests.
+    pub window: u64,
+    /// Breach fraction within a window at or above which the budget is
+    /// considered burning.
+    pub burn_threshold: f64,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct TenantSlo {
+    total: u64,
+    breached: u64,
+    window_total: u64,
+    window_breached: u64,
+    burns: u64,
+}
+
+/// Fixed-window per-tenant burn-rate monitor.
+///
+/// Every completed request is observed against the latency target; at the
+/// end of each `window`-request window the breach fraction is compared to
+/// `burn_threshold`, and crossing it fires a burn event (the flight
+/// recorder's second trigger). Windows are per tenant and counted in
+/// requests, not wall time, so the monitor is deterministic under the
+/// simulator's virtual clock.
+pub struct SloMonitor {
+    cfg: SloConfig,
+    /// Sorted by tenant id for deterministic export.
+    tenants: Vec<(u16, TenantSlo)>,
+}
+
+impl SloMonitor {
+    /// Creates a monitor with one shared config for all tenants.
+    pub fn new(cfg: SloConfig) -> SloMonitor {
+        SloMonitor {
+            cfg,
+            tenants: Vec::new(),
+        }
+    }
+
+    fn tenant_mut(&mut self, tenant: u16) -> &mut TenantSlo {
+        let pos = match self.tenants.binary_search_by_key(&tenant, |(t, _)| *t) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                self.tenants.insert(pos, (tenant, TenantSlo::default()));
+                pos
+            }
+        };
+        &mut self.tenants[pos].1
+    }
+
+    /// Observes one completed request. Returns `true` when this
+    /// observation closed a window whose breach fraction is at or above
+    /// the burn threshold.
+    pub fn observe(&mut self, tenant: u16, latency_ns: u64) -> bool {
+        let target = self.cfg.target_ns;
+        let window = self.cfg.window.max(1);
+        let threshold = self.cfg.burn_threshold;
+        let s = self.tenant_mut(tenant);
+        s.total += 1;
+        s.window_total += 1;
+        if latency_ns > target {
+            s.breached += 1;
+            s.window_breached += 1;
+        }
+        if s.window_total < window {
+            return false;
+        }
+        let burning =
+            s.window_breached as f64 >= threshold * s.window_total as f64 && s.window_breached > 0;
+        s.window_total = 0;
+        s.window_breached = 0;
+        if burning {
+            s.burns += 1;
+        }
+        burning
+    }
+
+    /// Per-tenant counters: `(tenant, total, breached, burns)`, sorted by
+    /// tenant id.
+    pub fn counters(&self) -> Vec<(u16, u64, u64, u64)> {
+        self.tenants
+            .iter()
+            .map(|(t, s)| (*t, s.total, s.breached, s.burns))
+            .collect()
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("target_ns", JsonValue::UInt(self.cfg.target_ns)),
+            ("window", JsonValue::UInt(self.cfg.window)),
+            ("burn_threshold", JsonValue::Float(self.cfg.burn_threshold)),
+            (
+                "tenants",
+                JsonValue::Arr(
+                    self.tenants
+                        .iter()
+                        .map(|(t, s)| {
+                            JsonValue::obj(vec![
+                                ("tenant", JsonValue::UInt(*t as u64)),
+                                ("total", JsonValue::UInt(s.total)),
+                                ("breached", JsonValue::UInt(s.breached)),
+                                ("burns", JsonValue::UInt(s.burns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Knobs for [`TracePipeline`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Slowest-k successful traces retained by the tail sampler.
+    pub tail_k: usize,
+    /// Flight-recorder ring capacity, in traces.
+    pub flight_cap: usize,
+    /// Per-tenant latency SLO; `None` disables burn detection.
+    pub slo: Option<SloConfig>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            tail_k: 16,
+            flight_cap: 64,
+            slo: None,
+        }
+    }
+}
+
+/// Fans completed traces to the flight recorder, SLO monitor and tail
+/// sampler, and freezes dumps on triggers.
+pub struct TracePipeline {
+    tracer: Tracer,
+    tail: TailSampler,
+    flight: FlightRecorder,
+    slo: Option<SloMonitor>,
+    /// Metrics baseline captured when the registry was attached; dumps
+    /// embed the movement since then.
+    metrics: Option<(MetricsRegistry, MetricsSnapshot)>,
+    last_dump: Option<JsonValue>,
+    dumps: u64,
+}
+
+impl TracePipeline {
+    /// Creates a pipeline draining completed traces from `tracer`.
+    pub fn new(tracer: Tracer, cfg: PipelineConfig) -> TracePipeline {
+        TracePipeline {
+            tracer,
+            tail: TailSampler::new(cfg.tail_k),
+            flight: FlightRecorder::new(cfg.flight_cap),
+            slo: cfg.slo.map(SloMonitor::new),
+            metrics: None,
+            last_dump: None,
+            dumps: 0,
+        }
+    }
+
+    /// Attaches a metrics registry; dumps embed counter movement since
+    /// this call plus current gauge levels.
+    pub fn attach_metrics(&mut self, registry: MetricsRegistry) {
+        let baseline = registry.snapshot();
+        self.metrics = Some((registry, baseline));
+    }
+
+    /// Handles a successfully completed request: drains its trace and
+    /// offers it to the recorder, SLO monitor and tail sampler. Returns
+    /// the dump taken if the completion tipped a tenant into SLO burn.
+    pub fn on_complete(&mut self, now: SimTime, trace_id: u64) -> Option<&JsonValue> {
+        let spans = self.tracer.take_trace(trace_id);
+        let summary = TraceSummary::from_spans(trace_id, false, spans)?;
+        let mut burning = false;
+        if let Some(slo) = &mut self.slo {
+            burning = slo.observe(summary.tenant, summary.duration_ns());
+        }
+        self.flight.record(summary.clone());
+        self.tail.offer(summary);
+        if burning {
+            Some(self.trigger(TriggerReason::SloBurn, now))
+        } else {
+            None
+        }
+    }
+
+    /// Handles a typed delivery failure: drains the trace as an error and
+    /// takes a dump. The failed trace itself is the newest ring entry.
+    pub fn on_failure(&mut self, now: SimTime, trace_id: u64) -> &JsonValue {
+        let spans = self.tracer.take_trace(trace_id);
+        if let Some(summary) = TraceSummary::from_spans(trace_id, true, spans) {
+            self.flight.record(summary.clone());
+            self.tail.offer(summary);
+        }
+        self.trigger(TriggerReason::DeliveryFailure, now)
+    }
+
+    /// Freezes the current ring into a self-contained JSON bundle and
+    /// remembers it as the last dump.
+    pub fn trigger(&mut self, reason: TriggerReason, now: SimTime) -> &JsonValue {
+        self.dumps += 1;
+        let traces: Vec<JsonValue> = self
+            .flight
+            .traces()
+            .map(|t| {
+                let spans: Vec<JsonValue> = t.spans.iter().map(span_json).collect();
+                let path =
+                    critical_path::analyze(&t.spans).map_or(JsonValue::Null, |p| p.to_json());
+                JsonValue::obj(vec![
+                    ("trace_id", JsonValue::UInt(t.trace_id)),
+                    ("tenant", JsonValue::UInt(t.tenant as u64)),
+                    ("error", JsonValue::Bool(t.error)),
+                    ("start_ns", JsonValue::UInt(t.start_ns)),
+                    ("end_ns", JsonValue::UInt(t.end_ns)),
+                    ("duration_ns", JsonValue::UInt(t.duration_ns())),
+                    ("critical_path", path),
+                    ("spans", JsonValue::Arr(spans)),
+                ])
+            })
+            .collect();
+        let slo = self.slo.as_ref().map_or(JsonValue::Null, |s| s.to_json());
+        let metrics = self
+            .metrics
+            .as_ref()
+            .map_or(JsonValue::Null, |(reg, baseline)| {
+                reg.snapshot().delta_json(baseline)
+            });
+        let dump = JsonValue::obj(vec![
+            ("reason", JsonValue::Str(reason.name().to_string())),
+            ("at_ns", JsonValue::UInt(now.as_nanos())),
+            ("dump_seq", JsonValue::UInt(self.dumps)),
+            ("ring_evicted", JsonValue::UInt(self.flight.evicted())),
+            ("traces", JsonValue::Arr(traces)),
+            ("slo", slo),
+            ("metrics_delta", metrics),
+        ]);
+        self.last_dump = Some(dump);
+        self.last_dump.as_ref().unwrap()
+    }
+
+    /// The most recent dump, if any trigger has fired.
+    pub fn last_dump(&self) -> Option<&JsonValue> {
+        self.last_dump.as_ref()
+    }
+
+    /// Number of dumps taken so far.
+    pub fn dump_count(&self) -> u64 {
+        self.dumps
+    }
+
+    /// The tail sampler (retained slowest/error traces).
+    pub fn tail(&self) -> &TailSampler {
+        &self.tail
+    }
+
+    /// The flight-recorder ring.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Per-tenant SLO counters, when burn detection is enabled.
+    pub fn slo_counters(&self) -> Option<Vec<(u16, u64, u64, u64)>> {
+        self.slo.as_ref().map(|s| s.counters())
+    }
+}
+
+/// JSON form of one span record (shared by dumps and trace exports).
+pub fn span_json(s: &SpanRecord) -> JsonValue {
+    JsonValue::obj(vec![
+        ("span_id", JsonValue::UInt(s.span_id as u64)),
+        ("parent_id", JsonValue::UInt(s.parent_id as u64)),
+        ("req_id", JsonValue::UInt(s.req_id)),
+        ("tenant", JsonValue::UInt(s.tenant as u64)),
+        ("node", JsonValue::UInt(s.node as u64)),
+        ("stage", JsonValue::Str(s.stage.name().to_string())),
+        ("start_ns", JsonValue::UInt(s.start_ns)),
+        ("end_ns", JsonValue::UInt(s.end_ns)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn pipeline_with(cfg: PipelineConfig) -> (Tracer, TracePipeline) {
+        let tracer = Tracer::enabled();
+        let p = TracePipeline::new(tracer.clone(), cfg);
+        (tracer, p)
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_evictions() {
+        let mut fr = FlightRecorder::new(2);
+        let t = Tracer::enabled();
+        for id in 0..4u64 {
+            t.span(id, 0, 0, Stage::FnExec, at(0), at(1));
+            fr.record(TraceSummary::from_spans(id, false, t.take_trace(id)).unwrap());
+        }
+        assert_eq!(fr.len(), 2);
+        assert_eq!(fr.evicted(), 2);
+        let kept: Vec<u64> = fr.traces().map(|t| t.trace_id).collect();
+        assert_eq!(kept, vec![2, 3], "newest survive");
+    }
+
+    #[test]
+    fn slo_monitor_fires_on_burned_window() {
+        let mut slo = SloMonitor::new(SloConfig {
+            target_ns: 100,
+            window: 4,
+            burn_threshold: 0.5,
+        });
+        // Window 1: one breach in four — under the 50% threshold.
+        assert!(!slo.observe(1, 200));
+        assert!(!slo.observe(1, 50));
+        assert!(!slo.observe(1, 50));
+        assert!(!slo.observe(1, 50));
+        // Window 2: three breaches in four — burns on window close.
+        assert!(!slo.observe(1, 200));
+        assert!(!slo.observe(1, 200));
+        assert!(!slo.observe(1, 200));
+        assert!(slo.observe(1, 50));
+        // Tenants are isolated.
+        assert!(!slo.observe(2, 1_000));
+        assert_eq!(slo.counters(), vec![(1, 8, 4, 1), (2, 1, 1, 0)]);
+    }
+
+    #[test]
+    fn failure_takes_a_dump_with_the_error_trace() {
+        let (tracer, mut p) = pipeline_with(PipelineConfig::default());
+        tracer.span(7, 1, 0, Stage::Gateway, at(0), at(10));
+        tracer.span(7, 1, 0, Stage::RetryBackoff, at(10), at(500));
+        let dump = p.on_failure(at(600), 7).clone();
+        assert_eq!(
+            dump.get("reason").unwrap().as_str(),
+            Some("delivery_failure")
+        );
+        assert_eq!(dump.get("at_ns").unwrap().as_u64(), Some(600));
+        let traces = dump.get("traces").unwrap().as_arr().unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].get("error"), Some(&JsonValue::Bool(true)));
+        let cp = traces[0].get("critical_path").unwrap();
+        assert_eq!(cp.get("total_ns").unwrap().as_u64(), Some(500));
+        assert_eq!(p.dump_count(), 1);
+        assert!(p.last_dump().is_some());
+        // The trace was drained: the tracer no longer holds it.
+        assert!(tracer.take_trace(7).is_empty());
+    }
+
+    #[test]
+    fn slo_burn_triggers_a_dump_on_complete() {
+        let cfg = PipelineConfig {
+            slo: Some(SloConfig {
+                target_ns: 10,
+                window: 2,
+                burn_threshold: 1.0,
+            }),
+            ..PipelineConfig::default()
+        };
+        let (tracer, mut p) = pipeline_with(cfg);
+        for id in 0..2u64 {
+            tracer.span(id, 3, 0, Stage::FnExec, at(0), at(50));
+        }
+        assert!(p.on_complete(at(100), 0).is_none(), "window still open");
+        let dump = p.on_complete(at(150), 1).expect("window burned");
+        assert_eq!(dump.get("reason").unwrap().as_str(), Some("slo_burn"));
+        assert_eq!(p.slo_counters(), Some(vec![(3, 2, 2, 1)]));
+    }
+
+    #[test]
+    fn explicit_trigger_embeds_metrics_delta() {
+        let (tracer, mut p) = pipeline_with(PipelineConfig::default());
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("req_total", &[("tenant", "1")]);
+        c.inc();
+        p.attach_metrics(reg.clone());
+        c.add(5); // movement after the baseline
+        tracer.span(1, 1, 0, Stage::FnExec, at(0), at(10));
+        p.on_complete(at(10), 1);
+        let dump = p.trigger(TriggerReason::Explicit, at(20)).clone();
+        assert_eq!(dump.get("reason").unwrap().as_str(), Some("explicit"));
+        let delta = dump.get("metrics_delta").unwrap();
+        let counters = delta.get("counters").unwrap().as_arr().unwrap();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].get("delta").unwrap().as_u64(), Some(5));
+    }
+}

@@ -58,6 +58,14 @@ impl JsonValue {
         }
     }
 
+    /// Returns the boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Returns a numeric payload widened to `f64`.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

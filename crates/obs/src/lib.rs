@@ -5,10 +5,18 @@
 //! - [`metrics`] — a labelled registry of counters, gauges, log-bucketed
 //!   histograms and windowed time series, with cheap recording handles and
 //!   deterministic snapshots;
-//! - [`span`] — per-request stage tracing over virtual time, keyed by the
-//!   request id carried in the payload header;
+//! - [`span`] — per-request causal span tracing over virtual time, keyed
+//!   by the request id carried in the payload header;
+//! - [`ctx`] — the compact on-wire trace context (parent span id +
+//!   sampling bit) that rides request payloads across node boundaries;
+//! - [`critical_path`] — per-trace latency attribution that partitions a
+//!   request's end-to-end time across stages exactly;
+//! - [`sampler`] — tail-based sampling: keep the slowest-k and all-error
+//!   traces, discard the boring majority;
+//! - [`flight`] — the anomaly-triggered flight recorder, per-tenant
+//!   latency-SLO burn monitor and the [`flight::TracePipeline`] glue;
 //! - [`perfetto`] — Chrome-trace-event JSON export for
-//!   <https://ui.perfetto.dev>;
+//!   <https://ui.perfetto.dev>, with cross-node flow arrows;
 //! - [`json`] — the hand-rolled JSON tree, [`json::ToJson`] trait and
 //!   [`impl_to_json!`] macro backing every exporter (the workspace builds
 //!   fully offline, so there is no serde).
@@ -16,14 +24,24 @@
 //! Tracing is flag-gated at run time: a default [`span::Tracer`] is
 //! disabled and costs one branch per call site.
 
+pub mod critical_path;
+pub mod ctx;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod sampler;
 pub mod span;
 
+pub use critical_path::{CriticalPath, StageShare, TenantBreakdown};
+pub use ctx::{read_ctx, write_ctx, TraceCtx, CTX_MIN_PAYLOAD};
+pub use flight::{
+    FlightRecorder, PipelineConfig, SloConfig, SloMonitor, TracePipeline, TriggerReason,
+};
 pub use json::{parse, JsonValue, ToJson};
 pub use metrics::{
     Counter, Gauge, HistogramHandle, MetricsRegistry, MetricsSnapshot, SeriesHandle,
 };
 pub use perfetto::chrome_trace;
+pub use sampler::{TailSampler, TraceSummary};
 pub use span::{SpanRecord, Stage, StageTotal, Tracer};

@@ -342,6 +342,46 @@ impl MetricsSnapshot {
             .collect()
     }
 
+    /// Renders the counter movement since `baseline` (counters absent
+    /// from the baseline count from zero) plus current gauge levels — the
+    /// compact "what changed" view flight-recorder bundles embed.
+    pub fn delta_json(&self, baseline: &MetricsSnapshot) -> JsonValue {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(name, labels, v)| {
+                let base = baseline
+                    .counters
+                    .iter()
+                    .find(|(n, l, _)| n == name && l == labels)
+                    .map_or(0, |(_, _, b)| *b);
+                let delta = v.saturating_sub(base);
+                (delta > 0).then(|| {
+                    JsonValue::obj(vec![
+                        ("name", JsonValue::Str(name.clone())),
+                        ("labels", labels_json(labels)),
+                        ("delta", JsonValue::UInt(delta)),
+                    ])
+                })
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, labels, v)| {
+                JsonValue::obj(vec![
+                    ("name", JsonValue::Str(name.clone())),
+                    ("labels", labels_json(labels)),
+                    ("value", JsonValue::Float(*v)),
+                ])
+            })
+            .collect();
+        JsonValue::obj(vec![
+            ("counters", JsonValue::Arr(counters)),
+            ("gauges", JsonValue::Arr(gauges)),
+        ])
+    }
+
     /// Renders a Prometheus-style plain-text exposition.
     pub fn to_text(&self) -> String {
         let mut out = String::new();

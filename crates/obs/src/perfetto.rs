@@ -2,17 +2,32 @@
 //!
 //! Produces the JSON array format understood by Perfetto
 //! (<https://ui.perfetto.dev>) and `chrome://tracing`: one complete
-//! (`"ph": "X"`) event per span, grouped into one process lane per node
-//! with one thread lane per request, timestamps in microseconds.
+//! (`"ph": "X"`) event per span, grouped into one process lane per
+//! simulated node with one thread lane per tenant (so a multi-node,
+//! multi-tenant run lays out legibly), timestamps in microseconds.
+//! Cross-node parent/child links are rendered as flow events
+//! (`"ph": "s"` at the parent, `"ph": "f"` at the child), so a request
+//! that hops nodes reads as one connected arrow chain.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::json::JsonValue;
 use crate::span::SpanRecord;
 
+/// Synthetic pid label for the gateway's `u32::MAX` node id.
+const GATEWAY_NODE: u32 = u32::MAX;
+
+fn node_name(node: u32) -> String {
+    if node == GATEWAY_NODE {
+        "gateway".to_string()
+    } else {
+        format!("node {node}")
+    }
+}
+
 /// Converts spans into a Chrome-trace-event JSON document.
 pub fn chrome_trace(records: &[SpanRecord]) -> JsonValue {
-    let mut events: Vec<JsonValue> = Vec::with_capacity(records.len() + 16);
+    let mut events: Vec<JsonValue> = Vec::with_capacity(records.len() * 2 + 16);
 
     // Metadata: name each node's process lane so the Perfetto sidebar
     // reads "node 0", "node 1", ... instead of bare pids.
@@ -24,24 +39,26 @@ pub fn chrome_trace(records: &[SpanRecord]) -> JsonValue {
             ("pid", JsonValue::UInt(node as u64)),
             (
                 "args",
-                JsonValue::obj(vec![("name", JsonValue::Str(format!("node {node}")))]),
+                JsonValue::obj(vec![("name", JsonValue::Str(node_name(node)))]),
             ),
         ]));
     }
-    let requests: BTreeSet<(u32, u64)> = records.iter().map(|r| (r.node, r.req_id)).collect();
-    for (node, req) in requests {
+    // One thread lane per tenant within each node's process.
+    let tenants: BTreeSet<(u32, u16)> = records.iter().map(|r| (r.node, r.tenant)).collect();
+    for (node, tenant) in tenants {
         events.push(JsonValue::obj(vec![
             ("name", JsonValue::Str("thread_name".into())),
             ("ph", JsonValue::Str("M".into())),
             ("pid", JsonValue::UInt(node as u64)),
-            ("tid", JsonValue::UInt(req)),
+            ("tid", JsonValue::UInt(tenant as u64)),
             (
                 "args",
-                JsonValue::obj(vec![("name", JsonValue::Str(format!("req {req}")))]),
+                JsonValue::obj(vec![("name", JsonValue::Str(format!("tenant {tenant}")))]),
             ),
         ]));
     }
 
+    let by_id: HashMap<u32, &SpanRecord> = records.iter().map(|r| (r.span_id, r)).collect();
     for r in records {
         events.push(JsonValue::obj(vec![
             ("name", JsonValue::Str(r.stage.name().into())),
@@ -50,15 +67,50 @@ pub fn chrome_trace(records: &[SpanRecord]) -> JsonValue {
             ("ts", JsonValue::Float(r.start_ns as f64 / 1_000.0)),
             ("dur", JsonValue::Float(r.duration_ns() as f64 / 1_000.0)),
             ("pid", JsonValue::UInt(r.node as u64)),
-            ("tid", JsonValue::UInt(r.req_id)),
+            ("tid", JsonValue::UInt(r.tenant as u64)),
             (
                 "args",
                 JsonValue::obj(vec![
                     ("tenant", JsonValue::UInt(r.tenant as u64)),
                     ("req_id", JsonValue::UInt(r.req_id)),
+                    ("span_id", JsonValue::UInt(r.span_id as u64)),
+                    ("parent_id", JsonValue::UInt(r.parent_id as u64)),
                 ]),
             ),
         ]));
+        // A parent on another node becomes a flow arrow: start ("s") on
+        // the parent's lane, finish ("f") on the child's. Flow ids reuse
+        // the child span id, which is unique per tracer.
+        let Some(parent) = by_id.get(&r.parent_id) else {
+            continue;
+        };
+        if parent.node == r.node {
+            continue;
+        }
+        for (ph, anchor) in [("s", *parent), ("f", r)] {
+            let mut ev = vec![
+                ("name", JsonValue::Str("causal".into())),
+                ("cat", JsonValue::Str("flow".into())),
+                ("ph", JsonValue::Str(ph.into())),
+                ("id", JsonValue::UInt(r.span_id as u64)),
+                (
+                    "ts",
+                    JsonValue::Float(if ph == "s" {
+                        anchor.end_ns as f64 / 1_000.0
+                    } else {
+                        anchor.start_ns as f64 / 1_000.0
+                    }),
+                ),
+                ("pid", JsonValue::UInt(anchor.node as u64)),
+                ("tid", JsonValue::UInt(anchor.tenant as u64)),
+            ];
+            if ph == "f" {
+                // Bind to the enclosing slice so the arrow lands on the
+                // child span rather than the next event on the lane.
+                ev.push(("bp", JsonValue::Str("e".into())));
+            }
+            events.push(JsonValue::obj(ev));
+        }
     }
 
     JsonValue::obj(vec![
@@ -84,7 +136,8 @@ mod tests {
         t.span(1, 3, 1, Stage::Fabric, at(5), at(9));
         let doc = chrome_trace(&t.records());
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
-        // 2 process_name + 2 thread_name (nodes 0 and 1) + 2 spans.
+        // 2 process_name + 2 thread_name (tenant 3 on nodes 0 and 1) +
+        // 2 spans; no flow pair, since node 1 never adopted a parent.
         assert_eq!(events.len(), 6);
         let span = events
             .iter()
@@ -92,10 +145,78 @@ mod tests {
             .unwrap();
         assert_eq!(span.get("name").unwrap().as_str(), Some("gateway"));
         assert_eq!(span.get("dur").unwrap().as_f64(), Some(5.0));
-        assert_eq!(span.get("tid").unwrap().as_u64(), Some(1));
+        // One pid per node, one tid per tenant.
+        assert_eq!(span.get("pid").unwrap().as_u64(), Some(0));
+        assert_eq!(span.get("tid").unwrap().as_u64(), Some(3));
+        let thread_names: Vec<&JsonValue> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .collect();
+        assert_eq!(thread_names.len(), 2);
+        for tn in thread_names {
+            assert_eq!(tn.get("tid").unwrap().as_u64(), Some(3));
+            assert_eq!(
+                tn.get("args").unwrap().get("name").unwrap().as_str(),
+                Some("tenant 3")
+            );
+        }
         // The document must survive a parse round-trip (Perfetto loads it).
         let text = doc.to_string_compact();
         assert!(crate::json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn cross_node_parents_emit_flow_pairs() {
+        let t = Tracer::enabled();
+        let sender = t.span(1, 3, 0, Stage::ConnPick, at(0), at(5));
+        t.adopt_parent(1, 1, sender);
+        t.span(1, 3, 1, Stage::RxCompletion, at(9), at(12));
+        let doc = chrome_trace(&t.records());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let start = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .expect("flow start");
+        let finish = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("f"))
+            .expect("flow finish");
+        // Same flow id, anchored at parent end / child start, crossing
+        // from pid 0 to pid 1.
+        assert_eq!(start.get("id"), finish.get("id"));
+        assert_eq!(start.get("pid").unwrap().as_u64(), Some(0));
+        assert_eq!(start.get("ts").unwrap().as_f64(), Some(5.0));
+        assert_eq!(finish.get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(finish.get("ts").unwrap().as_f64(), Some(9.0));
+        assert_eq!(finish.get("bp").unwrap().as_str(), Some("e"));
+    }
+
+    #[test]
+    fn same_node_parents_emit_no_flow() {
+        let t = Tracer::enabled();
+        t.span(1, 0, 0, Stage::Gateway, at(0), at(1));
+        t.span(1, 0, 0, Stage::ComchSubmit, at(1), at(2));
+        let doc = chrome_trace(&t.records());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.get("cat").map(|c| c.as_str()) != Some(Some("flow"))));
+    }
+
+    #[test]
+    fn gateway_node_gets_a_named_process() {
+        let t = Tracer::enabled();
+        t.span(1, 0, u32::MAX, Stage::HttpParse, at(0), at(1));
+        let doc = chrome_trace(&t.records());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let pn = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("process_name"))
+            .unwrap();
+        assert_eq!(
+            pn.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("gateway")
+        );
     }
 
     #[test]

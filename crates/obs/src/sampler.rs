@@ -1,0 +1,187 @@
+//! Tail-based trace sampling.
+//!
+//! Head sampling (keep every Nth trace — [`crate::Tracer::set_head_sample`])
+//! decides *before* a request runs, so it keeps mostly-boring median
+//! traces and misses exactly the outliers NADINO's tail-latency claims
+//! are about. The [`TailSampler`] decides *after*: completed trace trees
+//! are offered with their outcome, error traces are always kept, and of
+//! the successful ones only the slowest `k` survive. Everything else is
+//! discarded (and counted), so memory stays bounded by `k` plus the
+//! error population regardless of run length.
+
+use crate::span::SpanRecord;
+
+/// One completed trace tree plus the metadata sampling decisions need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    pub trace_id: u64,
+    /// Owning tenant (max over spans; gateway spans record tenant 0).
+    pub tenant: u16,
+    /// Earliest span start, virtual ns.
+    pub start_ns: u64,
+    /// Latest span end, virtual ns.
+    pub end_ns: u64,
+    /// The request terminated in a typed `DeliveryFailure`.
+    pub error: bool,
+    /// The full span tree, ordered by (start, span id).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceSummary {
+    /// Builds a summary from a drained trace (see [`crate::Tracer::take_trace`]).
+    /// Returns `None` for an empty span set.
+    pub fn from_spans(trace_id: u64, error: bool, spans: Vec<SpanRecord>) -> Option<TraceSummary> {
+        if spans.is_empty() {
+            return None;
+        }
+        let tenant = spans.iter().map(|s| s.tenant).max().unwrap_or(0);
+        let start_ns = spans.iter().map(|s| s.start_ns).min().unwrap();
+        let end_ns = spans.iter().map(|s| s.end_ns).max().unwrap();
+        Some(TraceSummary {
+            trace_id,
+            tenant,
+            start_ns,
+            end_ns,
+            error,
+            spans,
+        })
+    }
+
+    /// End-to-end latency in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Keeps the slowest-`k` successful traces plus every error trace.
+pub struct TailSampler {
+    k: usize,
+    /// Slowest-first; ties broken by ascending trace id for determinism.
+    slowest: Vec<TraceSummary>,
+    errors: Vec<TraceSummary>,
+    discarded: u64,
+}
+
+impl TailSampler {
+    /// Creates a sampler retaining the `k` slowest successful traces.
+    pub fn new(k: usize) -> TailSampler {
+        TailSampler {
+            k,
+            slowest: Vec::new(),
+            errors: Vec::new(),
+            discarded: 0,
+        }
+    }
+
+    /// Offers a completed trace. Error traces are always kept; successful
+    /// ones compete on duration for the `k` slots. Returns `true` when the
+    /// trace was retained.
+    pub fn offer(&mut self, summary: TraceSummary) -> bool {
+        if summary.error {
+            self.errors.push(summary);
+            return true;
+        }
+        if self.k == 0 {
+            self.discarded += 1;
+            return false;
+        }
+        // Insertion sort into the slowest-first ranking: k is small (the
+        // whole point of tail sampling), so O(k) per offer is fine.
+        let rank = |s: &TraceSummary| (std::cmp::Reverse(s.duration_ns()), s.trace_id);
+        let pos = self
+            .slowest
+            .binary_search_by_key(&rank(&summary), rank)
+            .unwrap_or_else(|p| p);
+        if pos >= self.k {
+            self.discarded += 1;
+            return false;
+        }
+        self.slowest.insert(pos, summary);
+        if self.slowest.len() > self.k {
+            self.slowest.pop();
+            self.discarded += 1;
+        }
+        true
+    }
+
+    /// The retained slowest-`k` successful traces, slowest first.
+    pub fn slowest(&self) -> &[TraceSummary] {
+        &self.slowest
+    }
+
+    /// The retained error traces, in completion order.
+    pub fn errors(&self) -> &[TraceSummary] {
+        &self.errors
+    }
+
+    /// All retained traces: errors first (completion order), then the
+    /// slowest-`k`, slowest first.
+    pub fn kept(&self) -> Vec<&TraceSummary> {
+        self.errors.iter().chain(self.slowest.iter()).collect()
+    }
+
+    /// Number of offered traces that were not retained.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Stage, Tracer};
+    use simcore::SimTime;
+
+    fn summary(id: u64, dur: u64, error: bool) -> TraceSummary {
+        let t = Tracer::enabled();
+        t.span(
+            id,
+            1,
+            0,
+            Stage::FnExec,
+            SimTime::from_nanos(0),
+            SimTime::from_nanos(dur),
+        );
+        TraceSummary::from_spans(id, error, t.take_trace(id)).unwrap()
+    }
+
+    #[test]
+    fn keeps_the_slowest_k() {
+        let mut s = TailSampler::new(2);
+        assert!(s.offer(summary(1, 100, false)));
+        assert!(s.offer(summary(2, 300, false)));
+        assert!(s.offer(summary(3, 200, false)));
+        assert!(!s.offer(summary(4, 50, false)), "faster than the kept set");
+        let kept: Vec<u64> = s.slowest().iter().map(|t| t.trace_id).collect();
+        assert_eq!(kept, vec![2, 3], "slowest first");
+        assert_eq!(s.discarded(), 2);
+    }
+
+    #[test]
+    fn errors_are_always_kept() {
+        let mut s = TailSampler::new(1);
+        s.offer(summary(1, 1_000, false));
+        assert!(s.offer(summary(2, 1, true)), "fast but failed: kept");
+        assert_eq!(s.errors().len(), 1);
+        assert_eq!(s.kept().len(), 2);
+        assert_eq!(s.kept()[0].trace_id, 2, "errors listed first");
+    }
+
+    #[test]
+    fn equal_durations_tie_break_on_trace_id() {
+        let mut s = TailSampler::new(2);
+        s.offer(summary(9, 100, false));
+        s.offer(summary(3, 100, false));
+        s.offer(summary(6, 100, false));
+        let kept: Vec<u64> = s.slowest().iter().map(|t| t.trace_id).collect();
+        assert_eq!(kept, vec![3, 6], "deterministic under ties");
+    }
+
+    #[test]
+    fn zero_k_discards_everything_successful() {
+        let mut s = TailSampler::new(0);
+        assert!(!s.offer(summary(1, 100, false)));
+        assert!(s.offer(summary(2, 100, true)));
+        assert_eq!(s.discarded(), 1);
+    }
+}

@@ -1,15 +1,23 @@
-//! Per-request span tracing over virtual time.
+//! Per-request causal span tracing over virtual time.
 //!
 //! A [`Tracer`] is a cheap cloneable handle shared by every component a
 //! request passes through. Components record [`SpanRecord`]s — closed
 //! `[start, end)` virtual-time intervals tagged with a pipeline [`Stage`] —
 //! keyed by the request id carried in the first eight payload bytes of
-//! every buffer. A default-constructed tracer is disabled and every
-//! recording call returns after a single branch, so instrumented hot paths
-//! cost nearly nothing when tracing is off.
+//! every buffer. Each span additionally carries a `span_id` and a
+//! `parent_id`, so a completed request reconstructs into a causal tree:
+//! within one node spans chain on a per-`(trace, node)` cursor, and across
+//! nodes the sender's cursor travels inside the payload as a [`crate::ctx`]
+//! trace context that the receiver adopts.
+//!
+//! A default-constructed tracer is disabled and every recording call
+//! returns after a single branch, so instrumented hot paths cost nearly
+//! nothing when tracing is off. An enabled tracer retains at most
+//! `capacity` spans in a ring: once full, the *oldest* span is evicted and
+//! counted in [`Tracer::dropped`], bounding memory on long runs.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use simcore::SimTime;
@@ -51,11 +59,17 @@ pub enum Stage {
     SkMsg,
     /// Serverless function execution.
     FnExec,
+    /// Backoff / reconnect wait between delivery attempts (a parked
+    /// retry's park → repost interval).
+    RetryBackoff,
+    /// A fault-plane event (wire loss, corruption, outage drop) annotated
+    /// into the trace as an instant marker.
+    FaultInject,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 15] = [
+    pub const ALL: [Stage; 17] = [
         Stage::HttpParse,
         Stage::RssDispatch,
         Stage::Gateway,
@@ -71,6 +85,8 @@ impl Stage {
         Stage::ComchDeliver,
         Stage::SkMsg,
         Stage::FnExec,
+        Stage::RetryBackoff,
+        Stage::FaultInject,
     ];
 
     /// Returns the stable exported name of the stage.
@@ -91,6 +107,8 @@ impl Stage {
             Stage::ComchDeliver => "comch_deliver",
             Stage::SkMsg => "sk_msg",
             Stage::FnExec => "fn_exec",
+            Stage::RetryBackoff => "retry_backoff",
+            Stage::FaultInject => "fault_inject",
         }
     }
 }
@@ -98,8 +116,13 @@ impl Stage {
 /// One closed stage interval of one request, in virtual nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanRecord {
-    /// Request id (first eight payload bytes, little-endian).
+    /// Request id (first eight payload bytes, little-endian). Doubles as
+    /// the trace id: every span of one request shares it.
     pub req_id: u64,
+    /// Tracer-unique span id (1-based; ids are assigned in record order).
+    pub span_id: u32,
+    /// Causal parent within the same trace; 0 marks a root span.
+    pub parent_id: u32,
     /// Owning tenant.
     pub tenant: u16,
     /// Node where the stage executed.
@@ -121,12 +144,65 @@ impl SpanRecord {
 
 #[derive(Default)]
 struct TraceInner {
-    records: Vec<SpanRecord>,
+    records: VecDeque<SpanRecord>,
     /// Open intervals keyed by (request, stage) for begin/end call sites
     /// where the two endpoints live in different callbacks.
     open: HashMap<(u64, Stage), (u16, u32, u64)>,
     dropped: u64,
     capacity: usize,
+    next_span_id: u32,
+    /// Causal cursor: the latest span id per `(trace, node)`. A new span
+    /// parents on its node's cursor; a cross-node hand-off overwrites the
+    /// receiver's cursor with the sender's (carried in the payload ctx).
+    cursor: HashMap<(u64, u32), u32>,
+    /// Head-sampling modulus: record only traces with `req_id % n == 0`
+    /// (0 or 1 keeps everything). The cheap fallback knob when tail-based
+    /// sampling is too expensive.
+    head_every: u64,
+}
+
+impl TraceInner {
+    fn head_keep(&self, req_id: u64) -> bool {
+        self.head_every <= 1 || req_id.is_multiple_of(self.head_every)
+    }
+
+    fn push(
+        &mut self,
+        req_id: u64,
+        tenant: u16,
+        node: u32,
+        stage: Stage,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> u32 {
+        if !self.head_keep(req_id) {
+            return 0;
+        }
+        self.next_span_id += 1;
+        let span_id = self.next_span_id;
+        let parent_id = self.cursor.get(&(req_id, node)).copied().unwrap_or(0);
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return span_id;
+        }
+        if self.records.len() >= self.capacity {
+            // Ring semantics: evict the oldest span, keep the newest.
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(SpanRecord {
+            req_id,
+            span_id,
+            parent_id,
+            tenant,
+            node,
+            stage,
+            start_ns,
+            end_ns,
+        });
+        self.cursor.insert((req_id, node), span_id);
+        span_id
+    }
 }
 
 /// A shared handle for recording request spans.
@@ -150,9 +226,9 @@ impl Tracer {
         Tracer::with_capacity(1 << 20)
     }
 
-    /// Creates an enabled tracer retaining at most `capacity` records;
-    /// further spans are counted as dropped rather than growing without
-    /// bound on long runs.
+    /// Creates an enabled tracer retaining at most `capacity` records in a
+    /// ring: once full the oldest span is evicted (and counted in
+    /// [`Tracer::dropped`]) rather than growing without bound on long runs.
     pub fn with_capacity(capacity: usize) -> Tracer {
         Tracer {
             inner: Some(Rc::new(RefCell::new(TraceInner {
@@ -168,7 +244,28 @@ impl Tracer {
         self.inner.is_some()
     }
 
-    /// Records a closed stage interval.
+    /// Sets the head-sampling modulus: only traces with `req_id % every ==
+    /// 0` are recorded (0 or 1 records everything). The cheap fallback
+    /// when buffering whole traces for tail-based sampling costs too much.
+    pub fn set_head_sample(&self, every: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().head_every = every;
+        }
+    }
+
+    /// Returns `true` when the head-sampling policy keeps this trace
+    /// (always `true` on a disabled tracer's default policy — callers gate
+    /// on [`Tracer::is_enabled`] first).
+    pub fn head_keep(&self, req_id: u64) -> bool {
+        match &self.inner {
+            Some(inner) => inner.borrow().head_keep(req_id),
+            None => false,
+        }
+    }
+
+    /// Records a closed stage interval, returning the new span's id (0
+    /// when disabled or head-sampled out). The span parents on the
+    /// `(trace, node)` causal cursor and becomes the new cursor.
     #[inline]
     pub fn span(
         &self,
@@ -178,21 +275,47 @@ impl Tracer {
         stage: Stage,
         start: SimTime,
         end: SimTime,
-    ) {
-        let Some(inner) = &self.inner else { return };
-        let mut inner = inner.borrow_mut();
-        if inner.records.len() >= inner.capacity {
-            inner.dropped += 1;
-            return;
-        }
-        inner.records.push(SpanRecord {
+    ) -> u32 {
+        let Some(inner) = &self.inner else { return 0 };
+        inner.borrow_mut().push(
             req_id,
             tenant,
             node,
             stage,
-            start_ns: start.as_nanos(),
-            end_ns: end.as_nanos(),
-        });
+            start.as_nanos(),
+            end.as_nanos(),
+        )
+    }
+
+    /// Overwrites the `(trace, node)` causal cursor with a span id carried
+    /// across a node boundary (the payload trace context). The next span
+    /// recorded for this trace on `node` parents on `parent_span`. A zero
+    /// parent is ignored.
+    #[inline]
+    pub fn adopt_parent(&self, req_id: u64, node: u32, parent_span: u32) {
+        if parent_span == 0 {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            inner
+                .borrow_mut()
+                .cursor
+                .insert((req_id, node), parent_span);
+        }
+    }
+
+    /// Returns the `(trace, node)` causal cursor — the span id the next
+    /// span on this node would parent on (0 when none).
+    #[inline]
+    pub fn cursor(&self, req_id: u64, node: u32) -> u32 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner
+                .borrow()
+                .cursor
+                .get(&(req_id, node))
+                .copied()
+                .unwrap_or(0)
+        })
     }
 
     /// Opens an interval whose end will arrive in a later callback.
@@ -209,24 +332,15 @@ impl Tracer {
     }
 
     /// Closes an interval opened by [`Tracer::begin`]; unmatched ends are
-    /// ignored.
+    /// ignored. Returns the new span's id (0 when unmatched or disabled).
     #[inline]
-    pub fn end(&self, req_id: u64, stage: Stage, at: SimTime) {
-        let Some(inner) = &self.inner else { return };
+    pub fn end(&self, req_id: u64, stage: Stage, at: SimTime) -> u32 {
+        let Some(inner) = &self.inner else { return 0 };
         let mut inner = inner.borrow_mut();
         if let Some((tenant, node, start_ns)) = inner.open.remove(&(req_id, stage)) {
-            if inner.records.len() >= inner.capacity {
-                inner.dropped += 1;
-                return;
-            }
-            inner.records.push(SpanRecord {
-                req_id,
-                tenant,
-                node,
-                stage,
-                start_ns,
-                end_ns: at.as_nanos(),
-            });
+            inner.push(req_id, tenant, node, stage, start_ns, at.as_nanos())
+        } else {
+            0
         }
     }
 
@@ -235,9 +349,33 @@ impl Tracer {
         let Some(inner) = &self.inner else {
             return Vec::new();
         };
-        let mut records = inner.borrow().records.clone();
-        records.sort_by_key(|r| (r.start_ns, r.req_id, r.stage));
+        let mut records: Vec<SpanRecord> = inner.borrow().records.iter().copied().collect();
+        records.sort_by_key(|r| (r.start_ns, r.req_id, r.span_id));
         records
+    }
+
+    /// Removes and returns every span of one trace (ordered by start time,
+    /// then span id), clearing the trace's causal cursors. The trace
+    /// pipeline calls this exactly once per completed request, so the ring
+    /// never accumulates finished traces.
+    pub fn take_trace(&self, req_id: u64) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut inner = inner.borrow_mut();
+        let mut taken = Vec::new();
+        inner.records.retain(|r| {
+            if r.req_id == req_id {
+                taken.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        inner.cursor.retain(|&(t, _), _| t != req_id);
+        inner.open.retain(|&(t, _), _| t != req_id);
+        taken.sort_by_key(|r| (r.start_ns, r.span_id));
+        taken
     }
 
     /// Returns the number of recorded spans.
@@ -338,6 +476,7 @@ mod tests {
         assert!(t.is_empty());
         assert!(t.records().is_empty());
         assert!(t.stage_totals().is_empty());
+        assert_eq!(t.cursor(1, 0), 0);
     }
 
     #[test]
@@ -379,6 +518,9 @@ mod tests {
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
+        // Ring semantics: the newest spans survive.
+        let kept: Vec<u64> = t.records().iter().map(|r| r.req_id).collect();
+        assert_eq!(kept, vec![3, 4]);
     }
 
     #[test]
@@ -403,5 +545,63 @@ mod tests {
         t.span(1, 0, 0, Stage::FnExec, at(3), at(4));
         t.span(2, 0, 0, Stage::Gateway, at(0), at(1));
         assert_eq!(t.stages_of(1), vec![Stage::Fabric, Stage::FnExec]);
+    }
+
+    #[test]
+    fn spans_chain_on_the_per_node_cursor() {
+        let t = Tracer::enabled();
+        let a = t.span(9, 1, 0, Stage::Gateway, at(0), at(1));
+        let b = t.span(9, 1, 0, Stage::ComchSubmit, at(1), at(2));
+        // A different node starts its own chain until a ctx is adopted.
+        let c = t.span(9, 1, 1, Stage::RxCompletion, at(3), at(4));
+        let records = t.records();
+        assert_eq!(records[0].span_id, a);
+        assert_eq!(records[0].parent_id, 0, "first span is a root");
+        assert_eq!(records[1].span_id, b);
+        assert_eq!(records[1].parent_id, a);
+        assert_eq!(records[2].span_id, c);
+        assert_eq!(records[2].parent_id, 0, "no ctx adopted yet");
+    }
+
+    #[test]
+    fn adopt_parent_links_across_nodes() {
+        let t = Tracer::enabled();
+        let sender = t.span(9, 1, 0, Stage::ConnPick, at(0), at(1));
+        t.adopt_parent(9, 1, sender);
+        let rx = t.span(9, 1, 1, Stage::RxCompletion, at(2), at(3));
+        let records = t.records();
+        let rx_rec = records.iter().find(|r| r.span_id == rx).unwrap();
+        assert_eq!(rx_rec.parent_id, sender);
+        // Zero parents are ignored (no ctx in the payload).
+        t.adopt_parent(9, 1, 0);
+        assert_eq!(t.cursor(9, 1), rx);
+    }
+
+    #[test]
+    fn take_trace_drains_one_trace_only() {
+        let t = Tracer::enabled();
+        t.span(1, 0, 0, Stage::FnExec, at(0), at(1));
+        t.span(2, 0, 0, Stage::FnExec, at(0), at(1));
+        t.span(1, 0, 1, Stage::FnExec, at(2), at(3));
+        let taken = t.take_trace(1);
+        assert_eq!(taken.len(), 2);
+        assert!(taken.iter().all(|r| r.req_id == 1));
+        assert_eq!(t.len(), 1, "other traces stay");
+        assert_eq!(t.cursor(1, 0), 0, "cursors cleared");
+        assert!(t.take_trace(1).is_empty(), "second take finds nothing");
+    }
+
+    #[test]
+    fn head_sampling_keeps_every_nth_trace() {
+        let t = Tracer::enabled();
+        t.set_head_sample(4);
+        for req in 0..8 {
+            t.span(req, 0, 0, Stage::FnExec, at(req), at(req + 1));
+        }
+        let kept: Vec<u64> = t.records().iter().map(|r| r.req_id).collect();
+        assert_eq!(kept, vec![0, 4]);
+        assert!(t.head_keep(4) && !t.head_keep(5));
+        t.set_head_sample(0);
+        assert!(t.head_keep(5));
     }
 }

@@ -53,7 +53,6 @@ pub(crate) enum QpState {
 pub(crate) struct Qp {
     pub(crate) peer_node: NodeId,
     pub(crate) peer_qp: QpId,
-    #[allow(dead_code)]
     pub(crate) tenant: TenantId,
     pub(crate) cq: CqId,
     pub(crate) state: QpState,
@@ -130,6 +129,9 @@ pub(crate) struct Inner {
     pub(crate) qp_rq: HashMap<QpId, RqId>,
     /// Optional deterministic fault model; `None` leaves delivery untouched.
     pub(crate) faults: Option<FaultPlane>,
+    /// Annotates fault-plane events into request traces (disabled by
+    /// default; see [`Fabric::set_tracer`]).
+    pub(crate) tracer: obs::Tracer,
     next_qp: u32,
     next_cq: u32,
     next_rq: u32,
@@ -265,6 +267,7 @@ impl Fabric {
                 rqs: HashMap::new(),
                 qp_rq: HashMap::new(),
                 faults: None,
+                tracer: obs::Tracer::default(),
                 next_qp: 0,
                 next_cq: 0,
                 next_rq: 0,
@@ -500,6 +503,13 @@ impl Fabric {
         self.inner.borrow_mut().faults = Some(fp);
     }
 
+    /// Shares a tracer so fault-plane events (wire loss, corruption) are
+    /// annotated into the affected request's trace as `FaultInject`
+    /// markers. A disabled tracer (the default) records nothing.
+    pub fn set_tracer(&self, tracer: obs::Tracer) {
+        self.inner.borrow_mut().tracer = tracer;
+    }
+
     /// Runs `f` against the fault plane, installing a zero-fault plane
     /// (seed 0) first if none is present.
     pub fn with_fault_plane<R>(&self, f: impl FnOnce(&mut FaultPlane) -> R) -> R {
@@ -731,7 +741,23 @@ impl Fabric {
             None => FaultVerdict::Deliver,
         };
         if verdict != FaultVerdict::Deliver {
-            let sender_cq = inner.qp(d.sender.node, d.sender.qp).expect("sender QP").cq;
+            let sender = inner.qp(d.sender.node, d.sender.qp).expect("sender QP");
+            let sender_cq = sender.cq;
+            if inner.tracer.is_enabled() && buf.len() >= 8 {
+                // Annotate the loss into the request's trace: an instant
+                // marker on the sender node, where the retransmit state
+                // lives (the message never reached the responder).
+                let req_id = u64::from_le_bytes(buf.as_slice()[..8].try_into().unwrap());
+                let tenant = sender.tenant.0;
+                inner.tracer.span(
+                    req_id,
+                    tenant,
+                    d.sender.node.0 as u32,
+                    obs::Stage::FaultInject,
+                    sim.now(),
+                    sim.now(),
+                );
+            }
             inner.retire_wr(d.sender);
             let len = buf.len() as u32;
             Self::schedule_cqe(
@@ -806,6 +832,19 @@ impl Fabric {
             None => false,
         };
         if corrupted {
+            if inner.tracer.is_enabled() && buf.len() >= 8 {
+                // Corruption is detected at the responder: mark it there.
+                let req_id = u64::from_le_bytes(buf.as_slice()[..8].try_into().unwrap());
+                let tenant = inner.qp(peer_node, peer_qp).expect("peer QP").tenant.0;
+                inner.tracer.span(
+                    req_id,
+                    tenant,
+                    peer_node.0 as u32,
+                    obs::Stage::FaultInject,
+                    sim.now(),
+                    sim.now(),
+                );
+            }
             inner.retire_wr(d.sender);
             let len = buf.len() as u32;
             Self::schedule_cqe(

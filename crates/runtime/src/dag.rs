@@ -307,6 +307,13 @@ impl DagFunction {
         };
         let mut payload = crate::function::encode_request_payload(req_id, 64);
         set_dag_header(&mut payload, kind, from);
+        let tracer = iolib.tracer();
+        if tracer.is_enabled() {
+            // Each DAG message is a fresh payload, so the trace context
+            // must be re-stamped or causality breaks at this hop.
+            let parent = tracer.cursor(req_id, iolib.node().0 as u32);
+            obs::ctx::write_ctx(&mut payload, parent, tracer.head_keep(req_id));
+        }
         buf.write_payload(&payload).expect("payload fits");
         iolib.send(sim, dag.tenant, buf.into_desc(to));
     }

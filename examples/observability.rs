@@ -153,4 +153,91 @@ fn main() {
     }) {
         println!("  {line}");
     }
+
+    // 7. Flight recorder: a seeded chaos run (5% wire loss plus a 1ms
+    //    node-1 outage) exhausts some retry budgets; each typed
+    //    DeliveryFailure freezes the recent-trace ring into a
+    //    self-contained dump. The dump carries only virtual timestamps,
+    //    so the same seed replays to a byte-identical file.
+    flight_recorder_demo();
+}
+
+fn flight_recorder_demo() {
+    use rdma_sim::FaultPlane;
+
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tracer = Tracer::enabled();
+    cluster.set_tracer(&tracer);
+    cluster.enable_trace_pipeline(obs::PipelineConfig {
+        tail_k: 8,
+        flight_cap: 32,
+        slo: Some(obs::SloConfig {
+            target_ns: 200_000,
+            window: 50,
+            burn_threshold: 0.5,
+        }),
+    });
+
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).expect("tenant");
+    let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+    cluster.place(1, 0);
+    cluster.place(2, 1);
+    cluster.register_chain(&chain, |_| SimDuration::from_micros(5), Rc::new(|_, _| {}));
+    cluster.set_delivery_failure_handler(Rc::new(|_, failure| {
+        println!(
+            "  delivery failure: req {} ({:?})",
+            failure.req_id, failure.reason
+        );
+    }));
+
+    let mut fp = FaultPlane::new(0xC4A0);
+    fp.set_default_loss(0.05);
+    fp.set_default_corruption(0.01);
+    cluster.fabric.install_fault_plane(fp);
+    let crash_from = sim.now() + SimDuration::from_millis(3);
+    cluster.fabric.schedule_node_outage(
+        cluster.nodes[1].id,
+        crash_from,
+        crash_from + SimDuration::from_millis(1),
+    );
+
+    println!("\nseeded chaos run (seed 0xC4A0, node-1 outage at +3ms):");
+    for i in 0..200 {
+        cluster.inject(&mut sim, &chain, 10_000 + i, 256);
+        sim.run_for(SimDuration::from_micros(50));
+    }
+    sim.run();
+
+    let dump = cluster
+        .dump_flight_recorder(&sim)
+        .expect("pipeline enabled");
+    let dump_path = std::path::Path::new("results/flight_recorder.json");
+    std::fs::write(dump_path, dump.to_string_pretty()).expect("write dump");
+    cluster.with_trace_pipeline(|p| {
+        println!(
+            "flight recorder: {} dumps taken, ring holds {} traces ({} evicted)",
+            p.dump_count(),
+            p.flight().len(),
+            p.flight().evicted()
+        );
+        println!(
+            "tail sampler: kept {} traces ({} errors), discarded {}",
+            p.tail().kept().len(),
+            p.tail().errors().len(),
+            p.tail().discarded()
+        );
+        let paths: Vec<_> = p
+            .tail()
+            .kept()
+            .into_iter()
+            .filter_map(|t| obs::critical_path::analyze(&t.spans))
+            .collect();
+        println!(
+            "{}",
+            obs::critical_path::render_breakdown(&obs::critical_path::tenant_breakdown(&paths))
+        );
+    });
+    println!("wrote {}", dump_path.display());
 }

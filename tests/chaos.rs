@@ -208,6 +208,97 @@ fn same_seed_reproduces_the_run_exactly() {
     assert_eq!(a, b);
 }
 
+/// Like [`faulty_run`], but with the causal tracer and trace pipeline
+/// enabled: returns the dump count, the last flight-recorder dump
+/// (compact JSON) and the failed request ids.
+fn flight_run(seed: u64) -> (u64, String, Vec<u64>) {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tracer = obs::Tracer::enabled();
+    cluster.set_tracer(&tracer);
+    cluster.enable_trace_pipeline(obs::PipelineConfig {
+        tail_k: 8,
+        flight_cap: 32,
+        slo: None,
+    });
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+    cluster.place(1, 0);
+    cluster.place(2, 1);
+    cluster.register_chain(&chain, |_| SimDuration::from_micros(5), Rc::new(|_, _| {}));
+    let failed: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let f2 = failed.clone();
+    cluster.set_delivery_failure_handler(Rc::new(move |_sim, failure| {
+        f2.borrow_mut().push(failure.req_id);
+    }));
+
+    let mut fp = FaultPlane::new(seed);
+    fp.set_default_loss(0.05);
+    fp.set_default_corruption(0.01);
+    cluster.fabric.install_fault_plane(fp);
+    let crash_from = sim.now() + SimDuration::from_millis(3);
+    cluster.fabric.schedule_node_outage(
+        cluster.nodes[1].id,
+        crash_from,
+        crash_from + SimDuration::from_millis(1),
+    );
+    for i in 0..REQUESTS {
+        cluster.inject(&mut sim, &chain, REQ_BASE + i, 256);
+        sim.run_for(SimDuration::from_micros(50));
+    }
+    sim.run();
+
+    let dumps = cluster.with_trace_pipeline(|p| p.dump_count()).unwrap();
+    let dump = cluster
+        .with_trace_pipeline(|p| p.last_dump().map(|d| d.to_string_compact()))
+        .unwrap()
+        .expect("a typed failure should have taken a dump");
+    let failed = failed.borrow().clone();
+    (dumps, dump, failed)
+}
+
+/// A typed `DeliveryFailure` freezes a flight-recorder dump: one dump per
+/// failure, reason tagged, the failed trace in the ring marked as an error.
+#[test]
+fn delivery_failure_triggers_flight_recorder_dump() {
+    let (dumps, dump, failed) = flight_run(0xC4A0);
+    assert!(!failed.is_empty(), "run produced no typed failures");
+    assert_eq!(dumps, failed.len() as u64, "one dump per typed failure");
+
+    let doc = obs::parse(&dump).expect("dump is valid JSON");
+    assert_eq!(
+        doc.get("reason").and_then(|r| r.as_str()),
+        Some("delivery_failure")
+    );
+    let traces = doc.get("traces").and_then(|t| t.as_arr()).unwrap();
+    assert!(!traces.is_empty(), "dump carries no traces");
+    // The failure that tripped the last dump is the newest ring entry,
+    // marked as an error and carrying its spans.
+    let last_failed = *failed.last().unwrap();
+    let errored = traces
+        .iter()
+        .find(|t| t.get("trace_id").and_then(|v| v.as_u64()) == Some(last_failed))
+        .expect("failed trace missing from dump");
+    assert_eq!(
+        errored.get("error").and_then(|v| v.as_bool()),
+        Some(true),
+        "failed trace not marked as error"
+    );
+}
+
+/// Flight-recorder dumps are part of the deterministic surface: the same
+/// seed replays to a byte-identical dump (virtual timestamps only, no wall
+/// clock anywhere in the bundle).
+#[test]
+fn same_seed_yields_byte_identical_flight_dump() {
+    let a = flight_run(0xC4A0);
+    let b = flight_run(0xC4A0);
+    assert_eq!(a.0, b.0, "dump counts differ across same-seed runs");
+    assert_eq!(a.2, b.2, "failure sets differ across same-seed runs");
+    assert_eq!(a.1, b.1, "flight dump is not byte-identical");
+}
+
 /// A zero-fault plane draws no randomness and perturbs nothing: the run is
 /// byte-identical (event count, virtual end time, every counter) to a run
 /// with no plane installed.
