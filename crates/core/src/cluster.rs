@@ -75,6 +75,9 @@ struct ObsHub {
     /// The user's delivery-failure handler, invoked after the pipeline has
     /// taken its dump.
     user_failure: Option<dne::DeliveryFailureHandler>,
+    /// The health monitor, when enabled: transport failures aimed at a
+    /// node feed its state machine before the user handler runs.
+    health: Option<crate::health::HealthMonitor>,
 }
 
 /// A fully wired NADINO cluster.
@@ -87,6 +90,9 @@ pub struct Cluster {
     pub placement: Rc<RefCell<Placement>>,
     cfg: ClusterConfig,
     pools: HashMap<(TenantId, usize), BufferPool>,
+    /// Per-function `(primary node index, backup node index)` registered
+    /// via [`Cluster::place_with_backup`].
+    backups: HashMap<u16, (usize, usize)>,
     obs_hub: Rc<RefCell<ObsHub>>,
 }
 
@@ -119,14 +125,32 @@ impl Cluster {
         let obs_hub: Rc<RefCell<ObsHub>> = Rc::new(RefCell::new(ObsHub::default()));
         for node in &nodes {
             let hub = obs_hub.clone();
+            let reporter = node.id;
+            let fabric = fabric.clone();
             node.dne.set_failure_handler(Rc::new(move |sim, failure| {
-                let user = {
+                let (health, user) = {
                     let mut h = hub.borrow_mut();
                     if let Some(p) = h.pipeline.as_mut() {
                         p.on_failure(sim.now(), failure.req_id);
                     }
-                    h.user_failure.clone()
+                    (h.health.clone(), h.user_failure.clone())
                 };
+                // Transport failures aimed at a node feed its health state;
+                // deadline expiries say nothing about machine health, and a
+                // reporter that is itself inside a crash window is not a
+                // credible witness (its own outage fails its sends, which
+                // would smear Suspect/Down onto healthy destinations).
+                if let Some(hm) = health {
+                    let reporter_down =
+                        fabric.with_fault_plane(|fp| fp.in_outage(reporter, sim.now()));
+                    if !reporter_down
+                        && failure.reason != dne::types::FailureReason::DeadlineExceeded
+                    {
+                        if let Some(dst) = failure.dst_node {
+                            hm.on_failure(sim, dst);
+                        }
+                    }
+                }
                 if let Some(u) = user {
                     u(sim, failure);
                 }
@@ -140,6 +164,7 @@ impl Cluster {
             placement,
             cfg,
             pools: HashMap::new(),
+            backups: HashMap::new(),
             obs_hub,
         }
     }
@@ -220,6 +245,55 @@ impl Cluster {
         }
     }
 
+    /// Places `fn_id` on `primary_idx` with a standby on `backup_idx`:
+    /// every routing table learns both, and endpoint registration
+    /// ([`Cluster::register_chain`] / [`Cluster::register_dag`]) installs
+    /// the function on both nodes so failover needs no new deployment.
+    pub fn place_with_backup(&mut self, fn_id: u16, primary_idx: usize, backup_idx: usize) {
+        assert_ne!(primary_idx, backup_idx, "backup must be a different node");
+        self.place(fn_id, primary_idx);
+        let backup = self.nodes[backup_idx].id;
+        for n in &self.nodes {
+            n.dne.set_backup_route(fn_id, backup);
+        }
+        self.backups.insert(fn_id, (primary_idx, backup_idx));
+    }
+
+    /// Re-routes every function whose primary lives on node `idx` to its
+    /// backup (routing tables and the placement map). Returns the switched
+    /// function ids. Normally driven by the health monitor.
+    pub fn fail_over_node(&self, idx: usize) -> Vec<u16> {
+        let failed = self.nodes[idx].id;
+        let mut switched = Vec::new();
+        for n in &self.nodes {
+            switched = n.dne.fail_over_node(failed);
+        }
+        let mut placement = self.placement.borrow_mut();
+        for &f in &switched {
+            if let Some(&(_, backup_idx)) = self.backups.get(&f) {
+                placement.place(f, self.nodes[backup_idx].id);
+            }
+        }
+        switched
+    }
+
+    /// Restores functions displaced off node `idx` by a failover. Returns
+    /// the restored function ids.
+    pub fn restore_node(&self, idx: usize) -> Vec<u16> {
+        let node = self.nodes[idx].id;
+        let mut restored = Vec::new();
+        for n in &self.nodes {
+            restored = n.dne.restore_node(node);
+        }
+        let mut placement = self.placement.borrow_mut();
+        for &f in &restored {
+            if let Some(&(primary_idx, _)) = self.backups.get(&f) {
+                placement.place(f, self.nodes[primary_idx].id);
+            }
+        }
+        restored
+    }
+
     /// Returns the node index hosting `fn_id`.
     pub fn node_index_of(&self, fn_id: u16) -> Option<usize> {
         let node = self.placement.borrow().node_of(fn_id)?;
@@ -241,18 +315,34 @@ impl Cluster {
             let idx = self
                 .node_index_of(f)
                 .unwrap_or_else(|| panic!("function {f} is not placed"));
-            let node = &self.nodes[idx];
-            let pool = self.pool(chain.tenant, idx).clone();
-            let ep = ChainFunction::endpoint(
-                chain.clone(),
-                exec_cost(f),
-                pool,
-                node.cpu.clone(),
-                node.iolib.clone(),
-                on_complete.clone(),
-            );
-            node.iolib.register_function(f, chain.tenant, ep);
+            for idx in self.deploy_indices(f, idx) {
+                let node = &self.nodes[idx];
+                let pool = self.pool(chain.tenant, idx).clone();
+                let ep = ChainFunction::endpoint(
+                    chain.clone(),
+                    exec_cost(f),
+                    pool,
+                    node.cpu.clone(),
+                    node.iolib.clone(),
+                    on_complete.clone(),
+                );
+                node.iolib.register_function(f, chain.tenant, ep);
+            }
         }
+    }
+
+    /// The node indices a function is deployed on: its placement plus any
+    /// standby registered via [`Cluster::place_with_backup`].
+    fn deploy_indices(&self, fn_id: u16, placed_idx: usize) -> Vec<usize> {
+        let mut idxs = vec![placed_idx];
+        if let Some(&(primary_idx, backup_idx)) = self.backups.get(&fn_id) {
+            for extra in [primary_idx, backup_idx] {
+                if !idxs.contains(&extra) {
+                    idxs.push(extra);
+                }
+            }
+        }
+        idxs
     }
 
     /// Registers DAG-aware endpoints for every function of `dag` (the
@@ -269,18 +359,20 @@ impl Cluster {
             let idx = self
                 .node_index_of(f)
                 .unwrap_or_else(|| panic!("function {f} is not placed"));
-            let node = &self.nodes[idx];
-            let pool = self.pool(dag.tenant, idx).clone();
-            let ep = runtime::DagFunction::endpoint(
-                dag.clone(),
-                f,
-                exec_cost(f),
-                pool,
-                node.cpu.clone(),
-                node.iolib.clone(),
-                on_complete.clone(),
-            );
-            node.iolib.register_function(f, dag.tenant, ep);
+            for idx in self.deploy_indices(f, idx) {
+                let node = &self.nodes[idx];
+                let pool = self.pool(dag.tenant, idx).clone();
+                let ep = runtime::DagFunction::endpoint(
+                    dag.clone(),
+                    f,
+                    exec_cost(f),
+                    pool,
+                    node.cpu.clone(),
+                    node.iolib.clone(),
+                    on_complete.clone(),
+                );
+                node.iolib.register_function(f, dag.tenant, ep);
+            }
         }
     }
 
@@ -357,6 +449,32 @@ impl Cluster {
         req_id: u64,
         payload_len: usize,
     ) -> bool {
+        self.inject_inner(sim, chain, req_id, payload_len, 0)
+    }
+
+    /// Like [`Cluster::inject`], but stamps an absolute `deadline` into the
+    /// on-wire context: every downstream stage (engine send/retry paths,
+    /// function dispatch) cancels the request once it expires, surfacing a
+    /// typed `DeadlineExceeded` failure instead of wasted work.
+    pub fn inject_with_deadline(
+        &self,
+        sim: &mut Sim,
+        chain: &ChainSpec,
+        req_id: u64,
+        payload_len: usize,
+        deadline: SimTime,
+    ) -> bool {
+        self.inject_inner(sim, chain, req_id, payload_len, deadline.as_nanos())
+    }
+
+    fn inject_inner(
+        &self,
+        sim: &mut Sim,
+        chain: &ChainSpec,
+        req_id: u64,
+        payload_len: usize,
+        deadline_ns: u64,
+    ) -> bool {
         let entry = chain.entry();
         let Some(idx) = self.node_index_of(entry) else {
             return false;
@@ -365,11 +483,14 @@ impl Cluster {
         let Ok(mut buf) = pool.get() else {
             return false;
         };
-        // Payloads are sized to carry the on-wire trace context (16 bytes)
-        // even when the caller asked for less.
+        // Payloads are sized to carry the on-wire trace context (24 bytes,
+        // deadline included) even when the caller asked for less.
         let mut payload =
             runtime::encode_request_payload(req_id, payload_len.max(obs::CTX_MIN_PAYLOAD));
         runtime::set_hop(&mut payload, 0);
+        if deadline_ns != 0 {
+            obs::write_deadline_ns(&mut payload, deadline_ns);
+        }
         self.stamp_root_ctx(&mut payload, req_id, idx);
         if buf.write_payload(&payload).is_err() {
             return false;
@@ -422,6 +543,41 @@ impl Cluster {
             .map(|p| p.trigger(obs::TriggerReason::Explicit, sim.now()).clone())
     }
 
+    /// Enables node health tracking and automatic failover: transport
+    /// `DeliveryFailure`s aimed at a node walk its state machine
+    /// (`Healthy → Suspect → Down → Draining → Healthy`), entering `Down`
+    /// fails every backed-up function over ([`Cluster::fail_over_node`]),
+    /// and recovery (driven by fault-plane probes until `until`) restores
+    /// them after the drain hold-down.
+    ///
+    /// Call after every [`Cluster::place_with_backup`], and wire the
+    /// returned monitor's capacity handler to the gateway's admission
+    /// controller if one is running.
+    pub fn enable_health_monitor(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        cfg: crate::health::HealthConfig,
+        until: SimTime,
+    ) -> crate::health::HealthMonitor {
+        let monitor = crate::health::HealthMonitor::new(cfg, self.nodes.iter().map(|n| n.id));
+        monitor.set_tracer(self.obs_hub.borrow().tracer.clone());
+        let cluster = Rc::clone(self);
+        monitor.set_down_handler(Rc::new(move |_sim, node| {
+            if let Some(idx) = cluster.nodes.iter().position(|n| n.id == node) {
+                cluster.fail_over_node(idx);
+            }
+        }));
+        let cluster = Rc::clone(self);
+        monitor.set_recovered_handler(Rc::new(move |_sim, node| {
+            if let Some(idx) = cluster.nodes.iter().position(|n| n.id == node) {
+                cluster.restore_node(idx);
+            }
+        }));
+        self.obs_hub.borrow_mut().health = Some(monitor.clone());
+        monitor.start_probes(sim, self.fabric.clone(), until);
+        monitor
+    }
+
     /// Installs `handler` on the cluster failure dispatcher, so a delivery
     /// the DNE gave up on (retry budget exhausted, no reconnectable route)
     /// reaches one place — typically the ingress, which answers the client
@@ -447,6 +603,15 @@ impl Cluster {
             if hub.tracer.is_enabled() {
                 reg.gauge("tracer_spans_dropped", &[])
                     .set(hub.tracer.dropped() as f64);
+            }
+            if let Some(h) = hub.health.as_ref() {
+                reg.gauge("cluster_capacity_factor", &[])
+                    .set(h.healthy_fraction());
+                for (node, state) in h.states() {
+                    let label = node.0.to_string();
+                    reg.gauge("node_health_state", &[("node", label.as_str())])
+                        .set(state.as_gauge());
+                }
             }
         }
         for (idx, node) in self.nodes.iter().enumerate() {

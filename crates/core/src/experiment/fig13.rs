@@ -65,8 +65,9 @@ pub(crate) fn worker_upstream(kind: GatewayKind, worker_cost: SimDuration) -> Up
     // ingress — the component under test — is the bottleneck.
     let fn_exec = SimDuration::from_micros(5);
     let worker = Rc::new(RefCell::new(MultiServer::new(4)));
-    Rc::new(move |sim: &mut Sim, _id, req_bytes, reply: Reply| {
+    Rc::new(move |sim: &mut Sim, ctx: ingress::ReqCtx, reply: Reply| {
         let worker = worker.clone();
+        let req_bytes = ctx.req_bytes;
         sim.schedule_after(transport, move |sim| {
             let done = worker.borrow_mut().admit(sim.now(), worker_cost + fn_exec);
             sim.schedule_at(done + transport, move |sim| reply(sim, Ok(req_bytes)));

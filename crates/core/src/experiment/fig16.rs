@@ -197,7 +197,8 @@ fn run_nadino(
     let entry_idx = cluster.node_index_of(chain_tpl.entry()).expect("placed");
     let entry_iolib = cluster.nodes[entry_idx].iolib.clone();
     let chain2 = chain_tpl.clone();
-    let upstream: Upstream = Rc::new(move |sim, req_id, _bytes, reply| {
+    let upstream: Upstream = Rc::new(move |sim, ctx: ingress::ReqCtx, reply| {
+        let req_id = ctx.req_id;
         let pending = pending.clone();
         let pools = pools.clone();
         let iolib = entry_iolib.clone();
@@ -260,7 +261,8 @@ fn run_baseline(
     let transport = ingress_transport(model.ingress);
     let chain = Rc::new(chain_tpl.clone());
     let bc2 = bc.clone();
-    let upstream: Upstream = Rc::new(move |sim, _req, bytes, reply| {
+    let upstream: Upstream = Rc::new(move |sim, ctx: ingress::ReqCtx, reply| {
+        let bytes = ctx.req_bytes;
         let bc = bc2.clone();
         let chain = chain.clone();
         sim.schedule_after(transport, move |sim| {

@@ -40,9 +40,11 @@ pub mod baseline_cluster;
 pub mod boutique;
 pub mod cluster;
 pub mod experiment;
+pub mod health;
 pub mod report;
 pub mod trace;
 pub mod workload;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use health::{HealthConfig, HealthEvent, HealthMonitor, NodeState};
 pub use workload::ClosedLoop;

@@ -158,6 +158,27 @@ impl ConnPool {
         deactivated
     }
 
+    /// Full-sweep reap: deactivates every drained active QP in the pool,
+    /// tracked or not. Unlike [`ConnPool::deactivate_idle`] this walks
+    /// every pooled QP, catching connections activated behind the pool's
+    /// back (a tenant abusing direct fabric access); the DNE runs it as a
+    /// periodic audit rather than on every completion.
+    pub fn reap_all_idle(&self, fabric: &Fabric) -> usize {
+        let tracked = self.deactivate_idle(fabric);
+        let mut untracked = 0;
+        for qp in self.conns.values().flatten() {
+            if fabric.qp_is_active(*qp) && fabric.sq_depth(*qp) == 0 {
+                let _ = fabric.set_qp_active(*qp, false);
+                untracked += 1;
+            }
+        }
+        if untracked > 0 {
+            self.deactivations
+                .set(self.deactivations.get() + untracked as u64);
+        }
+        tracked + untracked
+    }
+
     /// Returns all distinct peers this pool reaches for `tenant`.
     pub fn peers_of(&self, tenant: TenantId) -> Vec<NodeId> {
         let mut peers: Vec<NodeId> = self

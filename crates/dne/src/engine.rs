@@ -98,6 +98,12 @@ fn req_id_of(bytes: &[u8]) -> u64 {
     }
 }
 
+/// Reads the absolute deadline stamped in a payload (see `obs::ctx`), if
+/// the payload carries one.
+fn deadline_of(bytes: &[u8]) -> Option<SimTime> {
+    obs::ctx::read_deadline_ns(bytes).map(SimTime::from_nanos)
+}
+
 struct TenantState {
     pool: BufferPool,
     rq: RqId,
@@ -131,6 +137,10 @@ struct PostedSend {
     dst_fn: u16,
     /// Attempts already completed before this post (0 for the first).
     attempts: u32,
+    /// The node this WR was posted toward. Failure blame must target this
+    /// node, not a fresh route lookup — after a failover the lookup points
+    /// at the (healthy) backup.
+    peer: NodeId,
 }
 
 /// A failed (or not-yet-postable) send parked for a later retry, holding
@@ -303,6 +313,7 @@ impl Inner {
         attempts: u32,
         first_at: SimTime,
         reason: FailureReason,
+        dst_node: Option<NodeId>,
     ) -> DeliveryFailure {
         self.stats.drops += 1;
         self.stats.give_ups += 1;
@@ -321,6 +332,46 @@ impl Inner {
             req_id,
             attempts,
             reason,
+            dst_node,
+        }
+    }
+
+    /// Cancels a send whose deadline expired before the engine could
+    /// (re)post it. Unlike [`Inner::give_up`] this is not a transport
+    /// failure — it counts as a deadline drop, not a give-up, so fault
+    /// accounting (`give_ups`) stays a pure transport-health signal.
+    fn cancel_expired(
+        &mut self,
+        now: SimTime,
+        tenant: TenantId,
+        dst_fn: u16,
+        req_id: u64,
+        attempts: u32,
+        dst_node: Option<NodeId>,
+    ) -> DeliveryFailure {
+        self.stats.drops += 1;
+        self.stats.deadline_drops += 1;
+        if let Some(st) = self.tenants.get_mut(&tenant) {
+            st.failures.drops += 1;
+            st.failures.deadline_drops += 1;
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.span(
+                req_id,
+                tenant.0,
+                self.node.0 as u32,
+                Stage::DeadlineDrop,
+                now,
+                now,
+            );
+        }
+        DeliveryFailure {
+            tenant,
+            dst_fn,
+            req_id,
+            attempts,
+            reason: FailureReason::DeadlineExceeded,
+            dst_node,
         }
     }
 
@@ -334,13 +385,14 @@ impl Inner {
         posted: Option<PostedSend>,
     ) -> FailedSendOutcome {
         let (imm_tenant, imm_dst) = unpack_imm(cqe.imm);
-        let (tenant, dst_fn, first_at, prior) = match posted {
-            Some(p) => (p.tenant, p.dst_fn, p.first_at, p.attempts),
-            None => (imm_tenant, imm_dst, now, 0),
+        let (tenant, dst_fn, first_at, prior, posted_peer) = match posted {
+            Some(p) => (p.tenant, p.dst_fn, p.first_at, p.attempts, Some(p.peer)),
+            None => (imm_tenant, imm_dst, now, 0, None),
         };
         let attempts = prior + 1; // counting the attempt that just failed
         let Some(buf) = cqe.buf else {
             // No buffer came back with the CQE: nothing left to retry with.
+            let dst_node = posted_peer.or_else(|| self.routing.lookup(dst_fn));
             return FailedSendOutcome::Fail(self.give_up(
                 now,
                 tenant,
@@ -349,6 +401,7 @@ impl Inner {
                 attempts,
                 first_at,
                 FailureReason::RetryBudgetExhausted,
+                dst_node,
             ));
         };
         let req_id = req_id_of(buf.as_slice());
@@ -361,8 +414,12 @@ impl Inner {
                 attempts,
                 first_at,
                 FailureReason::NoConnection,
+                posted_peer,
             ));
         };
+        // Blame the node the failed WR actually targeted; route the retry
+        // wherever the (possibly failed-over) table points now.
+        let blamed = posted_peer.unwrap_or(peer);
         if attempts > self.cfg.retry_budget {
             // buf drops here → recycled, not leaked.
             return FailedSendOutcome::Fail(self.give_up(
@@ -373,7 +430,25 @@ impl Inner {
                 attempts,
                 first_at,
                 FailureReason::RetryBudgetExhausted,
+                Some(blamed),
             ));
+        }
+        let backoff = self.cfg.retry_backoff * (1u64 << (attempts - 1).min(16));
+        // Deadline-aware park: when the request is already expired — or its
+        // backoff timer would only fire after the deadline — parking is
+        // pointless, so cancel now instead of burning a timer and a repost.
+        if let Some(d) = deadline_of(buf.as_slice()) {
+            if now >= d || now + backoff >= d {
+                // buf drops here → recycled.
+                return FailedSendOutcome::Fail(self.cancel_expired(
+                    now,
+                    tenant,
+                    dst_fn,
+                    req_id,
+                    attempts,
+                    Some(blamed),
+                ));
+            }
         }
         self.stats.retries += 1;
         if let Some(st) = self.tenants.get_mut(&tenant) {
@@ -390,7 +465,6 @@ impl Inner {
             now,
             Some(cqe.qp),
         );
-        let backoff = self.cfg.retry_backoff * (1u64 << (attempts - 1).min(16));
         FailedSendOutcome::Retry { id, backoff }
     }
 
@@ -560,6 +634,24 @@ impl Dne {
         self.inner.borrow_mut().routing.set(fn_id, node);
     }
 
+    /// Installs a standby replica route for a function (used only after a
+    /// health-driven fail-over switches to it).
+    pub fn set_backup_route(&self, fn_id: u16, node: NodeId) {
+        self.inner.borrow_mut().routing.set_backup(fn_id, node);
+    }
+
+    /// Re-points every function routed to `failed` at its backup replica.
+    /// Returns the switched function ids (sorted, deterministic).
+    pub fn fail_over_node(&self, failed: NodeId) -> Vec<u16> {
+        self.inner.borrow_mut().routing.fail_over(failed)
+    }
+
+    /// Restores primaries displaced from `node` by an earlier fail-over.
+    /// Returns the restored function ids (sorted, deterministic).
+    pub fn restore_node(&self, node: NodeId) -> Vec<u16> {
+        self.inner.borrow_mut().routing.restore(node)
+    }
+
     /// Registers the delivery endpoint of a local function.
     pub fn register_endpoint(&self, fn_id: u16, endpoint: FnEndpoint) {
         self.inner.borrow_mut().endpoints.insert(fn_id, endpoint);
@@ -694,7 +786,6 @@ impl Dne {
     ) {
         // Phase 1 (engine state): redeem, route, pick connection.
         enum Action {
-            Drop,
             Local(FnEndpoint, BufferDesc, SimDuration),
             Send {
                 fabric: Fabric,
@@ -736,11 +827,38 @@ impl Dne {
                     sim.now(),
                 );
             }
+            // Cancellation point: a request whose deadline has already
+            // passed is dropped here instead of consuming a connection,
+            // fabric flight, and remote RX capacity.
+            if let Some(d) = deadline_of(buf.as_slice()) {
+                if sim.now() >= d {
+                    let dst_node = inner.routing.lookup(dst_fn);
+                    let f = inner.cancel_expired(sim.now(), tenant, dst_fn, req_id, 0, dst_node);
+                    // buf drops here → recycled.
+                    drop(buf);
+                    let rc2 = rc.clone();
+                    drop(inner);
+                    Dne::notify_failure(&rc2, sim, f);
+                    return;
+                }
+            }
             match inner.routing.lookup(dst_fn) {
                 None => {
-                    inner.stats.drops += 1;
-                    inner.tenant_drop(tenant);
-                    Action::Drop // buf dropped → recycled
+                    // Unknown destination: the control plane never placed
+                    // this function (or removed it). Surface a typed
+                    // failure so upstream resolves instead of hanging.
+                    let now = sim.now();
+                    let f = inner.give_up(
+                        now,
+                        tenant,
+                        dst_fn,
+                        req_id,
+                        0,
+                        now,
+                        FailureReason::UnknownDestination,
+                        None,
+                    );
+                    Action::Fail(f) // buf dropped → recycled
                 }
                 Some(peer) if peer == inner.node => {
                     // Local destination: hand straight back over IPC.
@@ -751,9 +869,19 @@ impl Dne {
                             Action::Local(ep, buf.into_desc(dst_fn), latency)
                         }
                         None => {
-                            inner.stats.drops += 1;
-                            inner.tenant_drop(tenant);
-                            Action::Drop
+                            let now = sim.now();
+                            let node = inner.node;
+                            let f = inner.give_up(
+                                now,
+                                tenant,
+                                dst_fn,
+                                req_id,
+                                0,
+                                now,
+                                FailureReason::UnknownDestination,
+                                Some(node),
+                            );
+                            Action::Fail(f)
                         }
                     }
                 }
@@ -811,6 +939,7 @@ impl Dne {
                                     tenant,
                                     dst_fn,
                                     attempts: 0,
+                                    peer,
                                 },
                             );
                             Action::Send {
@@ -841,6 +970,7 @@ impl Dne {
                                     0,
                                     now,
                                     FailureReason::NoConnection,
+                                    Some(peer),
                                 );
                                 Action::Fail(f)
                             }
@@ -851,7 +981,6 @@ impl Dne {
         };
         // Phase 2 (no engine borrow held): touch fabric / schedule IPC.
         match action {
-            Action::Drop => {}
             Action::Local(ep, desc, latency) => {
                 sim.schedule_after(latency, move |sim| ep(sim, desc));
             }
@@ -898,6 +1027,7 @@ impl Dne {
                     p.attempts,
                     p.first_at,
                     FailureReason::NoConnection,
+                    Some(p.peer),
                 )
             })
         };
@@ -1032,9 +1162,24 @@ impl Dne {
                             Action::Deliver(ep, buf.into_desc(dst_fn), latency)
                         }
                         None => {
-                            inner.stats.drops += 1;
-                            inner.tenant_drop(tenant);
-                            Action::None // buf drops → recycled
+                            // The payload crossed the wire but no endpoint
+                            // is registered here: typed failure (the
+                            // sender-side handler never sees this, so the
+                            // receiving node's handler reports it).
+                            let now = sim.now();
+                            let node = inner.node;
+                            let rid = req_id_of(buf.as_slice());
+                            let f = inner.give_up(
+                                now,
+                                tenant,
+                                dst_fn,
+                                rid,
+                                0,
+                                now,
+                                FailureReason::UnknownDestination,
+                                Some(node),
+                            );
+                            Action::Fail(f) // buf drops → recycled
                         }
                     }
                 }
@@ -1077,6 +1222,24 @@ impl Dne {
             let Some(mut p) = inner.retries.remove(&id) else {
                 return; // cancelled or already flushed: fire as a no-op
             };
+            // The deadline may have passed while the retry sat parked
+            // (e.g. a reconnect flush arriving late): cancel, don't repost.
+            if let Some(d) = deadline_of(p.buf.as_slice()) {
+                if sim.now() >= d {
+                    let f = inner.cancel_expired(
+                        sim.now(),
+                        p.tenant,
+                        p.dst_fn,
+                        p.req_id,
+                        p.attempts,
+                        Some(p.peer),
+                    );
+                    // p.buf drops here → recycled.
+                    drop(inner);
+                    Dne::notify_failure(rc, sim, f);
+                    return;
+                }
+            }
             let fabric = inner.fabric.clone();
             match inner
                 .conns
@@ -1119,6 +1282,7 @@ impl Dne {
                             tenant: p.tenant,
                             dst_fn: p.dst_fn,
                             attempts: p.attempts,
+                            peer: p.peer,
                         },
                     );
                     Step::Post {
@@ -1145,6 +1309,7 @@ impl Dne {
                         p.attempts,
                         p.first_at,
                         FailureReason::NoConnection,
+                        Some(p.peer),
                     );
                     Step::Fail(f)
                 }
@@ -1278,6 +1443,7 @@ impl Dne {
                         p.attempts,
                         p.first_at,
                         FailureReason::NoConnection,
+                        Some(p.peer),
                     );
                     failures.push(f);
                 }
@@ -1301,6 +1467,35 @@ impl Dne {
     /// budget. All clones of this engine share the handler.
     pub fn set_failure_handler(&self, handler: DeliveryFailureHandler) {
         self.inner.borrow_mut().failure_handler = Some(handler);
+    }
+
+    /// Reports a failure discovered *outside* the engine (e.g. the runtime
+    /// cancelling an expired request at function dispatch) through the
+    /// engine's installed failure handler, so every failure — transport or
+    /// deadline — reaches the same upstream sink. Deadline cancellations
+    /// are folded into the engine's deadline accounting.
+    pub fn report_failure(&self, sim: &mut Sim, failure: DeliveryFailure) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if failure.reason == FailureReason::DeadlineExceeded {
+                inner.stats.deadline_drops += 1;
+                if let Some(st) = inner.tenants.get_mut(&failure.tenant) {
+                    st.failures.deadline_drops += 1;
+                }
+                if inner.tracer.is_enabled() {
+                    let node = inner.node.0 as u32;
+                    inner.tracer.span(
+                        failure.req_id,
+                        failure.tenant.0,
+                        node,
+                        Stage::DeadlineDrop,
+                        sim.now(),
+                        sim.now(),
+                    );
+                }
+            }
+        }
+        Dne::notify_failure(&self.inner, sim, failure);
     }
 
     /// Returns per-tenant failure accounting (drops, retries, give-ups).
@@ -1967,7 +2162,8 @@ mod failover_tests {
             TenantFailureStats {
                 drops: 1,
                 retries: 3,
-                give_ups: 1
+                give_ups: 1,
+                deadline_drops: 0,
             }
         );
         // The abandoned send's buffer was recycled, not leaked.

@@ -33,7 +33,7 @@ pub mod sched;
 pub mod types;
 
 pub use engine::{DeliveryFailureHandler, Dne};
-pub use routing::RoutingTable;
+pub use routing::{RouteError, RoutingTable};
 pub use sched::{DwrrScheduler, FcfsScheduler, TenantScheduler};
 pub use types::{
     DeliveryFailure, DneConfig, DneStats, FailureReason, IpcCosts, IpcKind, OffloadMode,

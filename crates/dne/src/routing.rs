@@ -4,15 +4,48 @@
 //! routing table". Keys are function identifiers; values are fabric node
 //! identifiers. The control plane (placement) populates it; the data plane
 //! only reads.
+//!
+//! Beyond the primary placement, each function may carry a **backup
+//! replica** route. When the health monitor declares a node down it calls
+//! [`RoutingTable::fail_over`], which atomically re-points every function
+//! whose active route targets the dead node at its backup and remembers
+//! the displaced primary; [`RoutingTable::restore`] undoes the switch once
+//! the node drains back to healthy. Lookups never panic: a missing route
+//! is a typed [`RouteError`] the engine turns into a delivery failure.
 
 use std::collections::HashMap;
 
 use rdma_sim::NodeId;
 
+/// A typed routing failure (no implicit panics on the lookup path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No route — primary or backup — is installed for the function.
+    UnknownDestination {
+        /// The function id the lookup was for.
+        fn_id: u16,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::UnknownDestination { fn_id } => {
+                write!(f, "no route installed for function {fn_id}")
+            }
+        }
+    }
+}
+
 /// Maps function ids to the node hosting them.
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
     routes: HashMap<u16, NodeId>,
+    /// Standby replica placements, used when the active node fails.
+    backups: HashMap<u16, NodeId>,
+    /// Primary placements displaced by a fail-over, kept so recovery can
+    /// restore them.
+    displaced: HashMap<u16, NodeId>,
 }
 
 impl RoutingTable {
@@ -21,13 +54,28 @@ impl RoutingTable {
         RoutingTable::default()
     }
 
-    /// Installs (or moves) a function's placement.
+    /// Installs (or moves) a function's placement. Clears any fail-over
+    /// memory for the function: an explicit placement wins.
     pub fn set(&mut self, fn_id: u16, node: NodeId) {
         self.routes.insert(fn_id, node);
+        self.displaced.remove(&fn_id);
+    }
+
+    /// Installs a standby replica for a function. The backup only serves
+    /// traffic after [`RoutingTable::fail_over`] switches to it.
+    pub fn set_backup(&mut self, fn_id: u16, node: NodeId) {
+        self.backups.insert(fn_id, node);
+    }
+
+    /// Returns the function's standby replica node, if one is installed.
+    pub fn backup_of(&self, fn_id: u16) -> Option<NodeId> {
+        self.backups.get(&fn_id).copied()
     }
 
     /// Removes a function's route, returning its previous node.
     pub fn remove(&mut self, fn_id: u16) -> Option<NodeId> {
+        self.backups.remove(&fn_id);
+        self.displaced.remove(&fn_id);
         self.routes.remove(&fn_id)
     }
 
@@ -36,9 +84,55 @@ impl RoutingTable {
         self.routes.get(&fn_id).copied()
     }
 
+    /// Looks up the node hosting `fn_id`, as a typed result for callers
+    /// that must surface the miss instead of silently dropping.
+    pub fn resolve(&self, fn_id: u16) -> Result<NodeId, RouteError> {
+        self.lookup(fn_id)
+            .ok_or(RouteError::UnknownDestination { fn_id })
+    }
+
     /// Returns `true` if `fn_id` is placed on `node`.
     pub fn is_local(&self, fn_id: u16, node: NodeId) -> bool {
         self.lookup(fn_id) == Some(node)
+    }
+
+    /// Re-points every function actively routed to `failed` at its backup
+    /// replica (when one exists on a different node), remembering the
+    /// displaced primary. Returns the switched function ids, sorted — the
+    /// order is deterministic regardless of map iteration order.
+    pub fn fail_over(&mut self, failed: NodeId) -> Vec<u16> {
+        let mut moved: Vec<u16> = self
+            .routes
+            .iter()
+            .filter(|(fn_id, node)| {
+                **node == failed && matches!(self.backups.get(fn_id), Some(b) if *b != failed)
+            })
+            .map(|(fn_id, _)| *fn_id)
+            .collect();
+        moved.sort_unstable();
+        for fn_id in &moved {
+            let backup = self.backups[fn_id];
+            let primary = self.routes.insert(*fn_id, backup).expect("route existed");
+            self.displaced.entry(*fn_id).or_insert(primary);
+        }
+        moved
+    }
+
+    /// Restores every primary displaced from `node` by an earlier
+    /// fail-over. Returns the restored function ids, sorted.
+    pub fn restore(&mut self, node: NodeId) -> Vec<u16> {
+        let mut back: Vec<u16> = self
+            .displaced
+            .iter()
+            .filter(|(_, primary)| **primary == node)
+            .map(|(fn_id, _)| *fn_id)
+            .collect();
+        back.sort_unstable();
+        for fn_id in &back {
+            let primary = self.displaced.remove(fn_id).expect("collected above");
+            self.routes.insert(*fn_id, primary);
+        }
+        back
     }
 
     /// Returns the number of installed routes.
@@ -77,5 +171,68 @@ mod tests {
         rt.set(5, NodeId(3));
         assert_eq!(rt.lookup(5), Some(NodeId(3)));
         assert_eq!(rt.len(), 1);
+    }
+
+    #[test]
+    fn resolve_is_typed() {
+        let mut rt = RoutingTable::new();
+        rt.set(1, NodeId(0));
+        assert_eq!(rt.resolve(1), Ok(NodeId(0)));
+        assert_eq!(
+            rt.resolve(9),
+            Err(RouteError::UnknownDestination { fn_id: 9 })
+        );
+    }
+
+    #[test]
+    fn fail_over_switches_only_backed_up_functions() {
+        let mut rt = RoutingTable::new();
+        rt.set(1, NodeId(1));
+        rt.set(2, NodeId(1));
+        rt.set(3, NodeId(2));
+        rt.set_backup(1, NodeId(2));
+        // fn 2 has no backup; fn 3 is not on the failed node.
+        let moved = rt.fail_over(NodeId(1));
+        assert_eq!(moved, vec![1]);
+        assert_eq!(rt.lookup(1), Some(NodeId(2)));
+        assert_eq!(rt.lookup(2), Some(NodeId(1)), "no backup, stays put");
+        assert_eq!(rt.lookup(3), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn restore_undoes_fail_over() {
+        let mut rt = RoutingTable::new();
+        rt.set(1, NodeId(1));
+        rt.set(2, NodeId(1));
+        rt.set_backup(1, NodeId(2));
+        rt.set_backup(2, NodeId(0));
+        assert_eq!(rt.fail_over(NodeId(1)), vec![1, 2]);
+        assert_eq!(rt.lookup(1), Some(NodeId(2)));
+        assert_eq!(rt.lookup(2), Some(NodeId(0)));
+        assert_eq!(rt.restore(NodeId(1)), vec![1, 2]);
+        assert_eq!(rt.lookup(1), Some(NodeId(1)));
+        assert_eq!(rt.lookup(2), Some(NodeId(1)));
+        // A second restore is a no-op.
+        assert_eq!(rt.restore(NodeId(1)), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn backup_on_failed_node_is_useless() {
+        let mut rt = RoutingTable::new();
+        rt.set(1, NodeId(1));
+        rt.set_backup(1, NodeId(1));
+        assert_eq!(rt.fail_over(NodeId(1)), Vec::<u16>::new());
+        assert_eq!(rt.lookup(1), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn explicit_set_clears_failover_memory() {
+        let mut rt = RoutingTable::new();
+        rt.set(1, NodeId(1));
+        rt.set_backup(1, NodeId(2));
+        rt.fail_over(NodeId(1));
+        rt.set(1, NodeId(3)); // control plane re-placed it for real
+        assert_eq!(rt.restore(NodeId(1)), Vec::<u16>::new());
+        assert_eq!(rt.lookup(1), Some(NodeId(3)));
     }
 }

@@ -218,6 +218,9 @@ pub struct DneStats {
     pub reconnects: u64,
     /// Sends abandoned after the retry budget (typed failure surfaced).
     pub give_ups: u64,
+    /// Sends cancelled because the request's deadline expired before the
+    /// engine could (re)post them.
+    pub deadline_drops: u64,
     /// Time from the first post of a send to its terminal outcome, recorded
     /// only for sends that needed at least one retry.
     pub retry_latency: simcore::Histogram,
@@ -230,6 +233,12 @@ pub enum FailureReason {
     RetryBudgetExhausted,
     /// No connection to the destination exists and none could be set up.
     NoConnection,
+    /// The destination function has no installed route — the descriptor
+    /// named a function the control plane never placed (or removed).
+    UnknownDestination,
+    /// The request's deadline expired before delivery; the send was
+    /// cancelled rather than spent on work nobody is waiting for.
+    DeadlineExceeded,
 }
 
 /// A typed delivery failure the engine reports upstream once recovery is
@@ -245,6 +254,9 @@ pub struct DeliveryFailure {
     /// Send attempts made before giving up.
     pub attempts: u32,
     pub reason: FailureReason,
+    /// Destination node the payload was bound for, when the route was
+    /// known — the signal the health monitor attributes to a node.
+    pub dst_node: Option<rdma_sim::NodeId>,
 }
 
 /// Per-tenant failure accounting (so a tenant whose QPs are failing does
@@ -257,6 +269,8 @@ pub struct TenantFailureStats {
     pub retries: u64,
     /// Sends of this tenant abandoned after the retry budget.
     pub give_ups: u64,
+    /// Sends of this tenant cancelled on deadline expiry.
+    pub deadline_drops: u64,
 }
 
 #[cfg(test)]

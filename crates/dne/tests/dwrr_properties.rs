@@ -55,6 +55,73 @@ fn shares_track_weights() {
 }
 
 #[test]
+fn bursty_arrivals_converge_to_weight_share_with_bounded_deficit() {
+    let mut rng = SimRng::new(0xb0b5);
+    for _ in 0..cases(24, 192) {
+        let n = 2 + rng.gen_range(3) as usize;
+        let weights: Vec<u32> = (0..n).map(|_| 1 + rng.gen_range(7) as u32).collect();
+        let quantum = rng.uniform(0.5, 2.0);
+        let mut s = DwrrScheduler::new(quantum);
+        for (i, &w) in weights.iter().enumerate() {
+            s.register(TenantId(i as u16), w);
+        }
+        // Adversarial on/off arrivals: each tenant alternates silence with
+        // bursts of up to 64 items, offered faster than the drain rate of
+        // 8 items per tick so queues stay contended most of the time.
+        let mut next_item = 0u32;
+        let mut burst_left = vec![0u32; n];
+        let mut contended = vec![0u64; n];
+        let mut contended_total = 0u64;
+        for _tick in 0..cases(600, 2000) {
+            for (t, left) in burst_left.iter_mut().enumerate() {
+                if *left == 0 && rng.gen_range(100) < 20 {
+                    *left = 1 + rng.gen_range(64) as u32;
+                }
+                if *left > 0 {
+                    let k = (1 + rng.gen_range(16) as u32).min(*left);
+                    *left -= k;
+                    for _ in 0..k {
+                        s.enqueue(TenantId(t as u16), next_item);
+                        next_item += 1;
+                    }
+                }
+            }
+            for _ in 0..8 {
+                let all_backlogged = (0..n).all(|t| s.tenant_backlog(TenantId(t as u16)) > 0);
+                let Some((t, _)) = s.dequeue() else { break };
+                if all_backlogged {
+                    contended[t.0 as usize] += 1;
+                    contended_total += 1;
+                }
+                // Bounded deficit: never more than one quantum grant above a
+                // single unit of unspent service, for any tenant, at any time.
+                for (i, &w) in weights.iter().enumerate() {
+                    let d = s.deficit_of(TenantId(i as u16)).expect("registered");
+                    assert!(
+                        d <= w as f64 * quantum + 1.0 + 1e-9,
+                        "tenant {i} (w={w}, q={quantum}): deficit {d} unbounded"
+                    );
+                }
+            }
+        }
+        // During fully-contended service, shares must track weight shares.
+        assert!(
+            contended_total >= 500,
+            "burst pattern too sparse to measure contention ({contended_total})"
+        );
+        let total_w: u32 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = contended_total as f64 * w as f64 / total_w as f64;
+            let got = contended[i] as f64;
+            assert!(
+                (got - expect).abs() <= 0.15 * expect + 64.0,
+                "tenant {i} (w={w}): got {got}, expected {expect} of {contended_total}"
+            );
+        }
+    }
+}
+
+#[test]
 fn per_tenant_fifo_order() {
     let mut rng = SimRng::new(0xd22);
     for _ in 0..cases(64, 512) {

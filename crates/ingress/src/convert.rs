@@ -73,16 +73,19 @@ pub fn wrap_response(result: Result<Vec<u8>, ConvertError>) -> HttpResponse {
         Err(ConvertError::NotAnInvocation) => HttpResponse {
             status: 404,
             reason: "Not Found".to_string(),
+            retry_after: None,
             body: Vec::new(),
         },
         Err(ConvertError::BadMethod) => HttpResponse {
             status: 405,
             reason: "Method Not Allowed".to_string(),
+            retry_after: None,
             body: Vec::new(),
         },
         Err(ConvertError::BadTenant) => HttpResponse {
             status: 400,
             reason: "Bad Request".to_string(),
+            retry_after: None,
             body: Vec::new(),
         },
     }

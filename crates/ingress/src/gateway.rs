@@ -19,9 +19,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use std::collections::BTreeMap;
+
 use obs::{Stage, Tracer};
 use simcore::{Server, Sim, SimDuration, SimTime, TimerHandle};
 
+use crate::admission::{Admission, AdmissionConfig, AdmissionController};
 use crate::autoscale::{AutoscaleConfig, Hysteresis, ScaleDecision};
 use crate::rss::{rss_select, FlowId};
 use crate::stack::{GatewayKind, StackCosts};
@@ -39,9 +42,23 @@ pub type Reply = Box<dyn FnOnce(&mut Sim, Result<usize, DeliveryFailed>)>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeliveryFailed;
 
-/// The cluster side of the gateway: invoked once the request is converted;
-/// receives `(request id, request bytes, reply callback)`.
-pub type Upstream = Rc<dyn Fn(&mut Sim, u64, usize, Reply)>;
+/// Everything the cluster side needs to know about one admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqCtx {
+    /// Gateway-assigned request id (also the payload head / trace id).
+    pub req_id: u64,
+    /// The submitting tenant.
+    pub tenant: u16,
+    /// Request size in bytes.
+    pub req_bytes: usize,
+    /// Absolute deadline in virtual nanoseconds (0 = none) — stamp it into
+    /// the payload with `obs::write_deadline_ns` so every downstream stage
+    /// can cancel the request once it expires.
+    pub deadline_ns: u64,
+}
+
+/// The cluster side of the gateway: invoked once the request is converted.
+pub type Upstream = Rc<dyn Fn(&mut Sim, ReqCtx, Reply)>;
 
 /// Completion callback: `Ok(resp_bytes)` or `Err(Dropped)`.
 pub type Completion = Box<dyn FnOnce(&mut Sim, Result<usize, Dropped>)>;
@@ -53,12 +70,28 @@ pub enum Dropped {
     Overload,
     /// The cluster exhausted delivery recovery for this request.
     Delivery,
+    /// Admission control shed the request before it queued; the client is
+    /// told when to come back.
+    Shed {
+        /// Advertised `Retry-After`, in seconds.
+        retry_after_secs: u32,
+    },
+    /// The request's deadline expired inside the gateway queue.
+    DeadlineExceeded,
 }
 
 impl Dropped {
-    /// The wire answer for either cause: `503 Service Unavailable`.
+    /// The wire answer: `503 Service Unavailable` for overload and
+    /// delivery loss, `503` + `Retry-After` for sheds, `504 Gateway
+    /// Timeout` for deadline expiry.
     pub fn to_response(&self) -> crate::http::HttpResponse {
-        crate::http::HttpResponse::unavailable()
+        match self {
+            Dropped::Overload | Dropped::Delivery => crate::http::HttpResponse::unavailable(),
+            Dropped::Shed { retry_after_secs } => {
+                crate::http::HttpResponse::unavailable_retry_after(*retry_after_secs)
+            }
+            Dropped::DeadlineExceeded => crate::http::HttpResponse::gateway_timeout(),
+        }
     }
 }
 
@@ -77,6 +110,12 @@ pub struct GatewayConfig {
     pub max_backlog: SimDuration,
     /// Service interruption injected into every worker on a scale event.
     pub restart_interruption: SimDuration,
+    /// Relative deadline stamped on every accepted request; `None` leaves
+    /// requests deadline-free (the pre-existing behaviour).
+    pub deadline: Option<SimDuration>,
+    /// Adaptive per-tenant admission control; `None` disables shedding and
+    /// leaves only the static backlog bound.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -88,6 +127,8 @@ impl Default for GatewayConfig {
             autoscale_interval: SimDuration::from_secs(1),
             max_backlog: SimDuration::from_millis(500),
             restart_interruption: SimDuration::from_millis(120),
+            deadline: None,
+            admission: None,
         }
     }
 }
@@ -99,6 +140,27 @@ pub struct GatewayStats {
     pub completed: u64,
     pub dropped: u64,
     /// Accepted requests whose upstream delivery failed (answered `503`).
+    pub failed: u64,
+    /// Requests shed by admission control (answered `503` + `Retry-After`).
+    pub shed: u64,
+    /// Requests whose deadline expired inside the gateway (answered `504`).
+    pub expired: u64,
+}
+
+/// Per-tenant gateway accounting, so per-tenant SLO attainment is
+/// measurable (the aggregate counters can't tell a rogue tenant's sheds
+/// from a compliant tenant's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantGatewayStats {
+    pub accepted: u64,
+    pub completed: u64,
+    /// Overload drops (static backlog bound).
+    pub dropped: u64,
+    /// Admission-control sheds.
+    pub shed: u64,
+    /// Deadline expiries inside the gateway.
+    pub expired: u64,
+    /// Upstream delivery failures.
     pub failed: u64,
 }
 
@@ -123,6 +185,9 @@ struct GwInner {
     hysteresis: Option<Hysteresis>,
     in_flight: usize,
     stats: GatewayStats,
+    /// Per-tenant counters (`BTreeMap` for deterministic iteration).
+    tenant_stats: BTreeMap<u16, TenantGatewayStats>,
+    admission: Option<AdmissionController>,
     next_req: u64,
     last_eval: SimTime,
     samples: Vec<ScaleSample>,
@@ -131,6 +196,12 @@ struct GwInner {
     /// deschedule it instead of leaving a dead closure to fire.
     autoscaler_timer: Option<TimerHandle>,
     tracer: Tracer,
+}
+
+impl GwInner {
+    fn tenant_entry(&mut self, tenant: u16) -> &mut TenantGatewayStats {
+        self.tenant_stats.entry(tenant).or_default()
+    }
 }
 
 /// The cluster-wide ingress gateway.
@@ -158,6 +229,7 @@ impl Gateway {
             .map(|a| a.max_workers)
             .unwrap_or(cfg.initial_workers)
             .max(active);
+        let admission = cfg.admission.clone().map(AdmissionController::new);
         Gateway {
             inner: Rc::new(RefCell::new(GwInner {
                 cfg,
@@ -168,6 +240,8 @@ impl Gateway {
                 hysteresis,
                 in_flight: 0,
                 stats: GatewayStats::default(),
+                tenant_stats: BTreeMap::new(),
+                admission,
                 next_req: 0,
                 last_eval: SimTime::ZERO,
                 samples: Vec::new(),
@@ -191,6 +265,54 @@ impl Gateway {
     /// Returns a snapshot of the counters.
     pub fn stats(&self) -> GatewayStats {
         self.inner.borrow().stats
+    }
+
+    /// Returns one tenant's counters (zeroes for unseen tenants).
+    pub fn tenant_stats(&self, tenant: u16) -> TenantGatewayStats {
+        self.inner
+            .borrow()
+            .tenant_stats
+            .get(&tenant)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Returns every tenant's counters, sorted by tenant id.
+    pub fn all_tenant_stats(&self) -> Vec<(u16, TenantGatewayStats)> {
+        self.inner
+            .borrow()
+            .tenant_stats
+            .iter()
+            .map(|(t, s)| (*t, *s))
+            .collect()
+    }
+
+    /// Registers a tenant's DWRR weight with the admission controller so
+    /// shedding pressure tracks the transport-level weight share. No-op
+    /// when admission control is disabled.
+    pub fn register_tenant(&self, tenant: u16, weight: u32) {
+        if let Some(ac) = self.inner.borrow_mut().admission.as_mut() {
+            ac.register(tenant, weight);
+        }
+    }
+
+    /// Feeds the cluster capacity factor (healthy fraction, `(0, 1]`) from
+    /// the health monitor into admission control: a browned-out cluster
+    /// sheds proportionally sooner. No-op when admission is disabled.
+    pub fn set_capacity_factor(&self, factor: f64) {
+        if let Some(ac) = self.inner.borrow_mut().admission.as_mut() {
+            ac.set_capacity_factor(factor);
+        }
+    }
+
+    /// Total admission-control sheds for `tenant`.
+    pub fn sheds_of(&self, tenant: u16) -> u64 {
+        self.inner
+            .borrow()
+            .admission
+            .as_ref()
+            .map(|ac| ac.sheds_of(tenant))
+            .unwrap_or(0)
     }
 
     /// Returns per-request worker-node TCP cost this gateway design imposes
@@ -227,12 +349,10 @@ impl Gateway {
         inner.workers.iter().map(|w| w.utilization(a, b)).sum()
     }
 
-    /// Submits one client request.
+    /// Submits one client request on behalf of tenant 0.
     ///
-    /// `upstream` is invoked after ingress-side request processing; its
-    /// reply callback triggers response-side processing, after which
-    /// `done` fires with the response size. Overload produces
-    /// `done(Err(Dropped))` immediately.
+    /// Convenience wrapper over [`Gateway::submit_tenant`] for single-tenant
+    /// experiments (Figs. 13/14).
     pub fn submit(
         &self,
         sim: &mut Sim,
@@ -241,42 +361,133 @@ impl Gateway {
         upstream: Upstream,
         done: Completion,
     ) {
-        let (req_id, widx, rx_done) = {
+        self.submit_tenant(sim, 0, flow, req_bytes, upstream, done);
+    }
+
+    /// Submits one client request for `tenant`.
+    ///
+    /// `upstream` is invoked after ingress-side request processing; its
+    /// reply callback triggers response-side processing, after which
+    /// `done` fires with the response size. Admission control may shed the
+    /// request (`Err(Dropped::Shed)`), a worker backlog beyond the bound
+    /// drops it (`Err(Dropped::Overload)`), and a configured deadline that
+    /// expires while the request is still queued in the gateway answers
+    /// `Err(Dropped::DeadlineExceeded)` without ever invoking `upstream`.
+    pub fn submit_tenant(
+        &self,
+        sim: &mut Sim,
+        tenant: u16,
+        flow: FlowId,
+        req_bytes: usize,
+        upstream: Upstream,
+        done: Completion,
+    ) {
+        let (req_id, widx, rx_done, deadline_ns) = {
             let mut inner = self.inner.borrow_mut();
-            let widx = rss_select(flow, inner.active);
-            if inner.workers[widx].backlog(sim.now()) > inner.cfg.max_backlog {
+            if inner.active == 0 {
+                // Drained gateway (every worker scaled away or failed over):
+                // refuse rather than index into an empty worker set.
                 inner.stats.dropped += 1;
+                inner.tenant_entry(tenant).dropped += 1;
+                drop(inner);
+                done(sim, Err(Dropped::Overload));
+                return;
+            }
+            let now = sim.now();
+            let widx = rss_select(flow, inner.active);
+            let backlog = inner.workers[widx].backlog(now);
+            if let Some(ac) = inner.admission.as_mut() {
+                if ac.on_arrival(tenant, backlog, now) == Admission::Shed {
+                    let retry_after_secs = inner
+                        .cfg
+                        .admission
+                        .as_ref()
+                        .map(|c| c.retry_after_secs)
+                        .unwrap_or(1);
+                    inner.stats.shed += 1;
+                    inner.tenant_entry(tenant).shed += 1;
+                    drop(inner);
+                    done(sim, Err(Dropped::Shed { retry_after_secs }));
+                    return;
+                }
+            }
+            if backlog > inner.cfg.max_backlog {
+                inner.stats.dropped += 1;
+                inner.tenant_entry(tenant).dropped += 1;
                 drop(inner);
                 done(sim, Err(Dropped::Overload));
                 return;
             }
             inner.stats.accepted += 1;
+            inner.tenant_entry(tenant).accepted += 1;
             inner.in_flight += 1;
             let req_id = inner.next_req;
             inner.next_req += 1;
+            let deadline_ns = inner
+                .cfg
+                .deadline
+                .map(|d| (now + d).as_nanos())
+                .unwrap_or(0);
             let service = inner.costs.ingress_rx(inner.in_flight, req_bytes);
             let floor = inner.available_at[widx];
-            let rx_done = inner.workers[widx].admit_not_before(sim.now(), floor, service);
+            let rx_done = inner.workers[widx].admit_not_before(now, floor, service);
             if inner.tracer.is_enabled() {
-                let now = sim.now();
                 // RSS steering is effectively instantaneous; HTTP parsing is
                 // the app-work share of the rx half; the Gateway span covers
                 // the whole ingress-side service (queueing included).
                 inner
                     .tracer
-                    .span(req_id, 0, GATEWAY_NODE, Stage::RssDispatch, now, now);
+                    .span(req_id, tenant, GATEWAY_NODE, Stage::RssDispatch, now, now);
                 let parse_end = (now + inner.costs.app_work).min(rx_done);
+                inner.tracer.span(
+                    req_id,
+                    tenant,
+                    GATEWAY_NODE,
+                    Stage::HttpParse,
+                    now,
+                    parse_end,
+                );
                 inner
                     .tracer
-                    .span(req_id, 0, GATEWAY_NODE, Stage::HttpParse, now, parse_end);
-                inner
-                    .tracer
-                    .span(req_id, 0, GATEWAY_NODE, Stage::Gateway, now, rx_done);
+                    .span(req_id, tenant, GATEWAY_NODE, Stage::Gateway, now, rx_done);
             }
-            (req_id, widx, rx_done)
+            (req_id, widx, rx_done, deadline_ns)
         };
         let gw = self.clone();
         sim.schedule_at(rx_done, move |sim| {
+            if deadline_ns != 0 && sim.now() >= SimTime::from_nanos(deadline_ns) {
+                // Expired while still queued on the ingress worker: answer
+                // 504 without invoking the upstream at all. The tx half is
+                // still charged — the timeout page is a real response.
+                let tx_done = {
+                    let mut inner = gw.inner.borrow_mut();
+                    let service = inner.costs.ingress_tx(inner.in_flight, 0);
+                    let floor = inner.available_at[widx];
+                    let t = inner.workers[widx].admit_not_before(sim.now(), floor, service);
+                    inner.in_flight = inner.in_flight.saturating_sub(1);
+                    inner.stats.expired += 1;
+                    inner.tenant_entry(tenant).expired += 1;
+                    if inner.tracer.is_enabled() {
+                        let now = sim.now();
+                        inner.tracer.span(
+                            req_id,
+                            tenant,
+                            GATEWAY_NODE,
+                            Stage::DeadlineDrop,
+                            now,
+                            now,
+                        );
+                        inner
+                            .tracer
+                            .span(req_id, tenant, GATEWAY_NODE, Stage::Gateway, now, t);
+                    }
+                    t
+                };
+                sim.schedule_at(tx_done, move |sim| {
+                    done(sim, Err(Dropped::DeadlineExceeded));
+                });
+                return;
+            }
             let reply_gw = gw.clone();
             let reply: Reply = Box::new(move |sim, outcome| {
                 // A failed delivery still sends a response — the 503 page —
@@ -290,13 +501,24 @@ impl Gateway {
                     let t = inner.workers[widx].admit_not_before(sim.now(), floor, service);
                     inner.in_flight = inner.in_flight.saturating_sub(1);
                     match outcome {
-                        Ok(_) => inner.stats.completed += 1,
-                        Err(DeliveryFailed) => inner.stats.failed += 1,
+                        Ok(_) => {
+                            inner.stats.completed += 1;
+                            inner.tenant_entry(tenant).completed += 1;
+                        }
+                        Err(DeliveryFailed) => {
+                            inner.stats.failed += 1;
+                            inner.tenant_entry(tenant).failed += 1;
+                        }
                     }
                     if inner.tracer.is_enabled() {
-                        inner
-                            .tracer
-                            .span(req_id, 0, GATEWAY_NODE, Stage::Gateway, sim.now(), t);
+                        inner.tracer.span(
+                            req_id,
+                            tenant,
+                            GATEWAY_NODE,
+                            Stage::Gateway,
+                            sim.now(),
+                            t,
+                        );
                     }
                     t
                 };
@@ -308,7 +530,13 @@ impl Gateway {
                     done(sim, result);
                 });
             });
-            upstream(sim, req_id, req_bytes, reply);
+            let ctx = ReqCtx {
+                req_id,
+                tenant,
+                req_bytes,
+                deadline_ns,
+            };
+            upstream(sim, ctx, reply);
         });
     }
 
@@ -409,14 +637,14 @@ mod tests {
 
     /// An upstream that replies after a fixed delay.
     fn echo_upstream(delay: SimDuration, resp_bytes: usize) -> Upstream {
-        Rc::new(move |sim: &mut Sim, _id, _req, reply: Reply| {
+        Rc::new(move |sim: &mut Sim, _ctx: ReqCtx, reply: Reply| {
             sim.schedule_after(delay, move |sim| reply(sim, Ok(resp_bytes)));
         })
     }
 
     /// An upstream whose delivery always fails after a fixed delay.
     fn failing_upstream(delay: SimDuration) -> Upstream {
-        Rc::new(move |sim: &mut Sim, _id, _req, reply: Reply| {
+        Rc::new(move |sim: &mut Sim, _ctx: ReqCtx, reply: Reply| {
             sim.schedule_after(delay, move |sim| reply(sim, Err(DeliveryFailed)));
         })
     }
@@ -613,6 +841,152 @@ mod tests {
         sim.run();
         assert!(tracer.is_empty());
         assert_eq!(gw.stats().completed, 1);
+    }
+
+    #[test]
+    fn queued_past_deadline_answers_504_without_invoking_upstream() {
+        let cfg = GatewayConfig {
+            kind: GatewayKind::KIngress, // >100us per request: queue builds
+            deadline: Some(SimDuration::from_micros(200)),
+            max_backlog: SimDuration::from_secs(10), // no overload drops
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::new(cfg);
+        let mut sim = Sim::new();
+        let invoked = Rc::new(Cell::new(0u32));
+        let expired = Rc::new(Cell::new(0u32));
+        let finished = Rc::new(Cell::new(0u32));
+        for i in 0..50 {
+            let inv = invoked.clone();
+            let exp = expired.clone();
+            let fin = finished.clone();
+            gw.submit(
+                &mut sim,
+                FlowId::from_client(i, 0),
+                64,
+                Rc::new(move |sim: &mut Sim, ctx: ReqCtx, reply: Reply| {
+                    assert_ne!(ctx.deadline_ns, 0, "deadline must be stamped");
+                    inv.set(inv.get() + 1);
+                    sim.schedule_after(SimDuration::from_micros(10), move |sim| reply(sim, Ok(64)));
+                }),
+                Box::new(move |_sim, r| {
+                    fin.set(fin.get() + 1);
+                    if r == Err(Dropped::DeadlineExceeded) {
+                        exp.set(exp.get() + 1);
+                    }
+                }),
+            );
+        }
+        sim.run();
+        assert_eq!(finished.get(), 50, "no request may hang");
+        assert!(expired.get() > 0, "deep queue must expire some deadlines");
+        let s = gw.stats();
+        assert_eq!(s.expired as u32, expired.get());
+        assert_eq!(invoked.get() as u64 + s.expired, s.accepted);
+        assert_eq!(Dropped::DeadlineExceeded.to_response().status, 504);
+    }
+
+    #[test]
+    fn admission_control_sheds_rogue_tenant_with_retry_after() {
+        let cfg = GatewayConfig {
+            kind: GatewayKind::KIngress,
+            max_backlog: SimDuration::from_secs(10),
+            admission: Some(AdmissionConfig {
+                target: SimDuration::from_micros(300),
+                interval: SimDuration::from_millis(1),
+                retry_after_secs: 2,
+            }),
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::new(cfg);
+        gw.register_tenant(1, 3);
+        gw.register_tenant(2, 1);
+        let mut sim = Sim::new();
+        let rogue_sheds = Rc::new(Cell::new(0u32));
+        let good_sheds = Rc::new(Cell::new(0u32));
+        // Tenant 2 floods 8x harder than tenant 1 despite a third of the
+        // weight; arrivals spread over 20ms so the CoDel interval elapses.
+        for burst in 0..40u32 {
+            let at = SimTime::ZERO + SimDuration::from_micros(500 * burst as u64);
+            let gw2 = gw.clone();
+            let rs = rogue_sheds.clone();
+            let gs = good_sheds.clone();
+            sim.schedule_at(at, move |sim| {
+                for k in 0..8u32 {
+                    let rs2 = rs.clone();
+                    gw2.submit_tenant(
+                        sim,
+                        2,
+                        FlowId::from_client(100 + burst * 8 + k, 0),
+                        64,
+                        echo_upstream(SimDuration::from_micros(5), 64),
+                        Box::new(move |_sim, r| {
+                            if matches!(r, Err(Dropped::Shed { .. })) {
+                                rs2.set(rs2.get() + 1);
+                            }
+                        }),
+                    );
+                }
+                let gs2 = gs.clone();
+                gw2.submit_tenant(
+                    sim,
+                    1,
+                    FlowId::from_client(burst, 0),
+                    64,
+                    echo_upstream(SimDuration::from_micros(5), 64),
+                    Box::new(move |_sim, r| {
+                        if matches!(r, Err(Dropped::Shed { .. })) {
+                            gs2.set(gs2.get() + 1);
+                        }
+                    }),
+                );
+            });
+        }
+        sim.run();
+        assert!(rogue_sheds.get() > 0, "rogue tenant must be shed");
+        assert!(
+            rogue_sheds.get() > good_sheds.get(),
+            "rogue ({}) must shed more than compliant ({})",
+            rogue_sheds.get(),
+            good_sheds.get()
+        );
+        assert_eq!(gw.stats().shed as u32, rogue_sheds.get() + good_sheds.get());
+        assert_eq!(gw.sheds_of(2) as u32, rogue_sheds.get());
+        assert_eq!(gw.tenant_stats(2).shed as u32, rogue_sheds.get());
+        let resp = Dropped::Shed {
+            retry_after_secs: 2,
+        }
+        .to_response();
+        assert_eq!(resp.status, 503);
+        let wire = String::from_utf8(resp.serialize()).unwrap();
+        assert!(wire.contains("Retry-After: 2"), "wire = {wire}");
+    }
+
+    #[test]
+    fn per_tenant_stats_split_the_aggregate() {
+        let gw = Gateway::new(GatewayConfig::default());
+        let mut sim = Sim::new();
+        for (tenant, n) in [(1u16, 3u32), (2, 5)] {
+            for k in 0..n {
+                gw.submit_tenant(
+                    &mut sim,
+                    tenant,
+                    FlowId::from_client(u32::from(tenant) * 100 + k, 0),
+                    64,
+                    echo_upstream(SimDuration::from_micros(5), 64),
+                    Box::new(|_, _| {}),
+                );
+            }
+        }
+        sim.run();
+        assert_eq!(gw.tenant_stats(1).completed, 3);
+        assert_eq!(gw.tenant_stats(2).completed, 5);
+        assert_eq!(gw.stats().completed, 8);
+        let all = gw.all_tenant_stats();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, 1);
+        assert_eq!(all[1].0, 2);
+        assert_eq!(gw.tenant_stats(7), TenantGatewayStats::default());
     }
 
     #[test]

@@ -150,6 +150,9 @@ impl HttpRequest {
 pub struct HttpResponse {
     pub status: u16,
     pub reason: String,
+    /// `Retry-After` header value in seconds, serialized when `Some` (the
+    /// admission-control shed answer tells the client when to come back).
+    pub retry_after: Option<u32>,
     pub body: Vec<u8>,
 }
 
@@ -159,6 +162,7 @@ impl HttpResponse {
         HttpResponse {
             status: 200,
             reason: "OK".to_string(),
+            retry_after: None,
             body,
         }
     }
@@ -168,19 +172,38 @@ impl HttpResponse {
         HttpResponse {
             status: 503,
             reason: "Service Unavailable".to_string(),
+            retry_after: None,
+            body: Vec::new(),
+        }
+    }
+
+    /// Creates a `503` carrying `Retry-After` (the admission-control shed:
+    /// the gateway is intentionally refusing, not failing).
+    pub fn unavailable_retry_after(secs: u32) -> HttpResponse {
+        HttpResponse {
+            retry_after: Some(secs),
+            ..HttpResponse::unavailable()
+        }
+    }
+
+    /// Creates a `504 Gateway Timeout` (the request's deadline expired
+    /// before a function response came back).
+    pub fn gateway_timeout() -> HttpResponse {
+        HttpResponse {
+            status: 504,
+            reason: "Gateway Timeout".to_string(),
+            retry_after: None,
             body: Vec::new(),
         }
     }
 
     /// Serializes the response to wire format.
     pub fn serialize(&self) -> Vec<u8> {
-        let mut out = format!(
-            "HTTP/1.1 {} {}\r\ncontent-length: {}\r\n\r\n",
-            self.status,
-            self.reason,
-            self.body.len()
-        )
-        .into_bytes();
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).into_bytes();
+        if let Some(secs) = self.retry_after {
+            out.extend_from_slice(format!("Retry-After: {secs}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("content-length: {}\r\n\r\n", self.body.len()).as_bytes());
         out.extend_from_slice(&self.body);
         out
     }
@@ -204,6 +227,7 @@ impl HttpResponse {
         let reason = parts.next().unwrap_or("").to_string();
         let mut body_len = 0;
         let mut chunked = false;
+        let mut retry_after = None;
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -218,6 +242,8 @@ impl HttpResponse {
                 && value.trim().eq_ignore_ascii_case("chunked")
             {
                 chunked = true;
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse::<u32>().ok();
             }
         }
         let (body, total) = if chunked {
@@ -236,6 +262,7 @@ impl HttpResponse {
             HttpResponse {
                 status,
                 reason,
+                retry_after,
                 body,
             },
             total,
@@ -449,6 +476,23 @@ mod tests {
         let (parsed, _) = HttpResponse::parse(&HttpResponse::unavailable().serialize()).unwrap();
         assert_eq!(parsed.status, 503);
         assert!(parsed.body.is_empty());
+        assert_eq!(parsed.retry_after, None);
+    }
+
+    #[test]
+    fn retry_after_round_trips_and_timeout_is_504() {
+        let shed = HttpResponse::unavailable_retry_after(3);
+        let wire = shed.serialize();
+        assert!(String::from_utf8_lossy(&wire).contains("Retry-After: 3"));
+        let (parsed, used) = HttpResponse::parse(&wire).unwrap();
+        assert_eq!(parsed, shed);
+        assert_eq!(used, wire.len());
+        assert_eq!(parsed.retry_after, Some(3));
+
+        let (timeout, _) =
+            HttpResponse::parse(&HttpResponse::gateway_timeout().serialize()).unwrap();
+        assert_eq!(timeout.status, 504);
+        assert_eq!(timeout.retry_after, None);
     }
 
     #[test]

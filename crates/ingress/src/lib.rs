@@ -19,6 +19,7 @@
 //!   discrete-event simulation, including overload (tail-drop) behaviour
 //!   and the brief restart interruption the paper observes when scaling.
 
+pub mod admission;
 pub mod autoscale;
 pub mod convert;
 pub mod gateway;
@@ -26,8 +27,12 @@ pub mod http;
 pub mod rss;
 pub mod stack;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionController};
 pub use autoscale::{AutoscaleConfig, Hysteresis, ScaleDecision};
 pub use convert::{extract_invocation, wrap_response, Invocation};
-pub use gateway::{DeliveryFailed, Dropped, Gateway, GatewayConfig, GatewayStats};
+pub use gateway::{
+    DeliveryFailed, Dropped, Gateway, GatewayConfig, GatewayStats, ReqCtx, TenantGatewayStats,
+    Upstream,
+};
 pub use http::{HttpError, HttpRequest, HttpResponse};
 pub use stack::{GatewayKind, StackCosts};

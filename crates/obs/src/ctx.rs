@@ -10,6 +10,7 @@
 //! byte  8..11  chain hop / DAG header — owned by the runtime, untouched
 //! byte 11..15  parent span id (LE u32)
 //! byte 15      flags (bit 0 = sampled)
+//! byte 16..24  absolute deadline (LE u64 virtual ns, 0 = no deadline)
 //! ```
 //!
 //! The fabric copies sender payloads verbatim into posted receive
@@ -20,12 +21,14 @@
 //! per-node span chains rather than failing.
 
 /// Smallest payload that can carry a trace context.
-pub const CTX_MIN_PAYLOAD: usize = 16;
+pub const CTX_MIN_PAYLOAD: usize = 24;
 
 /// Byte offset of the parent span id within the payload.
 const PARENT_OFFSET: usize = 11;
 /// Byte offset of the flags byte within the payload.
 const FLAGS_OFFSET: usize = 15;
+/// Byte offset of the absolute deadline within the payload.
+const DEADLINE_OFFSET: usize = 16;
 /// Flags bit 0: the trace is sampled (record spans downstream).
 const FLAG_SAMPLED: u8 = 1;
 
@@ -50,6 +53,40 @@ pub fn write_ctx(payload: &mut [u8], parent_span: u32, sampled: bool) -> bool {
     payload[PARENT_OFFSET..PARENT_OFFSET + 4].copy_from_slice(&parent_span.to_le_bytes());
     payload[FLAGS_OFFSET] = if sampled { FLAG_SAMPLED } else { 0 };
     true
+}
+
+/// Stamps an absolute deadline (virtual nanoseconds since simulation
+/// start) into a payload. A value of `0` means "no deadline". Returns
+/// `false` (and writes nothing) when the payload is too short.
+///
+/// The deadline rides in its own byte range, so [`write_ctx`] re-stamps
+/// along a DAG hop leave it untouched: the gateway writes it once and
+/// every downstream stage reads the same absolute value.
+pub fn write_deadline_ns(payload: &mut [u8], deadline_ns: u64) -> bool {
+    if payload.len() < CTX_MIN_PAYLOAD {
+        return false;
+    }
+    payload[DEADLINE_OFFSET..DEADLINE_OFFSET + 8].copy_from_slice(&deadline_ns.to_le_bytes());
+    true
+}
+
+/// Reads the absolute deadline out of a payload. Returns `None` when the
+/// payload is too short to carry a context or when no deadline was
+/// stamped (the on-wire value is `0`).
+pub fn read_deadline_ns(payload: &[u8]) -> Option<u64> {
+    if payload.len() < CTX_MIN_PAYLOAD {
+        return None;
+    }
+    let ns = u64::from_le_bytes(
+        payload[DEADLINE_OFFSET..DEADLINE_OFFSET + 8]
+            .try_into()
+            .unwrap(),
+    );
+    if ns == 0 {
+        None
+    } else {
+        Some(ns)
+    }
 }
 
 /// Reads the trace context out of a payload, or `None` when the payload
@@ -93,8 +130,29 @@ mod tests {
     }
 
     #[test]
+    fn deadline_roundtrips_and_survives_ctx_restamp() {
+        let mut payload = vec![0u8; CTX_MIN_PAYLOAD];
+        assert_eq!(read_deadline_ns(&payload), None, "zero means no deadline");
+        assert!(write_deadline_ns(&mut payload, 1_500_000));
+        assert_eq!(read_deadline_ns(&payload), Some(1_500_000));
+        // A downstream hop re-stamping the trace ctx must not clobber it.
+        assert!(write_ctx(&mut payload, 99, true));
+        assert_eq!(read_deadline_ns(&payload), Some(1_500_000));
+        let ctx = read_ctx(&payload).unwrap();
+        assert_eq!(ctx.parent_span, 99);
+    }
+
+    #[test]
+    fn short_payloads_carry_no_deadline() {
+        let mut short = vec![0u8; CTX_MIN_PAYLOAD - 1];
+        assert!(!write_deadline_ns(&mut short, 42));
+        assert!(short.iter().all(|&b| b == 0), "nothing written");
+        assert_eq!(read_deadline_ns(&short), None);
+    }
+
+    #[test]
     fn leaves_runtime_header_bytes_alone() {
-        let mut payload = vec![0u8; 16];
+        let mut payload = vec![0u8; CTX_MIN_PAYLOAD];
         payload[8] = 0xAA; // DAG kind byte
         payload[9] = 0xBB; // src_fn low
         payload[10] = 0xCC; // src_fn high

@@ -34,7 +34,9 @@ pub mod sampler;
 pub mod span;
 
 pub use critical_path::{CriticalPath, StageShare, TenantBreakdown};
-pub use ctx::{read_ctx, write_ctx, TraceCtx, CTX_MIN_PAYLOAD};
+pub use ctx::{
+    read_ctx, read_deadline_ns, write_ctx, write_deadline_ns, TraceCtx, CTX_MIN_PAYLOAD,
+};
 pub use flight::{
     FlightRecorder, PipelineConfig, SloConfig, SloMonitor, TracePipeline, TriggerReason,
 };

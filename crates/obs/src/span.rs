@@ -65,11 +65,18 @@ pub enum Stage {
     /// A fault-plane event (wire loss, corruption, outage drop) annotated
     /// into the trace as an instant marker.
     FaultInject,
+    /// A request cancelled because its deadline expired (annotated at the
+    /// stage that noticed the expiry: gateway queue, DNE send path, or
+    /// function dispatch).
+    DeadlineDrop,
+    /// A health-monitor transition (node marked Suspect/Down/Draining/
+    /// Recovered) annotated as an instant marker on the affected node.
+    HealthEvent,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 17] = [
+    pub const ALL: [Stage; 19] = [
         Stage::HttpParse,
         Stage::RssDispatch,
         Stage::Gateway,
@@ -87,6 +94,8 @@ impl Stage {
         Stage::FnExec,
         Stage::RetryBackoff,
         Stage::FaultInject,
+        Stage::DeadlineDrop,
+        Stage::HealthEvent,
     ];
 
     /// Returns the stable exported name of the stage.
@@ -109,6 +118,8 @@ impl Stage {
             Stage::FnExec => "fn_exec",
             Stage::RetryBackoff => "retry_backoff",
             Stage::FaultInject => "fault_inject",
+            Stage::DeadlineDrop => "deadline_drop",
+            Stage::HealthEvent => "health_event",
         }
     }
 }

@@ -148,6 +148,10 @@ impl DagSpec {
 struct Join {
     caller: u16,
     outstanding: usize,
+    /// Absolute deadline carried by the originating call (0 = none); the
+    /// response back upstream re-stamps it so cancellation points keep
+    /// working on the way up the tree.
+    deadline_ns: u64,
 }
 
 /// Builder for DAG-aware function endpoints.
@@ -178,9 +182,20 @@ impl DagFunction {
             let Some((kind, src)) = dag_header(buf.as_slice()) else {
                 return; // malformed: buffer recycles on drop
             };
+            // DAG messages are fresh payloads per hop, so the deadline is
+            // read out here and re-stamped onto every downstream message.
+            let deadline_ns = obs::read_deadline_ns(buf.as_slice()).unwrap_or(0);
             drop(buf); // payload consumed; recycle immediately
             match kind {
                 DagMsg::Call => {
+                    if crate::function::deadline_expired_ns(deadline_ns, sim.now()) {
+                        // Expired before execution: cancel the subtree and
+                        // surface the expiry (the upstream failure handler
+                        // resolves the client; ancestors' join entries for
+                        // this request are left to expire with it).
+                        iolib.report_expired(sim, dag.tenant, fn_id, req_id);
+                        return;
+                    }
                     // Run the function, then fan out or respond.
                     let done = cpu.borrow_mut().run(sim.now(), exec_cost);
                     let dag = dag.clone();
@@ -197,6 +212,7 @@ impl DagFunction {
                                 fn_id,
                                 src,
                                 req_id,
+                                deadline_ns,
                                 &pool,
                                 &iolib,
                                 &on_complete,
@@ -208,6 +224,7 @@ impl DagFunction {
                             Join {
                                 caller: src,
                                 outstanding: kids.len(),
+                                deadline_ns,
                             },
                         );
                         for &child in kids {
@@ -217,6 +234,7 @@ impl DagFunction {
                                 fn_id,
                                 child,
                                 req_id,
+                                deadline_ns,
                                 DagMsg::Call,
                                 &pool,
                                 &iolib,
@@ -232,12 +250,13 @@ impl DagFunction {
                         };
                         join.outstanding -= 1;
                         if join.outstanding == 0 {
-                            Some(joins.remove(&req_id).expect("present").caller)
+                            let j = joins.remove(&req_id).expect("present");
+                            Some((j.caller, j.deadline_ns))
                         } else {
                             None
                         }
                     };
-                    if let Some(caller) = finished {
+                    if let Some((caller, join_deadline)) = finished {
                         // Join complete: light post-processing, then respond.
                         let done = cpu
                             .borrow_mut()
@@ -253,6 +272,7 @@ impl DagFunction {
                                 fn_id,
                                 caller,
                                 req_id,
+                                join_deadline,
                                 &pool,
                                 &iolib,
                                 &on_complete,
@@ -271,6 +291,7 @@ impl DagFunction {
         fn_id: u16,
         caller: u16,
         req_id: u64,
+        deadline_ns: u64,
         pool: &BufferPool,
         iolib: &IoLib,
         on_complete: &CompletionFn,
@@ -285,6 +306,7 @@ impl DagFunction {
             fn_id,
             caller,
             req_id,
+            deadline_ns,
             DagMsg::Response,
             pool,
             iolib,
@@ -298,6 +320,7 @@ impl DagFunction {
         from: u16,
         to: u16,
         req_id: u64,
+        deadline_ns: u64,
         kind: DagMsg,
         pool: &BufferPool,
         iolib: &IoLib,
@@ -307,6 +330,11 @@ impl DagFunction {
         };
         let mut payload = crate::function::encode_request_payload(req_id, 64);
         set_dag_header(&mut payload, kind, from);
+        // Fresh payload per hop: the deadline must travel explicitly or
+        // downstream cancellation points go blind after the first fan-out.
+        if deadline_ns != 0 {
+            obs::ctx::write_deadline_ns(&mut payload, deadline_ns);
+        }
         let tracer = iolib.tracer();
         if tracer.is_enabled() {
             // Each DAG message is a fresh payload, so the trace context

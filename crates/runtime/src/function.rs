@@ -18,9 +18,20 @@ use dpu_sim::soc::Processor;
 use membuf::pool::BufferPool;
 use membuf::tenant::TenantId;
 use obs::Stage;
-use simcore::{Sim, SimDuration};
+use simcore::{Sim, SimDuration, SimTime};
 
 use crate::iolib::IoLib;
+
+/// Returns `true` when the payload carries a deadline that has already
+/// passed at `now` — the function-dispatch cancellation point.
+pub fn deadline_expired(payload: &[u8], now: SimTime) -> bool {
+    deadline_expired_ns(obs::read_deadline_ns(payload).unwrap_or(0), now)
+}
+
+/// Returns `true` when a raw on-wire deadline value (0 = none) has passed.
+pub fn deadline_expired_ns(deadline_ns: u64, now: SimTime) -> bool {
+    deadline_ns != 0 && now >= SimTime::from_nanos(deadline_ns)
+}
 
 /// Completion callback: `(sim, request id)`.
 pub type CompletionFn = Rc<dyn Fn(&mut Sim, u64)>;
@@ -85,6 +96,14 @@ impl ChainStep {
                 // already counted the failed redeem).
                 return;
             };
+            if deadline_expired(buf.as_slice(), sim.now()) {
+                // Expired before execution: don't burn CPU on a request
+                // nobody is waiting for — recycle and surface the expiry.
+                let req_id = decode_request_id(buf.as_slice());
+                drop(buf);
+                iolib.report_expired(sim, tenant, desc.dst_fn, req_id);
+                return;
+            }
             let done = cpu.borrow_mut().run(sim.now(), exec_cost);
             let tracer = iolib.tracer();
             if tracer.is_enabled() {
@@ -141,6 +160,12 @@ impl ChainFunction {
             let Ok(mut buf) = pool.redeem(desc) else {
                 return;
             };
+            if deadline_expired(buf.as_slice(), sim.now()) {
+                let req_id = decode_request_id(buf.as_slice());
+                drop(buf);
+                iolib.report_expired(sim, tenant, desc.dst_fn, req_id);
+                return;
+            }
             let done = cpu.borrow_mut().run(sim.now(), exec_cost);
             let tracer = iolib.tracer();
             if tracer.is_enabled() {

@@ -270,6 +270,28 @@ impl IoLib {
         self.inner.borrow_mut().sidecar.allow_cross_tenant(src, dst);
     }
 
+    /// Reports a request cancelled at function dispatch because its
+    /// deadline expired. The failure flows through the node's DNE failure
+    /// handler, so upstream (gateway/health) sees function-level expiry
+    /// through the same sink as transport failures.
+    pub fn report_expired(&self, sim: &mut Sim, tenant: TenantId, dst_fn: u16, req_id: u64) {
+        let (dne, node) = {
+            let inner = self.inner.borrow();
+            (inner.dne.clone(), inner.node)
+        };
+        dne.report_failure(
+            sim,
+            dne::types::DeliveryFailure {
+                tenant,
+                dst_fn,
+                req_id,
+                attempts: 0,
+                reason: dne::types::FailureReason::DeadlineExceeded,
+                dst_node: Some(node),
+            },
+        );
+    }
+
     /// Returns a snapshot of the counters.
     pub fn stats(&self) -> IoStats {
         self.inner.borrow().stats

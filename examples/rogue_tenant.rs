@@ -8,15 +8,26 @@
 //! the *active* set with the shadow-QP mechanism: idle connections are
 //! deactivated and stop occupying cache.
 //!
+//! Act two moves the attack up a layer: the same rogue floods the cluster
+//! ingress with requests instead of QPs. The gateway's weight-aware
+//! admission control sheds the flood (`503` + `Retry-After`) while the
+//! compliant tenant keeps flowing.
+//!
 //! ```sh
 //! cargo run --example rogue_tenant
 //! ```
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use dne::connpool::ConnPool;
+use ingress::gateway::{Gateway, GatewayConfig, Reply};
+use ingress::rss::FlowId;
+use ingress::{AdmissionConfig, ReqCtx, Upstream};
 use membuf::pool::{BufferPool, PoolConfig};
 use membuf::tenant::TenantId;
 use rdma_sim::{Fabric, RdmaCosts, WrId};
-use simcore::{Sim, SimDuration};
+use simcore::{Sim, SimDuration, SimTime};
 
 fn victim_echo_rtt(fabric: &Fabric, sim: &mut Sim, setup: &VictimSetup) -> f64 {
     fabric
@@ -108,9 +119,10 @@ fn main() {
         under_attack / baseline
     );
 
-    // Defence: the DNE's shadow-QP reaper deactivates idle connections —
-    // the rogue cannot keep QPs charged against the cache without traffic.
-    let deactivated = conns.deactivate_idle(&fabric);
+    // Defence: the DNE's periodic full-sweep reaper deactivates idle
+    // connections — even ones activated behind the pool's back — so the
+    // rogue cannot keep QPs charged against the cache without traffic.
+    let deactivated = conns.reap_all_idle(&fabric);
     let protected = victim_echo_rtt(&fabric, &mut sim, &setup);
     println!(
         "victim latency after DNE reaping       : {protected:.1} us  ({deactivated} rogue QPs deactivated)"
@@ -118,4 +130,91 @@ fn main() {
     assert!(under_attack > baseline * 1.5, "attack must be visible");
     assert!(protected < baseline * 1.2, "defence must restore latency");
     println!("\nthe DNE's mediated QP access bounds the damage a rogue tenant can do.");
+
+    println!("\nrequest-flood interference (weight-aware admission control)\n");
+    admission_defence();
+}
+
+/// Act two: the rogue floods the ingress with 8x the compliant tenant's
+/// request rate on a third of the weight. The gateway's CoDel-style
+/// admission controller scales each tenant's delay target and shedding
+/// pressure by its weight share over its arrival share, so the flood is
+/// shed back at the rogue while the compliant tenant rides out the storm.
+fn admission_defence() {
+    let victim = 1u16;
+    let rogue = 2u16;
+    let gw = Gateway::new(GatewayConfig {
+        kind: ingress::stack::GatewayKind::KIngress,
+        max_backlog: SimDuration::from_secs(10),
+        admission: Some(AdmissionConfig {
+            target: SimDuration::from_micros(300),
+            interval: SimDuration::from_millis(1),
+            retry_after_secs: 2,
+        }),
+        ..GatewayConfig::default()
+    });
+    gw.register_tenant(victim, 3);
+    gw.register_tenant(rogue, 1);
+    let mut sim = Sim::new();
+    let upstream: Upstream = Rc::new(|sim: &mut Sim, _ctx: ReqCtx, reply: Reply| {
+        sim.schedule_after(SimDuration::from_micros(5), move |sim| reply(sim, Ok(64)));
+    });
+    let victim_ok = Rc::new(Cell::new(0u64));
+    // 40 bursts over 20ms: each burst is 8 rogue requests + 1 compliant.
+    for burst in 0..40u32 {
+        let at = SimTime::ZERO + SimDuration::from_micros(500 * burst as u64);
+        let gw2 = gw.clone();
+        let up = upstream.clone();
+        let vk = victim_ok.clone();
+        sim.schedule_at(at, move |sim| {
+            for k in 0..8u32 {
+                gw2.submit_tenant(
+                    sim,
+                    rogue,
+                    FlowId::from_client(100 + burst * 8 + k, 0),
+                    64,
+                    up.clone(),
+                    Box::new(|_, _| {}),
+                );
+            }
+            let vk2 = vk.clone();
+            gw2.submit_tenant(
+                sim,
+                victim,
+                FlowId::from_client(burst, 0),
+                64,
+                up.clone(),
+                Box::new(move |_sim, r| {
+                    if r.is_ok() {
+                        vk2.set(vk2.get() + 1);
+                    }
+                }),
+            );
+        });
+    }
+    sim.run();
+    for (t, name) in [(victim, "victim (w=3)"), (rogue, "rogue  (w=1)")] {
+        let s = gw.tenant_stats(t);
+        println!(
+            "{name}: {} submitted, {} completed, {} shed with Retry-After",
+            s.accepted + s.shed + s.dropped,
+            s.completed,
+            s.shed
+        );
+    }
+    let vs = gw.tenant_stats(victim);
+    let rs = gw.tenant_stats(rogue);
+    assert!(rs.shed > 0, "the flood must be shed");
+    assert!(
+        rs.shed > vs.shed,
+        "shedding must land on the rogue ({} vs {})",
+        rs.shed,
+        vs.shed
+    );
+    assert!(
+        victim_ok.get() >= 30,
+        "the compliant tenant must ride out the flood ({}/40 completed)",
+        victim_ok.get()
+    );
+    println!("\nthe gateway sheds the flood back at the rogue; the victim keeps its share.");
 }

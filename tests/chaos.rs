@@ -11,19 +11,38 @@
 //!    probabilities at zero consumes no randomness and leaves the run
 //!    byte-identical to one with no plane at all.
 
-use std::cell::RefCell;
-use std::collections::HashSet;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
+use ingress::gateway::Reply;
+use ingress::rss::FlowId;
+use ingress::{AdmissionConfig, DeliveryFailed, Gateway, GatewayConfig};
 use membuf::tenant::TenantId;
 use nadino::cluster::{Cluster, ClusterConfig};
+use nadino::health::HealthConfig;
 use nadino::workload::ClosedLoop;
 use rdma_sim::{FaultPlane, FaultStats};
 use runtime::ChainSpec;
-use simcore::{Sim, SimDuration};
+use simcore::{Sim, SimDuration, SimTime};
 
 const REQUESTS: u64 = 200;
 const REQ_BASE: u64 = 1_000;
+
+/// Seed for the chaos runs, overridable via `CHAOS_SEED` (decimal or
+/// `0x`-prefixed hex) so CI can sweep a seed matrix over the same tests.
+fn chaos_seed(default: u64) -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim().to_string();
+            match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(default)
+}
 
 /// Everything a faulty run observed, for equality across same-seed runs.
 #[derive(Debug, PartialEq, Eq)]
@@ -114,7 +133,7 @@ fn faulty_run(seed: u64) -> FaultyRunOutcome {
 /// every buffer returns to its pool.
 #[test]
 fn faults_never_lose_requests_silently() {
-    let out = faulty_run(0xC4A0);
+    let out = faulty_run(chaos_seed(0xC4A0));
 
     // The run actually exercised the fault plane.
     assert!(
@@ -203,8 +222,8 @@ fn faults_leak_no_buffers() {
 /// randomness, so two identically-seeded runs agree on every counter.
 #[test]
 fn same_seed_reproduces_the_run_exactly() {
-    let a = faulty_run(0xD15EA5E);
-    let b = faulty_run(0xD15EA5E);
+    let a = faulty_run(chaos_seed(0xD15EA5E));
+    let b = faulty_run(chaos_seed(0xD15EA5E));
     assert_eq!(a, b);
 }
 
@@ -262,7 +281,7 @@ fn flight_run(seed: u64) -> (u64, String, Vec<u64>) {
 /// failure, reason tagged, the failed trace in the ring marked as an error.
 #[test]
 fn delivery_failure_triggers_flight_recorder_dump() {
-    let (dumps, dump, failed) = flight_run(0xC4A0);
+    let (dumps, dump, failed) = flight_run(chaos_seed(0xC4A0));
     assert!(!failed.is_empty(), "run produced no typed failures");
     assert_eq!(dumps, failed.len() as u64, "one dump per typed failure");
 
@@ -292,8 +311,8 @@ fn delivery_failure_triggers_flight_recorder_dump() {
 /// clock anywhere in the bundle).
 #[test]
 fn same_seed_yields_byte_identical_flight_dump() {
-    let a = flight_run(0xC4A0);
-    let b = flight_run(0xC4A0);
+    let a = flight_run(chaos_seed(0xC4A0));
+    let b = flight_run(chaos_seed(0xC4A0));
     assert_eq!(a.0, b.0, "dump counts differ across same-seed runs");
     assert_eq!(a.2, b.2, "failure sets differ across same-seed runs");
     assert_eq!(a.1, b.1, "flight dump is not byte-identical");
@@ -345,4 +364,296 @@ fn zero_fault_plane_is_byte_identical_to_no_plane() {
         FaultStats::default(),
         "zero plane injected faults"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Survivability: gateway (deadlines + admission control) in front of a
+// 3-node cluster with backup placements and the health monitor, under a
+// mid-run node crash plus a rogue tenant flooding at 3x the compliant rate
+// on a third of the weight.
+// ---------------------------------------------------------------------------
+
+/// Per-tenant bookkeeping of one survival run.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct TenantTally {
+    ok: u64,
+    shed: u64,
+    expired: u64,
+    failed: u64,
+    dropped: u64,
+}
+
+/// The full deterministic surface of one survival run.
+#[derive(Debug, PartialEq, Eq)]
+struct SurvivalOutcome {
+    issued: u64,
+    resolved: u64,
+    pending_left: usize,
+    compliant: TenantTally,
+    rogue: TenantTally,
+    rogue_sheds: u64,
+    outage_drops: u64,
+    /// Health transitions as `"node:from->to@ns"` strings, in order.
+    health: Vec<String>,
+    dump_count: u64,
+    dump: String,
+    end_ns: u64,
+}
+
+/// Drive parameters: 20ms of open-loop load, compliant tenant 1 request
+/// per 50us, rogue tenant 3 per 50us.
+const SURVIVAL_TICKS: u32 = 400;
+const ROGUE_PER_TICK: u32 = 3;
+
+/// One full survival run. With `crash`, node 1 (primary of the second hop
+/// of both chains) goes dark for 2ms mid-run; the health monitor must turn
+/// the resulting delivery failures into a failover onto node 2 and restore
+/// node 1 after the drain hold-down.
+fn survival_run(seed: u64, crash: bool) -> SurvivalOutcome {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(
+        &mut sim,
+        ClusterConfig {
+            workers: 3,
+            ..ClusterConfig::default()
+        },
+    );
+    let tracer = obs::Tracer::enabled();
+    cluster.set_tracer(&tracer);
+    cluster.enable_trace_pipeline(obs::PipelineConfig {
+        tail_k: 8,
+        flight_cap: 32,
+        slo: None,
+    });
+    let compliant_t = TenantId(1);
+    let rogue_t = TenantId(2);
+    cluster.add_tenant(&mut sim, compliant_t, 3).unwrap();
+    cluster.add_tenant(&mut sim, rogue_t, 1).unwrap();
+    // Both chains hop through node 1 and can fail over to node 2.
+    cluster.place_with_backup(1, 0, 2);
+    cluster.place_with_backup(2, 1, 2);
+    cluster.place_with_backup(3, 0, 2);
+    cluster.place_with_backup(4, 1, 2);
+    let cluster = Rc::new(cluster);
+
+    // Gateway-held replies, resolved by chain completion or typed failure.
+    let pending: Rc<RefCell<HashMap<u64, Reply>>> = Rc::new(RefCell::new(HashMap::new()));
+    let compliant_chain = ChainSpec::new("compliant", compliant_t, vec![1, 2, 1]);
+    let rogue_chain = ChainSpec::new("rogue", rogue_t, vec![3, 4, 3]);
+    let on_complete = {
+        let pending = pending.clone();
+        Rc::new(move |sim: &mut Sim, req: u64| {
+            if let Some(reply) = pending.borrow_mut().remove(&req) {
+                reply(sim, Ok(64));
+            }
+        })
+    };
+    cluster.register_chain(
+        &compliant_chain,
+        |_| SimDuration::from_micros(5),
+        on_complete.clone(),
+    );
+    cluster.register_chain(&rogue_chain, |_| SimDuration::from_micros(5), on_complete);
+    {
+        let pending = pending.clone();
+        cluster.set_delivery_failure_handler(Rc::new(move |sim, failure| {
+            if let Some(reply) = pending.borrow_mut().remove(&failure.req_id) {
+                reply(sim, Err(DeliveryFailed));
+            }
+        }));
+    }
+
+    // Faults start only after provisioning: mild wire loss in every run,
+    // plus the crash window in the faulty variant.
+    let mut fp = FaultPlane::new(seed);
+    fp.set_default_loss(0.02);
+    cluster.fabric.install_fault_plane(fp);
+    let drive_start = sim.now();
+    if crash {
+        let from = drive_start + SimDuration::from_millis(5);
+        cluster.fabric.schedule_node_outage(
+            cluster.nodes[1].id,
+            from,
+            from + SimDuration::from_millis(2),
+        );
+    }
+    let until = drive_start + SimDuration::from_millis(60);
+    let monitor = cluster.enable_health_monitor(&mut sim, HealthConfig::default(), until);
+
+    let gateway = Gateway::new(GatewayConfig {
+        deadline: Some(SimDuration::from_millis(3)),
+        admission: Some(AdmissionConfig {
+            target: SimDuration::from_micros(300),
+            interval: SimDuration::from_millis(1),
+            retry_after_secs: 1,
+        }),
+        max_backlog: SimDuration::from_secs(10),
+        ..GatewayConfig::default()
+    });
+    gateway.set_tracer(tracer.clone());
+    gateway.register_tenant(compliant_t.0, 3);
+    gateway.register_tenant(rogue_t.0, 1);
+    {
+        // Brownout coupling: a node going down tightens admission targets.
+        let gw = gateway.clone();
+        monitor.set_capacity_handler(Rc::new(move |_sim, f| gw.set_capacity_factor(f)));
+    }
+
+    let upstream_for = |chain: ChainSpec| -> ingress::Upstream {
+        let cluster = cluster.clone();
+        let pending = pending.clone();
+        Rc::new(move |sim: &mut Sim, ctx: ingress::ReqCtx, reply: Reply| {
+            let injected = if ctx.deadline_ns != 0 {
+                cluster.inject_with_deadline(
+                    sim,
+                    &chain,
+                    ctx.req_id,
+                    256,
+                    SimTime::from_nanos(ctx.deadline_ns),
+                )
+            } else {
+                cluster.inject(sim, &chain, ctx.req_id, 256)
+            };
+            if injected {
+                pending.borrow_mut().insert(ctx.req_id, reply);
+            } else {
+                // Entry pool exhausted: refuse, never hang.
+                reply(sim, Err(DeliveryFailed));
+            }
+        })
+    };
+    let compliant_up = upstream_for(compliant_chain.clone());
+    let rogue_up = upstream_for(rogue_chain.clone());
+
+    let issued = Rc::new(Cell::new(0u64));
+    let resolved = Rc::new(Cell::new(0u64));
+    let submit = |sim: &mut Sim, tenant: u16, flow: u32, up: &ingress::Upstream| {
+        issued.set(issued.get() + 1);
+        let resolved = resolved.clone();
+        gateway.submit_tenant(
+            sim,
+            tenant,
+            FlowId::from_client(flow, 0),
+            64,
+            up.clone(),
+            Box::new(move |_sim, _r| resolved.set(resolved.get() + 1)),
+        );
+    };
+    for tick in 0..SURVIVAL_TICKS {
+        submit(&mut sim, compliant_t.0, tick, &compliant_up);
+        for k in 0..ROGUE_PER_TICK {
+            submit(
+                &mut sim,
+                rogue_t.0,
+                100_000 + tick * ROGUE_PER_TICK + k,
+                &rogue_up,
+            );
+        }
+        sim.run_for(SimDuration::from_micros(50));
+    }
+    sim.run();
+
+    let tally = |t: u16| {
+        let s = gateway.tenant_stats(t);
+        TenantTally {
+            ok: s.completed,
+            shed: s.shed,
+            expired: s.expired,
+            failed: s.failed,
+            dropped: s.dropped,
+        }
+    };
+    let health = monitor
+        .events()
+        .iter()
+        .map(|e| format!("{}:{:?}->{:?}@{}", e.node.0, e.from, e.to, e.at.as_nanos()))
+        .collect();
+    let dump_count = cluster.with_trace_pipeline(|p| p.dump_count()).unwrap();
+    let dump = cluster
+        .with_trace_pipeline(|p| p.last_dump().map(|d| d.to_string_compact()))
+        .unwrap()
+        .unwrap_or_default();
+    let pending_left = pending.borrow().len();
+    SurvivalOutcome {
+        issued: issued.get(),
+        resolved: resolved.get(),
+        pending_left,
+        compliant: tally(compliant_t.0),
+        rogue: tally(rogue_t.0),
+        rogue_sheds: gateway.sheds_of(rogue_t.0),
+        outage_drops: cluster.fabric.fault_stats().outage_drops,
+        health,
+        dump_count,
+        dump,
+        end_ns: sim.now().as_nanos(),
+    }
+}
+
+/// The headline acceptance run: a mid-run node crash plus a rogue tenant.
+/// Zero requests hang, the health monitor fails over and later restores
+/// the node, the rogue tenant sheds hardest, and the compliant tenant
+/// keeps >= 80% of its fault-free same-seed goodput.
+#[test]
+fn node_crash_with_rogue_tenant_degrades_gracefully() {
+    let seed = chaos_seed(0x5EED);
+    let faultfree = survival_run(seed, false);
+    let crashed = survival_run(seed, true);
+
+    for out in [&faultfree, &crashed] {
+        assert_eq!(
+            out.resolved, out.issued,
+            "requests hung: {} of {} resolved",
+            out.resolved, out.issued
+        );
+        assert_eq!(out.pending_left, 0, "replies leaked in the pending map");
+    }
+    assert!(crashed.outage_drops > 0, "crash window never fired");
+    assert_eq!(faultfree.outage_drops, 0, "fault-free run saw an outage");
+
+    // The health monitor walked node 1 down and back up.
+    let down = crashed.health.iter().any(|e| e.contains("1:Suspect->Down"));
+    let back = crashed
+        .health
+        .iter()
+        .any(|e| e.contains("1:Draining->Healthy"));
+    assert!(down, "node 1 never went Down: {:?}", crashed.health);
+    assert!(back, "node 1 never recovered: {:?}", crashed.health);
+    assert!(
+        faultfree.health.is_empty(),
+        "fault-free run saw health transitions: {:?}",
+        faultfree.health
+    );
+
+    // Graceful degradation: the crash costs the compliant tenant at most
+    // 20% of its fault-free goodput on the same seed.
+    assert!(
+        crashed.compliant.ok as f64 >= 0.8 * faultfree.compliant.ok as f64,
+        "compliant goodput collapsed: {} crashed vs {} fault-free",
+        crashed.compliant.ok,
+        faultfree.compliant.ok
+    );
+
+    // Weight-aware shedding: the rogue tenant (3x the arrivals, 1/3 the
+    // weight) sheds more than the compliant tenant in both runs.
+    for out in [&faultfree, &crashed] {
+        assert!(
+            out.rogue.shed > out.compliant.shed,
+            "rogue shed {} vs compliant {}",
+            out.rogue.shed,
+            out.compliant.shed
+        );
+        assert_eq!(out.rogue_sheds, out.rogue.shed);
+    }
+}
+
+/// The survival run — gateway, admission control, deadlines, health-driven
+/// failover and all — is part of the deterministic surface: same seed,
+/// byte-identical flight-recorder dump and counters.
+#[test]
+fn survival_run_is_deterministic_per_seed() {
+    let seed = chaos_seed(0x5EED);
+    let a = survival_run(seed, true);
+    let b = survival_run(seed, true);
+    assert_eq!(a, b, "same-seed survival runs diverged");
+    assert!(!a.dump.is_empty(), "crash run took no flight dump");
 }
