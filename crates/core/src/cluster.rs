@@ -387,6 +387,11 @@ impl Cluster {
                     // An SLO burn takes its dump here; retrievable via
                     // last_dump() after the run.
                     p.on_complete(sim.now(), req);
+                } else {
+                    // No pipeline draining traces: still retire the
+                    // request's causal cursors so the per-ring maps track
+                    // in-flight requests, not every request ever seen.
+                    h.tracer.retire(req);
                 }
             }
             on_complete(sim, req);
@@ -408,33 +413,38 @@ impl Cluster {
             runtime::dag::DagMsg::Call,
             runtime::dag::CLIENT_CALLER,
         );
-        self.stamp_root_ctx(&mut payload, req_id, idx);
+        let sampled = self.stamp_root_ctx(&mut payload, req_id, idx);
         if buf.write_payload(&payload).is_err() {
             return false;
         }
-        self.nodes[idx]
-            .iolib
-            .send(sim, dag.tenant, buf.into_desc(dag.root));
+        self.nodes[idx].iolib.send_traced(
+            sim,
+            dag.tenant,
+            buf.into_desc(dag.root),
+            Some((req_id, sampled)),
+        );
         true
     }
 
-    /// Roots a trace at injection: adopts any gateway-side cursor (the
-    /// ingress records its spans under a synthetic node id, linked when it
-    /// forwards the same request id) and stamps the initial on-wire
-    /// context into the payload.
-    fn stamp_root_ctx(&self, payload: &mut [u8], req_id: u64, entry_idx: usize) {
+    /// Roots a trace at injection: applies the ingress sampling decision
+    /// (direct injection is its own ingress when no gateway made the call),
+    /// adopts any gateway-side cursor (the ingress records its spans under
+    /// a synthetic node id, linked when it forwards the same request id)
+    /// and stamps the initial on-wire context into the payload. An
+    /// unsampled request leaves the payload's ctx flags at zero, so every
+    /// downstream component skips its span sites on that one bit.
+    /// Returns the sampling decision so injectors can pass it along with
+    /// the descriptor instead of re-peeking the payload downstream.
+    fn stamp_root_ctx(&self, payload: &mut [u8], req_id: u64, entry_idx: usize) -> bool {
         let hub = self.obs_hub.borrow();
-        if !hub.tracer.is_enabled() {
-            return;
+        if !hub.tracer.decide_sample(req_id) {
+            return false;
         }
         let entry_node = self.nodes[entry_idx].id.0 as u32;
         let gw = hub.tracer.cursor(req_id, ingress::gateway::GATEWAY_NODE);
         hub.tracer.adopt_parent(req_id, entry_node, gw);
-        obs::ctx::write_ctx(
-            payload,
-            hub.tracer.cursor(req_id, entry_node),
-            hub.tracer.head_keep(req_id),
-        );
+        obs::ctx::write_ctx(payload, gw, true);
+        true
     }
 
     /// Injects one request into a chain: writes the payload into the entry
@@ -491,13 +501,16 @@ impl Cluster {
         if deadline_ns != 0 {
             obs::write_deadline_ns(&mut payload, deadline_ns);
         }
-        self.stamp_root_ctx(&mut payload, req_id, idx);
+        let sampled = self.stamp_root_ctx(&mut payload, req_id, idx);
         if buf.write_payload(&payload).is_err() {
             return false;
         }
-        self.nodes[idx]
-            .iolib
-            .send(sim, chain.tenant, buf.into_desc(entry));
+        self.nodes[idx].iolib.send_traced(
+            sim,
+            chain.tenant,
+            buf.into_desc(entry),
+            Some((req_id, sampled)),
+        );
         true
     }
 
@@ -513,6 +526,13 @@ impl Cluster {
         }
         self.fabric.set_tracer(tracer.clone());
         self.obs_hub.borrow_mut().tracer = tracer.clone();
+    }
+
+    /// Returns a handle to the installed tracer (disabled by default).
+    /// Load drivers use it to make the ingress sampling decision when they
+    /// inject requests directly, without a gateway in front.
+    pub fn tracer(&self) -> obs::Tracer {
+        self.obs_hub.borrow().tracer.clone()
     }
 
     /// Enables the trace pipeline: completed traces drain through the
@@ -603,6 +623,10 @@ impl Cluster {
             if hub.tracer.is_enabled() {
                 reg.gauge("tracer_spans_dropped", &[])
                     .set(hub.tracer.dropped() as f64);
+                reg.gauge("tracer_ring_flushes", &[])
+                    .set(hub.tracer.ring_flushes() as f64);
+                reg.gauge("tracer_flush_ns", &[])
+                    .set(hub.tracer.flush_wall_ns() as f64);
             }
             if let Some(h) = hub.health.as_ref() {
                 reg.gauge("cluster_capacity_factor", &[])
@@ -692,6 +716,29 @@ impl Cluster {
                 Cluster::start_obs_sampler(&cluster, sim, reg, every, until);
             }
         });
+    }
+
+    /// Schedules a recurring out-of-band flush of the tracer's hot span
+    /// rings into its cold per-trace staging tier, every `every` until
+    /// `until`. The flush runs as an ordinary (low-priority) simulation
+    /// timer, off the request path: data-plane span sites only ever write
+    /// to the rings, and the causal-tree / critical-path / flight-recorder
+    /// machinery consumes staged spans at its leisure. A no-op on a
+    /// disabled tracer.
+    pub fn start_trace_flusher(&self, sim: &mut Sim, every: SimDuration, until: SimTime) {
+        let tracer = self.obs_hub.borrow().tracer.clone();
+        if !tracer.is_enabled() {
+            return;
+        }
+        fn tick(tracer: obs::Tracer, sim: &mut Sim, every: SimDuration, until: SimTime) {
+            sim.schedule_after(every, move |sim| {
+                tracer.flush_closed();
+                if sim.now() < until {
+                    tick(tracer, sim, every, until);
+                }
+            });
+        }
+        tick(tracer, sim, every, until);
     }
 
     /// Sum of network-engine core utilization across nodes over `[a, b]`

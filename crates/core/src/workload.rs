@@ -331,6 +331,7 @@ struct ClusterRef {
     placement: Rc<RefCell<runtime::Placement>>,
     iolibs: Vec<runtime::IoLib>,
     node_ids: Vec<rdma_sim::NodeId>,
+    tracer: obs::Tracer,
 }
 
 impl ClusterRef {
@@ -340,6 +341,7 @@ impl ClusterRef {
             placement: cluster.placement.clone(),
             iolibs: cluster.nodes.iter().map(|n| n.iolib.clone()).collect(),
             node_ids: cluster.nodes.iter().map(|n| n.id).collect(),
+            tracer: cluster.tracer(),
         }
     }
 
@@ -361,12 +363,27 @@ impl ClusterRef {
         let Ok(mut buf) = pool.get() else {
             return false;
         };
-        let mut payload_bytes = runtime::encode_request_payload(req, payload.max(10));
+        // Payloads carry the on-wire trace context (24 bytes) even when
+        // the caller asked for less, matching `Cluster::inject`.
+        let mut payload_bytes =
+            runtime::encode_request_payload(req, payload.max(obs::CTX_MIN_PAYLOAD));
         runtime::set_hop(&mut payload_bytes, 0);
+        // The load driver is the ingress here: decide sampling once and
+        // stamp the on-wire bit; downstream span sites gate on it.
+        let sampled = self.tracer.decide_sample(req);
+        if sampled {
+            obs::ctx::write_ctx(&mut payload_bytes, 0, true);
+        }
         if buf.write_payload(&payload_bytes).is_err() {
             return false;
         }
-        self.iolibs[idx].send(sim, chain.tenant, buf.into_desc(entry));
+        // Pass the trace meta down so the local hop needs no pool peek.
+        self.iolibs[idx].send_traced(
+            sim,
+            chain.tenant,
+            buf.into_desc(entry),
+            Some((req, sampled)),
+        );
         true
     }
 }

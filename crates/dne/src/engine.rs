@@ -119,10 +119,14 @@ enum WorkItem {
 }
 
 /// A TX descriptor queued in the tenant scheduler, stamped with its
-/// enqueue instant so dequeue can attribute the queueing delay.
+/// enqueue instant so dequeue can attribute the queueing delay, plus the
+/// trace identity read once at submit (request id and the ingress-decided
+/// sampling bit) so the dequeue path never peeks the payload again.
 struct TxItem {
     desc: BufferDesc,
     enqueued_at: SimTime,
+    req_id: u64,
+    sampled: bool,
 }
 
 /// Bookkeeping for an in-flight RNIC send, keyed by WR id, so the send
@@ -141,6 +145,10 @@ struct PostedSend {
     /// node, not a fresh route lookup — after a failover the lookup points
     /// at the (healthy) backup.
     peer: NodeId,
+    /// The ingress sampling decision, cached from the payload's on-wire
+    /// bit when the WR was posted: the send completion records its Fabric
+    /// span from this without touching the (already recycled) buffer.
+    sampled: bool,
 }
 
 /// A failed (or not-yet-postable) send parked for a later retry, holding
@@ -218,13 +226,17 @@ impl Inner {
         self.txq.len() + self.fabric.cq_depth(self.cq)
     }
 
-    /// Reads the request id out of a still-pooled descriptor (tracing only).
-    fn req_id_of_desc(&self, tenant: TenantId, desc: BufferDesc) -> u64 {
+    /// Reads the request id and the ingress-decided sampling bit out of a
+    /// still-pooled descriptor (tracing only): one peek of the payload's
+    /// ctx-bearing prefix at the submit boundary, cached on the queue item
+    /// so no later stage peeks again.
+    fn trace_meta_of_desc(&self, tenant: TenantId, desc: BufferDesc) -> (u64, bool) {
+        let mut head = [0u8; obs::CTX_MIN_PAYLOAD];
         self.tenants
             .get(&tenant)
-            .and_then(|s| s.pool.peek_payload(desc, 8))
-            .map(|b| req_id_of(&b))
-            .unwrap_or(0)
+            .and_then(|s| s.pool.peek_payload_into(desc, &mut head))
+            .map(|n| (req_id_of(&head[..n]), obs::ctx::sampled(&head[..n])))
+            .unwrap_or((0, false))
     }
 
     fn next_item(&mut self, now: SimTime) -> Option<WorkItem> {
@@ -235,10 +247,9 @@ impl Inner {
         self.stats
             .tx_queue_wait
             .record(now.saturating_since(item.enqueued_at));
-        if self.tracer.is_enabled() {
-            let req_id = self.req_id_of_desc(tenant, item.desc);
+        if item.sampled {
             self.tracer.span(
-                req_id,
+                item.req_id,
                 tenant.0,
                 self.node.0 as u32,
                 Stage::DwrrQueue,
@@ -707,11 +718,18 @@ impl Dne {
     /// inter-node path). The descriptor crosses the IPC boundary with the
     /// configured one-way latency before entering the TX scheduler.
     pub fn submit(&self, sim: &mut Sim, tenant: TenantId, desc: BufferDesc) {
-        let latency = {
+        let (latency, req_id, sampled) = {
             let mut inner = self.inner.borrow_mut();
             inner.stats.submitted += 1;
-            if inner.tracer.is_enabled() {
-                let req_id = inner.req_id_of_desc(tenant, desc);
+            // One payload peek decides everything trace-related for this
+            // descriptor's whole TX life: the ingress-stamped sampling bit
+            // and the request id ride on the queue item from here on.
+            let (req_id, sampled) = if inner.tracer.is_enabled() {
+                inner.trace_meta_of_desc(tenant, desc)
+            } else {
+                (0, false)
+            };
+            if sampled {
                 inner.tracer.span(
                     req_id,
                     tenant.0,
@@ -721,14 +739,20 @@ impl Dne {
                     sim.now() + inner.ipc.one_way_latency,
                 );
             }
-            inner.ipc.one_way_latency
+            (inner.ipc.one_way_latency, req_id, sampled)
         };
         let rc = self.inner.clone();
         sim.schedule_after(latency, move |sim| {
             let enqueued_at = sim.now();
-            rc.borrow_mut()
-                .txq
-                .enqueue(tenant, TxItem { desc, enqueued_at });
+            rc.borrow_mut().txq.enqueue(
+                tenant,
+                TxItem {
+                    desc,
+                    enqueued_at,
+                    req_id,
+                    sampled,
+                },
+            );
             Dne::kick(&rc, sim);
         });
     }
@@ -815,7 +839,12 @@ impl Dne {
                     return;
                 }
             };
-            let traced = inner.tracer.is_enabled();
+            // One bit — the ingress sampling decision carried in the
+            // payload's ctx flags — gates every span site on this path.
+            // The `is_enabled` guard keeps the ctx bytes application-owned
+            // whenever tracing is off: untraced payloads are never
+            // interpreted or re-stamped.
+            let traced = inner.tracer.is_enabled() && obs::ctx::sampled(buf.as_slice());
             let req_id = req_id_of(buf.as_slice());
             if traced {
                 inner.tracer.span(
@@ -905,7 +934,7 @@ impl Dne {
                             let posted_at = dma_done.unwrap_or_else(|| sim.now());
                             if traced {
                                 let node = inner.node.0 as u32;
-                                inner.tracer.span(
+                                let mut parent = inner.tracer.span(
                                     req_id,
                                     tenant.0,
                                     node,
@@ -914,7 +943,7 @@ impl Dne {
                                     sim.now(),
                                 );
                                 if let Some(at) = dma_done {
-                                    inner.tracer.span(
+                                    parent = inner.tracer.span(
                                         req_id,
                                         tenant.0,
                                         node,
@@ -925,10 +954,11 @@ impl Dne {
                                 }
                                 // Stamp the on-wire trace context so the
                                 // receiver's spans parent on this node's
-                                // causal chain.
-                                let parent = inner.tracer.cursor(req_id, node);
-                                let sampled = inner.tracer.head_keep(req_id);
-                                obs::ctx::write_ctx(buf.as_mut_slice(), parent, sampled);
+                                // causal chain (the freshest span id *is*
+                                // the causal cursor). Unsampled requests
+                                // skip this entirely: their flags byte is
+                                // already zero.
+                                obs::ctx::write_ctx(buf.as_mut_slice(), parent, true);
                             }
                             inner.posted.insert(
                                 wr.0,
@@ -940,6 +970,7 @@ impl Dne {
                                     dst_fn,
                                     attempts: 0,
                                     peer,
+                                    sampled: traced,
                                 },
                             );
                             Action::Send {
@@ -1056,7 +1087,7 @@ impl Dne {
                             .stats
                             .post_to_completion
                             .record(sim.now().saturating_since(p.at));
-                        if inner.tracer.is_enabled() {
+                        if p.sampled {
                             inner.tracer.span(
                                 p.req_id,
                                 p.tenant.0,
@@ -1106,7 +1137,9 @@ impl Dne {
                         inner.tenant_drop(tenant);
                         return;
                     };
-                    let traced = inner.tracer.is_enabled();
+                    // The receive side reads the same one bit the sender
+                    // stamped; an unsampled payload costs this branch only.
+                    let traced = inner.tracer.is_enabled() && obs::ctx::sampled(buf.as_slice());
                     let req_id = if traced { req_id_of(buf.as_slice()) } else { 0 };
                     if traced {
                         let node = inner.node.0 as u32;
@@ -1114,9 +1147,7 @@ impl Dne {
                         // trace context: the RX spans below parent on the
                         // remote send chain instead of starting a new root.
                         if let Some(c) = obs::ctx::read_ctx(buf.as_slice()) {
-                            if c.sampled {
-                                inner.tracer.adopt_parent(req_id, node, c.parent_span);
-                            }
+                            inner.tracer.adopt_parent(req_id, node, c.parent_span);
                         }
                         inner.tracer.span(
                             req_id,
@@ -1255,11 +1286,12 @@ impl Dne {
                     if let Some(st) = inner.tenants.get_mut(&p.tenant) {
                         st.tx_count += 1;
                     }
-                    if inner.tracer.is_enabled() {
+                    let sampled = inner.tracer.is_enabled() && obs::ctx::sampled(p.buf.as_slice());
+                    if sampled {
                         let node = inner.node.0 as u32;
                         // The whole park → repost wait is attributable
                         // retry/backoff time on the critical path.
-                        inner.tracer.span(
+                        let parent = inner.tracer.span(
                             p.req_id,
                             p.tenant.0,
                             node,
@@ -1269,9 +1301,7 @@ impl Dne {
                         );
                         // Re-stamp the context: the re-sent payload now
                         // parents downstream spans on the backoff span.
-                        let parent = inner.tracer.cursor(p.req_id, node);
-                        let sampled = inner.tracer.head_keep(p.req_id);
-                        obs::ctx::write_ctx(p.buf.as_mut_slice(), parent, sampled);
+                        obs::ctx::write_ctx(p.buf.as_mut_slice(), parent, true);
                     }
                     inner.posted.insert(
                         wr.0,
@@ -1283,6 +1313,7 @@ impl Dne {
                             dst_fn: p.dst_fn,
                             attempts: p.attempts,
                             peer: p.peer,
+                            sampled,
                         },
                     );
                     Step::Post {
@@ -1915,8 +1946,11 @@ mod tests {
             }),
         );
         // Request-id convention: first eight payload bytes, little-endian.
-        let mut payload = [0u8; 16];
+        // The test plays ingress: it stamps the sampled bit the gateway
+        // would normally decide at admission.
+        let mut payload = [0u8; obs::CTX_MIN_PAYLOAD];
         payload[..8].copy_from_slice(&42u64.to_le_bytes());
+        obs::ctx::write_ctx(&mut payload, 0, true);
         let mut buf = env.pool_a.get().unwrap();
         buf.write_payload(&payload).unwrap();
         env.dne_a.submit(&mut env.sim, env.tenant, buf.into_desc(2));

@@ -55,6 +55,12 @@ pub struct ReqCtx {
     /// the payload with `obs::write_deadline_ns` so every downstream stage
     /// can cancel the request once it expires.
     pub deadline_ns: u64,
+    /// The ingress sampling decision, made once at admission: `true` when
+    /// this request's spans are recorded. Stamp it into the payload via
+    /// `obs::write_ctx` so every downstream component (DNE, fabric,
+    /// runtime, DPU) checks this one on-wire bit instead of consulting the
+    /// tracer.
+    pub sampled: bool,
 }
 
 /// The cluster side of the gateway: invoked once the request is converted.
@@ -382,7 +388,7 @@ impl Gateway {
         upstream: Upstream,
         done: Completion,
     ) {
-        let (req_id, widx, rx_done, deadline_ns) = {
+        let (req_id, widx, rx_done, deadline_ns, sampled) = {
             let mut inner = self.inner.borrow_mut();
             if inner.active == 0 {
                 // Drained gateway (every worker scaled away or failed over):
@@ -431,7 +437,11 @@ impl Gateway {
             let service = inner.costs.ingress_rx(inner.in_flight, req_bytes);
             let floor = inner.available_at[widx];
             let rx_done = inner.workers[widx].admit_not_before(now, floor, service);
-            if inner.tracer.is_enabled() {
+            // The ingress sampling decision: made exactly once, here, and
+            // carried with the request (ReqCtx + on-wire ctx bit) so no
+            // downstream stage consults the tracer again.
+            let sampled = inner.tracer.decide_sample(req_id);
+            if sampled {
                 // RSS steering is effectively instantaneous; HTTP parsing is
                 // the app-work share of the rx half; the Gateway span covers
                 // the whole ingress-side service (queueing included).
@@ -451,7 +461,7 @@ impl Gateway {
                     .tracer
                     .span(req_id, tenant, GATEWAY_NODE, Stage::Gateway, now, rx_done);
             }
-            (req_id, widx, rx_done, deadline_ns)
+            (req_id, widx, rx_done, deadline_ns, sampled)
         };
         let gw = self.clone();
         sim.schedule_at(rx_done, move |sim| {
@@ -467,7 +477,7 @@ impl Gateway {
                     inner.in_flight = inner.in_flight.saturating_sub(1);
                     inner.stats.expired += 1;
                     inner.tenant_entry(tenant).expired += 1;
-                    if inner.tracer.is_enabled() {
+                    if sampled {
                         let now = sim.now();
                         inner.tracer.span(
                             req_id,
@@ -510,7 +520,7 @@ impl Gateway {
                             inner.tenant_entry(tenant).failed += 1;
                         }
                     }
-                    if inner.tracer.is_enabled() {
+                    if sampled {
                         inner.tracer.span(
                             req_id,
                             tenant,
@@ -535,6 +545,7 @@ impl Gateway {
                 tenant,
                 req_bytes,
                 deadline_ns,
+                sampled,
             };
             upstream(sim, ctx, reply);
         });

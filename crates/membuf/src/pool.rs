@@ -338,6 +338,43 @@ impl BufferPool {
         Some(slice.to_vec())
     }
 
+    /// Allocation-free variant of [`BufferPool::peek_payload`]: copies up
+    /// to `out.len()` leading payload bytes into `out` and returns the
+    /// number of bytes copied, or `None` for stale or foreign
+    /// descriptors. The data-plane trace sites use this to read the
+    /// request id and sampling bit without a heap allocation per peek.
+    pub fn peek_payload_into(&self, desc: BufferDesc, out: &mut [u8]) -> Option<usize> {
+        if desc.tenant != self.shared.config.tenant.0 || desc.pool_id != self.shared.config.pool_id
+        {
+            return None;
+        }
+        let len = (desc.len as usize).min(self.shared.config.buf_size);
+        let take = out.len().min(len);
+        {
+            let st = self.shared.state.lock().unwrap();
+            let idx = desc.buf_index as usize;
+            if idx >= st.states.len()
+                || st.states[idx] != BufState::InFlight
+                || st.generations[idx] != desc.generation
+            {
+                return None;
+            }
+        }
+        let bps = self.shared.bufs_per_segment;
+        let seg = desc.buf_index as usize / bps;
+        let within = desc.buf_index as usize % bps;
+        let off = seg * self.shared.config.segment_size + within * self.shared.config.buf_size;
+        let (base, inner) = self
+            .shared
+            .arena
+            .resolve(off, self.shared.config.buf_size)?;
+        // SAFETY: as in `peek_payload` — the buffer is InFlight, the
+        // descriptor holder is its logical owner, and we only copy out.
+        let slice = unsafe { std::slice::from_raw_parts(base.add(inner), take) };
+        out[..take].copy_from_slice(slice);
+        Some(take)
+    }
+
     pub(crate) fn shared(&self) -> &Arc<PoolShared> {
         &self.shared
     }

@@ -89,6 +89,15 @@ pub fn read_deadline_ns(payload: &[u8]) -> Option<u64> {
     }
 }
 
+/// The one-bit downstream check of the ingress sampling decision: `true`
+/// when the payload carries a context whose sampled flag is set. This is
+/// the only trace question data-plane components ask on the request path —
+/// a single length test plus one masked byte load, no tracer access.
+#[inline]
+pub fn sampled(payload: &[u8]) -> bool {
+    payload.len() >= CTX_MIN_PAYLOAD && payload[FLAGS_OFFSET] & FLAG_SAMPLED != 0
+}
+
 /// Reads the trace context out of a payload, or `None` when the payload
 /// is too short to carry one.
 pub fn read_ctx(payload: &[u8]) -> Option<TraceCtx> {

@@ -65,16 +65,21 @@ impl FlightRecorder {
     }
 
     /// Records a completed trace, evicting the oldest when full.
-    pub fn record(&mut self, summary: TraceSummary) {
+    /// Returns the trace evicted to make room (if any) so the caller can
+    /// recycle its span storage instead of freeing it.
+    pub fn record(&mut self, summary: TraceSummary) -> Option<TraceSummary> {
         if self.capacity == 0 {
             self.evicted += 1;
-            return;
+            return Some(summary);
         }
-        if self.ring.len() >= self.capacity {
-            self.ring.pop_front();
+        let evicted = if self.ring.len() >= self.capacity {
             self.evicted += 1;
-        }
+            self.ring.pop_front()
+        } else {
+            None
+        };
         self.ring.push_back(summary);
+        evicted
     }
 
     /// The retained traces, oldest first.
@@ -280,8 +285,10 @@ impl TracePipeline {
         if let Some(slo) = &mut self.slo {
             burning = slo.observe(summary.tenant, summary.duration_ns());
         }
-        self.flight.record(summary.clone());
-        self.tail.offer(summary);
+        self.tail.offer(&summary);
+        if let Some(evicted) = self.flight.record(summary) {
+            self.tracer.recycle(evicted.spans);
+        }
         if burning {
             Some(self.trigger(TriggerReason::SloBurn, now))
         } else {
@@ -294,8 +301,10 @@ impl TracePipeline {
     pub fn on_failure(&mut self, now: SimTime, trace_id: u64) -> &JsonValue {
         let spans = self.tracer.take_trace(trace_id);
         if let Some(summary) = TraceSummary::from_spans(trace_id, true, spans) {
-            self.flight.record(summary.clone());
-            self.tail.offer(summary);
+            self.tail.offer(&summary);
+            if let Some(evicted) = self.flight.record(summary) {
+                self.tracer.recycle(evicted.spans);
+            }
         }
         self.trigger(TriggerReason::DeliveryFailure, now)
     }

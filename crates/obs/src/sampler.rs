@@ -34,9 +34,12 @@ impl TraceSummary {
         if spans.is_empty() {
             return None;
         }
-        let tenant = spans.iter().map(|s| s.tenant).max().unwrap_or(0);
-        let start_ns = spans.iter().map(|s| s.start_ns).min().unwrap();
-        let end_ns = spans.iter().map(|s| s.end_ns).max().unwrap();
+        let (mut tenant, mut start_ns, mut end_ns) = (0, u64::MAX, 0);
+        for s in &spans {
+            tenant = tenant.max(s.tenant);
+            start_ns = start_ns.min(s.start_ns);
+            end_ns = end_ns.max(s.end_ns);
+        }
         Some(TraceSummary {
             trace_id,
             tenant,
@@ -75,10 +78,12 @@ impl TailSampler {
 
     /// Offers a completed trace. Error traces are always kept; successful
     /// ones compete on duration for the `k` slots. Returns `true` when the
-    /// trace was retained.
-    pub fn offer(&mut self, summary: TraceSummary) -> bool {
+    /// trace was retained. Takes the summary by reference and clones only
+    /// when retained — most offers lose, and a losing offer must not cost
+    /// a span-vector copy.
+    pub fn offer(&mut self, summary: &TraceSummary) -> bool {
         if summary.error {
-            self.errors.push(summary);
+            self.errors.push(summary.clone());
             return true;
         }
         if self.k == 0 {
@@ -90,13 +95,13 @@ impl TailSampler {
         let rank = |s: &TraceSummary| (std::cmp::Reverse(s.duration_ns()), s.trace_id);
         let pos = self
             .slowest
-            .binary_search_by_key(&rank(&summary), rank)
+            .binary_search_by_key(&rank(summary), rank)
             .unwrap_or_else(|p| p);
         if pos >= self.k {
             self.discarded += 1;
             return false;
         }
-        self.slowest.insert(pos, summary);
+        self.slowest.insert(pos, summary.clone());
         if self.slowest.len() > self.k {
             self.slowest.pop();
             self.discarded += 1;
@@ -148,10 +153,10 @@ mod tests {
     #[test]
     fn keeps_the_slowest_k() {
         let mut s = TailSampler::new(2);
-        assert!(s.offer(summary(1, 100, false)));
-        assert!(s.offer(summary(2, 300, false)));
-        assert!(s.offer(summary(3, 200, false)));
-        assert!(!s.offer(summary(4, 50, false)), "faster than the kept set");
+        assert!(s.offer(&summary(1, 100, false)));
+        assert!(s.offer(&summary(2, 300, false)));
+        assert!(s.offer(&summary(3, 200, false)));
+        assert!(!s.offer(&summary(4, 50, false)), "faster than the kept set");
         let kept: Vec<u64> = s.slowest().iter().map(|t| t.trace_id).collect();
         assert_eq!(kept, vec![2, 3], "slowest first");
         assert_eq!(s.discarded(), 2);
@@ -160,8 +165,8 @@ mod tests {
     #[test]
     fn errors_are_always_kept() {
         let mut s = TailSampler::new(1);
-        s.offer(summary(1, 1_000, false));
-        assert!(s.offer(summary(2, 1, true)), "fast but failed: kept");
+        s.offer(&summary(1, 1_000, false));
+        assert!(s.offer(&summary(2, 1, true)), "fast but failed: kept");
         assert_eq!(s.errors().len(), 1);
         assert_eq!(s.kept().len(), 2);
         assert_eq!(s.kept()[0].trace_id, 2, "errors listed first");
@@ -170,9 +175,9 @@ mod tests {
     #[test]
     fn equal_durations_tie_break_on_trace_id() {
         let mut s = TailSampler::new(2);
-        s.offer(summary(9, 100, false));
-        s.offer(summary(3, 100, false));
-        s.offer(summary(6, 100, false));
+        s.offer(&summary(9, 100, false));
+        s.offer(&summary(3, 100, false));
+        s.offer(&summary(6, 100, false));
         let kept: Vec<u64> = s.slowest().iter().map(|t| t.trace_id).collect();
         assert_eq!(kept, vec![3, 6], "deterministic under ties");
     }
@@ -180,8 +185,8 @@ mod tests {
     #[test]
     fn zero_k_discards_everything_successful() {
         let mut s = TailSampler::new(0);
-        assert!(!s.offer(summary(1, 100, false)));
-        assert!(s.offer(summary(2, 100, true)));
+        assert!(!s.offer(&summary(1, 100, false)));
+        assert!(s.offer(&summary(2, 100, true)));
         assert_eq!(s.discarded(), 1);
     }
 }

@@ -743,7 +743,7 @@ impl Fabric {
         if verdict != FaultVerdict::Deliver {
             let sender = inner.qp(d.sender.node, d.sender.qp).expect("sender QP");
             let sender_cq = sender.cq;
-            if inner.tracer.is_enabled() && buf.len() >= 8 {
+            if inner.tracer.is_enabled() && obs::ctx::sampled(buf.as_slice()) {
                 // Annotate the loss into the request's trace: an instant
                 // marker on the sender node, where the retransmit state
                 // lives (the message never reached the responder).
@@ -832,7 +832,7 @@ impl Fabric {
             None => false,
         };
         if corrupted {
-            if inner.tracer.is_enabled() && buf.len() >= 8 {
+            if inner.tracer.is_enabled() && obs::ctx::sampled(buf.as_slice()) {
                 // Corruption is detected at the responder: mark it there.
                 let req_id = u64::from_le_bytes(buf.as_slice()[..8].try_into().unwrap());
                 let tenant = inner.qp(peer_node, peer_qp).expect("peer QP").tenant.0;

@@ -152,6 +152,9 @@ struct Join {
     /// response back upstream re-stamps it so cancellation points keep
     /// working on the way up the tree.
     deadline_ns: u64,
+    /// The ingress sampling decision carried by the originating call;
+    /// responses re-stamp it so the trace survives the join.
+    sampled: bool,
 }
 
 /// Builder for DAG-aware function endpoints.
@@ -182,9 +185,11 @@ impl DagFunction {
             let Some((kind, src)) = dag_header(buf.as_slice()) else {
                 return; // malformed: buffer recycles on drop
             };
-            // DAG messages are fresh payloads per hop, so the deadline is
-            // read out here and re-stamped onto every downstream message.
+            // DAG messages are fresh payloads per hop, so the deadline and
+            // the ingress sampling bit are read out here and re-stamped
+            // onto every downstream message.
             let deadline_ns = obs::read_deadline_ns(buf.as_slice()).unwrap_or(0);
+            let sampled = iolib.tracer().is_enabled() && obs::ctx::sampled(buf.as_slice());
             drop(buf); // payload consumed; recycle immediately
             match kind {
                 DagMsg::Call => {
@@ -213,6 +218,7 @@ impl DagFunction {
                                 src,
                                 req_id,
                                 deadline_ns,
+                                sampled,
                                 &pool,
                                 &iolib,
                                 &on_complete,
@@ -225,6 +231,7 @@ impl DagFunction {
                                 caller: src,
                                 outstanding: kids.len(),
                                 deadline_ns,
+                                sampled,
                             },
                         );
                         for &child in kids {
@@ -235,6 +242,7 @@ impl DagFunction {
                                 child,
                                 req_id,
                                 deadline_ns,
+                                sampled,
                                 DagMsg::Call,
                                 &pool,
                                 &iolib,
@@ -251,12 +259,12 @@ impl DagFunction {
                         join.outstanding -= 1;
                         if join.outstanding == 0 {
                             let j = joins.remove(&req_id).expect("present");
-                            Some((j.caller, j.deadline_ns))
+                            Some((j.caller, j.deadline_ns, j.sampled))
                         } else {
                             None
                         }
                     };
-                    if let Some((caller, join_deadline)) = finished {
+                    if let Some((caller, join_deadline, join_sampled)) = finished {
                         // Join complete: light post-processing, then respond.
                         let done = cpu
                             .borrow_mut()
@@ -273,6 +281,7 @@ impl DagFunction {
                                 caller,
                                 req_id,
                                 join_deadline,
+                                join_sampled,
                                 &pool,
                                 &iolib,
                                 &on_complete,
@@ -292,6 +301,7 @@ impl DagFunction {
         caller: u16,
         req_id: u64,
         deadline_ns: u64,
+        sampled: bool,
         pool: &BufferPool,
         iolib: &IoLib,
         on_complete: &CompletionFn,
@@ -307,6 +317,7 @@ impl DagFunction {
             caller,
             req_id,
             deadline_ns,
+            sampled,
             DagMsg::Response,
             pool,
             iolib,
@@ -321,6 +332,7 @@ impl DagFunction {
         to: u16,
         req_id: u64,
         deadline_ns: u64,
+        sampled: bool,
         kind: DagMsg,
         pool: &BufferPool,
         iolib: &IoLib,
@@ -335,15 +347,16 @@ impl DagFunction {
         if deadline_ns != 0 {
             obs::ctx::write_deadline_ns(&mut payload, deadline_ns);
         }
-        let tracer = iolib.tracer();
-        if tracer.is_enabled() {
-            // Each DAG message is a fresh payload, so the trace context
-            // must be re-stamped or causality breaks at this hop.
-            let parent = tracer.cursor(req_id, iolib.node().0 as u32);
-            obs::ctx::write_ctx(&mut payload, parent, tracer.head_keep(req_id));
+        if sampled {
+            // Each DAG message is a fresh payload, so the trace context —
+            // parent cursor plus the ingress sampling bit — must be
+            // re-stamped or causality breaks at this hop.
+            let parent = iolib.tracer().cursor(req_id, iolib.node().0 as u32);
+            obs::ctx::write_ctx(&mut payload, parent, true);
         }
         buf.write_payload(&payload).expect("payload fits");
-        iolib.send(sim, dag.tenant, buf.into_desc(to));
+        // The trace identity is already in hand — skip the SkMsg peek.
+        iolib.send_traced(sim, dag.tenant, buf.into_desc(to), Some((req_id, sampled)));
     }
 }
 

@@ -106,7 +106,8 @@ impl ChainStep {
             }
             let done = cpu.borrow_mut().run(sim.now(), exec_cost);
             let tracer = iolib.tracer();
-            if tracer.is_enabled() {
+            let sampled = tracer.is_enabled() && obs::ctx::sampled(buf.as_slice());
+            if sampled {
                 tracer.span(
                     decode_request_id(buf.as_slice()),
                     tenant.0,
@@ -119,7 +120,12 @@ impl ChainStep {
             let iolib = iolib.clone();
             let on_complete = on_complete.clone();
             sim.schedule_at(done, move |sim| match next {
-                Some(n) => iolib.send(sim, tenant, buf.into_desc(n)),
+                Some(n) => {
+                    // Forward the trace identity we just read so a local
+                    // hop's SkMsg span needs no pool peek.
+                    let meta = (decode_request_id(buf.as_slice()), sampled);
+                    iolib.send_traced(sim, tenant, buf.into_desc(n), Some(meta));
+                }
                 None => {
                     let req_id = decode_request_id(buf.as_slice());
                     drop(buf); // recycle
@@ -168,7 +174,8 @@ impl ChainFunction {
             }
             let done = cpu.borrow_mut().run(sim.now(), exec_cost);
             let tracer = iolib.tracer();
-            if tracer.is_enabled() {
+            let sampled = tracer.is_enabled() && obs::ctx::sampled(buf.as_slice());
+            if sampled {
                 tracer.span(
                     decode_request_id(buf.as_slice()),
                     tenant.0,
@@ -187,7 +194,10 @@ impl ChainFunction {
                 if next < chain.hops.len() {
                     set_hop(buf.as_mut_slice(), next as u16);
                     let dst = chain.hops[next];
-                    iolib.send(sim, tenant, buf.into_desc(dst));
+                    // Forward the trace identity we just read so a local
+                    // hop's SkMsg span needs no pool peek.
+                    let meta = (decode_request_id(buf.as_slice()), sampled);
+                    iolib.send_traced(sim, tenant, buf.into_desc(dst), Some(meta));
                 } else {
                     let req_id = decode_request_id(buf.as_slice());
                     drop(buf);
@@ -313,7 +323,11 @@ mod tests {
         // payload into node 0's pool and deliver the descriptor.
         let start = sim.now();
         let mut buf = pool0.get().unwrap();
-        buf.write_payload(&encode_request_payload(77, 256)).unwrap();
+        let mut payload = encode_request_payload(77, 256);
+        // The test plays ingress: stamp the sampled bit the gateway would
+        // normally decide at admission.
+        obs::ctx::write_ctx(&mut payload, 0, true);
+        buf.write_payload(&payload).unwrap();
         io0.send(&mut sim, tenant, buf.into_desc(1));
         sim.run();
 

@@ -54,18 +54,25 @@ struct IoInner {
 }
 
 impl IoInner {
-    /// Request id of the in-flight descriptor, read from the payload head
-    /// (only called when tracing is on; peeking costs a pool lookup).
-    fn req_id_of_desc(&self, tenant: TenantId, desc: BufferDesc) -> u64 {
+    /// Request id and ingress sampling bit of the in-flight descriptor,
+    /// read from the payload head in a single peek (only called when
+    /// tracing is on; peeking costs a pool lookup).
+    fn trace_meta_of_desc(&self, tenant: TenantId, desc: BufferDesc) -> (u64, bool) {
+        let mut head = [0u8; obs::CTX_MIN_PAYLOAD];
         self.pools
             .get(&tenant)
-            .and_then(|p| p.peek_payload(desc, 8))
-            .map(|b| {
-                let mut le = [0u8; 8];
-                le.copy_from_slice(&b);
-                u64::from_le_bytes(le)
+            .and_then(|p| p.peek_payload_into(desc, &mut head))
+            .map(|n| {
+                let req_id = if n >= 8 {
+                    let mut le = [0u8; 8];
+                    le.copy_from_slice(&head[..8]);
+                    u64::from_le_bytes(le)
+                } else {
+                    0
+                };
+                (req_id, obs::ctx::sampled(&head[..n]))
             })
-            .unwrap_or(0)
+            .unwrap_or((0, false))
     }
 }
 
@@ -129,6 +136,24 @@ impl IoLib {
     /// Remote destinations: hand-off to the DNE. Drops recycle the buffer
     /// back into the tenant's pool.
     pub fn send(&self, sim: &mut Sim, tenant: TenantId, desc: BufferDesc) {
+        self.send_traced(sim, tenant, desc, None)
+    }
+
+    /// [`IoLib::send`] with the trace identity pre-read by the caller.
+    ///
+    /// A local delivery records an `SkMsg` span, which needs the request
+    /// id and sampling bit from the payload head. A caller that held the
+    /// buffer a moment ago (function endpoints, the ingress injector)
+    /// already knows both; passing them here skips a validated pool peek
+    /// — a mutex plus two map probes — on every traced local hop. With
+    /// `None` the meta is peeked lazily, and only when tracing is on.
+    pub fn send_traced(
+        &self,
+        sim: &mut Sim,
+        tenant: TenantId,
+        desc: BufferDesc,
+        trace_meta: Option<(u64, bool)>,
+    ) {
         enum Path {
             Local(FnEndpoint, simcore::SimTime, simcore::SimDuration),
             /// Cross-tenant: copy the payload into the destination
@@ -153,15 +178,18 @@ impl IoLib {
                             let cpu_done = inner.cpu.borrow_mut().run(sim.now(), service);
                             inner.stats.local_sends += 1;
                             if inner.tracer.is_enabled() {
-                                let req_id = inner.req_id_of_desc(tenant, desc);
-                                inner.tracer.span(
-                                    req_id,
-                                    tenant.0,
-                                    inner.node.0 as u32,
-                                    Stage::SkMsg,
-                                    sim.now(),
-                                    cpu_done + inner.skmsg.one_way_latency,
-                                );
+                                let (req_id, sampled) = trace_meta
+                                    .unwrap_or_else(|| inner.trace_meta_of_desc(tenant, desc));
+                                if sampled {
+                                    inner.tracer.span(
+                                        req_id,
+                                        tenant.0,
+                                        inner.node.0 as u32,
+                                        Stage::SkMsg,
+                                        sim.now(),
+                                        cpu_done + inner.skmsg.one_way_latency,
+                                    );
+                                }
                             }
                             Path::Local(ep, cpu_done, inner.skmsg.one_way_latency)
                         }
@@ -185,15 +213,18 @@ impl IoLib {
                                 inner.stats.local_sends += 1;
                                 inner.stats.cross_tenant_copies += 1;
                                 if inner.tracer.is_enabled() {
-                                    let req_id = inner.req_id_of_desc(tenant, desc);
-                                    inner.tracer.span(
-                                        req_id,
-                                        tenant.0,
-                                        inner.node.0 as u32,
-                                        Stage::SkMsg,
-                                        sim.now(),
-                                        cpu_done + inner.skmsg.one_way_latency,
-                                    );
+                                    let (req_id, sampled) = trace_meta
+                                        .unwrap_or_else(|| inner.trace_meta_of_desc(tenant, desc));
+                                    if sampled {
+                                        inner.tracer.span(
+                                            req_id,
+                                            tenant.0,
+                                            inner.node.0 as u32,
+                                            Stage::SkMsg,
+                                            sim.now(),
+                                            cpu_done + inner.skmsg.one_way_latency,
+                                        );
+                                    }
                                 }
                                 Path::LocalCopy(
                                     ep,
@@ -446,8 +477,13 @@ mod tests {
                 let _ = pool.redeem(desc).unwrap();
             }),
         );
+        // The test plays ingress: stamp the sampled bit the gateway would
+        // normally decide at admission.
+        let mut payload = [0u8; obs::CTX_MIN_PAYLOAD];
+        payload[..8].copy_from_slice(&77u64.to_le_bytes());
+        obs::ctx::write_ctx(&mut payload, 0, true);
         let mut buf = env.pool.get().unwrap();
-        buf.write_payload(&77u64.to_le_bytes()).unwrap();
+        buf.write_payload(&payload).unwrap();
         env.iolib.send(&mut env.sim, env.tenant, buf.into_desc(2));
         env.sim.run();
         assert_eq!(tracer.stages_of(77), vec![Stage::SkMsg]);
