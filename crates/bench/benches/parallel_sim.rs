@@ -1,0 +1,75 @@
+//! Parallel event-core benchmark: the sharded conservative-window engine
+//! vs the sequential oracle on the node-sharded cluster model.
+//!
+//! Three workload cells (echo, scatter/gather DAG, echo through a crash
+//! window) each run once on one worker — the sequential oracle — and
+//! once on N workers, with the determinism digest compared across the
+//! pair. Wall-clock noise on a shared machine is strictly additive, so
+//! each cell is repeated [`ROUNDS`] times and the best (minimum-wall)
+//! round represents each configuration, the same estimator the tracer
+//! overhead bench uses.
+//!
+//! The speedup column is the measured ratio on *this* machine: on a
+//! multi-core box >2× with 4 shards is the acceptance bar, while on a
+//! core-starved CI runner the byte-identical column is the gate and the
+//! ratio is simply recorded (4 workers time-slicing 1 core cannot beat
+//! the oracle; the report carries `host_cores` so readers can tell).
+//!
+//! Usage: `cargo bench -p bench --bench parallel_sim [shards]` — shards
+//! defaults to 4; 0 resolves to `available_parallelism()`.
+
+use nadino::experiment::parallel::resolve_jobs;
+use nadino::shard_cluster::{bench_report, ParallelReport};
+
+/// Timed rounds per configuration; minima are compared (see module docs).
+const ROUNDS: usize = 5;
+
+fn main() {
+    let shards = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse::<usize>().ok())
+        .map(resolve_jobs)
+        .unwrap_or(4);
+    println!(
+        "parallel_sim: {} shard workers (host cores: {})",
+        shards,
+        resolve_jobs(0)
+    );
+
+    // Warm-up round (page-in, allocator), then timed rounds; per row keep
+    // the round with the best parallel throughput and, independently, the
+    // best sequential throughput — additive noise means min-wall (max
+    // events/sec) is the best estimator for each configuration.
+    let _ = bench_report(true, shards);
+    let mut best: Option<ParallelReport> = None;
+    for _ in 0..ROUNDS {
+        let rep = bench_report(false, shards);
+        assert!(
+            rep.all_deterministic(),
+            "sharded run diverged from sequential:\n{}",
+            rep.render()
+        );
+        best = Some(match best.take() {
+            None => rep,
+            Some(mut acc) => {
+                for (a, r) in acc.rows.iter_mut().zip(rep.rows) {
+                    a.seq_events_per_sec = a.seq_events_per_sec.max(r.seq_events_per_sec);
+                    a.par_events_per_sec = a.par_events_per_sec.max(r.par_events_per_sec);
+                    a.speedup = a.par_events_per_sec / a.seq_events_per_sec;
+                    a.byte_identical &= r.byte_identical;
+                }
+                acc
+            }
+        });
+    }
+    let report = best.expect("at least one round");
+    print!("{}", report.render());
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/BENCH_parallel.json");
+    match nadino::report::write_json(&path, &report) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+    }
+}

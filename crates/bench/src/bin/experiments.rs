@@ -5,8 +5,11 @@
 //!                             # fig15 fig16 table2 fig17, or "all"
 //! experiments --quick [name]  # shorter runs for smoke testing
 //! experiments --jobs N        # fan figures and sweep points out over N
-//!                             # threads (default: available cores); output
-//!                             # is byte-identical to --jobs 1
+//!                             # threads (N=0 or omitted: available cores);
+//!                             # output is byte-identical to --jobs 1
+//! experiments --shards N      # worker threads for the sharded event core
+//!                             # ("parallel" experiment; N=0: available
+//!                             # cores); output is byte-identical for any N
 //! experiments --trace-out t.json --metrics-out m.json
 //!                             # instrumented Online Boutique run: Perfetto
 //!                             # trace + metrics snapshot (no figures unless
@@ -30,7 +33,7 @@
 
 use std::path::PathBuf;
 
-use nadino::experiment::parallel::{default_jobs, pmap};
+use nadino::experiment::parallel::{pmap, resolve_jobs};
 use nadino::experiment::{
     ablations, fig06, fig09, fig11, fig12, fig13, fig14, fig15, fig16, fig17, summary,
 };
@@ -46,6 +49,8 @@ struct Budget {
     scale: f64,
     /// Virtual seconds for the autoscaling ramp.
     ramp_secs: u64,
+    /// Whether this is the `--quick` budget (shrinks the parallel bench).
+    quick: bool,
 }
 
 impl Budget {
@@ -55,6 +60,7 @@ impl Budget {
             requests: 2_000,
             scale: 0.1,
             ramp_secs: 48,
+            quick: false,
         }
     }
 
@@ -64,6 +70,7 @@ impl Budget {
             requests: 300,
             scale: 0.04,
             ramp_secs: 16,
+            quick: true,
         }
     }
 }
@@ -79,6 +86,9 @@ struct Output {
     stem: &'static str,
     text: String,
     json: String,
+    /// Set by the `parallel` experiment so the shard-health gauges can
+    /// join the `--metrics-out` snapshot.
+    shard_report: Option<nadino::shard_cluster::ParallelReport>,
 }
 
 fn out<T: ToJson>(stem: &'static str, text: String, value: &T) -> Output {
@@ -86,12 +96,14 @@ fn out<T: ToJson>(stem: &'static str, text: String, value: &T) -> Output {
         stem,
         text,
         json: value.to_json().to_string_pretty(),
+        shard_report: None,
     }
 }
 
 /// Runs one experiment; `jobs` is the sweep-cell fan-out for the figures
-/// that decompose into independent `Sim`s.
-fn run_one(name: &str, b: &Budget, jobs: usize) -> Output {
+/// that decompose into independent `Sim`s, `shards` the worker count for
+/// the sharded event core.
+fn run_one(name: &str, b: &Budget, jobs: usize, shards: usize) -> Output {
     match name {
         "fig06" => {
             let fig = fig06::run_jobs(b.requests, b.millis, jobs);
@@ -140,6 +152,12 @@ fn run_one(name: &str, b: &Budget, jobs: usize) -> Output {
             let fig = summary::run(b.millis, b.requests);
             out("summary", fig.render(), &fig)
         }
+        "parallel" => {
+            let rep = nadino::shard_cluster::bench_report(b.quick, shards);
+            let mut o = out("BENCH_parallel", rep.render(), &rep);
+            o.shard_report = Some(rep);
+            o
+        }
         other => unreachable!("unvalidated experiment name {other:?}"),
     }
 }
@@ -169,6 +187,7 @@ fn instrumented_run(
     metrics_out: Option<&PathBuf>,
     tail_sample: bool,
     flight_out: Option<&PathBuf>,
+    shard_report: Option<&nadino::shard_cluster::ParallelReport>,
 ) {
     use membuf::tenant::TenantId;
     use nadino::boutique;
@@ -266,6 +285,12 @@ fn instrumented_run(
         }
     }
     if let Some(path) = metrics_out {
+        // If a `parallel` experiment ran this invocation, fold its
+        // shard-health gauges into the same snapshot so one metrics file
+        // covers both the boutique run and the sharded core.
+        if let Some(rep) = shard_report {
+            rep.export_metrics(&reg);
+        }
         let snap = reg.snapshot();
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);
@@ -280,7 +305,9 @@ fn instrumented_run(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut jobs = default_jobs();
+    // 0 means "auto" for both knobs; resolved below via `resolve_jobs`.
+    let mut jobs = 0usize;
+    let mut shards = 0usize;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut tail_sample = false;
@@ -291,9 +318,16 @@ fn main() {
         match a.as_str() {
             "--quick" => quick = true,
             "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => jobs = n,
-                _ => {
-                    eprintln!("--jobs needs a positive integer");
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs needs an integer (0 = available cores)");
+                    std::process::exit(2);
+                }
+            },
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => shards = n,
+                None => {
+                    eprintln!("--shards needs an integer (0 = available cores)");
                     std::process::exit(2);
                 }
             },
@@ -327,6 +361,14 @@ fn main() {
     } else {
         Budget::full()
     };
+    // `0` means "auto" for both knobs, resolved to available_parallelism()
+    // in one place and announced up front so logs state the actual fan-out.
+    let jobs = resolve_jobs(jobs);
+    let shards = resolve_jobs(shards);
+    eprintln!(
+        ">>> run header: jobs={jobs} shards={shards} budget={}",
+        if quick { "quick" } else { "full" }
+    );
     let instrumented =
         trace_out.is_some() || metrics_out.is_some() || tail_sample || flight_out.is_some();
     let names: Vec<String> =
@@ -352,12 +394,16 @@ fn main() {
             let name = name.clone();
             move || {
                 eprintln!(">>> running {name}");
-                run_one(&name, &budget, jobs)
+                run_one(&name, &budget, jobs, shards)
             }
         })
         .collect();
-    for output in pmap(tasks, jobs) {
+    let mut shard_report = None;
+    for mut output in pmap(tasks, jobs) {
         emit(&output);
+        if let Some(rep) = output.shard_report.take() {
+            shard_report = Some(rep);
+        }
     }
     if instrumented {
         instrumented_run(
@@ -365,6 +411,7 @@ fn main() {
             metrics_out.as_ref(),
             tail_sample,
             flight_out.as_ref(),
+            shard_report.as_ref(),
         );
     }
 }

@@ -14,7 +14,7 @@
 pub mod harness;
 
 /// Known experiment names accepted by the `experiments` binary.
-pub const EXPERIMENTS: [&str; 11] = [
+pub const EXPERIMENTS: [&str; 12] = [
     "fig06",
     "fig09",
     "fig11",
@@ -26,6 +26,7 @@ pub const EXPERIMENTS: [&str; 11] = [
     "fig17",
     "ablations",
     "summary",
+    "parallel",
 ];
 
 /// Returns `true` if `name` names a known experiment.

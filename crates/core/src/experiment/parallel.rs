@@ -58,6 +58,19 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Resolves a user-facing thread-count request: `0` means "auto" —
+/// [`default_jobs`], i.e. `available_parallelism()` — anything else is
+/// taken literally. Every entry point that accepts `--jobs` or
+/// `--shards` routes through this, so `0` means the same thing
+/// everywhere, and callers print the resolved value in their run header.
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        default_jobs()
+    } else {
+        requested
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +100,13 @@ mod tests {
         let jobs: Vec<_> = (0..3u32).map(|i| move || i).collect();
         assert_eq!(pmap(jobs, 64), vec![0, 1, 2], "threads capped at job count");
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn zero_resolves_to_available_parallelism() {
+        assert_eq!(resolve_jobs(0), default_jobs());
+        assert_eq!(resolve_jobs(1), 1);
+        assert_eq!(resolve_jobs(7), 7);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod experiment;
 pub mod health;
 pub mod report;
+pub mod shard_cluster;
 pub mod trace;
 pub mod workload;
 

@@ -1,0 +1,932 @@
+//! Sharded parallel discrete-event execution with conservative lookahead.
+//!
+//! [`ShardedSim`] partitions a simulation into *logical shards* (one per
+//! simulated node, typically), each owning its own event wheel, slab,
+//! sequence counter and RNG stream — a private [`Sim`] per shard. Shards
+//! interact **only** by posting messages into per-`(src, dst)` SPSC
+//! mailboxes, and every cross-shard message must declare a delivery
+//! latency of at least the *lookahead* — the fabric's one-way
+//! link-latency floor. That bound makes the classic conservative window
+//! safe (Chandy–Misra–Bryant style, as used by parallel network
+//! simulators): repeatedly
+//!
+//! 1. every shard drains its inbox (sorted by the deterministic key
+//!    `(deliver_at, src shard, src send-seq)`) into its local wheel and
+//!    publishes its next-event instant;
+//! 2. a barrier; the global minimum `m` of those instants defines the
+//!    window `[m, m + lookahead)`;
+//! 3. every shard runs its local events with `at < m + lookahead` —
+//!    any message those events emit is delivered at
+//!    `send time + latency ≥ m + lookahead`, i.e. provably beyond the
+//!    window, so no shard can ever observe an event out of order;
+//! 4. outboxes flush into the mailboxes; a second barrier; repeat until
+//!    every wheel and every mailbox is empty.
+//!
+//! # Determinism
+//!
+//! A sharded run is **byte-identical** for any worker count, including
+//! the sequential `workers = 1` oracle, because each shard's trajectory
+//! is a pure function of inputs that do not depend on thread
+//! interleaving:
+//!
+//! - ties inside a shard break on the engine's `(time, seq)` order, and
+//!   across shards on `(time, shard, seq)` — concurrent events on
+//!   different shards commute by construction (they cannot touch each
+//!   other's state within a window);
+//! - inbox drains sort on `(deliver_at, src, src_seq)`, so delivery
+//!   order never depends on which worker flushed first;
+//! - every shard draws randomness from its own stream, derived from the
+//!   root seed and the shard index ([`derive_stream`]), never shared;
+//! - outputs are collected in shard-index order at the end
+//!   (deterministic merge).
+//!
+//! Worker threads are spawned once per run; each owns a fixed
+//! round-robin subset of the logical shards and builds them *inside* the
+//! thread from `Send` factories, so shard-local state is free to use
+//! `Rc<RefCell<...>>` exactly like the sequential engine — nothing
+//! shard-local ever crosses a thread boundary.
+//!
+//! The synchronization primitives are deliberately hot-loop friendly:
+//! a sense-reversing spin [`SpinBarrier`] (windows are microseconds of
+//! virtual time; parking threads per window would dominate) and
+//! cache-line-padded per-shard atomics ([`CachePadded`]) so the
+//! published minima don't false-share.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::engine::Sim;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Pads (and aligns) a value to a 64-byte cache line, so per-shard hot
+/// state — published window minima, barrier words, mailbox heads — never
+/// false-shares a line with its neighbours.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+/// Identifies one logical shard (typically one simulated node).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+/// One cross-shard message in flight: the payload plus the deterministic
+/// ordering key `(deliver_at, src, src_seq)` under which the receiving
+/// shard drains its inbox.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Absolute delivery instant: send time + declared latency.
+    pub deliver_at: SimTime,
+    /// The sending shard.
+    pub src: ShardId,
+    /// The sender's per-shard send sequence number.
+    pub src_seq: u64,
+    /// The payload.
+    pub msg: M,
+}
+
+/// A shard's handle for posting cross-shard messages.
+///
+/// Cloneable (shares the underlying per-shard buffer) so model closures
+/// can capture it alongside their state. Every send must declare a
+/// latency of at least the engine's lookahead — the conservative
+/// contract; a debug assertion enforces it per send, and the engine
+/// re-checks causality at delivery time in all builds.
+pub struct Outbox<M> {
+    inner: Rc<RefCell<OutboxInner<M>>>,
+}
+
+impl<M> Clone for Outbox<M> {
+    fn clone(&self) -> Self {
+        Outbox {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+struct OutboxInner<M> {
+    me: ShardId,
+    shards: usize,
+    lookahead: SimDuration,
+    send_seq: u64,
+    /// Per-destination messages buffered during the current window.
+    pending: Vec<Vec<Envelope<M>>>,
+    sent_total: u64,
+}
+
+impl<M> Outbox<M> {
+    fn new(me: ShardId, shards: usize, lookahead: SimDuration) -> Outbox<M> {
+        Outbox {
+            inner: Rc::new(RefCell::new(OutboxInner {
+                me,
+                shards,
+                lookahead,
+                send_seq: 0,
+                pending: (0..shards).map(|_| Vec::new()).collect(),
+                sent_total: 0,
+            })),
+        }
+    }
+
+    /// Posts `msg` to shard `dst`, to be delivered at `now + latency`.
+    ///
+    /// `latency` must be at least the engine's declared lookahead — the
+    /// whole conservative-window guarantee rests on it. Violations trip a
+    /// debug assertion here and a hard causality check at delivery.
+    pub fn send(&self, now: SimTime, dst: ShardId, latency: SimDuration, msg: M) {
+        let mut o = self.inner.borrow_mut();
+        debug_assert!(
+            latency >= o.lookahead,
+            "cross-shard latency {latency:?} violates the declared lookahead {:?}",
+            o.lookahead
+        );
+        assert!(
+            (dst.0 as usize) < o.shards,
+            "destination shard {} out of range (shards = {})",
+            dst.0,
+            o.shards
+        );
+        let src_seq = o.send_seq;
+        o.send_seq += 1;
+        o.sent_total += 1;
+        let env = Envelope {
+            deliver_at: now + latency,
+            src: o.me,
+            src_seq,
+            msg,
+        };
+        o.pending[dst.0 as usize].push(env);
+    }
+
+    /// The owning shard's id.
+    pub fn shard(&self) -> ShardId {
+        self.inner.borrow().me
+    }
+
+    /// Total number of logical shards in the simulation.
+    pub fn shards(&self) -> usize {
+        self.inner.borrow().shards
+    }
+
+    /// The declared conservative lookahead (minimum cross-shard latency).
+    pub fn lookahead(&self) -> SimDuration {
+        self.inner.borrow().lookahead
+    }
+}
+
+/// Everything a shard factory sees while wiring up its shard at virtual
+/// time zero, inside the worker thread that owns the shard.
+pub struct ShardEnv<'a, M> {
+    /// The shard's private engine; schedule initial events here.
+    pub sim: &'a mut Sim,
+    id: ShardId,
+    shards: usize,
+    seed: u64,
+    streams: u32,
+    outbox: Outbox<M>,
+}
+
+impl<M> ShardEnv<'_, M> {
+    /// This shard's id.
+    pub fn id(&self) -> ShardId {
+        self.id
+    }
+
+    /// Total number of logical shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The root seed the whole sharded run was built from.
+    pub fn root_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A handle for posting cross-shard messages (cloneable; capture it
+    /// in event closures).
+    pub fn outbox(&self) -> Outbox<M> {
+        self.outbox.clone()
+    }
+
+    /// Returns the next of this shard's deterministic RNG streams.
+    ///
+    /// Every call yields an independent stream derived from
+    /// `(root seed, shard, call index)` — identical across runs and
+    /// worker counts, never shared with another shard.
+    pub fn rng_stream(&mut self) -> SimRng {
+        let s = self.streams;
+        self.streams += 1;
+        derive_stream(self.seed, self.id.0, s)
+    }
+}
+
+/// Derives the deterministic RNG stream for `(root seed, shard, stream)`.
+///
+/// One SplitMix64 scramble of the mixed triple seeds the returned
+/// generator, so neighbouring shards and streams start from
+/// well-separated states while staying a pure function of the inputs.
+pub fn derive_stream(root_seed: u64, shard: u32, stream: u32) -> SimRng {
+    let mixed = root_seed
+        ^ (shard as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (stream as u64 + 1).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    SimRng::new(SimRng::new(mixed).next_u64())
+}
+
+/// Handler invoked (as a scheduled event, in deterministic order) for
+/// every cross-shard message delivered to a shard.
+pub type MessageHandler<M> = Box<dyn FnMut(&mut Sim, Envelope<M>)>;
+
+/// Finisher that runs after global termination and extracts a shard's
+/// output value.
+pub type FinishFn<R> = Box<dyn FnOnce(&mut Sim) -> R>;
+
+/// What a shard factory returns: the inbox handler plus the end-of-run
+/// finisher that extracts the shard's output.
+pub struct ShardSetup<M, R> {
+    /// Invoked (as a scheduled event, in deterministic order) for every
+    /// cross-shard message delivered to this shard.
+    pub on_message: MessageHandler<M>,
+    /// Runs after global termination; its return value is this shard's
+    /// slot in the deterministic shard-order output merge.
+    pub finish: FinishFn<R>,
+}
+
+/// A shard construction closure. It runs once, at virtual time zero, on
+/// the worker thread that owns the shard — which is why the factory must
+/// be `Send` while the state it builds doesn't have to be.
+pub type ShardFactory<M, R> = Box<dyn FnOnce(&mut ShardEnv<'_, M>) -> ShardSetup<M, R> + Send>;
+
+/// Why a sharded simulation could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBuildError {
+    /// The declared lookahead is zero: a zero-latency link admits no
+    /// conservative window (events could affect a neighbour "now", so no
+    /// shard could ever safely run ahead). Reject at build time rather
+    /// than deadlock or misorder at run time.
+    ZeroLookahead,
+    /// No shards were added.
+    NoShards,
+}
+
+impl std::fmt::Display for ShardBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardBuildError::ZeroLookahead => {
+                write!(
+                    f,
+                    "zero lookahead: a zero-latency link admits no conservative window"
+                )
+            }
+            ShardBuildError::NoShards => write!(f, "sharded sim needs at least one shard"),
+        }
+    }
+}
+
+impl std::error::Error for ShardBuildError {}
+
+/// Builder for a [`ShardedSim`]: declare the lookahead (the fabric's
+/// link-latency floor), the root seed, then add one factory per shard.
+pub struct ShardedSimBuilder<M, R> {
+    lookahead: SimDuration,
+    seed: u64,
+    tick_shift: u32,
+    factories: Vec<ShardFactory<M, R>>,
+}
+
+impl<M, R> ShardedSimBuilder<M, R> {
+    /// Starts a builder with the given conservative lookahead and root
+    /// seed.
+    pub fn new(lookahead: SimDuration, seed: u64) -> ShardedSimBuilder<M, R> {
+        ShardedSimBuilder {
+            lookahead,
+            seed,
+            tick_shift: crate::wheel::DEFAULT_TICK_SHIFT,
+            factories: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-shard wheel tick (see [`Sim::with_tick_shift`]).
+    pub fn tick_shift(mut self, shift: u32) -> Self {
+        self.tick_shift = shift;
+        self
+    }
+
+    /// Adds one shard, returning its id. Shards are numbered in
+    /// insertion order.
+    pub fn add_shard(
+        &mut self,
+        factory: impl FnOnce(&mut ShardEnv<'_, M>) -> ShardSetup<M, R> + Send + 'static,
+    ) -> ShardId {
+        let id = ShardId(self.factories.len() as u32);
+        self.factories.push(Box::new(factory));
+        id
+    }
+
+    /// Validates the configuration and produces the runnable engine.
+    pub fn build(self) -> Result<ShardedSim<M, R>, ShardBuildError> {
+        if self.lookahead == SimDuration::ZERO {
+            return Err(ShardBuildError::ZeroLookahead);
+        }
+        if self.factories.is_empty() {
+            return Err(ShardBuildError::NoShards);
+        }
+        Ok(ShardedSim {
+            lookahead: self.lookahead,
+            seed: self.seed,
+            tick_shift: self.tick_shift,
+            factories: self.factories,
+        })
+    }
+}
+
+/// Per-shard execution profile, merged into [`ShardedRun::profiles`] in
+/// shard order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardProfile {
+    /// The shard this row describes.
+    pub shard: u32,
+    /// Events executed on this shard's wheel.
+    pub executed_events: u64,
+    /// Events scheduled on this shard's wheel.
+    pub scheduled_events: u64,
+    /// Windows this shard participated in (== the run's window count).
+    pub windows: u64,
+    /// Windows in which this shard executed nothing — it reached the
+    /// barrier only to wait for others. High stall counts flag a
+    /// lookahead-starved or load-imbalanced topology.
+    pub barrier_stalls: u64,
+    /// Cross-shard messages this shard sent.
+    pub messages_sent: u64,
+    /// Cross-shard messages this shard received.
+    pub messages_received: u64,
+    /// Largest single-window inbox drain observed by this shard.
+    pub mailbox_depth_peak: usize,
+    /// Sum of virtual spans between consecutive window bounds — divide
+    /// by `windows` for the mean conservative-window advance.
+    pub window_ns_total: u64,
+}
+
+impl ShardProfile {
+    /// Mean virtual nanoseconds advanced per conservative window.
+    pub fn mean_window_ns(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.window_ns_total as f64 / self.windows as f64
+        }
+    }
+}
+
+/// A finished sharded run: shard outputs merged in shard order, plus the
+/// engine's own accounting.
+#[derive(Debug)]
+pub struct ShardedRun<R> {
+    /// Each shard's finisher result, indexed by shard id.
+    pub outputs: Vec<R>,
+    /// Each shard's execution profile, indexed by shard id.
+    pub profiles: Vec<ShardProfile>,
+    /// Conservative windows executed.
+    pub windows: u64,
+    /// Final virtual instant (maximum across shards).
+    pub now: SimTime,
+    /// Wall-clock time of the whole run.
+    pub wall_ns: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// The lookahead the run was built with.
+    pub lookahead: SimDuration,
+}
+
+impl<R> ShardedRun<R> {
+    /// Total events executed across all shards.
+    pub fn total_executed(&self) -> u64 {
+        self.profiles.iter().map(|p| p.executed_events).sum()
+    }
+
+    /// Aggregate wall-clock event throughput of the run.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.total_executed() as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+/// The sharded conservative-window engine. Build with
+/// [`ShardedSimBuilder`]; execute with [`ShardedSim::run`].
+pub struct ShardedSim<M, R> {
+    lookahead: SimDuration,
+    seed: u64,
+    tick_shift: u32,
+    factories: Vec<ShardFactory<M, R>>,
+}
+
+impl<M, R> ShardedSim<M, R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+{
+    /// Number of logical shards.
+    pub fn shards(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// The conservative lookahead bound.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Runs the simulation to completion on `workers` OS threads
+    /// (clamped to `[1, shards]`; `workers <= 1` runs inline on the
+    /// caller's thread — the sequential oracle). Output is byte-identical
+    /// for every worker count.
+    pub fn run(self, workers: usize) -> ShardedRun<R> {
+        let n = self.factories.len();
+        let workers = workers.max(1).min(n);
+        let shared: Shared<M> = Shared::new(n, workers);
+        let lookahead = self.lookahead;
+        let seed = self.seed;
+        let tick_shift = self.tick_shift;
+        let t0 = Instant::now();
+        let mut slots: Vec<Option<(R, ShardProfile, SimTime)>> = Vec::with_capacity(n);
+        if workers == 1 {
+            let mut lanes: Vec<Lane<M, R>> = self
+                .factories
+                .into_iter()
+                .enumerate()
+                .map(|(id, f)| Lane::build(id as u32, n, f, lookahead, seed, tick_shift))
+                .collect();
+            run_worker(&mut lanes, &shared, lookahead);
+            for lane in lanes {
+                slots.push(Some(lane.finish()));
+            }
+        } else {
+            // Round-robin the logical shards over the workers; each worker
+            // builds its shards inside its own thread (factories are Send,
+            // the state they build need not be).
+            let mut chunks: Vec<Vec<(u32, ShardFactory<M, R>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (id, f) in self.factories.into_iter().enumerate() {
+                chunks[id % workers].push((id as u32, f));
+            }
+            let results: Vec<Mutex<Option<(R, ShardProfile, SimTime)>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            let shared_ref = &shared;
+            let results_ref = &results;
+            std::thread::scope(|s| {
+                for chunk in chunks {
+                    s.spawn(move || {
+                        let mut lanes: Vec<Lane<M, R>> = chunk
+                            .into_iter()
+                            .map(|(id, f)| Lane::build(id, n, f, lookahead, seed, tick_shift))
+                            .collect();
+                        run_worker(&mut lanes, shared_ref, lookahead);
+                        for lane in lanes {
+                            let id = lane.id as usize;
+                            *results_ref[id].lock().unwrap() = Some(lane.finish());
+                        }
+                    });
+                }
+            });
+            for slot in results {
+                slots.push(slot.into_inner().unwrap());
+            }
+        }
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let mut outputs = Vec::with_capacity(n);
+        let mut profiles = Vec::with_capacity(n);
+        let mut now = SimTime::ZERO;
+        for slot in slots {
+            let (r, p, t) = slot.expect("every shard finished");
+            outputs.push(r);
+            profiles.push(p);
+            now = now.max(t);
+        }
+        let windows = profiles.first().map_or(0, |p| p.windows);
+        ShardedRun {
+            outputs,
+            profiles,
+            windows,
+            now,
+            wall_ns,
+            workers,
+            lookahead,
+        }
+    }
+}
+
+/// A sense-reversing spin barrier. Conservative windows are microseconds
+/// of virtual time, so a run crosses the barrier hundreds of thousands of
+/// times; parking on a futex per window would dominate the whole run.
+/// Spin briefly, then yield.
+struct SpinBarrier {
+    parties: usize,
+    /// Spin iterations before falling back to `yield_now`. Zero when the
+    /// workers oversubscribe the machine's cores — spinning then only
+    /// steals cycles from the worker everyone is waiting for.
+    spin_limit: u32,
+    arrived: CachePadded<AtomicUsize>,
+    generation: CachePadded<AtomicUsize>,
+}
+
+impl SpinBarrier {
+    fn new(parties: usize) -> SpinBarrier {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let spin_limit = if parties <= cores { 4096 } else { 0 };
+        SpinBarrier {
+            parties,
+            spin_limit,
+            arrived: CachePadded(AtomicUsize::new(0)),
+            generation: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.0.load(Ordering::Acquire);
+        if self.arrived.0.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.arrived.0.store(0, Ordering::Release);
+            self.generation
+                .0
+                .store(generation.wrapping_add(1), Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.0.load(Ordering::Acquire) == generation {
+            if spins < self.spin_limit {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Cross-worker coordination state: the SPSC mailbox matrix, the
+/// per-shard published minima, and the barrier.
+///
+/// `mail[src][dst]` is written only by the worker owning `src` (in the
+/// flush phase) and drained only by the worker owning `dst` (in the
+/// following drain phase); the two phases are separated by a barrier, so
+/// the mutex is never contended — it exists to make the SPSC hand-off
+/// safe Rust, not to arbitrate.
+struct Shared<M> {
+    mail: Vec<Vec<Mutex<Vec<Envelope<M>>>>>,
+    mins: Vec<CachePadded<AtomicU64>>,
+    barrier: SpinBarrier,
+}
+
+impl<M> Shared<M> {
+    fn new(n: usize, workers: usize) -> Shared<M> {
+        Shared {
+            mail: (0..n)
+                .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            mins: (0..n).map(|_| CachePadded(AtomicU64::new(0))).collect(),
+            barrier: SpinBarrier::new(workers),
+        }
+    }
+}
+
+/// One logical shard at run time: its engine, outbox, inbox handler and
+/// profile. Lives (and dies) on the worker thread that built it.
+struct Lane<M, R> {
+    id: u32,
+    sim: Sim,
+    outbox: Outbox<M>,
+    on_message: Rc<RefCell<MessageHandler<M>>>,
+    finish_fn: Option<FinishFn<R>>,
+    inbox_scratch: Vec<Envelope<M>>,
+    prof: ShardProfile,
+}
+
+impl<M: 'static, R> Lane<M, R> {
+    fn build(
+        id: u32,
+        shards: usize,
+        factory: ShardFactory<M, R>,
+        lookahead: SimDuration,
+        seed: u64,
+        tick_shift: u32,
+    ) -> Lane<M, R> {
+        let mut sim = Sim::with_tick_shift(tick_shift);
+        let outbox = Outbox::new(ShardId(id), shards, lookahead);
+        let mut env = ShardEnv {
+            sim: &mut sim,
+            id: ShardId(id),
+            shards,
+            seed,
+            streams: 0,
+            outbox: outbox.clone(),
+        };
+        let setup = factory(&mut env);
+        Lane {
+            id,
+            sim,
+            outbox,
+            on_message: Rc::new(RefCell::new(setup.on_message)),
+            finish_fn: Some(setup.finish),
+            inbox_scratch: Vec::new(),
+            prof: ShardProfile {
+                shard: id,
+                ..ShardProfile::default()
+            },
+        }
+    }
+
+    /// Drains this shard's inbox column into its wheel, in deterministic
+    /// `(deliver_at, src, src_seq)` order.
+    fn drain_inbox(&mut self, shared: &Shared<M>) {
+        let me = self.id as usize;
+        for row in &shared.mail {
+            let mut slot = row[me].lock().unwrap();
+            if !slot.is_empty() {
+                self.inbox_scratch.append(&mut slot);
+            }
+        }
+        if self.inbox_scratch.is_empty() {
+            return;
+        }
+        self.inbox_scratch
+            .sort_unstable_by_key(|e| (e.deliver_at, e.src.0, e.src_seq));
+        self.prof.messages_received += self.inbox_scratch.len() as u64;
+        self.prof.mailbox_depth_peak = self.prof.mailbox_depth_peak.max(self.inbox_scratch.len());
+        for env in self.inbox_scratch.drain(..) {
+            // The conservative contract, re-checked in every build: a
+            // message may never be delivered behind the receiving shard's
+            // clock.
+            assert!(
+                env.deliver_at >= self.sim.now(),
+                "lookahead violation: delivery at {:?} behind shard {} clock {:?}",
+                env.deliver_at,
+                me,
+                self.sim.now()
+            );
+            let handler = self.on_message.clone();
+            self.sim.schedule_at(env.deliver_at, move |sim| {
+                (handler.borrow_mut())(sim, env);
+            });
+        }
+    }
+
+    /// Moves this window's buffered sends into the shared mailboxes.
+    fn flush_outbox(&mut self, shared: &Shared<M>, window_end_ns: u64) {
+        let me = self.id as usize;
+        let mut o = self.outbox.inner.borrow_mut();
+        for (dst, pending) in o.pending.iter_mut().enumerate() {
+            if pending.is_empty() {
+                continue;
+            }
+            debug_assert!(
+                pending
+                    .iter()
+                    .all(|e| e.deliver_at.as_nanos() >= window_end_ns),
+                "send escaped its conservative window"
+            );
+            self.prof.messages_sent += pending.len() as u64;
+            shared.mail[me][dst].lock().unwrap().append(pending);
+        }
+    }
+
+    fn finish(mut self) -> (R, ShardProfile, SimTime) {
+        let f = self.finish_fn.take().expect("finish called once");
+        let r = f(&mut self.sim);
+        let p = self.sim.profile();
+        self.prof.executed_events = p.executed_events;
+        self.prof.scheduled_events = p.scheduled_events;
+        (r, self.prof, self.sim.now())
+    }
+}
+
+/// The conservative-window loop, executed by every worker over its lanes.
+fn run_worker<M: 'static, R>(lanes: &mut [Lane<M, R>], shared: &Shared<M>, lookahead: SimDuration) {
+    let lookahead_ns = lookahead.as_nanos();
+    let mut prev_end_ns = 0u64;
+    loop {
+        // Phase A: drain mailboxes, then publish each shard's next-event
+        // instant (drain first — a freshly delivered message may be the
+        // global minimum).
+        for lane in lanes.iter_mut() {
+            lane.drain_inbox(shared);
+            let min = lane.sim.next_event_at().map_or(u64::MAX, SimTime::as_nanos);
+            shared.mins[lane.id as usize]
+                .0
+                .store(min, Ordering::Release);
+        }
+        shared.barrier.wait();
+        // Phase B: every worker computes the same window bound from the
+        // same published minima.
+        let m = shared
+            .mins
+            .iter()
+            .map(|a| a.0.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX);
+        if m == u64::MAX {
+            // All wheels empty and (because flushes precede the barrier
+            // that precedes drains) no message in flight: done.
+            return;
+        }
+        let window_end_ns = m.saturating_add(lookahead_ns);
+        // `at < window_end` in inclusive-deadline terms: times are whole
+        // nanoseconds, so `< end` is `<= end - 1`.
+        let deadline = SimTime::from_nanos(window_end_ns - 1);
+        for lane in lanes.iter_mut() {
+            let before = lane.sim.executed_events();
+            lane.sim.run_until(deadline);
+            let span = window_end_ns - prev_end_ns.min(window_end_ns);
+            lane.prof.windows += 1;
+            lane.prof.window_ns_total += span;
+            if lane.sim.executed_events() == before {
+                lane.prof.barrier_stalls += 1;
+            }
+            lane.flush_outbox(shared, window_end_ns);
+        }
+        prev_end_ns = window_end_ns;
+        shared.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    /// A ring of shards passing a token `rounds` times: shard i receives
+    /// the token, waits a little, and forwards it to (i + 1) % n. The
+    /// output is each shard's (receive count, last receive time, rng
+    /// fingerprint) — sensitive to both ordering and stream derivation.
+    fn token_ring(
+        shards: usize,
+        rounds: u64,
+        seed: u64,
+        latency: SimDuration,
+        lookahead: SimDuration,
+    ) -> ShardedSim<u64, (u64, u64, u64)> {
+        let mut b: ShardedSimBuilder<u64, (u64, u64, u64)> =
+            ShardedSimBuilder::new(lookahead, seed);
+        for i in 0..shards {
+            b.add_shard(move |env: &mut ShardEnv<'_, u64>| {
+                let outbox = env.outbox();
+                let mut rng = env.rng_stream();
+                let received = Rc::new(Cell::new(0u64));
+                let last_at = Rc::new(Cell::new(0u64));
+                let fingerprint = Rc::new(Cell::new(0u64));
+                if i == 0 {
+                    let ob = outbox.clone();
+                    env.sim.schedule_now(move |sim| {
+                        ob.send(sim.now(), ShardId(1 % shards as u32), latency, rounds);
+                    });
+                }
+                let r2 = received.clone();
+                let l2 = last_at.clone();
+                let f2 = fingerprint.clone();
+                let n = shards as u32;
+                let on_message = Box::new(move |sim: &mut Sim, env: Envelope<u64>| {
+                    r2.set(r2.get() + 1);
+                    l2.set(sim.now().as_nanos());
+                    f2.set(f2.get().wrapping_add(rng.next_u64()));
+                    let hops_left = env.msg;
+                    if hops_left > 0 {
+                        let dst = ShardId((env.src.0 + 2) % n.max(1));
+                        let think = SimDuration::from_nanos(rng.gen_range(500));
+                        let ob = outbox.clone();
+                        let send_at = sim.now() + think;
+                        sim.schedule_at(send_at, move |sim| {
+                            ob.send(sim.now(), dst, latency, hops_left - 1);
+                        });
+                    }
+                });
+                let finish =
+                    Box::new(move |_: &mut Sim| (received.get(), last_at.get(), fingerprint.get()));
+                ShardSetup { on_message, finish }
+            });
+        }
+        b.build().expect("positive lookahead")
+    }
+
+    #[test]
+    fn byte_identical_across_worker_counts() {
+        let lat = SimDuration::from_micros(2);
+        for seed in [1u64, 42, 9001] {
+            let base = token_ring(5, 200, seed, lat, lat).run(1);
+            let digest = format!("{:?}", (&base.outputs, base.windows));
+            for workers in [2usize, 4] {
+                let run = token_ring(5, 200, seed, lat, lat).run(workers);
+                assert_eq!(
+                    digest,
+                    format!("{:?}", (&run.outputs, run.windows)),
+                    "workers={workers} seed={seed} diverged from sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_trajectory() {
+        let lat = SimDuration::from_micros(2);
+        let a = token_ring(4, 100, 1, lat, lat).run(2);
+        let b = token_ring(4, 100, 2, lat, lat).run(2);
+        assert_ne!(format!("{:?}", a.outputs), format!("{:?}", b.outputs));
+    }
+
+    #[test]
+    fn zero_lookahead_is_rejected_at_build_time() {
+        let mut b: ShardedSimBuilder<(), ()> = ShardedSimBuilder::new(SimDuration::ZERO, 7);
+        b.add_shard(|_| ShardSetup {
+            on_message: Box::new(|_, _| {}),
+            finish: Box::new(|_| {}),
+        });
+        assert_eq!(b.build().err(), Some(ShardBuildError::ZeroLookahead));
+        let empty: ShardedSimBuilder<(), ()> =
+            ShardedSimBuilder::new(SimDuration::from_nanos(1), 7);
+        assert_eq!(empty.build().err(), Some(ShardBuildError::NoShards));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "violates the declared lookahead")]
+    fn sends_below_the_lookahead_are_rejected() {
+        let mut b: ShardedSimBuilder<u64, ()> =
+            ShardedSimBuilder::new(SimDuration::from_micros(5), 1);
+        for _ in 0..2 {
+            b.add_shard(|env: &mut ShardEnv<'_, u64>| {
+                let ob = env.outbox();
+                if env.id().0 == 0 {
+                    env.sim.schedule_now(move |sim| {
+                        // One microsecond is below the declared 5us floor.
+                        ob.send(sim.now(), ShardId(1), SimDuration::from_micros(1), 0);
+                    });
+                }
+                ShardSetup {
+                    on_message: Box::new(|_, _| {}),
+                    finish: Box::new(|_| {}),
+                }
+            });
+        }
+        b.build().unwrap().run(1);
+    }
+
+    #[test]
+    fn profiles_account_messages_and_windows() {
+        let lat = SimDuration::from_micros(2);
+        let run = token_ring(3, 60, 42, lat, lat).run(1);
+        assert_eq!(run.profiles.len(), 3);
+        let sent: u64 = run.profiles.iter().map(|p| p.messages_sent).sum();
+        let recv: u64 = run.profiles.iter().map(|p| p.messages_received).sum();
+        assert_eq!(sent, recv, "every sent message is delivered");
+        assert_eq!(sent, 61, "initial token + 60 forwards");
+        assert!(run.windows > 0);
+        assert!(run.total_executed() > 0);
+        assert!(run.profiles.iter().all(|p| p.windows == run.windows));
+        // The ring is mostly idle per shard: stalls must be visible.
+        assert!(run.profiles.iter().any(|p| p.barrier_stalls > 0));
+        assert!(run.profiles[0].mean_window_ns() > 0.0);
+    }
+
+    #[test]
+    fn rng_streams_are_distinct_and_stable() {
+        let mut a = derive_stream(1, 0, 0);
+        let mut b = derive_stream(1, 1, 0);
+        let mut c = derive_stream(1, 0, 1);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_ne!(x, y);
+        assert_ne!(x, z);
+        assert_eq!(
+            derive_stream(1, 0, 0).next_u64(),
+            x,
+            "pure function of inputs"
+        );
+    }
+
+    #[test]
+    fn single_shard_runs_like_a_plain_sim() {
+        // One shard, no messages: the sharded engine degenerates to the
+        // sequential engine with a window per event cluster.
+        let mut b: ShardedSimBuilder<(), u64> =
+            ShardedSimBuilder::new(SimDuration::from_micros(1), 0);
+        b.add_shard(|env: &mut ShardEnv<'_, ()>| {
+            let hits = Rc::new(Cell::new(0u64));
+            for t in [5u64, 15, 15, 40] {
+                let h = hits.clone();
+                env.sim
+                    .schedule_at(SimTime::from_nanos(t), move |_| h.set(h.get() + 1));
+            }
+            ShardSetup {
+                on_message: Box::new(|_, _| {}),
+                finish: Box::new(move |sim: &mut Sim| {
+                    // One window: min event 5ns + 1us lookahead, exclusive.
+                    assert_eq!(sim.now().as_nanos(), 5 + 1000 - 1);
+                    hits.get()
+                }),
+            }
+        });
+        let run = b.build().unwrap().run(4);
+        assert_eq!(run.outputs, vec![4]);
+        assert_eq!(run.workers, 1, "workers are clamped to the shard count");
+    }
+}

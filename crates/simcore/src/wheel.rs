@@ -394,9 +394,13 @@ impl TimingWheel {
     /// no further than `limit_tick`. Returns `None` when the queue is
     /// drained or the next event lies beyond the limit.
     ///
-    /// The engine drives everything through [`TimingWheel::pop_due`];
-    /// this peek/pop split survives for the wheel's own unit tests.
-    #[cfg(test)]
+    /// Advancing the wheel's *position* is invisible to callers: no event
+    /// fires and the engine clock is untouched. Entries inserted behind
+    /// the advanced position later (e.g. conservative-window mailbox
+    /// deliveries) land in `ready` and keep exact `(time, seq)` order.
+    /// The engine's hot loop drives everything through
+    /// [`TimingWheel::pop_due`]; this peek also serves the sharded
+    /// engine's window computation ([`crate::shard`]).
     pub fn next_at(&mut self, limit_tick: u64) -> Option<SimTime> {
         loop {
             while let Some(&(at, _, idx)) = self.ready.last() {
