@@ -35,7 +35,7 @@ use std::path::PathBuf;
 
 use nadino::experiment::parallel::{pmap, resolve_jobs};
 use nadino::experiment::{
-    ablations, fig06, fig09, fig11, fig12, fig13, fig14, fig15, fig16, fig17, summary,
+    ablations, churn, fig06, fig09, fig11, fig12, fig13, fig14, fig15, fig16, fig17, summary,
 };
 use obs::ToJson;
 
@@ -157,6 +157,10 @@ fn run_one(name: &str, b: &Budget, jobs: usize, shards: usize) -> Output {
             let mut o = out("BENCH_parallel", rep.render(), &rep);
             o.shard_report = Some(rep);
             o
+        }
+        "churn" => {
+            let rep = churn::run_jobs(b.quick, jobs);
+            out("BENCH_churn", rep.render(), &rep)
         }
         other => unreachable!("unvalidated experiment name {other:?}"),
     }

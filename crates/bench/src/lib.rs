@@ -14,7 +14,7 @@
 pub mod harness;
 
 /// Known experiment names accepted by the `experiments` binary.
-pub const EXPERIMENTS: [&str; 12] = [
+pub const EXPERIMENTS: [&str; 13] = [
     "fig06",
     "fig09",
     "fig11",
@@ -27,6 +27,7 @@ pub const EXPERIMENTS: [&str; 12] = [
     "ablations",
     "summary",
     "parallel",
+    "churn",
 ];
 
 /// Returns `true` if `name` names a known experiment.

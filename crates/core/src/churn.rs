@@ -1,0 +1,762 @@
+//! The elastic tenant-churn scale model.
+//!
+//! Swift's observation — and NADINO's §3.3 concern — is that in an
+//! elastic multi-tenant cell the *control plane* of RDMA is what
+//! collapses: RC establishment costs tens of milliseconds, so a cell
+//! where tenants continuously arrive and depart pays that cost on the
+//! request path exactly when a cold tenant gets its first call. This
+//! module models that regime at populations the full-fidelity
+//! [`crate::cluster::Cluster`] cannot hold (its tenant ids are on-wire
+//! `u16`s and every tenant carries buffer pools and RQs):
+//!
+//! - a **real fabric** ([`rdma_sim::Fabric`]) carries the QP state, the
+//!   pre-warm stock and the RNIC cache accounting, so cold connects,
+//!   pre-warm claims and cache penalties are priced by the calibrated
+//!   cost model rather than re-invented;
+//! - tenants are **churn-level** entities keyed by `u32` (the engine's
+//!   [`dne::connpool::ConnPool`] and [`dne::routing::ShardedTable`] are
+//!   generic over the key exactly for this), one function per tenant,
+//!   placed round-robin over the backend nodes;
+//! - per-descriptor engine work is charged **analytically** (the fig06
+//!   pipeline validated those constants) instead of being simulated
+//!   descriptor-by-descriptor, which is what buys the 10^5–10^6 scale.
+//!
+//! The workload is the elastic-cell trinity: **Poisson** arrivals and
+//! exponential lifetimes hold the population near its target, **Zipf**
+//! popularity concentrates traffic on a hot head while the long tail
+//! stays cold (the worst case for a QP cache), and a **diurnal**
+//! modulation sweeps the offered load so the pool sees both growth and
+//! drain phases. Every statistic folds into a byte-stable determinism
+//! digest; the CI churn-smoke job asserts same-seed identity.
+//!
+//! At 10^6 tenants the model is **memory-bound**, not compute-bound:
+//! each live tenant holds a route entry, a pool entry and two fabric QP
+//! endpoints — on the order of a few hundred bytes each, several GiB in
+//! total with allocator overhead — so the default sweep stops at 10^5
+//! and documents the extrapolation instead of OOM-killing CI.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dne::connpool::{ConnPool, ElasticConfig};
+use dne::routing::ShardedTable;
+use ingress::prewarm::{PrewarmConfig, PrewarmController};
+use membuf::tenant::TenantId;
+use rdma_sim::cost::RdmaCosts;
+use rdma_sim::fabric::{CqId, QpHandle, RqId};
+use rdma_sim::{Fabric, NodeId};
+use simcore::{Histogram, Sim, SimDuration, SimRng, SimTime};
+
+/// Per-message wire overhead added to the payload: descriptor + headers.
+const WIRE_HEADER_BYTES: usize = 64;
+
+/// Configuration of one churn cell.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Steady-state tenant population target (arrival rate is
+    /// `tenants / mean_lifetime`, balancing expected departures).
+    pub tenants: usize,
+    /// Fabric nodes; node 0 is the gateway every request originates
+    /// from, nodes `1..` host tenant functions round-robin.
+    pub nodes: usize,
+    /// Virtual time the cell runs.
+    pub horizon: SimDuration,
+    /// Root seed for every stochastic stream.
+    pub seed: u64,
+    /// Fabric cost model (connect/claim delays, cache penalties).
+    pub costs: RdmaCosts,
+    /// Mean tenant lifetime (exponentially distributed).
+    pub mean_lifetime: SimDuration,
+    /// Mean request rate per live tenant at diurnal midpoint, Hz.
+    pub rate_per_tenant: f64,
+    /// Zipf popularity exponent across live tenants (0 = uniform).
+    pub zipf_s: f64,
+    /// Request payload bytes.
+    pub payload: usize,
+    /// Pre-warm stock target per gateway→backend link; `0` disables
+    /// pre-warming (every first contact is a cold connect).
+    pub prewarm_target: usize,
+    /// How often the background controller restocks the pre-warm pools.
+    pub prewarm_interval: SimDuration,
+    /// Elastic lifecycle config of the gateway's connection pool.
+    pub elastic: ElasticConfig,
+    /// How often the idle reaper / teardown sweep runs.
+    pub reap_interval: SimDuration,
+    /// Diurnal amplitude in `[0, 1)`: offered load swings between
+    /// `1 - a` and `1 + a` times the base rate.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period (compressed; real cells use 24 h).
+    pub diurnal_period: SimDuration,
+    /// Goodput SLO: a request counts as *good* iff its modeled latency
+    /// is within this bound (a cold connect never is).
+    pub slo: SimDuration,
+    /// Hard cap on modeled requests (bounds event count at high
+    /// populations; `0` = uncapped).
+    pub max_requests: u64,
+    /// Cold-start transient excluded from the steady-state metrics: at
+    /// `t = 0` the whole initial population is connectionless, so the
+    /// first contacts before any restock matures are cold by
+    /// construction, not by control-plane failure.
+    pub warmup: SimDuration,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            tenants: 1_000,
+            nodes: 4,
+            horizon: SimDuration::from_millis(2_000),
+            seed: 42,
+            costs: RdmaCosts::default(),
+            mean_lifetime: SimDuration::from_millis(800),
+            rate_per_tenant: 25.0,
+            zipf_s: 1.1,
+            payload: 1024,
+            prewarm_target: 8,
+            prewarm_interval: SimDuration::from_millis(5),
+            elastic: ElasticConfig {
+                active_capacity: 128,
+                idle_teardown_age: Some(SimDuration::from_millis(200)),
+            },
+            reap_interval: SimDuration::from_millis(10),
+            diurnal_amplitude: 0.4,
+            diurnal_period: SimDuration::from_millis(1_000),
+            slo: SimDuration::from_millis(1),
+            max_requests: 200_000,
+            warmup: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// The outcome of one churn cell, integer-dominated for digest
+/// stability.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Population target the cell ran at.
+    pub tenants: usize,
+    /// Pre-warm stock target the cell ran with.
+    pub prewarm_target: usize,
+    /// Peak concurrently-live tenants observed.
+    pub peak_alive: usize,
+    /// Live tenants at the end of the run.
+    pub final_alive: usize,
+    /// Tenant arrivals (beyond the initial population).
+    pub arrivals: u64,
+    /// Tenant departures.
+    pub departures: u64,
+    /// Requests modeled.
+    pub requests: u64,
+    /// Requests within the SLO.
+    pub good: u64,
+    /// Good requests per virtual second.
+    pub goodput_rps: f64,
+    /// Median modeled request latency, µs.
+    pub p50_us: f64,
+    /// Tail modeled request latency, µs.
+    pub p99_us: f64,
+    /// First contacts that paid the full RC establishment delay.
+    pub cold_connects: u64,
+    /// First contacts satisfied from the pre-warm stock.
+    pub prewarm_claims: u64,
+    /// `prewarm_claims / (prewarm_claims + cold_connects)` over the whole
+    /// run, cold-start burst included; 0 when no connection was set up.
+    pub prewarm_hit_rate: f64,
+    /// First contacts after the warmup cutoff that went cold.
+    pub steady_cold_connects: u64,
+    /// First contacts after the warmup cutoff served from stock.
+    pub steady_prewarm_claims: u64,
+    /// Pre-warm hit rate measured only after the warmup cutoff — the
+    /// steady-state figure the elastic control plane is judged on.
+    pub steady_hit_rate: f64,
+    /// Median modeled latency after the warmup cutoff, µs.
+    pub steady_p50_us: f64,
+    /// Tail modeled latency after the warmup cutoff, µs.
+    pub steady_p99_us: f64,
+    /// Shadow-QP picker hits (chosen QP already active).
+    pub pool_hits: u64,
+    /// Shadow-QP picker misses (activation required).
+    pub pool_misses: u64,
+    /// LRU evictions forced by the bounded active set.
+    pub evictions: u64,
+    /// Connections destroyed by idle-age teardown.
+    pub teardowns: u64,
+    /// Peak simultaneously-active QPs at the gateway RNIC.
+    pub peak_active_qps: usize,
+    /// Pooled connections remaining at the end.
+    pub pooled_final: usize,
+    /// FNV-1a digest over every integer column — byte-identical across
+    /// same-seed runs, the CI churn-smoke invariant.
+    pub digest: u64,
+}
+
+obs::impl_to_json!(ChurnReport {
+    tenants,
+    prewarm_target,
+    peak_alive,
+    final_alive,
+    arrivals,
+    departures,
+    requests,
+    good,
+    goodput_rps,
+    p50_us,
+    p99_us,
+    cold_connects,
+    prewarm_claims,
+    prewarm_hit_rate,
+    steady_cold_connects,
+    steady_prewarm_claims,
+    steady_hit_rate,
+    steady_p50_us,
+    steady_p99_us,
+    pool_hits,
+    pool_misses,
+    evictions,
+    teardowns,
+    peak_active_qps,
+    pooled_final,
+    digest
+});
+
+/// All churn traffic shares one fabric-level tenant: isolation between
+/// churn tenants is modeled at the pool/routing layer (that is the
+/// control plane under test), not at the RNIC protection domain.
+const FABRIC_TENANT: TenantId = TenantId(0);
+
+struct ChurnState {
+    cfg: ChurnConfig,
+    fabric: Fabric,
+    /// Per-node `(CQ, shared RQ)` wiring, indexed by node id.
+    wiring: Vec<(CqId, RqId)>,
+    routing: ShardedTable<u32>,
+    pool: ConnPool<u32>,
+    /// Live tenants in sampling order (swap-removed on departure).
+    alive: Vec<u32>,
+    alive_pos: HashMap<u32, usize>,
+    next_tenant: u32,
+    rng: SimRng,
+    /// 1-based prefix sums of `1/k^s` for Zipf inversion.
+    harmonic: Vec<f64>,
+    end: SimTime,
+    // Counters.
+    arrivals: u64,
+    departures: u64,
+    requests: u64,
+    good: u64,
+    cold_connects: u64,
+    prewarm_claims: u64,
+    steady_cold: u64,
+    steady_claims: u64,
+    warmup_end: SimTime,
+    /// Per-backend-link restock controllers (index = node id); each
+    /// sizes its next order to a floor plus the first-contact demand
+    /// observed since the last tick.
+    prewarm_ctl: Vec<PrewarmController>,
+    peak_alive: usize,
+    latency: Histogram,
+    /// Latency of requests issued after the warmup cutoff only.
+    steady_latency: Histogram,
+}
+
+impl ChurnState {
+    fn gateway(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    fn diurnal(&self, now: SimTime) -> f64 {
+        let t = now.as_secs_f64();
+        let period = self.cfg.diurnal_period.as_secs_f64().max(1e-9);
+        1.0 + self.cfg.diurnal_amplitude * (std::f64::consts::TAU * t / period).sin()
+    }
+
+    /// Samples a live tenant by Zipf rank over the current population.
+    fn sample_tenant(&mut self) -> Option<u32> {
+        let n = self.alive.len();
+        if n == 0 {
+            return None;
+        }
+        let n = n.min(self.harmonic.len() - 1);
+        let u = self.rng.next_f64() * self.harmonic[n];
+        // First rank whose prefix mass covers `u`.
+        let rank =
+            match self.harmonic[1..=n].binary_search_by(|h| h.partial_cmp(&u).expect("finite")) {
+                Ok(i) => i,
+                Err(i) => i.min(n - 1),
+            };
+        Some(self.alive[rank])
+    }
+
+    fn spawn_tenant(&mut self, initial: bool) -> u32 {
+        let t = self.next_tenant;
+        self.next_tenant += 1;
+        // Round-robin placement over the backends: deterministic, and at
+        // churn scale indistinguishable from a placement service.
+        let backends = (self.cfg.nodes - 1) as u32;
+        let home = NodeId(1 + (t % backends) as u16);
+        self.routing.set(t, home);
+        self.alive_pos.insert(t, self.alive.len());
+        self.alive.push(t);
+        self.peak_alive = self.peak_alive.max(self.alive.len());
+        if !initial {
+            self.arrivals += 1;
+        }
+        t
+    }
+
+    fn depart_tenant(&mut self, t: u32) {
+        let Some(pos) = self.alive_pos.remove(&t) else {
+            return; // Already departed.
+        };
+        self.alive.swap_remove(pos);
+        if let Some(&moved) = self.alive.get(pos) {
+            self.alive_pos.insert(moved, pos);
+        }
+        if let Some(home) = self.routing.remove(t) {
+            let handles: Vec<QpHandle> = self.pool.remove_peer(&self.fabric, t, home);
+            for h in handles {
+                // Lazy teardown may already have destroyed it.
+                let _ = self.fabric.destroy_qp(h);
+            }
+        }
+        self.departures += 1;
+    }
+}
+
+fn schedule_departure(state: &Rc<RefCell<ChurnState>>, sim: &mut Sim, t: u32) {
+    let life = {
+        let mut s = state.borrow_mut();
+        let mean = s.cfg.mean_lifetime.as_secs_f64();
+        SimDuration::from_secs_f64(s.rng.exponential(mean))
+    };
+    let st = state.clone();
+    sim.schedule_after(life, move |_sim| {
+        st.borrow_mut().depart_tenant(t);
+    });
+}
+
+fn schedule_next_arrival(state: &Rc<RefCell<ChurnState>>, sim: &mut Sim) {
+    let (gap, end) = {
+        let mut s = state.borrow_mut();
+        let rate = s.cfg.tenants as f64 / s.cfg.mean_lifetime.as_secs_f64().max(1e-9);
+        (
+            SimDuration::from_secs_f64(s.rng.exponential(1.0 / rate)),
+            s.end,
+        )
+    };
+    if sim.now() + gap >= end {
+        return;
+    }
+    let st = state.clone();
+    sim.schedule_after(gap, move |sim| {
+        let t = st.borrow_mut().spawn_tenant(false);
+        schedule_departure(&st, sim, t);
+        schedule_next_arrival(&st, sim);
+    });
+}
+
+/// Models one request for tenant `t`: connection lookup (or first-contact
+/// setup) plus the analytic delivery latency, priced against the live
+/// RNIC cache occupancy.
+fn model_request(s: &mut ChurnState, sim: &mut Sim, t: u32) {
+    let now = sim.now();
+    let Ok(home) = s.routing.resolve(t) else {
+        return; // Departed between sampling and service.
+    };
+    let gw = s.gateway();
+    let mut latency = s.cfg.costs.one_way(s.cfg.payload + WIRE_HEADER_BYTES)
+        + s.cfg.costs.qp_cache_penalty(s.fabric.active_qp_count(gw));
+    let picked = s
+        .pool
+        .pick_least_congested(&s.fabric, now, t, home)
+        .is_some();
+    if !picked {
+        // First contact (or every pooled conn torn down): the elastic
+        // control plane decides whether this costs microseconds or tens
+        // of milliseconds.
+        let (cq_g, rq_g) = s.wiring[0];
+        let (cq_h, rq_h) = s.wiring[home.0 as usize];
+        let claimed = s
+            .fabric
+            .claim_prewarmed(sim, FABRIC_TENANT, gw, cq_g, rq_g, home, cq_h, rq_h)
+            .unwrap_or(None);
+        s.prewarm_ctl[home.0 as usize].note_demand(1);
+        let steady = now >= s.warmup_end;
+        let pair = match claimed {
+            Some(pair) => {
+                s.prewarm_claims += 1;
+                if steady {
+                    s.steady_claims += 1;
+                }
+                latency += s.cfg.costs.prewarm_claim_delay;
+                Some(pair)
+            }
+            None => match s
+                .fabric
+                .connect(sim, FABRIC_TENANT, gw, cq_g, rq_g, home, cq_h, rq_h)
+            {
+                Ok(pair) => {
+                    s.cold_connects += 1;
+                    if steady {
+                        s.steady_cold += 1;
+                    }
+                    latency += s.cfg.costs.connect_delay;
+                    Some(pair)
+                }
+                Err(_) => None,
+            },
+        };
+        if let Some((ha, _hb)) = pair {
+            s.pool.add(t, home, ha, now);
+            // Activate it for this request so the RNIC cache sees it.
+            s.pool.pick_least_congested(&s.fabric, now, t, home);
+        }
+    }
+    s.requests += 1;
+    s.latency.record(latency);
+    if now >= s.warmup_end {
+        s.steady_latency.record(latency);
+    }
+    if latency <= s.cfg.slo {
+        s.good += 1;
+    }
+}
+
+fn schedule_next_request(state: &Rc<RefCell<ChurnState>>, sim: &mut Sim) {
+    let (gap, end, capped) = {
+        let mut s = state.borrow_mut();
+        let alive = s.alive.len();
+        let capped = s.cfg.max_requests > 0 && s.requests >= s.cfg.max_requests;
+        let gap = if alive == 0 {
+            SimDuration::from_millis(1)
+        } else {
+            let rate = s.cfg.rate_per_tenant * alive as f64 * s.diurnal(sim.now());
+            SimDuration::from_secs_f64(s.rng.exponential(1.0 / rate.max(1e-9)))
+        };
+        (gap, s.end, capped)
+    };
+    if capped || sim.now() + gap >= end {
+        return;
+    }
+    let st = state.clone();
+    sim.schedule_after(gap, move |sim| {
+        let picked = st.borrow_mut().sample_tenant();
+        if let Some(t) = picked {
+            let mut s = st.borrow_mut();
+            model_request(&mut s, sim, t);
+        }
+        schedule_next_request(&st, sim);
+    });
+}
+
+fn schedule_prewarm_tick(state: &Rc<RefCell<ChurnState>>, sim: &mut Sim) {
+    let (interval, end) = {
+        let s = state.borrow();
+        (s.cfg.prewarm_interval, s.end)
+    };
+    if state.borrow().cfg.prewarm_target == 0 || sim.now() + interval >= end {
+        return;
+    }
+    let st = state.clone();
+    sim.schedule_after(interval, move |sim| {
+        {
+            let mut s = st.borrow_mut();
+            let gw = s.gateway();
+            for n in 1..s.cfg.nodes as u16 {
+                let peer = NodeId(n);
+                let stock = s.fabric.prewarmed_available(gw, peer);
+                // Demand-driven restock: the controller holds a buffer of
+                // `prewarm_target` *plus* whatever the last window consumed,
+                // so the order pipeline (QPs take `connect_delay` to mature)
+                // keeps pace with the first-contact rate, not a static floor.
+                let order = s.prewarm_ctl[n as usize].order(stock);
+                if order > 0 {
+                    let _ = s.fabric.prewarm_link(sim, gw, peer, order);
+                }
+            }
+        }
+        schedule_prewarm_tick(&st, sim);
+    });
+}
+
+fn schedule_reap_tick(state: &Rc<RefCell<ChurnState>>, sim: &mut Sim) {
+    let (interval, end) = {
+        let s = state.borrow();
+        (s.cfg.reap_interval, s.end)
+    };
+    if sim.now() + interval >= end {
+        return;
+    }
+    let st = state.clone();
+    sim.schedule_after(interval, move |sim| {
+        {
+            let mut s = st.borrow_mut();
+            let fabric = s.fabric.clone();
+            s.pool.deactivate_idle(&fabric, sim.now());
+            s.pool.teardown_idle(&fabric, sim.now());
+        }
+        schedule_reap_tick(&st, sim);
+    });
+}
+
+/// FNV-1a over a byte stream.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs one churn cell to completion.
+pub fn run(cfg: ChurnConfig) -> ChurnReport {
+    assert!(cfg.nodes >= 2, "need a gateway and at least one backend");
+    assert!(cfg.nodes <= u16::MAX as usize, "fabric node ids are u16s");
+    let mut sim = Sim::new();
+    let fabric = Fabric::new(cfg.costs.clone());
+    let mut wiring = Vec::with_capacity(cfg.nodes);
+    for _ in 0..cfg.nodes {
+        let node = fabric.add_node();
+        let cq = fabric.create_cq(node).expect("fresh node");
+        let rq = fabric.create_rq(node, FABRIC_TENANT).expect("fresh node");
+        wiring.push((cq, rq));
+    }
+    // Zipf prefix sums, sized for the population plus churn headroom.
+    let cap = cfg.tenants * 2 + 1024;
+    let mut harmonic = Vec::with_capacity(cap + 1);
+    harmonic.push(0.0);
+    let mut acc = 0.0;
+    for k in 1..=cap {
+        acc += 1.0 / (k as f64).powf(cfg.zipf_s);
+        harmonic.push(acc);
+    }
+    let end = SimTime::ZERO + cfg.horizon;
+    let pool = ConnPool::with_config(cfg.elastic);
+    let state = Rc::new(RefCell::new(ChurnState {
+        routing: ShardedTable::new(),
+        pool,
+        alive: Vec::with_capacity(cfg.tenants * 2),
+        alive_pos: HashMap::with_capacity(cfg.tenants * 2),
+        next_tenant: 0,
+        rng: SimRng::new(cfg.seed),
+        harmonic,
+        end,
+        arrivals: 0,
+        departures: 0,
+        requests: 0,
+        good: 0,
+        cold_connects: 0,
+        prewarm_claims: 0,
+        steady_cold: 0,
+        steady_claims: 0,
+        warmup_end: SimTime::ZERO + cfg.warmup,
+        prewarm_ctl: (0..cfg.nodes)
+            .map(|_| {
+                PrewarmController::new(PrewarmConfig {
+                    target: cfg.prewarm_target,
+                    max_order: 4_096,
+                })
+            })
+            .collect(),
+        steady_latency: Histogram::new(),
+        peak_alive: 0,
+        latency: Histogram::new(),
+        fabric: fabric.clone(),
+        wiring,
+        cfg,
+    }));
+    // Initial population, each with its own exponential lifetime.
+    let initial: Vec<u32> = {
+        let mut s = state.borrow_mut();
+        let n = s.cfg.tenants;
+        (0..n).map(|_| s.spawn_tenant(true)).collect()
+    };
+    for t in initial {
+        schedule_departure(&state, &mut sim, t);
+    }
+    // Pre-stock the pre-warm pools so steady state starts warm.
+    {
+        let s = state.borrow();
+        if s.cfg.prewarm_target > 0 {
+            let gw = s.gateway();
+            for n in 1..s.cfg.nodes as u16 {
+                let _ = s
+                    .fabric
+                    .prewarm_link(&mut sim, gw, NodeId(n), s.cfg.prewarm_target);
+            }
+        }
+    }
+    schedule_next_arrival(&state, &mut sim);
+    schedule_next_request(&state, &mut sim);
+    schedule_prewarm_tick(&state, &mut sim);
+    schedule_reap_tick(&state, &mut sim);
+    sim.run();
+
+    let s = state.borrow();
+    let (pool_hits, pool_misses) = s.pool.hit_miss();
+    let horizon_s = s.cfg.horizon.as_secs_f64();
+    let warm_total = s.prewarm_claims + s.cold_connects;
+    let steady_total = s.steady_claims + s.steady_cold;
+    let peak_active = s.fabric.peak_active_qp_count(s.gateway());
+    let ints: [u64; 16] = [
+        s.cfg.tenants as u64,
+        s.cfg.prewarm_target as u64,
+        s.peak_alive as u64,
+        s.alive.len() as u64,
+        s.arrivals,
+        s.departures,
+        s.requests,
+        s.good,
+        s.cold_connects,
+        s.prewarm_claims,
+        s.steady_cold,
+        s.steady_claims,
+        pool_hits,
+        pool_misses,
+        s.pool.evictions(),
+        s.pool.teardowns(),
+    ];
+    let digest = fnv1a(ints.iter().flat_map(|v| v.to_le_bytes()));
+    ChurnReport {
+        tenants: s.cfg.tenants,
+        prewarm_target: s.cfg.prewarm_target,
+        peak_alive: s.peak_alive,
+        final_alive: s.alive.len(),
+        arrivals: s.arrivals,
+        departures: s.departures,
+        requests: s.requests,
+        good: s.good,
+        goodput_rps: if horizon_s > 0.0 {
+            s.good as f64 / horizon_s
+        } else {
+            0.0
+        },
+        p50_us: s.latency.percentile(50.0).as_micros_f64(),
+        p99_us: s.latency.percentile(99.0).as_micros_f64(),
+        cold_connects: s.cold_connects,
+        prewarm_claims: s.prewarm_claims,
+        prewarm_hit_rate: if warm_total > 0 {
+            s.prewarm_claims as f64 / warm_total as f64
+        } else {
+            0.0
+        },
+        steady_cold_connects: s.steady_cold,
+        steady_prewarm_claims: s.steady_claims,
+        steady_hit_rate: if steady_total > 0 {
+            s.steady_claims as f64 / steady_total as f64
+        } else {
+            0.0
+        },
+        steady_p50_us: s.steady_latency.percentile(50.0).as_secs_f64() * 1e6,
+        steady_p99_us: s.steady_latency.percentile(99.0).as_secs_f64() * 1e6,
+        pool_hits,
+        pool_misses,
+        evictions: s.pool.evictions(),
+        teardowns: s.pool.teardowns(),
+        peak_active_qps: peak_active,
+        pooled_final: s.pool.pooled_total(),
+        digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(seed: u64) -> ChurnConfig {
+        ChurnConfig {
+            tenants: 200,
+            horizon: SimDuration::from_millis(300),
+            mean_lifetime: SimDuration::from_millis(150),
+            max_requests: 20_000,
+            warmup: SimDuration::from_millis(75),
+            seed,
+            ..ChurnConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_cell_steady_hit_rate_exceeds_90_pct() {
+        // The acceptance bar for the elastic control plane: in the
+        // default cell (10^3 tenants, demand-driven restock) better
+        // than nine of ten steady-state first contacts come from the
+        // pre-warm stock.
+        let rep = run(ChurnConfig::default());
+        assert!(
+            rep.steady_prewarm_claims + rep.steady_cold_connects > 100,
+            "steady window too thin to judge"
+        );
+        assert!(
+            rep.steady_hit_rate > 0.9,
+            "default-cell steady hit rate {} <= 0.9",
+            rep.steady_hit_rate
+        );
+    }
+
+    #[test]
+    fn churn_cell_reaches_steady_state_and_is_deterministic() {
+        let a = run(quick_cfg(7));
+        assert!(a.requests > 1_000, "requests {}", a.requests);
+        assert!(a.arrivals > 0 && a.departures > 0, "{a:?}");
+        // Population hovers near target: peak within 2x.
+        assert!(
+            a.peak_alive >= 200 && a.peak_alive < 400,
+            "{}",
+            a.peak_alive
+        );
+        let b = run(quick_cfg(7));
+        assert_eq!(a.digest, b.digest, "same seed, same cell");
+        let c = run(quick_cfg(8));
+        assert_ne!(a.digest, c.digest, "different seed, different cell");
+    }
+
+    #[test]
+    fn prewarm_raises_hit_rate_and_goodput() {
+        let warm = run(quick_cfg(3));
+        let cold = run(ChurnConfig {
+            prewarm_target: 0,
+            ..quick_cfg(3)
+        });
+        assert!(
+            warm.steady_hit_rate > 0.9,
+            "steady-state pre-warm hit rate {} <= 0.9",
+            warm.steady_hit_rate
+        );
+        assert!(
+            warm.prewarm_hit_rate >= warm.steady_hit_rate * 0.5,
+            "whole-run rate collapsed: {} vs steady {}",
+            warm.prewarm_hit_rate,
+            warm.steady_hit_rate
+        );
+        assert_eq!(cold.prewarm_claims, 0, "no stock, no claims");
+        assert!(cold.cold_connects > 0);
+        assert!(
+            warm.steady_p99_us < cold.steady_p99_us,
+            "warm steady p99 {} !< cold steady p99 {}",
+            warm.steady_p99_us,
+            cold.steady_p99_us
+        );
+        assert!(warm.goodput_rps >= cold.goodput_rps);
+    }
+
+    #[test]
+    fn teardown_and_eviction_engage_under_churn() {
+        let r = run(quick_cfg(11));
+        assert!(r.teardowns > 0, "idle-age teardown never engaged");
+        // Departures release their pooled connections; whatever remains
+        // is bounded by the live population.
+        assert!(r.pooled_final <= r.final_alive, "{r:?}");
+    }
+
+    #[test]
+    fn zipf_head_concentrates_picks() {
+        let r = run(quick_cfg(5));
+        // With s=1.1 the pool sees far more re-picks (hits+misses) than
+        // first contacts: the head tenants dominate traffic.
+        assert!(
+            r.pool_hits + r.pool_misses > (r.cold_connects + r.prewarm_claims) * 3,
+            "{r:?}"
+        );
+    }
+}

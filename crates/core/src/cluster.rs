@@ -671,6 +671,21 @@ impl Cluster {
                 .set(node.dne.conn_deactivations() as f64);
             reg.gauge("rnic_active_qps", &nl)
                 .set(self.fabric.active_qp_count(node.id) as f64);
+            // Elastic control-plane thrash signals: cold RC establishments
+            // vs pre-warm claims on the reconnect path, LRU evictions from
+            // the bounded active set, and the pool-wide pre-warm hit rate.
+            reg.gauge("qp_cold_connects_total", &nl)
+                .set(stats.cold_connects as f64);
+            reg.gauge("qp_prewarm_claims_total", &nl)
+                .set(stats.prewarm_claims as f64);
+            reg.gauge("qp_evictions_total", &nl)
+                .set(node.dne.conn_evictions() as f64);
+            reg.gauge("qp_teardowns_total", &nl)
+                .set(node.dne.conn_teardowns() as f64);
+            reg.gauge("qp_prewarm_hit_rate", &nl).set_ratio(
+                stats.prewarm_claims,
+                stats.prewarm_claims + stats.cold_connects,
+            );
             for t in node.dne.tenant_ids() {
                 let tenant_label = t.0.to_string();
                 let labels = [

@@ -1,0 +1,283 @@
+//! BENCH churn — elastic control-plane scaling under tenant churn.
+//!
+//! Sweeps the churn cell of [`crate::churn`] across tenant populations
+//! (10^2–10^5) with pre-warming off and on, holding everything else at
+//! the default cell. The contrast per population isolates what the
+//! elastic control plane buys: with `prewarm = 0` every tenant's first
+//! contact pays the full RC establishment delay on the request path;
+//! with the demand-driven restock controller it pays a claim measured
+//! in microseconds, and goodput/tail follow.
+//!
+//! 10^6 tenants is deliberately not in the default sweep: the cell is
+//! memory-bound there (route + pool + two fabric QP endpoints per live
+//! tenant — several GiB with allocator overhead), so CI would OOM
+//! before it ran out of virtual time. The 10^2→10^5 trend is flat in
+//! steady-state hit rate and sub-linear in per-lookup cost (the sharded
+//! table's point), which is the extrapolation the paper's argument
+//! needs.
+//!
+//! Every cell folds its counters into a determinism digest; the run
+//! repeats one cell with the same seed and reports whether the digests
+//! were byte-identical, and the CI churn-smoke job re-asserts this
+//! across whole process invocations.
+
+use crate::churn::{run as run_cell, ChurnConfig, ChurnReport};
+use crate::experiment::parallel::pmap;
+use crate::report::{fmt_f64, render_table};
+use simcore::SimDuration;
+
+/// One sweep cell's headline numbers (the full [`ChurnReport`] rides
+/// along for the JSON twin).
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Tenant population target.
+    pub tenants: usize,
+    /// Pre-warm stock floor per link (0 = cold control plane).
+    pub prewarm_target: usize,
+    /// Requests modeled.
+    pub requests: u64,
+    /// Good requests (within SLO) per virtual second.
+    pub goodput_rps: f64,
+    /// Steady-state pre-warm hit rate (post-warmup first contacts
+    /// served from stock).
+    pub steady_hit_rate: f64,
+    /// First contacts that paid the full RC establishment delay.
+    pub cold_connects: u64,
+    /// Steady-state median latency, µs.
+    pub steady_p50_us: f64,
+    /// Steady-state tail latency, µs.
+    pub steady_p99_us: f64,
+    /// LRU evictions from the active QP set.
+    pub evictions: u64,
+    /// Idle QPs lazily torn down.
+    pub teardowns: u64,
+    /// Peak concurrently-active QPs at the gateway RNIC.
+    pub peak_active_qps: usize,
+    /// Determinism digest, hex.
+    pub digest: String,
+}
+
+obs::impl_to_json!(ChurnRow {
+    tenants,
+    prewarm_target,
+    requests,
+    goodput_rps,
+    steady_hit_rate,
+    cold_connects,
+    steady_p50_us,
+    steady_p99_us,
+    evictions,
+    teardowns,
+    peak_active_qps,
+    digest
+});
+
+/// The full sweep.
+#[derive(Debug, Clone)]
+pub struct BenchChurn {
+    pub rows: Vec<ChurnRow>,
+    /// `"stable"` when the repeated same-seed cell reproduced its digest
+    /// byte-for-byte, `"UNSTABLE"` otherwise.
+    pub determinism: String,
+}
+
+obs::impl_to_json!(BenchChurn { rows, determinism });
+
+/// Populations swept by the full budget.
+pub const FULL_POPULATIONS: [usize; 4] = [100, 1_000, 10_000, 100_000];
+/// Populations swept by `--quick` (CI smoke).
+pub const QUICK_POPULATIONS: [usize; 3] = [100, 1_000, 10_000];
+/// The cold-vs-warm contrast: pre-warm stock floors compared.
+pub const PREWARM_LEVELS: [usize; 2] = [0, 8];
+
+/// Root seed for every cell, overridable via `CHURN_SEED` (decimal or
+/// `0x`-prefixed hex) so the CI smoke job can sweep a seed matrix and
+/// assert byte identity per seed.
+fn churn_seed(default: u64) -> u64 {
+    std::env::var("CHURN_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim().to_string();
+            match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(default)
+}
+
+fn cell_cfg(tenants: usize, prewarm: usize, quick: bool) -> ChurnConfig {
+    let mut cfg = ChurnConfig {
+        tenants,
+        prewarm_target: prewarm,
+        seed: churn_seed(ChurnConfig::default().seed),
+        ..ChurnConfig::default()
+    };
+    if quick {
+        cfg.horizon = SimDuration::from_millis(500);
+        cfg.warmup = SimDuration::from_millis(125);
+        cfg.max_requests = 30_000;
+    }
+    // At large populations the request cap, not the horizon, ends the
+    // cell (offered load is `rate_per_tenant * tenants`); pull the
+    // warmup cutoff to a third of the expected time-to-cap so the
+    // steady-state window still sees most of the samples.
+    let offered = cfg.rate_per_tenant * tenants as f64;
+    if cfg.max_requests > 0 && offered > 0.0 {
+        let time_to_cap = SimDuration::from_secs_f64(cfg.max_requests as f64 / offered / 3.0);
+        if time_to_cap < cfg.warmup {
+            cfg.warmup = time_to_cap;
+        }
+    }
+    cfg
+}
+
+fn row(rep: &ChurnReport, prewarm: usize) -> ChurnRow {
+    ChurnRow {
+        tenants: rep.tenants,
+        prewarm_target: prewarm,
+        requests: rep.requests,
+        goodput_rps: rep.goodput_rps,
+        steady_hit_rate: rep.steady_hit_rate,
+        cold_connects: rep.cold_connects,
+        steady_p50_us: rep.steady_p50_us,
+        steady_p99_us: rep.steady_p99_us,
+        evictions: rep.evictions,
+        teardowns: rep.teardowns,
+        peak_active_qps: rep.peak_active_qps,
+        digest: format!("{:016x}", rep.digest),
+    }
+}
+
+/// Runs the sweep sequentially.
+pub fn run(quick: bool) -> BenchChurn {
+    run_jobs(quick, 1)
+}
+
+/// Runs the sweep with cells fanned out across `jobs` threads; row
+/// order matches the sequential run exactly.
+pub fn run_jobs(quick: bool, jobs: usize) -> BenchChurn {
+    let populations: &[usize] = if quick {
+        &QUICK_POPULATIONS
+    } else {
+        &FULL_POPULATIONS
+    };
+    let mut cells: Vec<Box<dyn FnOnce() -> ChurnRow + Send>> = Vec::new();
+    for &tenants in populations {
+        for prewarm in PREWARM_LEVELS {
+            cells.push(Box::new(move || {
+                row(&run_cell(cell_cfg(tenants, prewarm, quick)), prewarm)
+            }));
+        }
+    }
+    // Same-seed repeat of the smallest warm cell: the digest must
+    // reproduce byte-for-byte or the whole sweep is untrustworthy.
+    let repeat_tenants = populations[0];
+    cells.push(Box::new(move || {
+        row(
+            &run_cell(cell_cfg(repeat_tenants, PREWARM_LEVELS[1], quick)),
+            PREWARM_LEVELS[1],
+        )
+    }));
+    let mut rows = pmap(cells, jobs);
+    let repeat = rows.pop().expect("repeat cell present");
+    let original = rows
+        .iter()
+        .find(|r| r.tenants == repeat.tenants && r.prewarm_target == repeat.prewarm_target)
+        .expect("repeated cell is part of the sweep");
+    let determinism = if original.digest == repeat.digest {
+        format!("stable ({})", repeat.digest)
+    } else {
+        format!("UNSTABLE ({} != {})", original.digest, repeat.digest)
+    };
+    BenchChurn { rows, determinism }
+}
+
+impl BenchChurn {
+    /// Looks up a sweep row.
+    pub fn get(&self, tenants: usize, prewarm: usize) -> Option<&ChurnRow> {
+        self.rows
+            .iter()
+            .find(|r| r.tenants == tenants && r.prewarm_target == prewarm)
+    }
+
+    /// Renders the sweep as a text table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.tenants.to_string(),
+                    r.prewarm_target.to_string(),
+                    r.requests.to_string(),
+                    fmt_f64(r.goodput_rps),
+                    fmt_f64(r.steady_hit_rate),
+                    r.cold_connects.to_string(),
+                    fmt_f64(r.steady_p50_us),
+                    fmt_f64(r.steady_p99_us),
+                    r.evictions.to_string(),
+                    r.teardowns.to_string(),
+                    r.peak_active_qps.to_string(),
+                ]
+            })
+            .collect();
+        let mut text = render_table(
+            "BENCH churn - elastic control plane vs tenant population",
+            &[
+                "tenants",
+                "prewarm",
+                "requests",
+                "goodput_rps",
+                "steady_hit",
+                "cold",
+                "p50_us",
+                "p99_us",
+                "evict",
+                "teardown",
+                "peak_qps",
+            ],
+            &rows,
+        );
+        text.push_str(&format!("determinism: {}\n", self.determinism));
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_warm_beats_cold_at_every_population() {
+        let bench = run_jobs(true, 2);
+        assert_eq!(bench.rows.len(), QUICK_POPULATIONS.len() * 2);
+        for &tenants in &QUICK_POPULATIONS {
+            let cold = bench.get(tenants, 0).unwrap();
+            let warm = bench.get(tenants, 8).unwrap();
+            assert_eq!(cold.steady_hit_rate, 0.0, "no stock, no hits");
+            assert!(
+                warm.steady_hit_rate > 0.5,
+                "warm hit rate at {tenants} tenants: {}",
+                warm.steady_hit_rate
+            );
+            assert!(
+                warm.steady_p99_us <= cold.steady_p99_us,
+                "warm tail at {tenants} tenants: {} > {}",
+                warm.steady_p99_us,
+                cold.steady_p99_us
+            );
+            assert!(warm.goodput_rps >= cold.goodput_rps);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_repeats() {
+        let bench = run(true);
+        assert!(
+            bench.determinism.starts_with("stable"),
+            "{}",
+            bench.determinism
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! drives them all; EXPERIMENTS.md records paper-vs-measured values.
 
 pub mod ablations;
+pub mod churn;
 pub mod fig06;
 pub mod fig09;
 pub mod fig11;

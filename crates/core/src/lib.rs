@@ -38,6 +38,7 @@
 
 pub mod baseline_cluster;
 pub mod boutique;
+pub mod churn;
 pub mod cluster;
 pub mod experiment;
 pub mod health;

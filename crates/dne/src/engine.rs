@@ -34,9 +34,9 @@ use rdma_sim::types::{Cqe, CqeOpcode, CqeStatus, QpId};
 use rdma_sim::{Fabric, NodeId, RdmaError};
 use simcore::{Sim, SimDuration, SimTime, Ticker, TimerHandle};
 
-use crate::connpool::ConnPool;
+use crate::connpool::{ConnPool, ElasticConfig};
 use crate::rbr::ReceiveBufferRegistry;
-use crate::routing::RoutingTable;
+use crate::routing::{RouteError, RoutingTable};
 use crate::sched::{DwrrScheduler, FcfsScheduler, TenantScheduler};
 use crate::types::{
     DeliveryFailure, DneConfig, DneStats, FailureReason, IpcCosts, OffloadMode, SchedPolicy,
@@ -416,17 +416,35 @@ impl Inner {
             ));
         };
         let req_id = req_id_of(buf.as_slice());
-        let Some(peer) = self.routing.lookup(dst_fn) else {
-            return FailedSendOutcome::Fail(self.give_up(
-                now,
-                tenant,
-                dst_fn,
-                req_id,
-                attempts,
-                first_at,
-                FailureReason::NoConnection,
-                posted_peer,
-            ));
+        let peer = match self.routing.resolve(dst_fn) {
+            Ok(peer) => peer,
+            Err(RouteError::DestinationDown { node, .. }) => {
+                // The health monitor marked the destination down and no
+                // healthy replica exists: fail fast instead of parking a
+                // retry that can only time out against a corpse.
+                return FailedSendOutcome::Fail(self.give_up(
+                    now,
+                    tenant,
+                    dst_fn,
+                    req_id,
+                    attempts,
+                    first_at,
+                    FailureReason::DestinationDown,
+                    Some(node),
+                ));
+            }
+            Err(RouteError::UnknownDestination { .. }) => {
+                return FailedSendOutcome::Fail(self.give_up(
+                    now,
+                    tenant,
+                    dst_fn,
+                    req_id,
+                    attempts,
+                    first_at,
+                    FailureReason::NoConnection,
+                    posted_peer,
+                ));
+            }
         };
         // Blame the node the failed WR actually targeted; route the retry
         // wherever the (possibly failed-over) table points now.
@@ -690,8 +708,14 @@ impl Dne {
         let rq_b = b.tenant_rq(tenant)?;
         for _ in 0..n {
             let (ha, hb) = fabric.connect(sim, tenant, node_a, cq_a, rq_a, node_b, cq_b, rq_b)?;
-            a.inner.borrow_mut().conns.add(tenant, node_b, ha);
-            b.inner.borrow_mut().conns.add(tenant, node_a, hb);
+            a.inner
+                .borrow_mut()
+                .conns
+                .add(tenant, node_b, ha, sim.now());
+            b.inner
+                .borrow_mut()
+                .conns
+                .add(tenant, node_a, hb, sim.now());
         }
         // Record how to reach the peer engine so a pool that later runs dry
         // (every QP errored) can reconnect in the background.
@@ -871,8 +895,8 @@ impl Dne {
                     return;
                 }
             }
-            match inner.routing.lookup(dst_fn) {
-                None => {
+            match inner.routing.resolve(dst_fn) {
+                Err(RouteError::UnknownDestination { .. }) => {
                     // Unknown destination: the control plane never placed
                     // this function (or removed it). Surface a typed
                     // failure so upstream resolves instead of hanging.
@@ -889,7 +913,25 @@ impl Dne {
                     );
                     Action::Fail(f) // buf dropped → recycled
                 }
-                Some(peer) if peer == inner.node => {
+                Err(RouteError::DestinationDown { node, .. }) => {
+                    // The route exists but its node is down with no
+                    // healthy replica: fail fast at the TX stage instead
+                    // of posting into a dead peer and burning the retry
+                    // budget on it.
+                    let now = sim.now();
+                    let f = inner.give_up(
+                        now,
+                        tenant,
+                        dst_fn,
+                        req_id,
+                        0,
+                        now,
+                        FailureReason::DestinationDown,
+                        Some(node),
+                    );
+                    Action::Fail(f) // buf dropped → recycled
+                }
+                Ok(peer) if peer == inner.node => {
                     // Local destination: hand straight back over IPC.
                     match inner.endpoints.get(&dst_fn).cloned() {
                         Some(ep) => {
@@ -914,9 +956,12 @@ impl Dne {
                         }
                     }
                 }
-                Some(peer) => {
+                Ok(peer) => {
                     let fabric = inner.fabric.clone();
-                    match inner.conns.pick_least_congested(&fabric, tenant, peer) {
+                    match inner
+                        .conns
+                        .pick_least_congested(&fabric, sim.now(), tenant, peer)
+                    {
                         Some(qp) => {
                             let wr = inner.fresh_wr();
                             let imm = pack_imm(tenant, dst_fn);
@@ -1106,7 +1151,7 @@ impl Dne {
                     }
                     // Shadow-QP reaping: idle connections leave the cache.
                     let fabric = inner.fabric.clone();
-                    inner.conns.deactivate_idle(&fabric);
+                    inner.conns.deactivate_idle(&fabric, sim.now());
                     if cqe.status == CqeStatus::Success {
                         // cqe.buf drops here → sender buffer recycled.
                         Action::None
@@ -1272,10 +1317,13 @@ impl Dne {
                 }
             }
             let fabric = inner.fabric.clone();
-            match inner
-                .conns
-                .pick_least_congested_excluding(&fabric, p.tenant, p.peer, p.avoid)
-            {
+            match inner.conns.pick_least_congested_excluding(
+                &fabric,
+                sim.now(),
+                p.tenant,
+                p.peer,
+                p.avoid,
+            ) {
                 Some(qp) => {
                     if p.avoid.is_some() && Some(qp.qp) != p.avoid {
                         inner.stats.failovers += 1;
@@ -1394,21 +1442,40 @@ impl Dne {
             )
         };
         let (fabric, node, cq, rq, peer_cq, peer_rq, peer_engine) = wiring;
-        match fabric.connect(sim, tenant, node, cq, rq, peer, peer_cq, peer_rq) {
+        // Elastic control plane: claim from the link's pre-warm stock when
+        // one exists — the handshake already ran in the background, so the
+        // connection is usable in microseconds instead of paying the full
+        // tens-of-ms establishment on the recovery path.
+        let claimed = fabric
+            .claim_prewarmed(sim, tenant, node, cq, rq, peer, peer_cq, peer_rq)
+            .unwrap_or(None);
+        let (result, delay, warm) = match claimed {
+            Some(pair) => (Ok(pair), fabric.costs().prewarm_claim_delay, true),
+            None => (
+                fabric.connect(sim, tenant, node, cq, rq, peer, peer_cq, peer_rq),
+                fabric.costs().connect_delay,
+                false,
+            ),
+        };
+        match result {
             Ok((ha, hb)) => {
                 {
                     let mut inner = rc.borrow_mut();
-                    inner.conns.add(tenant, peer, ha);
+                    inner.conns.add(tenant, peer, ha, sim.now());
                     inner.stats.reconnects += 1;
+                    if warm {
+                        inner.stats.prewarm_claims += 1;
+                    } else {
+                        inner.stats.cold_connects += 1;
+                    }
                 }
                 if let Some(peer_rc) = peer_engine.upgrade() {
-                    peer_rc.borrow_mut().conns.add(tenant, node, hb);
+                    peer_rc.borrow_mut().conns.add(tenant, node, hb, sim.now());
                 }
-                // The fabric flips the QPs to Ready at now + connect_delay;
-                // that event was scheduled first, so by FIFO same-time
-                // ordering the new connection is usable when the flush runs.
+                // The fabric flips the QPs to Ready at now + delay; that
+                // event was scheduled first, so by FIFO same-time ordering
+                // the new connection is usable when the flush runs.
                 let rc2 = rc.clone();
-                let delay = fabric.costs().connect_delay;
                 sim.schedule_after(delay, move |sim| {
                     Dne::finish_reconnect(&rc2, sim, tenant, peer);
                 });
@@ -1582,6 +1649,36 @@ impl Dne {
         self.inner.borrow().conns.deactivations()
     }
 
+    /// Installs the connection pool's elastic lifecycle config (active-set
+    /// capacity and idle-age teardown). Takes effect from the next pick or
+    /// reaper sweep; already-active QPs are not retroactively evicted.
+    pub fn set_elastic_config(&self, cfg: ElasticConfig) {
+        self.inner.borrow_mut().conns.set_config(cfg);
+    }
+
+    /// Returns how many active QPs the capacity bound has demoted back to
+    /// shadow state (LRU evictions — the thrash signal).
+    pub fn conn_evictions(&self) -> u64 {
+        self.inner.borrow().conns.evictions()
+    }
+
+    /// Returns how many pooled connections idle-age teardown destroyed.
+    pub fn conn_teardowns(&self) -> u64 {
+        self.inner.borrow().conns.teardowns()
+    }
+
+    /// Stocks `n` pre-warmed connections toward `peer` in the background.
+    /// A later pool-dry reconnect claims one in microseconds instead of
+    /// paying the full RC establishment delay.
+    pub fn prewarm_link(&self, sim: &mut Sim, peer: NodeId, n: usize) -> Result<(), DneError> {
+        let (fabric, node) = {
+            let inner = self.inner.borrow();
+            (inner.fabric.clone(), inner.node)
+        };
+        fabric.prewarm_link(sim, node, peer, n)?;
+        Ok(())
+    }
+
     /// Arms a periodic idle-QP reaper sweeping every `every`.
     ///
     /// The engine already reaps opportunistically on send completions; the
@@ -1593,11 +1690,15 @@ impl Dne {
             return;
         }
         let weak: Weak<RefCell<Inner>> = Rc::downgrade(&self.inner);
-        let ticker = Ticker::start(sim, every, move |_sim| {
+        let ticker = Ticker::start(sim, every, move |sim| {
             if let Some(rc) = weak.upgrade() {
-                let inner = rc.borrow();
+                let mut inner = rc.borrow_mut();
                 let fabric = inner.fabric.clone();
-                inner.conns.deactivate_idle(&fabric);
+                inner.conns.deactivate_idle(&fabric, sim.now());
+                // Lazy teardown: connections idle past the configured age
+                // release their fabric state entirely (no-op unless an
+                // elastic config with an idle age is installed).
+                inner.conns.teardown_idle(&fabric, sim.now());
             }
         });
         self.inner.borrow_mut().conn_reaper = Some(ticker);

@@ -224,6 +224,12 @@ pub struct DneStats {
     /// Time from the first post of a send to its terminal outcome, recorded
     /// only for sends that needed at least one retry.
     pub retry_latency: simcore::Histogram,
+    /// Reconnects that paid the full RC establishment delay because no
+    /// pre-warmed connection was stocked for the link.
+    pub cold_connects: u64,
+    /// Reconnects satisfied from the pre-warm stock (microsecond claim
+    /// instead of tens-of-ms establishment).
+    pub prewarm_claims: u64,
 }
 
 /// Why a send was abandoned.
@@ -239,6 +245,10 @@ pub enum FailureReason {
     /// The request's deadline expired before delivery; the send was
     /// cancelled rather than spent on work nobody is waiting for.
     DeadlineExceeded,
+    /// The destination function's route points at a node the health
+    /// monitor has marked down and no healthy replica exists — failing
+    /// fast beats burning the retry budget against a corpse.
+    DestinationDown,
 }
 
 /// A typed delivery failure the engine reports upstream once recovery is

@@ -15,6 +15,8 @@
 //!   processes pinned to cores.
 //! - [`autoscale`]: the hysteresis policy that spawns a worker above 60%
 //!   average utilization and retires one below 30%.
+//! - [`prewarm`]: the demand-driven restock policy that keeps per-link
+//!   QP pre-warm pools ahead of the tenant first-contact rate.
 //! - [`gateway`]: the master/worker gateway model tying it together in the
 //!   discrete-event simulation, including overload (tail-drop) behaviour
 //!   and the brief restart interruption the paper observes when scaling.
@@ -24,6 +26,7 @@ pub mod autoscale;
 pub mod convert;
 pub mod gateway;
 pub mod http;
+pub mod prewarm;
 pub mod rss;
 pub mod stack;
 
@@ -35,4 +38,5 @@ pub use gateway::{
     Upstream,
 };
 pub use http::{HttpError, HttpRequest, HttpResponse};
+pub use prewarm::{PrewarmConfig, PrewarmController};
 pub use stack::{GatewayKind, StackCosts};

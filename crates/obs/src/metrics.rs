@@ -89,6 +89,17 @@ impl Gauge {
         self.value.set(self.value.get() + delta);
     }
 
+    /// Sets the level to the ratio `num / den`, leaving the gauge
+    /// untouched when the denominator is zero — the standard shape for
+    /// rate-style gauges (hit rates, success fractions) whose "no
+    /// samples yet" state must not read as 0% or NaN.
+    #[inline]
+    pub fn set_ratio(&self, num: u64, den: u64) {
+        if den > 0 {
+            self.value.set(num as f64 / den as f64);
+        }
+    }
+
     /// Returns the current level.
     pub fn get(&self) -> f64 {
         self.value.get()
@@ -472,6 +483,18 @@ impl ToJson for MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ratio_gauge_guards_zero_denominator() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("hit_rate", &[]);
+        g.set_ratio(3, 0);
+        assert_eq!(g.get(), 0.0, "no samples leaves the gauge untouched");
+        g.set_ratio(3, 4);
+        assert_eq!(g.get(), 0.75);
+        g.set_ratio(1, 0);
+        assert_eq!(g.get(), 0.75, "a later empty window keeps the last ratio");
+    }
 
     #[test]
     fn counter_reregistration_shares_state() {

@@ -33,6 +33,12 @@ pub struct RdmaCosts {
     pub max_msg_size: usize,
     /// RC connection establishment delay.
     pub connect_delay: SimDuration,
+    /// Time to claim a pre-warmed connection: the three-way handshake and
+    /// QP state machine already ran in the background, so a claim only
+    /// binds the pair to a tenant and arms the receive side (Swift's
+    /// control/data-plane split: microseconds instead of tens of
+    /// milliseconds on the request path).
+    pub prewarm_claim_delay: SimDuration,
     /// Receiver-not-ready retry timer.
     pub rnr_timer: SimDuration,
     /// Number of RNR retries before the send fails.
@@ -65,6 +71,7 @@ impl Default for RdmaCosts {
             link_burst_bytes: 64.0 * 1024.0,
             max_msg_size: 1 << 20,
             connect_delay: SimDuration::from_millis(20),
+            prewarm_claim_delay: SimDuration::from_micros(100),
             rnr_timer: SimDuration::from_micros(50),
             rnr_retries: 7,
             qp_cache_entries: 128,

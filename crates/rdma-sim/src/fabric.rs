@@ -42,6 +42,15 @@ pub struct RqId(pub u32);
 /// Callback invoked when a CQE lands on an armed completion queue.
 pub type CqWaker = Rc<dyn Fn(&mut Sim)>;
 
+/// Normalizes a node pair into the unordered key the pre-warm stock uses.
+fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum QpState {
     Connecting,
@@ -112,6 +121,10 @@ pub(crate) struct NodeState {
     pub(crate) qps: HashMap<QpId, Qp>,
     pub(crate) mrs: MrTable,
     pub(crate) active_qps: usize,
+    /// High-water mark of simultaneously active QPs — the QP-cache
+    /// pressure signal the elastic control plane sizes its capacity
+    /// bound against.
+    pub(crate) peak_active_qps: usize,
     /// One-sided landing slots keyed by `(rkey, slot index)`.
     pub(crate) landing: HashMap<(RKey, u32), LandingSlot>,
     /// Atomic cells for compare-and-swap, keyed by `(rkey, cell index)`.
@@ -127,6 +140,10 @@ pub(crate) struct Inner {
     pub(crate) cqs: HashMap<CqId, CqState>,
     pub(crate) rqs: HashMap<RqId, RqState>,
     pub(crate) qp_rq: HashMap<QpId, RqId>,
+    /// Pre-warmed connection stock per unordered node pair: QP pairs whose
+    /// RC handshake already ran in the background, waiting for a tenant to
+    /// claim them (Swift-style pre-warm pool).
+    pub(crate) prewarm: HashMap<(NodeId, NodeId), usize>,
     /// Optional deterministic fault model; `None` leaves delivery untouched.
     pub(crate) faults: Option<FaultPlane>,
     /// Annotates fault-plane events into request traces (disabled by
@@ -266,6 +283,7 @@ impl Fabric {
                 cqs: HashMap::new(),
                 rqs: HashMap::new(),
                 qp_rq: HashMap::new(),
+                prewarm: HashMap::new(),
                 faults: None,
                 tracer: obs::Tracer::default(),
                 next_qp: 0,
@@ -300,6 +318,7 @@ impl Fabric {
             qps: HashMap::new(),
             mrs: MrTable::default(),
             active_qps: 0,
+            peak_active_qps: 0,
             landing: HashMap::new(),
             atomics: HashMap::new(),
             tx_messages: 0,
@@ -418,7 +437,27 @@ impl Fabric {
         cq_b: CqId,
         rq_b: RqId,
     ) -> Result<(QpHandle, QpHandle), RdmaError> {
-        let (qa, qb, delay) = {
+        let delay = self.inner.borrow().costs.connect_delay;
+        self.establish(sim, tenant, a, cq_a, rq_a, b, cq_b, rq_b, delay)
+    }
+
+    /// Creates a QP pair that becomes `Ready` after `delay` — the shared
+    /// tail of the cold [`Fabric::connect`] path and the pre-warmed
+    /// [`Fabric::claim_prewarmed`] path.
+    #[allow(clippy::too_many_arguments)]
+    fn establish(
+        &self,
+        sim: &mut Sim,
+        tenant: TenantId,
+        a: NodeId,
+        cq_a: CqId,
+        rq_a: RqId,
+        b: NodeId,
+        cq_b: CqId,
+        rq_b: RqId,
+        delay: SimDuration,
+    ) -> Result<(QpHandle, QpHandle), RdmaError> {
+        let (qa, qb) = {
             let mut inner = self.inner.borrow_mut();
             inner.node(a)?;
             inner.node(b)?;
@@ -453,7 +492,7 @@ impl Fabric {
             inner.nodes[b.0 as usize].qps.insert(qb, qp_b);
             inner.qp_rq.insert(qa, rq_a);
             inner.qp_rq.insert(qb, rq_b);
-            (qa, qb, inner.costs.connect_delay)
+            (qa, qb)
         };
         let inner = self.inner.clone();
         sim.schedule_after(delay, move |_| {
@@ -466,6 +505,111 @@ impl Fabric {
             }
         });
         Ok((QpHandle { node: a, qp: qa }, QpHandle { node: b, qp: qb }))
+    }
+
+    /// Pre-establishes `n` connection skeletons between `a` and `b` in the
+    /// background: after the usual connection-setup delay they join the
+    /// pair's pre-warm stock, where a later [`Fabric::claim_prewarmed`]
+    /// turns one into a tenant-bound QP pair in microseconds instead of
+    /// tens of milliseconds. The stock is unordered — prewarmed capacity
+    /// between two nodes serves claims in either direction.
+    pub fn prewarm_link(
+        &self,
+        sim: &mut Sim,
+        a: NodeId,
+        b: NodeId,
+        n: usize,
+    ) -> Result<(), RdmaError> {
+        let delay = {
+            let inner = self.inner.borrow();
+            inner.node(a)?;
+            inner.node(b)?;
+            inner.costs.connect_delay
+        };
+        if n == 0 {
+            return Ok(());
+        }
+        let key = link_key(a, b);
+        let inner = self.inner.clone();
+        sim.schedule_after(delay, move |_| {
+            *inner.borrow_mut().prewarm.entry(key).or_insert(0) += n;
+        });
+        Ok(())
+    }
+
+    /// Returns how many pre-warmed connection skeletons are ready to claim
+    /// between `a` and `b`.
+    pub fn prewarmed_available(&self, a: NodeId, b: NodeId) -> usize {
+        self.inner
+            .borrow()
+            .prewarm
+            .get(&link_key(a, b))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Claims a pre-warmed connection skeleton between `a` and `b` for
+    /// `tenant`, binding it into a usable QP pair after the (microsecond)
+    /// claim delay. Returns `Ok(None)` when the pair's pre-warm stock is
+    /// empty — the caller falls back to a cold [`Fabric::connect`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn claim_prewarmed(
+        &self,
+        sim: &mut Sim,
+        tenant: TenantId,
+        a: NodeId,
+        cq_a: CqId,
+        rq_a: RqId,
+        b: NodeId,
+        cq_b: CqId,
+        rq_b: RqId,
+    ) -> Result<Option<(QpHandle, QpHandle)>, RdmaError> {
+        let delay = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(stock) = inner.prewarm.get_mut(&link_key(a, b)).filter(|s| **s > 0) else {
+                return Ok(None);
+            };
+            *stock -= 1;
+            inner.costs.prewarm_claim_delay
+        };
+        match self.establish(sim, tenant, a, cq_a, rq_a, b, cq_b, rq_b, delay) {
+            Ok(pair) => Ok(Some(pair)),
+            Err(e) => {
+                // Validation failed after the stock was debited: refund it.
+                *self
+                    .inner
+                    .borrow_mut()
+                    .prewarm
+                    .entry(link_key(a, b))
+                    .or_insert(0) += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Tears down a connection completely, removing **both** endpoints and
+    /// releasing their RNIC state (the lazy-teardown path: an idle-aged
+    /// connection stops costing memory, unlike an errored one which lingers
+    /// in `Error` state). In-flight traffic is unaffected — teardown is
+    /// only safe for drained QPs, which is what the pool's idle-age check
+    /// guarantees.
+    pub fn destroy_qp(&self, h: QpHandle) -> Result<(), RdmaError> {
+        let mut inner = self.inner.borrow_mut();
+        let (peer_node, peer_qp) = {
+            let qp = inner.qp(h.node, h.qp)?;
+            (qp.peer_node, qp.peer_qp)
+        };
+        for (node, qpid) in [(h.node, h.qp), (peer_node, peer_qp)] {
+            if let Ok(state) = inner.node_mut(node) {
+                if let Some(qp) = state.qps.remove(&qpid) {
+                    if qp.active {
+                        state.active_qps -= 1;
+                    }
+                }
+            }
+            inner.qp_rq.remove(&qpid);
+        }
+        Ok(())
     }
 
     /// Returns `true` once the QP finished connection setup (and has not
@@ -566,6 +710,7 @@ impl Fabric {
             qp.active = active;
             if active {
                 node.active_qps += 1;
+                node.peak_active_qps = node.peak_active_qps.max(node.active_qps);
             } else {
                 node.active_qps -= 1;
             }
@@ -579,6 +724,16 @@ impl Fabric {
             .borrow()
             .node(node)
             .map(|n| n.active_qps)
+            .unwrap_or(0)
+    }
+
+    /// Returns the high-water mark of simultaneously active QPs on `node` —
+    /// how deep into (or past) the RNIC QP cache the node has been.
+    pub fn peak_active_qp_count(&self, node: NodeId) -> usize {
+        self.inner
+            .borrow()
+            .node(node)
+            .map(|n| n.peak_active_qps)
             .unwrap_or(0)
     }
 
@@ -1056,6 +1211,69 @@ mod tests {
             rq_b,
             h_ab,
         }
+    }
+
+    #[test]
+    fn prewarm_claim_is_microseconds_cold_connect_is_not() {
+        let fabric = Fabric::new(RdmaCosts::default());
+        let mut sim = Sim::new();
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let t = TenantId(3);
+        let cq_a = fabric.create_cq(a).unwrap();
+        let cq_b = fabric.create_cq(b).unwrap();
+        let rq_a = fabric.create_rq(a, t).unwrap();
+        let rq_b = fabric.create_rq(b, t).unwrap();
+        // Nothing prewarmed yet: a claim misses.
+        assert_eq!(fabric.prewarmed_available(a, b), 0);
+        assert!(fabric
+            .claim_prewarmed(&mut sim, t, a, cq_a, rq_a, b, cq_b, rq_b)
+            .unwrap()
+            .is_none());
+        // Stock two skeletons in the background; they cost the full
+        // connect delay but off the request path.
+        fabric.prewarm_link(&mut sim, a, b, 2).unwrap();
+        sim.run();
+        assert_eq!(fabric.prewarmed_available(a, b), 2);
+        // The stock is unordered: visible from either direction.
+        assert_eq!(fabric.prewarmed_available(b, a), 2);
+        let start = sim.now();
+        let (ha, _hb) = fabric
+            .claim_prewarmed(&mut sim, t, a, cq_a, rq_a, b, cq_b, rq_b)
+            .unwrap()
+            .expect("stock available");
+        assert_eq!(fabric.prewarmed_available(a, b), 1);
+        assert!(!fabric.qp_ready(ha));
+        sim.run();
+        let ready_in = sim.now().saturating_since(start);
+        assert!(fabric.qp_ready(ha));
+        assert_eq!(ready_in, fabric.costs().prewarm_claim_delay);
+        assert!(ready_in < fabric.costs().connect_delay / 10);
+    }
+
+    #[test]
+    fn destroy_qp_removes_both_endpoints_and_releases_cache() {
+        let p = setup();
+        let fabric = p.fabric;
+        let h = p.h_ab;
+        fabric.set_qp_active(h, true).unwrap();
+        assert_eq!(fabric.active_qp_count(h.node), 1);
+        assert_eq!(fabric.peak_active_qp_count(h.node), 1);
+        let peer = {
+            let inner = fabric.inner.borrow();
+            let qp = inner.qp(h.node, h.qp).unwrap();
+            QpHandle {
+                node: qp.peer_node,
+                qp: qp.peer_qp,
+            }
+        };
+        fabric.destroy_qp(h).unwrap();
+        assert_eq!(fabric.active_qp_count(h.node), 0);
+        // Peak is a high-water mark: it survives the teardown.
+        assert_eq!(fabric.peak_active_qp_count(h.node), 1);
+        assert!(!fabric.qp_ready(h));
+        assert!(!fabric.qp_ready(peer));
+        assert!(fabric.destroy_qp(h).is_err(), "already gone");
     }
 
     #[test]

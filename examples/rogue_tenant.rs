@@ -92,7 +92,7 @@ fn main() {
         let (h, _) = fabric
             .connect(&mut sim, rogue, a, cq_a, rogue_rq_a, b, cq_b, rogue_rq_b)
             .unwrap();
-        conns.add(rogue, b, h);
+        conns.add(rogue, b, h, SimTime::ZERO);
     }
     sim.run();
     fabric.set_qp_active(victim_qp, true).unwrap();
@@ -122,7 +122,7 @@ fn main() {
     // Defence: the DNE's periodic full-sweep reaper deactivates idle
     // connections — even ones activated behind the pool's back — so the
     // rogue cannot keep QPs charged against the cache without traffic.
-    let deactivated = conns.reap_all_idle(&fabric);
+    let deactivated = conns.reap_all_idle(&fabric, sim.now());
     let protected = victim_echo_rtt(&fabric, &mut sim, &setup);
     println!(
         "victim latency after DNE reaping       : {protected:.1} us  ({deactivated} rogue QPs deactivated)"
