@@ -121,6 +121,7 @@ struct RunOut {
     completed: u64,
     spans_kept: usize,
     spans_dropped: u64,
+    exemplars: u64,
 }
 
 fn run(workload: Workload, mode: Mode) -> RunOut {
@@ -140,6 +141,14 @@ fn run(workload: Workload, mode: Mode) -> RunOut {
     }
     let tenant = TenantId(1);
     cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    // The traced modes also carry the exemplar-bearing observation sites
+    // (per-node engine latency histograms), so the 15% overhead gate
+    // prices histogram records + exemplar offers on the hot path too.
+    let reg = matches!(mode, Mode::Enabled | Mode::TailSampled).then(|| {
+        let reg = obs::MetricsRegistry::new();
+        cluster.export_latency_histograms(&reg);
+        reg
+    });
     let stop = sim.now() + SimDuration::from_millis(RUN_MILLIS);
     let driver = ClosedLoop::new(stop);
     match workload {
@@ -186,11 +195,18 @@ fn run(workload: Workload, mode: Mode) -> RunOut {
         }
     }
     sim.run();
+    let exemplars = reg.map_or(0, |r| {
+        r.snapshot()
+            .histograms_iter()
+            .map(|(_, _, _, e)| e.len() as u64)
+            .sum()
+    });
     RunOut {
         wall: t0.elapsed().as_secs_f64(),
         completed: driver.completed(),
         spans_kept: tracer.len(),
         spans_dropped: tracer.dropped(),
+        exemplars,
     }
 }
 
@@ -202,6 +218,7 @@ struct ModeReport {
     completed: u64,
     spans_kept: u64,
     spans_dropped: u64,
+    exemplars: u64,
     overhead_pct: f64,
 }
 
@@ -213,6 +230,7 @@ obs::impl_to_json!(ModeReport {
     completed,
     spans_kept,
     spans_dropped,
+    exemplars,
     overhead_pct
 });
 
@@ -312,6 +330,7 @@ fn main() {
                 completed,
                 spans_kept,
                 spans_dropped,
+                exemplars: out.exemplars,
                 overhead_pct,
             });
         }

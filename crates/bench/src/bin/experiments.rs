@@ -23,6 +23,12 @@
 //!                             # dump the flight-recorder bundle (recent
 //!                             # trace ring + SLO counters + metric deltas)
 //!                             # at end of run
+//! experiments report          # fleet observability report (windowed
+//!                             # rollups, exemplars, burn rates, SoC
+//!                             # profile) -> results/report.json;
+//!                             # REPORT_SEED overrides the root seed
+//! experiments --report-out r.json
+//!                             # same report, written to a custom path
 //! ```
 //!
 //! Each experiment prints its table(s) and writes a JSON twin under
@@ -162,13 +168,32 @@ fn run_one(name: &str, b: &Budget, jobs: usize, shards: usize) -> Output {
             let rep = churn::run_jobs(b.quick, jobs);
             out("BENCH_churn", rep.render(), &rep)
         }
+        "report" => {
+            // The fleet observability report. Deliberately budget-invariant
+            // apart from `--quick` (which shrinks the boutique cell), so the
+            // CI obs-report job can diff two invocations byte-for-byte.
+            let mut fleet_cfg = nadino::fleet::FleetConfig {
+                seed: nadino::fleet::seed_from_env(42),
+                shards,
+                ..nadino::fleet::FleetConfig::default()
+            };
+            if b.quick {
+                fleet_cfg.horizon = simcore::SimDuration::from_millis(20);
+                fleet_cfg.clients = 8;
+            }
+            let doc = nadino::fleet::build_report(&fleet_cfg);
+            out("report", nadino::fleet::render_summary(&doc), &doc)
+        }
         other => unreachable!("unvalidated experiment name {other:?}"),
     }
 }
 
-fn emit(o: &Output) {
+fn emit(o: &Output, report_out: Option<&PathBuf>) {
     println!("{}", o.text);
-    let path = results_dir().join(format!("{}.json", o.stem));
+    let path = match (o.stem, report_out) {
+        ("report", Some(p)) => p.clone(),
+        _ => results_dir().join(format!("{}.json", o.stem)),
+    };
     let write = || -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
@@ -316,6 +341,7 @@ fn main() {
     let mut metrics_out: Option<PathBuf> = None;
     let mut tail_sample = false;
     let mut flight_out: Option<PathBuf> = None;
+    let mut report_out: Option<PathBuf> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -349,6 +375,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--report-out" => match it.next() {
+                Some(p) => report_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--report-out needs a path");
+                    std::process::exit(2);
+                }
+            },
             "--tail-sample" => tail_sample = true,
             "--flight-out" => match it.next() {
                 Some(p) => flight_out = Some(PathBuf::from(p)),
@@ -375,12 +408,17 @@ fn main() {
     );
     let instrumented =
         trace_out.is_some() || metrics_out.is_some() || tail_sample || flight_out.is_some();
-    let names: Vec<String> =
-        if names.iter().any(|a| a == "all") || (names.is_empty() && !instrumented) {
-            bench::EXPERIMENTS.iter().map(|s| s.to_string()).collect()
-        } else {
-            names
-        };
+    let mut names: Vec<String> = if names.iter().any(|a| a == "all")
+        || (names.is_empty() && !instrumented && report_out.is_none())
+    {
+        bench::EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        names
+    };
+    // `--report-out` implies the fleet report even when no names are given.
+    if report_out.is_some() && !names.iter().any(|n| n == "report") {
+        names.push("report".to_string());
+    }
     for name in &names {
         if !bench::is_known(name) {
             eprintln!(
@@ -404,7 +442,7 @@ fn main() {
         .collect();
     let mut shard_report = None;
     for mut output in pmap(tasks, jobs) {
-        emit(&output);
+        emit(&output, report_out.as_ref());
         if let Some(rep) = output.shard_report.take() {
             shard_report = Some(rep);
         }

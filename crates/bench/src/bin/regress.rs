@@ -1,0 +1,242 @@
+//! CI perf-regression gate: diff freshly generated result JSON against
+//! the committed baselines under `results/baselines/`.
+//!
+//! ```text
+//! regress                      # compare every baseline against results/
+//! regress BENCH_churn.json     # compare a subset
+//! regress --tolerance 30       # widen the perf-drift band (percent)
+//! regress --update             # refresh baselines from results/ and exit
+//! regress --baselines DIR --fresh DIR
+//! ```
+//!
+//! Two classes of disagreement, with very different severities:
+//!
+//! - **determinism breaks** (hard failure, exit 1): any leaf whose key
+//!   carries determinism — `digest`, `digest_fnv`, `determinism`,
+//!   `byte_identical`, `exemplars_resolvable` — must match the baseline
+//!   exactly. These derive from virtual time and seeded streams only, so
+//!   a mismatch means the simulation's behaviour changed: either an
+//!   intended change that must re-commit the baseline (run `--update`
+//!   and review the diff) or an unintended nondeterminism bug.
+//! - **perf drift** (warn only, exit 0): numeric leaves — wall-clock
+//!   timings, rates, percentiles — are compared within a relative
+//!   tolerance band (default ±25%). CI machines are noisy; drift is
+//!   reported for a human to eyeball, never auto-failed.
+//!
+//! Missing files or missing determinism keys in the fresh output are
+//! hard failures too: a gate that silently skips is no gate.
+
+use std::path::{Path, PathBuf};
+
+use obs::JsonValue;
+
+/// Key substrings whose leaves must match the baseline byte-for-byte.
+const DETERMINISM_KEYS: [&str; 5] = [
+    "digest",
+    "determinism",
+    "byte_identical",
+    "exemplars_resolvable",
+    "retained_traces",
+];
+
+/// Key suffixes treated as perf numbers (drift warns, never fails).
+const PERF_SUFFIXES: [&str; 9] = [
+    "_ms", "_us", "_ns", "_rps", "_pct", "_rate", "_per_s", "speedup", "_cores",
+];
+
+fn is_determinism_key(key: &str) -> bool {
+    DETERMINISM_KEYS.iter().any(|k| key.contains(k))
+}
+
+fn is_perf_key(key: &str) -> bool {
+    PERF_SUFFIXES.iter().any(|s| key.ends_with(s))
+}
+
+/// One comparison outcome.
+struct Outcome {
+    hard_failures: Vec<String>,
+    warnings: Vec<String>,
+    leaves: usize,
+}
+
+/// Walks `base` and `fresh` in lockstep, classifying disagreements.
+fn compare(path: &str, base: &JsonValue, fresh: &JsonValue, tol_pct: f64, out: &mut Outcome) {
+    match (base, fresh) {
+        (JsonValue::Obj(b), JsonValue::Obj(f)) => {
+            for (key, bv) in b {
+                let sub = format!("{path}/{key}");
+                match f.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                    Some(fv) => compare(&sub, bv, fv, tol_pct, out),
+                    None if is_determinism_key(key) => out
+                        .hard_failures
+                        .push(format!("{sub}: determinism key missing from fresh output")),
+                    None => out
+                        .warnings
+                        .push(format!("{sub}: missing from fresh output")),
+                }
+            }
+        }
+        (JsonValue::Arr(b), JsonValue::Arr(f)) => {
+            if b.len() != f.len() {
+                out.warnings
+                    .push(format!("{path}: length {} -> {}", b.len(), f.len()));
+            }
+            for (i, (bv, fv)) in b.iter().zip(f.iter()).enumerate() {
+                compare(&format!("{path}[{i}]"), bv, fv, tol_pct, out);
+            }
+        }
+        _ => {
+            out.leaves += 1;
+            let key = path.rsplit('/').next().unwrap_or(path);
+            let key = key.split('[').next().unwrap_or(key);
+            if is_determinism_key(key) {
+                let (b, f) = (base.to_string_compact(), fresh.to_string_compact());
+                if b != f {
+                    out.hard_failures
+                        .push(format!("{path}: baseline {b} != fresh {f}"));
+                }
+                return;
+            }
+            if let (Some(b), Some(f)) = (base.as_f64(), fresh.as_f64()) {
+                if is_perf_key(key) {
+                    let denom = b.abs().max(1e-9);
+                    let drift = (f - b) / denom * 100.0;
+                    if drift.abs() > tol_pct {
+                        out.warnings
+                            .push(format!("{path}: {b} -> {f} ({drift:+.1}% drift)"));
+                    }
+                    return;
+                }
+                if b != f {
+                    out.warnings.push(format!("{path}: {b} -> {f}"));
+                }
+                return;
+            }
+            let (b, f) = (base.to_string_compact(), fresh.to_string_compact());
+            if b != f {
+                out.warnings.push(format!("{path}: {b} -> {f}"));
+            }
+        }
+    }
+}
+
+fn load(path: &Path) -> Result<JsonValue, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    obs::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+fn main() {
+    let mut baselines = PathBuf::from("results/baselines");
+    let mut fresh_dir = PathBuf::from("results");
+    let mut tol_pct = 25.0;
+    let mut update = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--update" => update = true,
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) => tol_pct = t,
+                None => {
+                    eprintln!("--tolerance needs a percentage");
+                    std::process::exit(2);
+                }
+            },
+            "--baselines" => match it.next() {
+                Some(p) => baselines = PathBuf::from(p),
+                None => {
+                    eprintln!("--baselines needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--fresh" => match it.next() {
+                Some(p) => fresh_dir = PathBuf::from(p),
+                None => {
+                    eprintln!("--fresh needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => names.push(other.to_string()),
+        }
+    }
+
+    if names.is_empty() {
+        let mut found: Vec<String> = std::fs::read_dir(&baselines)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .filter(|n| n.ends_with(".json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        found.sort();
+        names = found;
+    }
+    if names.is_empty() {
+        eprintln!(
+            "no baselines under {} (run with --update after generating results)",
+            baselines.display()
+        );
+        std::process::exit(2);
+    }
+
+    if update {
+        std::fs::create_dir_all(&baselines).expect("create baseline dir");
+        for name in &names {
+            let from = fresh_dir.join(name);
+            let to = baselines.join(name);
+            match std::fs::copy(&from, &to) {
+                Ok(_) => println!("updated {}", to.display()),
+                Err(e) => {
+                    eprintln!("failed to update {}: {e}", to.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    let mut failed = false;
+    for name in &names {
+        let base_path = baselines.join(name);
+        let fresh_path = fresh_dir.join(name);
+        let (base, fresh) = match (load(&base_path), load(&fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for err in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("FAIL {name}: {err}");
+                }
+                failed = true;
+                continue;
+            }
+        };
+        let mut out = Outcome {
+            hard_failures: Vec::new(),
+            warnings: Vec::new(),
+            leaves: 0,
+        };
+        compare(name, &base, &fresh, tol_pct, &mut out);
+        println!(
+            "{name}: {} leaves, {} determinism breaks, {} drift warnings",
+            out.leaves,
+            out.hard_failures.len(),
+            out.warnings.len()
+        );
+        for w in out.warnings.iter().take(20) {
+            println!("  warn: {w}");
+        }
+        if out.warnings.len() > 20 {
+            println!("  ... {} more warnings", out.warnings.len() - 20);
+        }
+        for h in &out.hard_failures {
+            eprintln!("  FAIL: {h}");
+        }
+        failed |= !out.hard_failures.is_empty();
+    }
+    if failed {
+        eprintln!("regression gate FAILED (determinism break or missing file)");
+        std::process::exit(1);
+    }
+    println!("regression gate passed (drift, if any, is warn-only)");
+}

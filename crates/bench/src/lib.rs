@@ -14,7 +14,7 @@
 pub mod harness;
 
 /// Known experiment names accepted by the `experiments` binary.
-pub const EXPERIMENTS: [&str; 13] = [
+pub const EXPERIMENTS: [&str; 14] = [
     "fig06",
     "fig09",
     "fig11",
@@ -28,6 +28,7 @@ pub const EXPERIMENTS: [&str; 13] = [
     "summary",
     "parallel",
     "churn",
+    "report",
 ];
 
 /// Returns `true` if `name` names a known experiment.

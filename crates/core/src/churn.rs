@@ -99,6 +99,9 @@ pub struct ChurnConfig {
     /// first contacts before any restock matures are cold by
     /// construction, not by control-plane failure.
     pub warmup: SimDuration,
+    /// Number of equal windows the horizon is cut into for the
+    /// per-window thrash series ([`ChurnWindow`]); `0` disables it.
+    pub thrash_windows: usize,
 }
 
 impl Default for ChurnConfig {
@@ -125,9 +128,57 @@ impl Default for ChurnConfig {
             slo: SimDuration::from_millis(1),
             max_requests: 200_000,
             warmup: SimDuration::from_millis(400),
+            thrash_windows: 8,
         }
     }
 }
+
+/// One thrash window: the QP-churn counters (`qp_evictions_total` /
+/// `qp_teardowns_total` and the pre-warm columns behind the PR 8
+/// `qp_*` gauges) cut into an equal slice of the horizon, with rates
+/// derived so the "thrash knee" — the population where LRU eviction
+/// churn takes off — is visible as a series rather than one end-of-run
+/// total. Integer columns fold into the cell digest; the rate columns
+/// are derived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnWindow {
+    /// Window index, 0-based.
+    pub index: usize,
+    /// Window start, virtual ns.
+    pub start_ns: u64,
+    /// Window end, virtual ns.
+    pub end_ns: u64,
+    /// Requests modeled inside the window.
+    pub requests: u64,
+    /// First contacts that went cold inside the window.
+    pub cold_connects: u64,
+    /// First contacts served from pre-warm stock inside the window.
+    pub prewarm_claims: u64,
+    /// LRU evictions forced inside the window.
+    pub evictions: u64,
+    /// Idle-age teardowns inside the window.
+    pub teardowns: u64,
+    /// Evictions per virtual second.
+    pub eviction_rate_per_s: f64,
+    /// Teardowns per virtual second.
+    pub teardown_rate_per_s: f64,
+    /// Cold connects per virtual second.
+    pub cold_rate_per_s: f64,
+}
+
+obs::impl_to_json!(ChurnWindow {
+    index,
+    start_ns,
+    end_ns,
+    requests,
+    cold_connects,
+    prewarm_claims,
+    evictions,
+    teardowns,
+    eviction_rate_per_s,
+    teardown_rate_per_s,
+    cold_rate_per_s
+});
 
 /// The outcome of one churn cell, integer-dominated for digest
 /// stability.
@@ -185,8 +236,11 @@ pub struct ChurnReport {
     pub peak_active_qps: usize,
     /// Pooled connections remaining at the end.
     pub pooled_final: usize,
-    /// FNV-1a digest over every integer column — byte-identical across
-    /// same-seed runs, the CI churn-smoke invariant.
+    /// Per-window thrash series (empty when `thrash_windows == 0`).
+    pub windows: Vec<ChurnWindow>,
+    /// FNV-1a digest over every integer column, the per-window integer
+    /// columns included — byte-identical across same-seed runs, the CI
+    /// churn-smoke invariant.
     pub digest: u64,
 }
 
@@ -216,6 +270,7 @@ obs::impl_to_json!(ChurnReport {
     teardowns,
     peak_active_qps,
     pooled_final,
+    windows,
     digest
 });
 
@@ -257,6 +312,21 @@ struct ChurnState {
     latency: Histogram,
     /// Latency of requests issued after the warmup cutoff only.
     steady_latency: Histogram,
+    /// Closed thrash windows.
+    windows: Vec<ChurnWindow>,
+    /// Cumulative-counter snapshot at the last window boundary.
+    win_mark: WinMark,
+}
+
+/// Cumulative-counter snapshot taken at a thrash-window boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct WinMark {
+    at_ns: u64,
+    requests: u64,
+    cold: u64,
+    claims: u64,
+    evictions: u64,
+    teardowns: u64,
 }
 
 impl ChurnState {
@@ -320,6 +390,37 @@ impl ChurnState {
             }
         }
         self.departures += 1;
+    }
+
+    /// Closes the thrash window ending at `now`: diffs the cumulative
+    /// counters against the last boundary snapshot and derives rates.
+    fn close_window(&mut self, now: SimTime) {
+        let now_ns = now.as_nanos();
+        let evictions = self.pool.evictions();
+        let teardowns = self.pool.teardowns();
+        let mark = self.win_mark;
+        let dt_s = ((now_ns - mark.at_ns) as f64 / 1e9).max(1e-12);
+        self.windows.push(ChurnWindow {
+            index: self.windows.len(),
+            start_ns: mark.at_ns,
+            end_ns: now_ns,
+            requests: self.requests - mark.requests,
+            cold_connects: self.cold_connects - mark.cold,
+            prewarm_claims: self.prewarm_claims - mark.claims,
+            evictions: evictions - mark.evictions,
+            teardowns: teardowns - mark.teardowns,
+            eviction_rate_per_s: (evictions - mark.evictions) as f64 / dt_s,
+            teardown_rate_per_s: (teardowns - mark.teardowns) as f64 / dt_s,
+            cold_rate_per_s: (self.cold_connects - mark.cold) as f64 / dt_s,
+        });
+        self.win_mark = WinMark {
+            at_ns: now_ns,
+            requests: self.requests,
+            cold: self.cold_connects,
+            claims: self.prewarm_claims,
+            evictions,
+            teardowns,
+        };
     }
 }
 
@@ -499,6 +600,28 @@ fn schedule_reap_tick(state: &Rc<RefCell<ChurnState>>, sim: &mut Sim) {
     });
 }
 
+fn schedule_window_tick(state: &Rc<RefCell<ChurnState>>, sim: &mut Sim) {
+    let (interval, end) = {
+        let s = state.borrow();
+        let n = s.cfg.thrash_windows;
+        if n == 0 {
+            return;
+        }
+        (
+            SimDuration::from_nanos(s.cfg.horizon.as_nanos() / n as u64),
+            s.end,
+        )
+    };
+    if interval.as_nanos() == 0 || sim.now() + interval > end {
+        return;
+    }
+    let st = state.clone();
+    sim.schedule_after(interval, move |sim| {
+        st.borrow_mut().close_window(sim.now());
+        schedule_window_tick(&st, sim);
+    });
+}
+
 /// FNV-1a over a byte stream.
 fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -562,6 +685,8 @@ pub fn run(cfg: ChurnConfig) -> ChurnReport {
         steady_latency: Histogram::new(),
         peak_alive: 0,
         latency: Histogram::new(),
+        windows: Vec::new(),
+        win_mark: WinMark::default(),
         fabric: fabric.clone(),
         wiring,
         cfg,
@@ -591,6 +716,7 @@ pub fn run(cfg: ChurnConfig) -> ChurnReport {
     schedule_next_request(&state, &mut sim);
     schedule_prewarm_tick(&state, &mut sim);
     schedule_reap_tick(&state, &mut sim);
+    schedule_window_tick(&state, &mut sim);
     sim.run();
 
     let s = state.borrow();
@@ -617,7 +743,23 @@ pub fn run(cfg: ChurnConfig) -> ChurnReport {
         s.pool.evictions(),
         s.pool.teardowns(),
     ];
-    let digest = fnv1a(ints.iter().flat_map(|v| v.to_le_bytes()));
+    let win_ints = s.windows.iter().flat_map(|w| {
+        [
+            w.start_ns,
+            w.end_ns,
+            w.requests,
+            w.cold_connects,
+            w.prewarm_claims,
+            w.evictions,
+            w.teardowns,
+        ]
+    });
+    let digest = fnv1a(
+        ints.iter()
+            .copied()
+            .chain(win_ints)
+            .flat_map(|v| v.to_le_bytes()),
+    );
     ChurnReport {
         tenants: s.cfg.tenants,
         prewarm_target: s.cfg.prewarm_target,
@@ -656,6 +798,7 @@ pub fn run(cfg: ChurnConfig) -> ChurnReport {
         teardowns: s.pool.teardowns(),
         peak_active_qps: peak_active,
         pooled_final: s.pool.pooled_total(),
+        windows: s.windows.clone(),
         digest,
     }
 }
@@ -747,6 +890,33 @@ mod tests {
         // Departures release their pooled connections; whatever remains
         // is bounded by the live population.
         assert!(r.pooled_final <= r.final_alive, "{r:?}");
+    }
+
+    #[test]
+    fn thrash_windows_tile_the_horizon_and_sum_to_totals() {
+        let r = run(quick_cfg(7));
+        assert_eq!(r.windows.len(), ChurnConfig::default().thrash_windows);
+        // Windows tile the horizon: contiguous, in order.
+        for pair in r.windows.windows(2) {
+            assert_eq!(pair[0].end_ns, pair[1].start_ns);
+            assert_eq!(pair[0].index + 1, pair[1].index);
+        }
+        // Per-window deltas sum back to the run totals (the last window
+        // boundary lands on the horizon, so nothing is lost).
+        let evictions: u64 = r.windows.iter().map(|w| w.evictions).sum();
+        let teardowns: u64 = r.windows.iter().map(|w| w.teardowns).sum();
+        let cold: u64 = r.windows.iter().map(|w| w.cold_connects).sum();
+        let claims: u64 = r.windows.iter().map(|w| w.prewarm_claims).sum();
+        assert_eq!(evictions, r.evictions);
+        assert_eq!(teardowns, r.teardowns);
+        assert_eq!(cold, r.cold_connects);
+        assert_eq!(claims, r.prewarm_claims);
+        assert!(teardowns > 0, "teardown churn is visible per-window");
+        // The series is digest-relevant: disabling it changes the digest
+        // inputs but same-seed same-config reproduces byte-for-byte.
+        let again = run(quick_cfg(7));
+        assert_eq!(r.digest, again.digest);
+        assert_eq!(r.windows, again.windows);
     }
 
     #[test]

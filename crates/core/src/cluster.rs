@@ -78,6 +78,9 @@ struct ObsHub {
     /// The health monitor, when enabled: transport failures aimed at a
     /// node feed its state machine before the user handler runs.
     health: Option<crate::health::HealthMonitor>,
+    /// Tenants in the burn-alert state at the last completion, so the
+    /// SLO-pressure feed into the health monitor only fires on change.
+    last_alerting: usize,
 }
 
 /// A fully wired NADINO cluster.
@@ -381,18 +384,32 @@ impl Cluster {
     fn hook_completion(&self, on_complete: CompletionFn) -> CompletionFn {
         let hub = self.obs_hub.clone();
         Rc::new(move |sim, req| {
-            {
+            let pressure_update = {
                 let mut h = hub.borrow_mut();
+                let mut update = None;
                 if let Some(p) = h.pipeline.as_mut() {
-                    // An SLO burn takes its dump here; retrievable via
-                    // last_dump() after the run.
+                    // An SLO burn-alert rising edge takes its dump here;
+                    // retrievable via last_dump() after the run.
                     p.on_complete(sim.now(), req);
+                    let alerting = p.alerting_tenants().len();
+                    if alerting != h.last_alerting {
+                        h.last_alerting = alerting;
+                        // Each alerting tenant discounts effective
+                        // capacity a notch (floored), so ingress sheds
+                        // before the whole error budget is gone.
+                        let pressure = (1.0 - 0.1 * alerting as f64).max(0.5);
+                        update = h.health.clone().map(|hm| (hm, pressure));
+                    }
                 } else {
                     // No pipeline draining traces: still retire the
                     // request's causal cursors so the per-ring maps track
                     // in-flight requests, not every request ever seen.
                     h.tracer.retire(req);
                 }
+                update
+            };
+            if let Some((hm, pressure)) = pressure_update {
+                hm.set_slo_pressure(sim, pressure);
             }
             on_complete(sim, req);
         })
@@ -618,8 +635,16 @@ impl Cluster {
         // TimeSeries aggregates to a per-second rate; scale each sampled
         // level by the window so the stored points keep level semantics.
         let w_s = window.as_secs_f64();
+        // Open a sampling epoch: any gauge not written during this pass
+        // (e.g. a ratio whose denominator stayed zero) reads as stale in
+        // snapshots instead of silently holding its old value.
+        reg.begin_sample();
         {
-            let hub = self.obs_hub.borrow();
+            let mut hub = self.obs_hub.borrow_mut();
+            if let Some(p) = hub.pipeline.as_mut() {
+                // One burn-rate series point per tenant per window.
+                p.sample_burn(now);
+            }
             if hub.tracer.is_enabled() {
                 reg.gauge("tracer_spans_dropped", &[])
                     .set(hub.tracer.dropped() as f64);
@@ -771,6 +796,42 @@ impl Cluster {
             .iter()
             .map(|n| n.cpu.borrow().utilization_cores(a, b))
             .sum()
+    }
+
+    /// Registers exemplar-carrying fleet latency histograms on every
+    /// node's engine: DWRR queue wait, retry latency and RNIC
+    /// post-to-completion, labelled by node so the aggregation layer can
+    /// project the label away and merge them exactly.
+    pub fn export_latency_histograms(&self, reg: &obs::MetricsRegistry) {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let label = idx.to_string();
+            let nl = [("node", label.as_str())];
+            node.dne.set_obs_sink(dne::DneObsSink {
+                tx_queue_wait: Some(reg.histogram("dne_tx_queue_wait_ns", &nl)),
+                retry_latency: Some(reg.histogram("dne_retry_latency_ns", &nl)),
+                post_to_completion: Some(reg.histogram("dne_post_to_completion_ns", &nl)),
+            });
+        }
+    }
+
+    /// Folds every engine's per-pipeline-stage busy core-time into one
+    /// SoC profiler table over `[0, horizon_ns]` (rows aggregate across
+    /// nodes, under the `dne_soc` processor name).
+    pub fn soc_stage_table(&self, horizon_ns: u64) -> obs::SocStageTable {
+        let mut stages: Vec<(&'static str, u128)> = Vec::new();
+        for node in &self.nodes {
+            for (stage, busy) in node.dne.stage_busy() {
+                match stages.iter_mut().find(|(s, _)| *s == stage) {
+                    Some((_, sum)) => *sum += busy,
+                    None => stages.push((stage, busy)),
+                }
+            }
+        }
+        let mut table = obs::SocStageTable::new(horizon_ns);
+        for (stage, busy) in stages {
+            table.push("dne_soc", stage, busy);
+        }
+        table
     }
 }
 

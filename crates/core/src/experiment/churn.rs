@@ -21,7 +21,7 @@
 //! were byte-identical, and the CI churn-smoke job re-asserts this
 //! across whole process invocations.
 
-use crate::churn::{run as run_cell, ChurnConfig, ChurnReport};
+use crate::churn::{run as run_cell, ChurnConfig, ChurnReport, ChurnWindow};
 use crate::experiment::parallel::pmap;
 use crate::report::{fmt_f64, render_table};
 use simcore::SimDuration;
@@ -53,6 +53,10 @@ pub struct ChurnRow {
     pub teardowns: u64,
     /// Peak concurrently-active QPs at the gateway RNIC.
     pub peak_active_qps: usize,
+    /// Per-window thrash series — the PR 8 `qp_*` gauges as eviction /
+    /// teardown / cold rates over the run, so the thrash knee is a
+    /// series, not one total.
+    pub windows: Vec<ChurnWindow>,
     /// Determinism digest, hex.
     pub digest: String,
 }
@@ -69,6 +73,7 @@ obs::impl_to_json!(ChurnRow {
     evictions,
     teardowns,
     peak_active_qps,
+    windows,
     digest
 });
 
@@ -145,6 +150,7 @@ fn row(rep: &ChurnReport, prewarm: usize) -> ChurnRow {
         evictions: rep.evictions,
         teardowns: rep.teardowns,
         peak_active_qps: rep.peak_active_qps,
+        windows: rep.windows.clone(),
         digest: format!("{:016x}", rep.digest),
     }
 }
@@ -240,7 +246,52 @@ impl BenchChurn {
             &rows,
         );
         text.push_str(&format!("determinism: {}\n", self.determinism));
+        if let Some(thrash) = self.thrash_cell() {
+            let win_rows: Vec<Vec<String>> = thrash
+                .windows
+                .iter()
+                .map(|w| {
+                    vec![
+                        w.index.to_string(),
+                        format!("{:.1}", w.start_ns as f64 / 1e6),
+                        format!("{:.1}", w.end_ns as f64 / 1e6),
+                        w.cold_connects.to_string(),
+                        w.prewarm_claims.to_string(),
+                        fmt_f64(w.eviction_rate_per_s),
+                        fmt_f64(w.teardown_rate_per_s),
+                        fmt_f64(w.cold_rate_per_s),
+                    ]
+                })
+                .collect();
+            text.push('\n');
+            text.push_str(&render_table(
+                &format!(
+                    "QP thrash per window - {} tenants, prewarm {}",
+                    thrash.tenants, thrash.prewarm_target
+                ),
+                &[
+                    "window",
+                    "start_ms",
+                    "end_ms",
+                    "cold",
+                    "claims",
+                    "evict/s",
+                    "teardown/s",
+                    "cold/s",
+                ],
+                &win_rows,
+            ));
+        }
         text
+    }
+
+    /// The cell whose thrash series the text report shows: the largest
+    /// warm population — the place the eviction knee appears first.
+    pub fn thrash_cell(&self) -> Option<&ChurnRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.prewarm_target > 0 && !r.windows.is_empty())
+            .max_by_key(|r| r.tenants)
     }
 }
 
@@ -278,6 +329,20 @@ mod tests {
             bench.determinism.starts_with("stable"),
             "{}",
             bench.determinism
+        );
+    }
+
+    #[test]
+    fn thrash_table_rides_the_largest_warm_cell() {
+        let bench = run_jobs(true, 2);
+        let cell = bench.thrash_cell().expect("warm cells carry windows");
+        assert_eq!(cell.tenants, *QUICK_POPULATIONS.last().unwrap());
+        assert!(cell.prewarm_target > 0);
+        assert!(!cell.windows.is_empty());
+        let rendered = bench.render();
+        assert!(
+            rendered.contains("QP thrash per window"),
+            "thrash table missing from render:\n{rendered}"
         );
     }
 }

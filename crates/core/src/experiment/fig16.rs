@@ -53,13 +53,55 @@ obs::impl_to_json!(Fig16Row {
     host_cores
 });
 
+/// "SoC cores freed vs host-only baseline" row: NADINO (DNE) against
+/// NADINO (CNE) — the same engine on host cores — for one
+/// (chain, clients) cell.
+/// Both variants run closed-loop, so the DNE completes more requests in
+/// the same horizon and its hosts are busier doing *useful* function
+/// work; raw busy-core counts would hide the offload. Normalizing per
+/// 1000 RPS makes the comparison work-for-work.
+#[derive(Debug, Clone)]
+pub struct CoresFreedRow {
+    pub chain: String,
+    pub clients: usize,
+    /// Host cores per 1000 RPS under the CNE baseline (functions + engine).
+    pub baseline_host_cores_per_krps: f64,
+    /// Host cores per 1000 RPS with the engine offloaded to the SoC.
+    pub dne_host_cores_per_krps: f64,
+    /// SoC cores per 1000 RPS the offloaded engine consumes instead.
+    pub dne_soc_cores_per_krps: f64,
+    /// Host cores freed per 1000 RPS of served load.
+    pub host_cores_freed_per_krps: f64,
+}
+
+obs::impl_to_json!(CoresFreedRow {
+    chain,
+    clients,
+    baseline_host_cores_per_krps,
+    dne_host_cores_per_krps,
+    dne_soc_cores_per_krps,
+    host_cores_freed_per_krps
+});
+
 /// The full figure + table.
 #[derive(Debug, Clone)]
 pub struct Fig16 {
     pub rows: Vec<Fig16Row>,
+    /// The "SoC cores freed" table (one row per DNE/CNE cell pair).
+    pub cores_freed: Vec<CoresFreedRow>,
+    /// Per-tenant multi-window burn-rate series from the obs-bearing
+    /// boutique cell (`Null` when the DNE/CNE pair was filtered out).
+    pub burn: obs::JsonValue,
+    /// SoC per-stage utilization table from the same cell.
+    pub soc_stages: obs::JsonValue,
 }
 
-obs::impl_to_json!(Fig16 { rows });
+obs::impl_to_json!(Fig16 {
+    rows,
+    cores_freed,
+    burn,
+    soc_stages
+});
 
 /// Client counts of Table 2.
 pub const CLIENTS: [usize; 3] = [20, 60, 80];
@@ -327,7 +369,49 @@ pub fn run_filtered(millis: u64, systems: &[SystemKind], clients: &[usize]) -> F
             }
         }
     }
-    Fig16 { rows }
+    let cores_freed: Vec<CoresFreedRow> = rows
+        .iter()
+        .filter(|r| r.system == "NADINO (DNE)")
+        .filter_map(|d| {
+            let c = rows.iter().find(|r| {
+                r.system == "NADINO (CNE)" && r.chain == d.chain && r.clients == d.clients
+            })?;
+            let per_krps = |cores: f64, rps: f64| {
+                if rps > 0.0 {
+                    cores / rps * 1000.0
+                } else {
+                    0.0
+                }
+            };
+            let freed = obs::CoresFreed {
+                baseline_host_cores: per_krps(c.host_cores + c.engine_cores, c.rps),
+                dne_host_cores: per_krps(d.host_cores, d.rps),
+                dne_soc_cores: per_krps(d.engine_cores, d.rps),
+            };
+            Some(CoresFreedRow {
+                chain: d.chain.clone(),
+                clients: d.clients,
+                baseline_host_cores_per_krps: freed.baseline_host_cores,
+                dne_host_cores_per_krps: freed.dne_host_cores,
+                dne_soc_cores_per_krps: freed.dne_soc_cores,
+                host_cores_freed_per_krps: freed.freed(),
+            })
+        })
+        .collect();
+    // Obs riders: the burn-rate series and SoC stage table come from one
+    // obs-bearing boutique cell (trace pipeline + burn monitor enabled) —
+    // skipped when the DNE/CNE pair was filtered out of this run.
+    let (burn, soc_stages) = if cores_freed.is_empty() {
+        (obs::JsonValue::Null, obs::JsonValue::Null)
+    } else {
+        crate::fleet::obs_sections(&crate::fleet::FleetConfig::default())
+    };
+    Fig16 {
+        rows,
+        cores_freed,
+        burn,
+        soc_stages,
+    }
 }
 
 impl Fig16 {
@@ -358,11 +442,41 @@ impl Fig16 {
                 ]
             })
             .collect();
-        render_table(
+        let mut text = render_table(
             "Fig. 16 - Online Boutique: RPS and engine usage",
             &["system", "chain", "clients", "rps", "engine", "host_cpu"],
             &rows,
-        )
+        );
+        if !self.cores_freed.is_empty() {
+            let freed_rows: Vec<Vec<String>> = self
+                .cores_freed
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.chain.clone(),
+                        r.clients.to_string(),
+                        fmt_f64(r.baseline_host_cores_per_krps),
+                        fmt_f64(r.dne_host_cores_per_krps),
+                        fmt_f64(r.dne_soc_cores_per_krps),
+                        fmt_f64(r.host_cores_freed_per_krps),
+                    ]
+                })
+                .collect();
+            text.push('\n');
+            text.push_str(&render_table(
+                "SoC cores freed vs host-only baseline (DNE vs CNE, per 1000 RPS)",
+                &[
+                    "chain",
+                    "clients",
+                    "baseline_host",
+                    "dne_host",
+                    "dne_soc",
+                    "freed",
+                ],
+                &freed_rows,
+            ));
+        }
+        text
     }
 
     /// Renders Table 2 (mean latency in milliseconds).
@@ -517,6 +631,36 @@ mod tests {
             fuyao.engine_cores > 1.9,
             "FUYAO's polling receivers saturate their cores"
         );
+    }
+
+    #[test]
+    fn cores_freed_table_pairs_dne_with_cne() {
+        let f = fig();
+        assert!(
+            !f.cores_freed.is_empty(),
+            "DNE+CNE both ran, so the pairing exists"
+        );
+        for row in &f.cores_freed {
+            let d = f.get("NADINO (DNE)", &row.chain, row.clients).unwrap();
+            assert!(d.engine_is_dpu);
+            assert!(row.dne_soc_cores_per_krps > 0.0, "engine moved to the SoC");
+            assert!(row.host_cores_freed_per_krps >= 0.0);
+        }
+        // Under load, serving the same unit of work must cost fewer host
+        // cores once the engine is off the host.
+        let loaded = f
+            .cores_freed
+            .iter()
+            .find(|r| r.chain == "Home Query" && r.clients == 80)
+            .unwrap();
+        assert!(
+            loaded.host_cores_freed_per_krps > 0.0,
+            "offload frees host cores per krps: {loaded:?}"
+        );
+        // The obs riders came along with the pairing.
+        assert!(f.burn != obs::JsonValue::Null, "burn series present");
+        assert!(f.soc_stages != obs::JsonValue::Null, "SoC table present");
+        assert!(f.render().contains("SoC cores freed"));
     }
 
     #[test]

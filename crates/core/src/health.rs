@@ -128,6 +128,10 @@ struct MonitorInner {
     on_recovered: Option<NodeEventHandler>,
     on_capacity: Option<CapacityHandler>,
     probing: bool,
+    /// Multiplier in `(0, 1]` fed by the SLO burn monitor: alerting
+    /// tenants discount effective capacity so admission sheds sooner
+    /// even while every node is nominally up.
+    slo_pressure: f64,
 }
 
 impl MonitorInner {
@@ -138,7 +142,7 @@ impl MonitorInner {
             .values()
             .filter(|t| t.state != NodeState::Down)
             .count() as f64;
-        up / total
+        (up / total) * self.slo_pressure
     }
 
     /// Records a transition (event log + instant span); the caller fires
@@ -200,6 +204,7 @@ impl HealthMonitor {
                 on_recovered: None,
                 on_capacity: None,
                 probing: false,
+                slo_pressure: 1.0,
             })),
         }
     }
@@ -230,9 +235,35 @@ impl HealthMonitor {
         self.inner.borrow().nodes.get(&node.0).map(|t| t.state)
     }
 
-    /// The fraction of tracked nodes not currently `Down`, in `(0, 1]`.
+    /// The effective capacity fraction in `(0, 1]`: the fraction of
+    /// tracked nodes not currently `Down`, discounted by SLO pressure.
     pub fn healthy_fraction(&self) -> f64 {
         self.inner.borrow().capacity()
+    }
+
+    /// Sets the SLO-pressure multiplier (clamped to `(0, 1]`) and fires
+    /// the capacity handler if the effective capacity changed. Fed by
+    /// the trace pipeline's burn monitor: each alerting tenant should
+    /// discount capacity a notch so ingress sheds before the budget is
+    /// gone.
+    pub fn set_slo_pressure(&self, sim: &mut Sim, pressure: f64) {
+        let clamped = pressure.clamp(f64::MIN_POSITIVE, 1.0);
+        let (changed, capacity, handler) = {
+            let mut inner = self.inner.borrow_mut();
+            let changed = inner.slo_pressure != clamped;
+            inner.slo_pressure = clamped;
+            (changed, inner.capacity(), inner.on_capacity.clone())
+        };
+        if changed {
+            if let Some(h) = handler {
+                h(sim, capacity);
+            }
+        }
+    }
+
+    /// The current SLO-pressure multiplier.
+    pub fn slo_pressure(&self) -> f64 {
+        self.inner.borrow().slo_pressure
     }
 
     /// Every recorded transition, in order.
@@ -512,6 +543,27 @@ mod tests {
         sim.run_until(t(1_000));
         m.probe_once(&mut sim, &fabric); // Draining → Healthy
         assert_eq!(caps.borrow().as_slice(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn slo_pressure_discounts_capacity_and_fires_handler() {
+        let m = monitor();
+        let mut sim = Sim::new();
+        let caps: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        let c = caps.clone();
+        m.set_capacity_handler(Rc::new(move |_sim, f| c.borrow_mut().push(f)));
+        assert_eq!(m.healthy_fraction(), 1.0);
+        m.set_slo_pressure(&mut sim, 0.5);
+        assert_eq!(m.healthy_fraction(), 0.5, "pressure discounts capacity");
+        m.set_slo_pressure(&mut sim, 0.5); // unchanged: no re-fire
+        m.set_slo_pressure(&mut sim, 1.0); // alert cleared
+        assert_eq!(caps.borrow().as_slice(), &[0.5, 1.0]);
+        // Pressure composes with node loss.
+        m.set_slo_pressure(&mut sim, 0.5);
+        for _ in 0..3 {
+            m.on_failure(&mut sim, NodeId(1));
+        }
+        assert_eq!(m.healthy_fraction(), 0.25, "half the nodes, half budget");
     }
 
     #[test]

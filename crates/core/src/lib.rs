@@ -41,6 +41,7 @@ pub mod boutique;
 pub mod churn;
 pub mod cluster;
 pub mod experiment;
+pub mod fleet;
 pub mod health;
 pub mod report;
 pub mod shard_cluster;

@@ -49,12 +49,13 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use rdma_sim::cost::RdmaCosts;
 use simcore::shard::{
     Envelope, Outbox, ShardBuildError, ShardEnv, ShardId, ShardProfile, ShardSetup, ShardedSim,
 };
-use simcore::{Sim, SimDuration, SimTime, TimerHandle};
+use simcore::{Histogram, Sim, SimDuration, SimTime, TimerHandle};
 
 /// Per-message wire overhead added to the payload: descriptor + headers.
 const WIRE_HEADER_BYTES: usize = 64;
@@ -192,6 +193,87 @@ impl NodeStats {
     }
 }
 
+/// How many of the slowest completed requests the client shard retains
+/// as resolvable trace records for its latency exemplars.
+const SLOW_TRACE_CAP: usize = 16;
+
+/// A retained record of one slow completed request — the shard world's
+/// equivalent of a flight-recorder trace. The client shard keeps the
+/// [`SLOW_TRACE_CAP`] slowest completions so every latency exemplar in
+/// the fleet report resolves to a concrete record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTrace {
+    /// Request id (doubles as the exemplar's trace id).
+    pub req_id: u64,
+    /// Virtual instant the request was first issued, ns.
+    pub start_ns: u64,
+    /// Virtual instant the final leg replied, ns.
+    pub end_ns: u64,
+    /// Timeout-driven retransmissions the request needed.
+    pub retries: u32,
+}
+
+impl ShardTrace {
+    /// Completed-request latency, ns.
+    pub fn latency_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+obs::impl_to_json!(ShardTrace {
+    req_id,
+    start_ns,
+    end_ns,
+    retries
+});
+
+/// Client-side latency observability carried out of the shard world:
+/// the request-latency histogram, its exemplars, and the retained
+/// slowest-request records the exemplars resolve against.
+#[derive(Debug, Clone, Default)]
+pub struct ClientLatencyObs {
+    /// Completed-request latency distribution.
+    pub hist: Histogram,
+    /// One exemplar slot per histogram bucket, keyed by request id.
+    pub exemplars: obs::ExemplarSet,
+    /// The [`SLOW_TRACE_CAP`] slowest completions, slowest first.
+    pub slow_traces: Vec<ShardTrace>,
+}
+
+impl ClientLatencyObs {
+    /// `true` when every exemplar's trace id is resolvable: either it
+    /// appears in the retained slow-trace table, or its bucket is below
+    /// every retained latency (fast buckets are summarized, not traced).
+    pub fn exemplars_resolvable(&self) -> bool {
+        let floor = self.slow_traces.last().map_or(u64::MAX, |t| t.latency_ns());
+        self.exemplars.exemplars().all(|ex| {
+            ex.value_ns <= floor || self.slow_traces.iter().any(|t| t.req_id == ex.trace_id)
+        })
+    }
+
+    /// JSON form: quantiles, exemplars, and the slow-trace table.
+    pub fn to_json(&self) -> obs::JsonValue {
+        use obs::{JsonValue, ToJson};
+        JsonValue::obj(vec![
+            ("count", JsonValue::UInt(self.hist.count())),
+            (
+                "p50_ns",
+                JsonValue::UInt(self.hist.percentile(50.0).as_nanos()),
+            ),
+            (
+                "p99_ns",
+                JsonValue::UInt(self.hist.percentile(99.0).as_nanos()),
+            ),
+            ("max_ns", JsonValue::UInt(self.hist.max().as_nanos())),
+            ("exemplars", self.exemplars.to_json()),
+            (
+                "slow_traces",
+                JsonValue::Arr(self.slow_traces.iter().map(|t| t.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
 /// The outcome of a sharded cluster run.
 #[derive(Debug, Clone)]
 pub struct ShardClusterReport {
@@ -211,6 +293,11 @@ pub struct ShardClusterReport {
     pub workers: usize,
     /// The lookahead the run synchronized on, ns.
     pub lookahead_ns: u64,
+    /// Client request-latency histogram, exemplars, and slow-trace
+    /// records (excluded from the digest: the histogram and exemplar
+    /// content is fully determined by `stats`' deterministic inputs, and
+    /// keeping the digest format fixed keeps committed baselines valid).
+    pub latency: ClientLatencyObs,
 }
 
 impl ShardClusterReport {
@@ -265,6 +352,12 @@ impl ShardClusterReport {
         reg.gauge("shard_lookahead_ns", &[])
             .set(self.lookahead_ns as f64);
     }
+
+    /// Per-shard wall-time attribution ({execute, barrier-stall,
+    /// mailbox-drain, idle}) derived from the run's engine profiles.
+    pub fn shard_split(&self) -> Vec<obs::ShardSplit> {
+        obs::ShardSplit::from_profiles(&self.profiles)
+    }
 }
 
 /// In-flight bookkeeping for one client request.
@@ -285,6 +378,32 @@ struct ClientState {
     pending: HashMap<u64, Pending>,
     stats: NodeStats,
     horizon: SimTime,
+    latency: ClientLatencyObs,
+}
+
+impl ClientState {
+    /// Records one completed request into the latency histogram, offers
+    /// an exemplar keyed by request id, and keeps the slow-trace table
+    /// bounded at the [`SLOW_TRACE_CAP`] slowest completions.
+    fn record_completion(&mut self, req_id: u64, issued_at: SimTime, now: SimTime, retries: u32) {
+        let latency = (now - issued_at).as_nanos();
+        self.latency.hist.record(now - issued_at);
+        self.latency.exemplars.offer(latency, req_id, 0);
+        let trace = ShardTrace {
+            req_id,
+            start_ns: issued_at.as_nanos(),
+            end_ns: now.as_nanos(),
+            retries,
+        };
+        let slow = &mut self.latency.slow_traces;
+        slow.push(trace);
+        slow.sort_by(|a, b| {
+            b.latency_ns()
+                .cmp(&a.latency_ns())
+                .then(a.req_id.cmp(&b.req_id))
+        });
+        slow.truncate(SLOW_TRACE_CAP);
+    }
 }
 
 impl ClientState {
@@ -434,6 +553,7 @@ fn on_reply(state: &Rc<RefCell<ClientState>>, sim: &mut Sim, req_id: u64, attemp
         s.stats.completed += 1;
         s.stats.latency_ns_sum += latency;
         s.stats.latency_ns_max = s.stats.latency_ns_max.max(latency);
+        s.record_completion(req_id, p.issued_at, sim.now(), p.retries);
         p.timer
     };
     if let Some(t) = timer {
@@ -531,6 +651,17 @@ fn server_pump(state: &Rc<RefCell<ServerState>>, sim: &mut Sim) {
 /// latency floor is zero — a zero-latency fabric admits no conservative
 /// window.
 pub fn build(cfg: ShardClusterConfig) -> Result<ShardedSim<NetMsg, NodeStats>, ShardBuildError> {
+    build_inner(cfg, None)
+}
+
+/// [`build`], optionally threading a latency-observability sink into the
+/// client shard. The sink is an `Arc<Mutex<..>>` because the client's
+/// `finish` hook runs on a worker thread; its content is nonetheless
+/// deterministic — it is written exactly once, from virtual-time state.
+fn build_inner(
+    cfg: ShardClusterConfig,
+    latency_sink: Option<Arc<Mutex<ClientLatencyObs>>>,
+) -> Result<ShardedSim<NetMsg, NodeStats>, ShardBuildError> {
     assert!(cfg.nodes >= 2, "need a client and at least one server");
     assert!(cfg.clients >= 1, "closed loop needs at least one client");
     assert!(cfg.host_cores >= 1, "servers need at least one core");
@@ -552,6 +683,7 @@ pub fn build(cfg: ShardClusterConfig) -> Result<ShardedSim<NetMsg, NodeStats>, S
             },
             horizon,
             cfg: client_cfg,
+            latency: ClientLatencyObs::default(),
         }));
         let clients = state.borrow().cfg.clients;
         for _ in 0..clients {
@@ -567,7 +699,14 @@ pub fn build(cfg: ShardClusterConfig) -> Result<ShardedSim<NetMsg, NodeStats>, S
                 on_reply(&st, sim, req_id, attempt);
             }
         });
-        let finish = Box::new(move |_: &mut Sim| state.borrow().stats);
+        let sink = latency_sink.clone();
+        let finish = Box::new(move |_: &mut Sim| {
+            let s = state.borrow();
+            if let Some(sink) = &sink {
+                *sink.lock().expect("latency sink poisoned") = s.latency.clone();
+            }
+            s.stats
+        });
         ShardSetup { on_message, finish }
     });
 
@@ -610,9 +749,12 @@ pub fn build(cfg: ShardClusterConfig) -> Result<ShardedSim<NetMsg, NodeStats>, S
 /// into a [`ShardClusterReport`].
 pub fn run(cfg: ShardClusterConfig, workers: usize) -> ShardClusterReport {
     let lookahead = cfg.costs.latency_floor();
-    let sharded = build(cfg).expect("default cost model has a non-zero floor");
+    let sink = Arc::new(Mutex::new(ClientLatencyObs::default()));
+    let sharded =
+        build_inner(cfg, Some(sink.clone())).expect("default cost model has a non-zero floor");
     let run = sharded.run(workers);
     let total_events = run.total_executed();
+    let latency = std::mem::take(&mut *sink.lock().expect("latency sink poisoned"));
     ShardClusterReport {
         stats: run.outputs,
         profiles: run.profiles,
@@ -622,6 +764,7 @@ pub fn run(cfg: ShardClusterConfig, workers: usize) -> ShardClusterReport {
         wall_ns: run.wall_ns,
         workers: run.workers,
         lookahead_ns: lookahead.as_nanos(),
+        latency,
     }
 }
 
@@ -867,6 +1010,43 @@ mod tests {
         assert!(r.completed() > 0, "traffic resumes after the window");
         let r2 = run(cfg, 2);
         assert_eq!(r.determinism_digest(), r2.determinism_digest());
+    }
+
+    #[test]
+    fn latency_obs_matches_stats_and_exemplars_resolve() {
+        let r = run(quick_cfg(WorkloadKind::Echo, 42), 2);
+        assert_eq!(
+            r.latency.hist.count(),
+            r.completed(),
+            "every completion lands in the histogram"
+        );
+        assert_eq!(
+            r.latency.hist.max().as_nanos(),
+            r.stats[0].latency_ns_max,
+            "histogram max agrees with the integer stats"
+        );
+        assert!(!r.latency.exemplars.is_empty(), "exemplars were offered");
+        assert!(!r.latency.slow_traces.is_empty());
+        assert!(
+            r.latency.slow_traces.len() <= SLOW_TRACE_CAP,
+            "slow-trace table is bounded"
+        );
+        assert!(
+            r.latency.exemplars_resolvable(),
+            "every tail exemplar resolves to a retained slow trace"
+        );
+        // The slowest retained trace is the worst completion.
+        assert_eq!(
+            r.latency.slow_traces[0].latency_ns(),
+            r.stats[0].latency_ns_max
+        );
+        // Latency obs is as deterministic as the digest.
+        let r2 = run(quick_cfg(WorkloadKind::Echo, 42), 1);
+        assert_eq!(
+            r.latency.to_json().to_string_pretty(),
+            r2.latency.to_json().to_string_pretty(),
+            "latency obs must be byte-identical across worker counts"
+        );
     }
 
     #[test]

@@ -186,6 +186,21 @@ enum FailedSendOutcome {
     Fail(DeliveryFailure),
 }
 
+/// Optional exemplar-carrying fleet histogram sinks the cluster may
+/// register so the engine's latency sites feed the windowed rollup
+/// directly, alongside the always-on [`DneStats`] histograms. Sampled
+/// requests attach `(trace_id, span_id)` exemplars to the bucket their
+/// observation lands in.
+#[derive(Clone, Default)]
+pub struct DneObsSink {
+    /// DWRR queue wait (submit → dequeue).
+    pub tx_queue_wait: Option<obs::HistogramHandle>,
+    /// First post → final successful completion, for retried sends.
+    pub retry_latency: Option<obs::HistogramHandle>,
+    /// RNIC post → CQE.
+    pub post_to_completion: Option<obs::HistogramHandle>,
+}
+
 struct Inner {
     node: NodeId,
     fabric: Fabric,
@@ -219,6 +234,7 @@ struct Inner {
     /// know where to point the new QP.
     peer_links: HashMap<(TenantId, NodeId), PeerLink>,
     failure_handler: Option<DeliveryFailureHandler>,
+    obs_sink: DneObsSink,
 }
 
 impl Inner {
@@ -244,11 +260,11 @@ impl Inner {
             return Some(WorkItem::Rx(cqe));
         }
         let (tenant, item) = self.txq.dequeue()?;
-        self.stats
-            .tx_queue_wait
-            .record(now.saturating_since(item.enqueued_at));
+        let wait = now.saturating_since(item.enqueued_at);
+        self.stats.tx_queue_wait.record(wait);
+        let mut ctx = None;
         if item.sampled {
-            self.tracer.span(
+            let span_id = self.tracer.span(
                 item.req_id,
                 tenant.0,
                 self.node.0 as u32,
@@ -256,6 +272,10 @@ impl Inner {
                 item.enqueued_at,
                 now,
             );
+            ctx = Some((item.req_id, span_id));
+        }
+        if let Some(h) = &self.obs_sink.tx_queue_wait {
+            h.record_traced(wait, ctx);
         }
         Some(WorkItem::Tx(tenant, item.desc))
     }
@@ -329,9 +349,13 @@ impl Inner {
         self.stats.drops += 1;
         self.stats.give_ups += 1;
         if attempts > 0 {
-            self.stats
-                .retry_latency
-                .record(now.saturating_since(first_at));
+            let lat = now.saturating_since(first_at);
+            self.stats.retry_latency.record(lat);
+            if let Some(h) = &self.obs_sink.retry_latency {
+                // No sampling decision survives to this site; the sample
+                // still counts, just without an exemplar.
+                h.record_traced(lat, None);
+            }
         }
         if let Some(st) = self.tenants.get_mut(&tenant) {
             st.failures.drops += 1;
@@ -578,6 +602,7 @@ impl Dne {
             reconnecting: HashSet::new(),
             peer_links: HashMap::new(),
             failure_handler: None,
+            obs_sink: DneObsSink::default(),
         }));
         let weak: Weak<RefCell<Inner>> = Rc::downgrade(&inner);
         fabric.set_cq_waker(
@@ -793,7 +818,14 @@ impl Dne {
                     match inner.next_item(now) {
                         Some(item) => {
                             let service = inner.service_for(&item);
-                            let done = inner.processor.run(now, service);
+                            let stage = match &item {
+                                WorkItem::Tx(..) => "tx_post",
+                                WorkItem::Rx(cqe) => match cqe.opcode {
+                                    CqeOpcode::Recv => "rx_deliver",
+                                    _ => "send_completion",
+                                },
+                            };
+                            let done = inner.processor.run_staged(now, service, stage);
                             inner.in_flight += 1;
                             Some((item, done))
                         }
@@ -1128,12 +1160,11 @@ impl Dne {
                     // the WR was handed to the RNIC.
                     let posted = inner.posted.remove(&cqe.wr_id.0);
                     if let Some(p) = &posted {
-                        inner
-                            .stats
-                            .post_to_completion
-                            .record(sim.now().saturating_since(p.at));
+                        let p2c = sim.now().saturating_since(p.at);
+                        inner.stats.post_to_completion.record(p2c);
+                        let mut ctx = None;
                         if p.sampled {
-                            inner.tracer.span(
+                            let span_id = inner.tracer.span(
                                 p.req_id,
                                 p.tenant.0,
                                 inner.node.0 as u32,
@@ -1141,12 +1172,17 @@ impl Dne {
                                 p.at,
                                 sim.now(),
                             );
+                            ctx = Some((p.req_id, span_id));
+                        }
+                        if let Some(h) = &inner.obs_sink.post_to_completion {
+                            h.record_traced(p2c, ctx);
                         }
                         if cqe.status == CqeStatus::Success && p.attempts > 0 {
-                            inner
-                                .stats
-                                .retry_latency
-                                .record(sim.now().saturating_since(p.first_at));
+                            let lat = sim.now().saturating_since(p.first_at);
+                            inner.stats.retry_latency.record(lat);
+                            if let Some(h) = &inner.obs_sink.retry_latency {
+                                h.record_traced(lat, ctx);
+                            }
                         }
                     }
                     // Shadow-QP reaping: idle connections leave the cache.
@@ -1620,6 +1656,18 @@ impl Dne {
     /// Returns a handle to the engine's tracer.
     pub fn tracer(&self) -> Tracer {
         self.inner.borrow().tracer.clone()
+    }
+
+    /// Registers fleet histogram sinks (with exemplars) for the engine's
+    /// latency sites; pass `DneObsSink::default()` to detach them.
+    pub fn set_obs_sink(&self, sink: DneObsSink) {
+        self.inner.borrow_mut().obs_sink = sink;
+    }
+
+    /// Per-pipeline-stage busy core-nanoseconds of the engine's SoC
+    /// processor, in first-use order.
+    pub fn stage_busy(&self) -> Vec<(&'static str, u128)> {
+        self.inner.borrow().processor.stage_busy().to_vec()
     }
 
     /// Returns the engine's total work backlog (TX queue + unpolled CQEs) —

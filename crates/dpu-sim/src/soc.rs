@@ -47,6 +47,11 @@ pub struct Processor {
     kind: ProcessorKind,
     factor: f64,
     cores: MultiServer,
+    /// Busy core-nanoseconds attributed per pipeline stage by
+    /// [`Processor::run_staged`]. A small linear-scan vec in first-use
+    /// order: stage sets are tiny and callers tag with static strings,
+    /// so iteration order is deterministic.
+    stage_busy: Vec<(&'static str, u128)>,
 }
 
 impl Processor {
@@ -64,6 +69,7 @@ impl Processor {
             kind,
             factor,
             cores: MultiServer::new(cores),
+            stage_busy: Vec::new(),
         }
     }
 
@@ -98,6 +104,32 @@ impl Processor {
     /// bypassing the wimpy factor.
     pub fn run_unscaled(&mut self, now: SimTime, wall: SimDuration) -> SimTime {
         self.cores.admit(now, wall)
+    }
+
+    /// Like [`Processor::run`], but attributes the (scaled) busy
+    /// core-time to a named pipeline stage for the utilization profiler.
+    pub fn run_staged(
+        &mut self,
+        now: SimTime,
+        reference: SimDuration,
+        stage: &'static str,
+    ) -> SimTime {
+        let scaled = self.scale(reference);
+        self.credit_stage(stage, scaled.as_nanos() as u128);
+        self.cores.admit(now, scaled)
+    }
+
+    fn credit_stage(&mut self, stage: &'static str, busy_ns: u128) {
+        match self.stage_busy.iter_mut().find(|(s, _)| *s == stage) {
+            Some((_, sum)) => *sum += busy_ns,
+            None => self.stage_busy.push((stage, busy_ns)),
+        }
+    }
+
+    /// Per-stage busy core-nanoseconds accumulated by
+    /// [`Processor::run_staged`], in first-use order.
+    pub fn stage_busy(&self) -> &[(&'static str, u128)] {
+        &self.stage_busy
     }
 
     /// Returns the earliest instant any core is free.
@@ -173,5 +205,19 @@ mod tests {
     #[should_panic(expected = "wimpy factor must be positive")]
     fn zero_factor_panics() {
         let _ = Processor::with_factor(ProcessorKind::HostCpu, 1, 0.0);
+    }
+
+    #[test]
+    fn staged_runs_attribute_scaled_busy_time() {
+        let mut p = Processor::new(ProcessorKind::DpuArm, 2);
+        let done = p.run_staged(SimTime::ZERO, us(5), "tx_post");
+        assert_eq!(done.as_nanos(), 10_000, "same semantics as run()");
+        p.run_staged(SimTime::ZERO, us(3), "rx_complete");
+        p.run_staged(done, us(1), "tx_post");
+        assert_eq!(
+            p.stage_busy(),
+            &[("tx_post", 12_000), ("rx_complete", 6_000)],
+            "scaled ns per stage, first-use order"
+        );
     }
 }

@@ -202,6 +202,9 @@ struct GwInner {
     /// deschedule it instead of leaving a dead closure to fire.
     autoscaler_timer: Option<TimerHandle>,
     tracer: Tracer,
+    /// Optional fleet histogram for admission latency (arrival →
+    /// ingress-rx done), with exemplars on sampled requests.
+    admission_hist: Option<obs::HistogramHandle>,
 }
 
 impl GwInner {
@@ -254,6 +257,7 @@ impl Gateway {
                 autoscaler_running: false,
                 autoscaler_timer: None,
                 tracer: Tracer::disabled(),
+                admission_hist: None,
             })),
         }
     }
@@ -309,6 +313,13 @@ impl Gateway {
         if let Some(ac) = self.inner.borrow_mut().admission.as_mut() {
             ac.set_capacity_factor(factor);
         }
+    }
+
+    /// Registers a fleet histogram recording admission latency (arrival
+    /// → ingress-rx done) with exemplars on sampled requests; `None`
+    /// detaches it.
+    pub fn set_admission_histogram(&self, hist: Option<obs::HistogramHandle>) {
+        self.inner.borrow_mut().admission_hist = hist;
     }
 
     /// Total admission-control sheds for `tenant`.
@@ -441,6 +452,7 @@ impl Gateway {
             // carried with the request (ReqCtx + on-wire ctx bit) so no
             // downstream stage consults the tracer again.
             let sampled = inner.tracer.decide_sample(req_id);
+            let mut ctx = None;
             if sampled {
                 // RSS steering is effectively instantaneous; HTTP parsing is
                 // the app-work share of the rx half; the Gateway span covers
@@ -457,9 +469,14 @@ impl Gateway {
                     now,
                     parse_end,
                 );
-                inner
-                    .tracer
-                    .span(req_id, tenant, GATEWAY_NODE, Stage::Gateway, now, rx_done);
+                let span_id =
+                    inner
+                        .tracer
+                        .span(req_id, tenant, GATEWAY_NODE, Stage::Gateway, now, rx_done);
+                ctx = Some((req_id, span_id));
+            }
+            if let Some(h) = &inner.admission_hist {
+                h.record_traced(rx_done.saturating_since(now), ctx);
             }
             (req_id, widx, rx_done, deadline_ns, sampled)
         };
@@ -704,6 +721,30 @@ mod tests {
         let us = at.as_micros_f64();
         assert!(us > 55.0 && us < 90.0, "end-to-end = {us}us");
         assert_eq!(gw.stats().completed, 1);
+    }
+
+    #[test]
+    fn admission_histogram_records_with_exemplar_for_sampled_requests() {
+        let gw = Gateway::new(GatewayConfig::default());
+        gw.set_tracer(obs::Tracer::enabled());
+        let reg = obs::MetricsRegistry::new();
+        let hist = reg.histogram("gw_admission_latency", &[]);
+        gw.set_admission_histogram(Some(hist.clone()));
+        let mut sim = Sim::new();
+        gw.submit(
+            &mut sim,
+            FlowId::from_client(1, 0),
+            64,
+            echo_upstream(SimDuration::from_micros(10), 64),
+            Box::new(|_sim, _r| {}),
+        );
+        sim.run();
+        assert_eq!(hist.histogram().count(), 1, "admission latency recorded");
+        let exemplars = hist.exemplar_set();
+        assert_eq!(exemplars.len(), 1, "sampled request left an exemplar");
+        let ex = exemplars.exemplars().next().unwrap();
+        assert_eq!(ex.trace_id, 0, "first gateway req id");
+        assert!(ex.span_id != 0, "exemplar points at the Gateway span");
     }
 
     #[test]

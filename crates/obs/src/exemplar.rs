@@ -1,0 +1,196 @@
+//! Histogram exemplars: metric buckets that point back at traces.
+//!
+//! A fleet rollup can say "p999 retry latency is 80 ms" but not *which*
+//! request paid it. Prometheus-style exemplars close that gap: an
+//! observation site that knows its current trace context may attach
+//! `(trace_id, span_id)` to the histogram bucket its sample lands in, so
+//! every tail bucket in a report links to a concrete flight-recorder
+//! trace. Storage is strictly bounded — one exemplar slot per bucket,
+//! last-writer-wins — and overwrites are counted so the loss is visible.
+//!
+//! The bucket layout is [`simcore::Histogram`]'s log2-major /
+//! linear-minor scheme (via [`Histogram::bucket_index_of`]), so an
+//! exemplar recorded against any histogram maps exactly onto the merged
+//! rollup of that histogram family: bucketwise merge never moves samples
+//! between buckets.
+
+use std::collections::BTreeMap;
+
+use simcore::Histogram;
+
+use crate::json::JsonValue;
+
+/// One exemplar: a sample value plus the trace that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Bucket index (per [`Histogram::bucket_index_of`]) the sample
+    /// landed in.
+    pub bucket: u32,
+    /// The recorded sample, nanoseconds.
+    pub value_ns: u64,
+    /// Trace id (== request id throughout the workspace).
+    pub trace_id: u64,
+    /// Span id within the trace the site was executing under.
+    pub span_id: u32,
+}
+
+impl Exemplar {
+    /// JSON form, with the bucket's lower bound included so consumers
+    /// need not re-derive the layout.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("bucket", JsonValue::UInt(self.bucket as u64)),
+            (
+                "bucket_lower_ns",
+                JsonValue::UInt(Histogram::bucket_lower_bound_of(self.bucket as usize)),
+            ),
+            ("value_ns", JsonValue::UInt(self.value_ns)),
+            ("trace_id", JsonValue::UInt(self.trace_id)),
+            ("span_id", JsonValue::UInt(self.span_id as u64)),
+        ])
+    }
+}
+
+/// Bounded per-bucket exemplar storage: one slot per bucket,
+/// last-writer-wins, overwrites counted.
+#[derive(Debug, Clone, Default)]
+pub struct ExemplarSet {
+    /// Keyed by bucket index; `BTreeMap` for deterministic iteration.
+    slots: BTreeMap<u32, Exemplar>,
+    overwrites: u64,
+}
+
+impl ExemplarSet {
+    /// Creates an empty set.
+    pub fn new() -> ExemplarSet {
+        ExemplarSet::default()
+    }
+
+    /// Offers one traced sample; the bucket's previous exemplar (if any)
+    /// is replaced and counted as an overwrite.
+    pub fn offer(&mut self, value_ns: u64, trace_id: u64, span_id: u32) {
+        let bucket = Histogram::bucket_index_of(value_ns) as u32;
+        let ex = Exemplar {
+            bucket,
+            value_ns,
+            trace_id,
+            span_id,
+        };
+        if self.slots.insert(bucket, ex).is_some() {
+            self.overwrites += 1;
+        }
+    }
+
+    /// Exemplars in bucket order.
+    pub fn exemplars(&self) -> impl Iterator<Item = &Exemplar> {
+        self.slots.values()
+    }
+
+    /// Number of occupied bucket slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no exemplar has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Exemplars displaced by a later sample in the same bucket.
+    pub fn overwrites(&self) -> u64 {
+        self.overwrites
+    }
+
+    /// Keeps only exemplars `keep` accepts (used to drop exemplars whose
+    /// trace was not retained by the flight recorder / tail sampler, so
+    /// every exemplar in a committed report resolves to a real trace).
+    /// Returns how many were dropped. Dropping is not an overwrite —
+    /// nothing displaced the exemplar, the trace behind it aged out.
+    pub fn retain(&mut self, keep: impl Fn(&Exemplar) -> bool) -> usize {
+        let before = self.slots.len();
+        self.slots.retain(|_, ex| keep(ex));
+        before - self.slots.len()
+    }
+
+    /// Folds `other` into this set. Within one bucket the *other* set's
+    /// exemplar wins (merge order is the registry's deterministic
+    /// registration order, so the result is stable); displacements count
+    /// as overwrites.
+    pub fn merge(&mut self, other: &ExemplarSet) {
+        for ex in other.slots.values() {
+            if self.slots.insert(ex.bucket, *ex).is_some() {
+                self.overwrites += 1;
+            }
+        }
+        self.overwrites += other.overwrites;
+    }
+
+    /// JSON form: the exemplar list plus the overwrite counter.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            (
+                "exemplars",
+                JsonValue::Arr(self.slots.values().map(|e| e.to_json()).collect()),
+            ),
+            ("overwrites", JsonValue::UInt(self.overwrites)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_slot_per_bucket_last_writer_wins() {
+        let mut set = ExemplarSet::new();
+        // 100 and 101 share a bucket at this resolution; 10_000 does not.
+        set.offer(100, 1, 10);
+        set.offer(101, 2, 20);
+        set.offer(10_000, 3, 30);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.overwrites(), 1);
+        let kept: Vec<u64> = set.exemplars().map(|e| e.trace_id).collect();
+        assert_eq!(kept, vec![2, 3], "later writer displaced the first");
+    }
+
+    #[test]
+    fn bucket_matches_histogram_layout() {
+        let mut set = ExemplarSet::new();
+        for ns in [0u64, 7, 16, 1_000, 123_456, 1 << 30] {
+            set.offer(ns, ns, 0);
+        }
+        for ex in set.exemplars() {
+            assert_eq!(
+                ex.bucket as usize,
+                Histogram::bucket_index_of(ex.value_ns),
+                "exemplar bucket disagrees with histogram layout"
+            );
+            assert!(Histogram::bucket_lower_bound_of(ex.bucket as usize) <= ex.value_ns);
+        }
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_counts_displacements() {
+        let mut a = ExemplarSet::new();
+        let mut b = ExemplarSet::new();
+        a.offer(100, 1, 0);
+        b.offer(101, 2, 0); // same bucket: b wins on merge into a
+        b.offer(50_000, 3, 0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.overwrites(), 1);
+        let ids: Vec<u64> = a.exemplars().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let mut set = ExemplarSet::new();
+        set.offer(1_000, 42, 7);
+        let doc = set.to_json();
+        assert!(crate::json::parse(&doc.to_string_pretty()).is_ok());
+        let exs = doc.get("exemplars").unwrap().as_arr().unwrap();
+        assert_eq!(exs[0].get("trace_id").unwrap().as_u64(), Some(42));
+    }
+}

@@ -1,24 +1,26 @@
-//! Anomaly-triggered flight recorder and per-tenant latency-SLO monitor.
+//! Anomaly-triggered flight recorder and the trace-pipeline glue.
 //!
 //! A production data plane cannot afford to persist every trace, but when
 //! something goes wrong the traces that explain it have usually already
 //! been discarded. The [`FlightRecorder`] squares that: it keeps a fixed
 //! ring of the most recent completed trace trees, and on a trigger —
-//! a typed `DeliveryFailure`, an SLO burn detected by [`SloMonitor`], or
-//! an explicit operator call — freezes the ring into a self-contained
-//! JSON bundle (traces, per-trace critical paths, SLO counters, metric
-//! deltas since the recorder was armed). All timestamps are virtual, so
-//! the same seed produces a byte-identical dump.
+//! a typed `DeliveryFailure`, a multi-window SLO burn detected by
+//! [`BurnMonitor`], or an explicit operator call — freezes the ring into
+//! a self-contained JSON bundle (traces, per-trace critical paths, burn
+//! counters, metric deltas since the recorder was armed). All timestamps
+//! are virtual, so the same seed produces a byte-identical dump.
 //!
 //! The [`TracePipeline`] is the glue the cluster wires to its completion
 //! and failure paths: it drains each finished trace out of the tracer
-//! exactly once and fans it to the recorder, the SLO monitor and the
+//! exactly once and fans it to the recorder, the burn monitor and the
 //! tail-based [`TailSampler`].
 
+use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
 use simcore::SimTime;
 
+use crate::burn::{BurnConfig, BurnMonitor};
 use crate::critical_path;
 use crate::json::JsonValue;
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
@@ -103,122 +105,6 @@ impl FlightRecorder {
     }
 }
 
-/// Per-tenant latency-SLO configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SloConfig {
-    /// Latency target: a request above this breaches the SLO.
-    pub target_ns: u64,
-    /// Fixed evaluation window, in requests.
-    pub window: u64,
-    /// Breach fraction within a window at or above which the budget is
-    /// considered burning.
-    pub burn_threshold: f64,
-}
-
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-struct TenantSlo {
-    total: u64,
-    breached: u64,
-    window_total: u64,
-    window_breached: u64,
-    burns: u64,
-}
-
-/// Fixed-window per-tenant burn-rate monitor.
-///
-/// Every completed request is observed against the latency target; at the
-/// end of each `window`-request window the breach fraction is compared to
-/// `burn_threshold`, and crossing it fires a burn event (the flight
-/// recorder's second trigger). Windows are per tenant and counted in
-/// requests, not wall time, so the monitor is deterministic under the
-/// simulator's virtual clock.
-pub struct SloMonitor {
-    cfg: SloConfig,
-    /// Sorted by tenant id for deterministic export.
-    tenants: Vec<(u16, TenantSlo)>,
-}
-
-impl SloMonitor {
-    /// Creates a monitor with one shared config for all tenants.
-    pub fn new(cfg: SloConfig) -> SloMonitor {
-        SloMonitor {
-            cfg,
-            tenants: Vec::new(),
-        }
-    }
-
-    fn tenant_mut(&mut self, tenant: u16) -> &mut TenantSlo {
-        let pos = match self.tenants.binary_search_by_key(&tenant, |(t, _)| *t) {
-            Ok(pos) => pos,
-            Err(pos) => {
-                self.tenants.insert(pos, (tenant, TenantSlo::default()));
-                pos
-            }
-        };
-        &mut self.tenants[pos].1
-    }
-
-    /// Observes one completed request. Returns `true` when this
-    /// observation closed a window whose breach fraction is at or above
-    /// the burn threshold.
-    pub fn observe(&mut self, tenant: u16, latency_ns: u64) -> bool {
-        let target = self.cfg.target_ns;
-        let window = self.cfg.window.max(1);
-        let threshold = self.cfg.burn_threshold;
-        let s = self.tenant_mut(tenant);
-        s.total += 1;
-        s.window_total += 1;
-        if latency_ns > target {
-            s.breached += 1;
-            s.window_breached += 1;
-        }
-        if s.window_total < window {
-            return false;
-        }
-        let burning =
-            s.window_breached as f64 >= threshold * s.window_total as f64 && s.window_breached > 0;
-        s.window_total = 0;
-        s.window_breached = 0;
-        if burning {
-            s.burns += 1;
-        }
-        burning
-    }
-
-    /// Per-tenant counters: `(tenant, total, breached, burns)`, sorted by
-    /// tenant id.
-    pub fn counters(&self) -> Vec<(u16, u64, u64, u64)> {
-        self.tenants
-            .iter()
-            .map(|(t, s)| (*t, s.total, s.breached, s.burns))
-            .collect()
-    }
-
-    fn to_json(&self) -> JsonValue {
-        JsonValue::obj(vec![
-            ("target_ns", JsonValue::UInt(self.cfg.target_ns)),
-            ("window", JsonValue::UInt(self.cfg.window)),
-            ("burn_threshold", JsonValue::Float(self.cfg.burn_threshold)),
-            (
-                "tenants",
-                JsonValue::Arr(
-                    self.tenants
-                        .iter()
-                        .map(|(t, s)| {
-                            JsonValue::obj(vec![
-                                ("tenant", JsonValue::UInt(*t as u64)),
-                                ("total", JsonValue::UInt(s.total)),
-                                ("breached", JsonValue::UInt(s.breached)),
-                                ("burns", JsonValue::UInt(s.burns)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ])
-    }
-}
-
 /// Knobs for [`TracePipeline`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
@@ -226,8 +112,8 @@ pub struct PipelineConfig {
     pub tail_k: usize,
     /// Flight-recorder ring capacity, in traces.
     pub flight_cap: usize,
-    /// Per-tenant latency SLO; `None` disables burn detection.
-    pub slo: Option<SloConfig>,
+    /// Multi-window per-tenant SLO burn alerting; `None` disables it.
+    pub burn: Option<BurnConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -235,18 +121,18 @@ impl Default for PipelineConfig {
         PipelineConfig {
             tail_k: 16,
             flight_cap: 64,
-            slo: None,
+            burn: None,
         }
     }
 }
 
-/// Fans completed traces to the flight recorder, SLO monitor and tail
+/// Fans completed traces to the flight recorder, burn monitor and tail
 /// sampler, and freezes dumps on triggers.
 pub struct TracePipeline {
     tracer: Tracer,
     tail: TailSampler,
     flight: FlightRecorder,
-    slo: Option<SloMonitor>,
+    burn: Option<BurnMonitor>,
     /// Metrics baseline captured when the registry was attached; dumps
     /// embed the movement since then.
     metrics: Option<(MetricsRegistry, MetricsSnapshot)>,
@@ -261,7 +147,7 @@ impl TracePipeline {
             tracer,
             tail: TailSampler::new(cfg.tail_k),
             flight: FlightRecorder::new(cfg.flight_cap),
-            slo: cfg.slo.map(SloMonitor::new),
+            burn: cfg.burn.map(BurnMonitor::new),
             metrics: None,
             last_dump: None,
             dumps: 0,
@@ -276,14 +162,15 @@ impl TracePipeline {
     }
 
     /// Handles a successfully completed request: drains its trace and
-    /// offers it to the recorder, SLO monitor and tail sampler. Returns
-    /// the dump taken if the completion tipped a tenant into SLO burn.
+    /// offers it to the recorder, burn monitor and tail sampler. Returns
+    /// the dump taken if the completion was the rising edge of a
+    /// two-window SLO burn alert.
     pub fn on_complete(&mut self, now: SimTime, trace_id: u64) -> Option<&JsonValue> {
         let spans = self.tracer.take_trace(trace_id);
         let summary = TraceSummary::from_spans(trace_id, false, spans)?;
         let mut burning = false;
-        if let Some(slo) = &mut self.slo {
-            burning = slo.observe(summary.tenant, summary.duration_ns());
+        if let Some(burn) = &mut self.burn {
+            burning = burn.observe(summary.tenant, now, summary.duration_ns());
         }
         self.tail.offer(&summary);
         if let Some(evicted) = self.flight.record(summary) {
@@ -332,7 +219,7 @@ impl TracePipeline {
                 ])
             })
             .collect();
-        let slo = self.slo.as_ref().map_or(JsonValue::Null, |s| s.to_json());
+        let burn = self.burn.as_ref().map_or(JsonValue::Null, |b| b.to_json());
         let metrics = self
             .metrics
             .as_ref()
@@ -345,7 +232,7 @@ impl TracePipeline {
             ("dump_seq", JsonValue::UInt(self.dumps)),
             ("ring_evicted", JsonValue::UInt(self.flight.evicted())),
             ("traces", JsonValue::Arr(traces)),
-            ("slo", slo),
+            ("burn", burn),
             ("metrics_delta", metrics),
         ]);
         self.last_dump = Some(dump);
@@ -372,9 +259,39 @@ impl TracePipeline {
         &self.flight
     }
 
-    /// Per-tenant SLO counters, when burn detection is enabled.
-    pub fn slo_counters(&self) -> Option<Vec<(u16, u64, u64, u64)>> {
-        self.slo.as_ref().map(|s| s.counters())
+    /// Per-tenant burn counters `(tenant, total, breached, alerts)`,
+    /// when burn detection is enabled.
+    pub fn burn_counters(&self) -> Option<Vec<(u16, u64, u64, u64)>> {
+        self.burn.as_ref().map(|b| b.counters())
+    }
+
+    /// The burn monitor, when enabled.
+    pub fn burn(&self) -> Option<&BurnMonitor> {
+        self.burn.as_ref()
+    }
+
+    /// Tenants currently in the two-window alerting state (empty when
+    /// burn detection is disabled).
+    pub fn alerting_tenants(&self) -> Vec<u16> {
+        self.burn
+            .as_ref()
+            .map_or_else(Vec::new, |b| b.alerting_tenants())
+    }
+
+    /// Samples every tenant's burn rates into their report series.
+    /// Driven at the obs-sampler cadence.
+    pub fn sample_burn(&mut self, now: SimTime) {
+        if let Some(burn) = &mut self.burn {
+            burn.sample(now);
+        }
+    }
+
+    /// Every trace id currently retained by either the flight-recorder
+    /// ring or the tail sampler — the set exemplars must resolve into.
+    pub fn retained_trace_ids(&self) -> BTreeSet<u64> {
+        let mut ids: BTreeSet<u64> = self.flight.traces().map(|t| t.trace_id).collect();
+        ids.extend(self.tail.kept().iter().map(|t| t.trace_id));
+        ids
     }
 }
 
@@ -422,25 +339,22 @@ mod tests {
     }
 
     #[test]
-    fn slo_monitor_fires_on_burned_window() {
-        let mut slo = SloMonitor::new(SloConfig {
-            target_ns: 100,
-            window: 4,
-            burn_threshold: 0.5,
+    fn retained_trace_ids_cover_ring_and_tail() {
+        let (tracer, mut p) = pipeline_with(PipelineConfig {
+            tail_k: 2,
+            flight_cap: 2,
+            burn: None,
         });
-        // Window 1: one breach in four — under the 50% threshold.
-        assert!(!slo.observe(1, 200));
-        assert!(!slo.observe(1, 50));
-        assert!(!slo.observe(1, 50));
-        assert!(!slo.observe(1, 50));
-        // Window 2: three breaches in four — burns on window close.
-        assert!(!slo.observe(1, 200));
-        assert!(!slo.observe(1, 200));
-        assert!(!slo.observe(1, 200));
-        assert!(slo.observe(1, 50));
-        // Tenants are isolated.
-        assert!(!slo.observe(2, 1_000));
-        assert_eq!(slo.counters(), vec![(1, 8, 4, 1), (2, 1, 1, 0)]);
+        for id in 0..4u64 {
+            tracer.span(id, 0, 0, Stage::FnExec, at(0), at(1 + id));
+            p.on_complete(at(10), id);
+        }
+        let ids = p.retained_trace_ids();
+        // Ring keeps the newest two (2, 3); the tail sampler keeps the
+        // slowest two (also 2, 3 here) — the union is what exemplars may
+        // legally point at.
+        assert!(ids.contains(&2) && ids.contains(&3));
+        assert!(!ids.contains(&0), "evicted and not slow enough");
     }
 
     #[test]
@@ -467,11 +381,15 @@ mod tests {
 
     #[test]
     fn slo_burn_triggers_a_dump_on_complete() {
+        use simcore::SimDuration;
         let cfg = PipelineConfig {
-            slo: Some(SloConfig {
+            burn: Some(crate::burn::BurnConfig {
                 target_ns: 10,
-                window: 2,
-                burn_threshold: 1.0,
+                budget: 0.1,
+                fast_window: SimDuration::from_nanos(1_000),
+                slow_window: SimDuration::from_nanos(12_000),
+                burn_threshold: 5.0,
+                min_events: 2,
             }),
             ..PipelineConfig::default()
         };
@@ -479,10 +397,21 @@ mod tests {
         for id in 0..2u64 {
             tracer.span(id, 3, 0, Stage::FnExec, at(0), at(50));
         }
-        assert!(p.on_complete(at(100), 0).is_none(), "window still open");
-        let dump = p.on_complete(at(150), 1).expect("window burned");
+        assert!(
+            p.on_complete(at(100), 0).is_none(),
+            "below the min-event floor"
+        );
+        let dump = p
+            .on_complete(at(150), 1)
+            .expect("second breach crosses both windows")
+            .clone();
         assert_eq!(dump.get("reason").unwrap().as_str(), Some("slo_burn"));
-        assert_eq!(p.slo_counters(), Some(vec![(3, 2, 2, 1)]));
+        assert_eq!(p.burn_counters(), Some(vec![(3, 2, 2, 1)]));
+        assert_eq!(p.alerting_tenants(), vec![3]);
+        // The dump embeds the burn monitor's state.
+        let burn = dump.get("burn").unwrap();
+        let tenants = burn.get("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(tenants[0].get("alerts").unwrap().as_u64(), Some(1));
     }
 
     #[test]

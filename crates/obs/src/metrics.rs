@@ -16,6 +16,7 @@ use std::rc::Rc;
 
 use simcore::{Histogram, SimDuration, SimTime, TimeSeries};
 
+use crate::exemplar::ExemplarSet;
 use crate::json::{JsonValue, ToJson};
 
 /// Label set attached to an instrument, e.g. `[("tenant", "3")]`.
@@ -71,9 +72,19 @@ impl Counter {
 }
 
 /// An instantaneous-level gauge handle.
+///
+/// Every successful write stamps the registry's current *sample epoch*
+/// (bumped by [`MetricsRegistry::begin_sample`]); a gauge whose stamp
+/// lags the epoch at snapshot time is **stale** — typically a ratio
+/// gauge whose denominator was zero all window — and rollups render it
+/// as `null` instead of re-reporting the last value as current.
 #[derive(Clone)]
 pub struct Gauge {
     value: Rc<Cell<f64>>,
+    /// Sample epoch of the last successful write.
+    stamp: Rc<Cell<u64>>,
+    /// The registry's shared sample epoch.
+    epoch: Rc<Cell<u64>>,
 }
 
 impl Gauge {
@@ -81,22 +92,27 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: f64) {
         self.value.set(v);
+        self.stamp.set(self.epoch.get());
     }
 
     /// Adds a (possibly negative) delta.
     #[inline]
     pub fn add(&self, delta: f64) {
         self.value.set(self.value.get() + delta);
+        self.stamp.set(self.epoch.get());
     }
 
     /// Sets the level to the ratio `num / den`, leaving the gauge
     /// untouched when the denominator is zero — the standard shape for
     /// rate-style gauges (hit rates, success fractions) whose "no
-    /// samples yet" state must not read as 0% or NaN.
+    /// samples yet" state must not read as 0% or NaN. A skipped update
+    /// does *not* stamp the epoch, so the gauge reads as stale once the
+    /// next sampling pass begins.
     #[inline]
     pub fn set_ratio(&self, num: u64, den: u64) {
         if den > 0 {
             self.value.set(num as f64 / den as f64);
+            self.stamp.set(self.epoch.get());
         }
     }
 
@@ -104,12 +120,19 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         self.value.get()
     }
+
+    /// Sample epoch of the last successful write (0 = never written
+    /// under an epoch).
+    pub fn last_updated_epoch(&self) -> u64 {
+        self.stamp.get()
+    }
 }
 
 /// A latency histogram handle.
 #[derive(Clone)]
 pub struct HistogramHandle {
     hist: Rc<RefCell<Histogram>>,
+    exemplars: Rc<RefCell<ExemplarSet>>,
 }
 
 impl HistogramHandle {
@@ -119,9 +142,28 @@ impl HistogramHandle {
         self.hist.borrow_mut().record(d);
     }
 
+    /// Records one duration sample, optionally attaching the current
+    /// sampled trace context `(trace_id, span_id)` as the exemplar of
+    /// the bucket the sample lands in (one slot per bucket,
+    /// last-writer-wins; see [`crate::exemplar::ExemplarSet`]).
+    #[inline]
+    pub fn record_traced(&self, d: SimDuration, ctx: Option<(u64, u32)>) {
+        self.hist.borrow_mut().record(d);
+        if let Some((trace_id, span_id)) = ctx {
+            self.exemplars
+                .borrow_mut()
+                .offer(d.as_nanos(), trace_id, span_id);
+        }
+    }
+
     /// Returns a copy of the underlying histogram.
     pub fn histogram(&self) -> Histogram {
         self.hist.borrow().clone()
+    }
+
+    /// Returns a copy of the recorded exemplars.
+    pub fn exemplar_set(&self) -> ExemplarSet {
+        self.exemplars.borrow().clone()
     }
 }
 
@@ -156,6 +198,9 @@ struct RegistryInner {
     gauges: Vec<Registered<Gauge>>,
     histograms: Vec<Registered<HistogramHandle>>,
     series: Vec<Registered<SeriesHandle>>,
+    /// The sample epoch shared with every gauge (see
+    /// [`MetricsRegistry::begin_sample`]).
+    epoch: Rc<Cell<u64>>,
 }
 
 /// The process-wide metrics registry; cloning shares the same store.
@@ -219,6 +264,8 @@ impl MetricsRegistry {
         }
         let handle = Gauge {
             value: Rc::new(Cell::new(0.0)),
+            stamp: Rc::new(Cell::new(0)),
+            epoch: inner.epoch.clone(),
         };
         inner.gauges.push(Registered {
             name: name.to_string(),
@@ -241,6 +288,7 @@ impl MetricsRegistry {
         }
         let handle = HistogramHandle {
             hist: Rc::new(RefCell::new(Histogram::new())),
+            exemplars: Rc::new(RefCell::new(ExemplarSet::new())),
         };
         inner.histograms.push(Registered {
             name: name.to_string(),
@@ -286,9 +334,29 @@ impl MetricsRegistry {
         merged
     }
 
+    /// Opens a new sample epoch and returns it. Call at the top of every
+    /// sampling pass (the cluster's `sample_obs` does): gauges written
+    /// during the pass carry the new epoch; a gauge skipped by e.g.
+    /// [`Gauge::set_ratio`]'s zero-denominator guard keeps its old stamp
+    /// and reads as *stale* in the next snapshot, instead of replaying
+    /// its last value as current forever.
+    pub fn begin_sample(&self) -> u64 {
+        let inner = self.inner.borrow();
+        let next = inner.epoch.get() + 1;
+        inner.epoch.set(next);
+        next
+    }
+
+    /// The current sample epoch (0 until [`MetricsRegistry::begin_sample`]
+    /// is first called).
+    pub fn epoch(&self) -> u64 {
+        self.inner.borrow().epoch.get()
+    }
+
     /// Captures a point-in-time snapshot of every instrument.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.borrow();
+        let epoch = inner.epoch.get();
         MetricsSnapshot {
             counters: inner
                 .counters
@@ -298,12 +366,25 @@ impl MetricsRegistry {
             gauges: inner
                 .gauges
                 .iter()
-                .map(|r| (r.name.clone(), r.labels.clone(), r.handle.get()))
+                .map(|r| {
+                    // A gauge is stale when sampling passes have started
+                    // (epoch > 0) and its last write predates the current
+                    // epoch: this pass skipped it.
+                    let stale = epoch > 0 && r.handle.last_updated_epoch() < epoch;
+                    (r.name.clone(), r.labels.clone(), r.handle.get(), stale)
+                })
                 .collect(),
             histograms: inner
                 .histograms
                 .iter()
-                .map(|r| (r.name.clone(), r.labels.clone(), r.handle.histogram()))
+                .map(|r| {
+                    (
+                        r.name.clone(),
+                        r.labels.clone(),
+                        r.handle.histogram(),
+                        r.handle.exemplar_set(),
+                    )
+                })
                 .collect(),
             series: inner
                 .series
@@ -320,8 +401,10 @@ pub type SeriesPoints = Vec<(f64, f64)>;
 /// A point-in-time copy of every registered instrument.
 pub struct MetricsSnapshot {
     counters: Vec<(String, Labels, u64)>,
-    gauges: Vec<(String, Labels, f64)>,
-    histograms: Vec<(String, Labels, Histogram)>,
+    /// `(name, labels, value, stale)` — stale gauges were skipped by the
+    /// sampling pass that opened the current epoch.
+    gauges: Vec<(String, Labels, f64, bool)>,
+    histograms: Vec<(String, Labels, Histogram, ExemplarSet)>,
     series: Vec<(String, Labels, SeriesPoints)>,
 }
 
@@ -340,8 +423,18 @@ impl MetricsSnapshot {
         let labels = labels_of(labels);
         self.gauges
             .iter()
-            .find(|(n, l, _)| n == name && *l == labels)
-            .map(|(_, _, v)| *v)
+            .find(|(n, l, _, _)| n == name && *l == labels)
+            .map(|(_, _, v, _)| *v)
+    }
+
+    /// Whether the gauge is stale (its sampling pass skipped it), or
+    /// `None` if unregistered.
+    pub fn gauge_stale(&self, name: &str, labels: &[(&str, &str)]) -> Option<bool> {
+        let labels = labels_of(labels);
+        self.gauges
+            .iter()
+            .find(|(n, l, _, _)| n == name && *l == labels)
+            .map(|(_, _, _, stale)| *stale)
     }
 
     /// Returns all `(labels, value)` rows of a counter family.
@@ -353,9 +446,38 @@ impl MetricsSnapshot {
             .collect()
     }
 
+    /// Every counter as `(name, labels, value)`, in registration order.
+    pub fn counters_iter(&self) -> impl Iterator<Item = (&str, &Labels, u64)> {
+        self.counters.iter().map(|(n, l, v)| (n.as_str(), l, *v))
+    }
+
+    /// Every gauge as `(name, labels, value, stale)`, in registration
+    /// order.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (&str, &Labels, f64, bool)> {
+        self.gauges
+            .iter()
+            .map(|(n, l, v, s)| (n.as_str(), l, *v, *s))
+    }
+
+    /// Every histogram as `(name, labels, histogram, exemplars)`, in
+    /// registration order.
+    pub fn histograms_iter(
+        &self,
+    ) -> impl Iterator<Item = (&str, &Labels, &Histogram, &ExemplarSet)> {
+        self.histograms
+            .iter()
+            .map(|(n, l, h, e)| (n.as_str(), l, h, e))
+    }
+
     /// Renders the counter movement since `baseline` (counters absent
     /// from the baseline count from zero) plus current gauge levels — the
     /// compact "what changed" view flight-recorder bundles embed.
+    ///
+    /// A counter that moved *backwards* since the baseline — a regression
+    /// that would previously clamp to zero and vanish — is surfaced as a
+    /// typed `delta_negative` entry carrying the magnitude of the
+    /// regression, so a reset or double-attach is visible in the dump
+    /// instead of silently reading as "no movement".
     pub fn delta_json(&self, baseline: &MetricsSnapshot) -> JsonValue {
         let counters = self
             .counters
@@ -366,24 +488,41 @@ impl MetricsSnapshot {
                     .iter()
                     .find(|(n, l, _)| n == name && l == labels)
                     .map_or(0, |(_, _, b)| *b);
-                let delta = v.saturating_sub(base);
-                (delta > 0).then(|| {
-                    JsonValue::obj(vec![
+                if *v >= base {
+                    let delta = v - base;
+                    (delta > 0).then(|| {
+                        JsonValue::obj(vec![
+                            ("name", JsonValue::Str(name.clone())),
+                            ("labels", labels_json(labels)),
+                            ("delta", JsonValue::UInt(delta)),
+                        ])
+                    })
+                } else {
+                    Some(JsonValue::obj(vec![
                         ("name", JsonValue::Str(name.clone())),
                         ("labels", labels_json(labels)),
-                        ("delta", JsonValue::UInt(delta)),
-                    ])
-                })
+                        ("delta", JsonValue::UInt(0)),
+                        ("delta_negative", JsonValue::UInt(base - v)),
+                    ]))
+                }
             })
             .collect();
         let gauges = self
             .gauges
             .iter()
-            .map(|(name, labels, v)| {
+            .map(|(name, labels, v, stale)| {
                 JsonValue::obj(vec![
                     ("name", JsonValue::Str(name.clone())),
                     ("labels", labels_json(labels)),
-                    ("value", JsonValue::Float(*v)),
+                    (
+                        "value",
+                        if *stale {
+                            JsonValue::Null
+                        } else {
+                            JsonValue::Float(*v)
+                        },
+                    ),
+                    ("stale", JsonValue::Bool(*stale)),
                 ])
             })
             .collect();
@@ -399,10 +538,14 @@ impl MetricsSnapshot {
         for (name, labels, v) in &self.counters {
             out.push_str(&format!("{name}{} {v}\n", labels_text(labels)));
         }
-        for (name, labels, v) in &self.gauges {
-            out.push_str(&format!("{name}{} {v}\n", labels_text(labels)));
+        for (name, labels, v, stale) in &self.gauges {
+            if *stale {
+                out.push_str(&format!("{name}{} stale\n", labels_text(labels)));
+            } else {
+                out.push_str(&format!("{name}{} {v}\n", labels_text(labels)));
+            }
         }
-        for (name, labels, h) in &self.histograms {
+        for (name, labels, h, _) in &self.histograms {
             let s = h.summary();
             out.push_str(&format!(
                 "{name}{} count={} mean_us={:.2} p50_us={:.2} p99_us={:.2} max_us={:.2}\n",
@@ -441,22 +584,31 @@ impl ToJson for MetricsSnapshot {
         let gauges = self
             .gauges
             .iter()
-            .map(|(name, labels, v)| {
+            .map(|(name, labels, v, stale)| {
                 JsonValue::obj(vec![
                     ("name", JsonValue::Str(name.clone())),
                     ("labels", labels_json(labels)),
-                    ("value", JsonValue::Float(*v)),
+                    (
+                        "value",
+                        if *stale {
+                            JsonValue::Null
+                        } else {
+                            JsonValue::Float(*v)
+                        },
+                    ),
+                    ("stale", JsonValue::Bool(*stale)),
                 ])
             })
             .collect();
         let histograms = self
             .histograms
             .iter()
-            .map(|(name, labels, h)| {
+            .map(|(name, labels, h, exemplars)| {
                 JsonValue::obj(vec![
                     ("name", JsonValue::Str(name.clone())),
                     ("labels", labels_json(labels)),
                     ("summary", h.summary().to_json()),
+                    ("exemplars", exemplars.to_json()),
                 ])
             })
             .collect();
@@ -494,6 +646,78 @@ mod tests {
         assert_eq!(g.get(), 0.75);
         g.set_ratio(1, 0);
         assert_eq!(g.get(), 0.75, "a later empty window keeps the last ratio");
+    }
+
+    #[test]
+    fn skipped_ratio_gauge_reads_stale_not_current() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("hit_rate", &[]);
+        // Pass 1: the gauge is written — fresh.
+        reg.begin_sample();
+        g.set_ratio(3, 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge_stale("hit_rate", &[]), Some(false));
+        // Pass 2: the denominator is zero, so the write is skipped — the
+        // old value must read as stale, not as the current level.
+        reg.begin_sample();
+        g.set_ratio(0, 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("hit_rate", &[]), Some(0.75), "value retained");
+        assert_eq!(snap.gauge_stale("hit_rate", &[]), Some(true));
+        let json = snap.to_json();
+        let gauges = json.get("gauges").unwrap().as_arr().unwrap();
+        assert_eq!(gauges[0].get("value"), Some(&JsonValue::Null));
+        assert_eq!(gauges[0].get("stale"), Some(&JsonValue::Bool(true)));
+        // Pass 3: a real write refreshes it.
+        reg.begin_sample();
+        g.set_ratio(1, 2);
+        assert_eq!(reg.snapshot().gauge_stale("hit_rate", &[]), Some(false));
+    }
+
+    #[test]
+    fn staleness_is_off_until_sampling_begins() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth", &[]);
+        g.set(1.0);
+        // No begin_sample yet: epoch 0, nothing is stale.
+        assert_eq!(reg.snapshot().gauge_stale("depth", &[]), Some(false));
+    }
+
+    #[test]
+    fn negative_counter_delta_is_typed_not_clamped() {
+        let reg_a = MetricsRegistry::new();
+        reg_a.counter("x", &[]).add(10);
+        let baseline = reg_a.snapshot();
+        // A second registry (simulating a reset) with a *lower* total.
+        let reg_b = MetricsRegistry::new();
+        reg_b.counter("x", &[]).add(4);
+        let delta = reg_b.snapshot().delta_json(&baseline);
+        let counters = delta.get("counters").unwrap().as_arr().unwrap();
+        assert_eq!(counters.len(), 1, "the regression must not vanish");
+        assert_eq!(counters[0].get("delta").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            counters[0].get("delta_negative").unwrap().as_u64(),
+            Some(6),
+            "magnitude of the backwards movement"
+        );
+    }
+
+    #[test]
+    fn histogram_exemplars_ride_the_snapshot() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[]);
+        h.record_traced(SimDuration::from_micros(10), Some((7, 3)));
+        h.record_traced(SimDuration::from_micros(10_000), None);
+        let snap = reg.snapshot();
+        let (_, _, hist, exemplars) = snap
+            .histograms_iter()
+            .next()
+            .map(|(n, l, h, e)| (n.to_string(), l.clone(), h.clone(), e.clone()))
+            .unwrap();
+        assert_eq!(hist.count(), 2, "untraced samples still count");
+        assert_eq!(exemplars.len(), 1, "only the traced sample left a pointer");
+        let ex = exemplars.exemplars().next().unwrap();
+        assert_eq!((ex.trace_id, ex.span_id), (7, 3));
     }
 
     #[test]

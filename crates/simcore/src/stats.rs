@@ -52,6 +52,20 @@ fn bucket_lower_bound(index: usize) -> u64 {
 }
 
 impl Histogram {
+    /// Maps a duration (in nanoseconds) to the index of the bucket that
+    /// [`Histogram::record`] would count it in. The layout is shared by
+    /// every histogram, so exemplar stores and merged rollups can key
+    /// per-bucket state without holding a histogram instance.
+    pub fn bucket_index_of(ns: u64) -> usize {
+        bucket_index(ns)
+    }
+
+    /// The inclusive lower bound (nanoseconds) of bucket `index` — the
+    /// inverse of [`Histogram::bucket_index_of`] up to bucket resolution.
+    pub fn bucket_lower_bound_of(index: usize) -> u64 {
+        bucket_lower_bound(index)
+    }
+
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram {

@@ -172,10 +172,13 @@ fn flight_recorder_demo() {
     cluster.enable_trace_pipeline(obs::PipelineConfig {
         tail_k: 8,
         flight_cap: 32,
-        slo: Some(obs::SloConfig {
+        burn: Some(obs::BurnConfig {
             target_ns: 200_000,
-            window: 50,
-            burn_threshold: 0.5,
+            budget: 0.05,
+            fast_window: SimDuration::from_millis(1),
+            slow_window: SimDuration::from_millis(8),
+            burn_threshold: 2.0,
+            min_events: 4,
         }),
     });
 

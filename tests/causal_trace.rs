@@ -30,7 +30,7 @@ fn traced_chain_run() -> Vec<TraceSummary> {
     cluster.enable_trace_pipeline(obs::PipelineConfig {
         tail_k: 8,
         flight_cap: 32,
-        slo: None,
+        burn: None,
     });
     let tenant = TenantId(1);
     cluster.add_tenant(&mut sim, tenant, 1).unwrap();

@@ -238,7 +238,7 @@ fn flight_run(seed: u64) -> (u64, String, Vec<u64>) {
     cluster.enable_trace_pipeline(obs::PipelineConfig {
         tail_k: 8,
         flight_cap: 32,
-        slo: None,
+        burn: None,
     });
     let tenant = TenantId(1);
     cluster.add_tenant(&mut sim, tenant, 1).unwrap();
@@ -423,7 +423,7 @@ fn survival_run(seed: u64, crash: bool) -> SurvivalOutcome {
     cluster.enable_trace_pipeline(obs::PipelineConfig {
         tail_k: 8,
         flight_cap: 32,
-        slo: None,
+        burn: None,
     });
     let compliant_t = TenantId(1);
     let rogue_t = TenantId(2);
