@@ -42,6 +42,7 @@ use std::path::PathBuf;
 use nadino::experiment::parallel::{pmap, resolve_jobs};
 use nadino::experiment::{
     ablations, churn, fig06, fig09, fig11, fig12, fig13, fig14, fig15, fig16, fig17, summary,
+    upgrade,
 };
 use obs::ToJson;
 
@@ -167,6 +168,10 @@ fn run_one(name: &str, b: &Budget, jobs: usize, shards: usize) -> Output {
         "churn" => {
             let rep = churn::run_jobs(b.quick, jobs);
             out("BENCH_churn", rep.render(), &rep)
+        }
+        "upgrade" => {
+            let rep = upgrade::run(b.quick);
+            out("BENCH_upgrade", rep.render(), &rep)
         }
         "report" => {
             // The fleet observability report. Deliberately budget-invariant

@@ -126,6 +126,34 @@ fn load(path: &Path) -> Result<JsonValue, String> {
     obs::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
 }
 
+const HELP: &str = "\
+regress - CI perf-regression gate
+
+Diffs freshly generated result JSON under results/ against the committed
+baselines under results/baselines/. Determinism keys (digest,
+determinism, byte_identical, exemplars_resolvable, retained_traces) must
+match byte-for-byte or the gate exits 1; numeric perf leaves only warn.
+
+USAGE:
+    regress [OPTIONS] [FILE.json ...]
+
+OPTIONS:
+    --tolerance PCT   Relative drift band for perf leaves (keys ending in
+                      _ms/_us/_ns/_rps/_pct/_rate/_per_s/speedup/_cores).
+                      A leaf warns when |fresh - base| / |base| * 100
+                      exceeds PCT; drift at exactly PCT stays quiet.
+                      Default: 25. Warn-only - never affects exit status.
+    --update          Refresh baselines from the fresh directory and exit.
+    --baselines DIR   Baseline directory (default: results/baselines).
+    --fresh DIR       Fresh-results directory (default: results).
+    -h, --help        Print this help and exit.
+
+EXIT STATUS:
+    0  all determinism keys matched (perf drift, if any, was printed)
+    1  determinism break, unreadable file, or missing determinism key
+    2  bad usage
+";
+
 fn main() {
     let mut baselines = PathBuf::from("results/baselines");
     let mut fresh_dir = PathBuf::from("results");
@@ -135,6 +163,10 @@ fn main() {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return;
+            }
             "--update" => update = true,
             "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(t) => tol_pct = t,
@@ -239,4 +271,65 @@ fn main() {
         std::process::exit(1);
     }
     println!("regression gate passed (drift, if any, is warn-only)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diff(base: &str, fresh: &str, tol_pct: f64) -> Outcome {
+        let mut out = Outcome {
+            hard_failures: Vec::new(),
+            warnings: Vec::new(),
+            leaves: 0,
+        };
+        compare(
+            "t",
+            &obs::parse(base).unwrap(),
+            &obs::parse(fresh).unwrap(),
+            tol_pct,
+            &mut out,
+        );
+        out
+    }
+
+    /// The default +/-25% band is exclusive: drift at exactly the
+    /// tolerance stays quiet, the first representable step past it warns.
+    #[test]
+    fn tolerance_boundary_is_exclusive() {
+        // 100 -> 125 is exactly +25%: inside the band.
+        let out = diff(r#"{"p99_us": 100.0}"#, r#"{"p99_us": 125.0}"#, 25.0);
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+        // 100 -> 125.1 is +25.1%: warns.
+        let out = diff(r#"{"p99_us": 100.0}"#, r#"{"p99_us": 125.1}"#, 25.0);
+        assert_eq!(out.warnings.len(), 1, "{:?}", out.warnings);
+        // Symmetric on the low side: -25% quiet, -25.1% warns.
+        let out = diff(r#"{"p99_us": 100.0}"#, r#"{"p99_us": 75.0}"#, 25.0);
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+        let out = diff(r#"{"p99_us": 100.0}"#, r#"{"p99_us": 74.9}"#, 25.0);
+        assert_eq!(out.warnings.len(), 1, "{:?}", out.warnings);
+    }
+
+    /// `--tolerance` rescales the band: a drift quiet at 25 warns at 10,
+    /// and a wider band silences it again.
+    #[test]
+    fn tolerance_flag_rescales_the_band() {
+        let base = r#"{"goodput_rps": 1000.0}"#;
+        let fresh = r#"{"goodput_rps": 1200.0}"#; // +20%
+        assert!(diff(base, fresh, 25.0).warnings.is_empty());
+        assert_eq!(diff(base, fresh, 10.0).warnings.len(), 1);
+        assert!(diff(base, fresh, 30.0).warnings.is_empty());
+    }
+
+    /// Perf drift never hard-fails, however wide; determinism keys
+    /// hard-fail at any tolerance.
+    #[test]
+    fn drift_warns_but_determinism_fails() {
+        let out = diff(r#"{"p50_ms": 1.0}"#, r#"{"p50_ms": 100.0}"#, 25.0);
+        assert!(out.hard_failures.is_empty());
+        assert_eq!(out.warnings.len(), 1);
+        let out = diff(r#"{"digest": "aa"}"#, r#"{"digest": "bb"}"#, 1e9);
+        assert_eq!(out.hard_failures.len(), 1);
+        assert!(out.warnings.is_empty());
+    }
 }

@@ -14,7 +14,7 @@
 pub mod harness;
 
 /// Known experiment names accepted by the `experiments` binary.
-pub const EXPERIMENTS: [&str; 14] = [
+pub const EXPERIMENTS: [&str; 15] = [
     "fig06",
     "fig09",
     "fig11",
@@ -28,6 +28,7 @@ pub const EXPERIMENTS: [&str; 14] = [
     "summary",
     "parallel",
     "churn",
+    "upgrade",
     "report",
 ];
 

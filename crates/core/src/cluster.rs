@@ -64,6 +64,33 @@ pub struct NodeHandle {
     pub iolib: IoLib,
 }
 
+/// One routing rebalance: the functions switched off a failed node, plus
+/// the ones stranded there (no healthy alternative — typed
+/// `DestinationDown` until a target recovers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceOutcome {
+    /// The node the routes moved away from.
+    pub node: NodeId,
+    /// Function ids re-pointed at healthy alternatives, sorted.
+    pub switched: Vec<u16>,
+    /// Function ids left with no healthy target, sorted.
+    pub stranded: Vec<u16>,
+}
+
+/// A typed routing-plane event fed to the fleet controller (or any other
+/// registered observer) on every failover/restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetRouteEvent {
+    /// Routes moved off a down node; carries the stranded keys that used
+    /// to be silently discarded.
+    FailedOver(RebalanceOutcome),
+    /// Displaced primaries restored onto a recovered node.
+    Restored { node: NodeId, restored: Vec<u16> },
+}
+
+/// Observer invoked on every [`FleetRouteEvent`].
+pub type FleetRouteObserver = Rc<dyn Fn(&FleetRouteEvent)>;
+
 /// Cluster-wide observability state shared by the failure dispatcher,
 /// completion hooks and the public dump API.
 #[derive(Default)]
@@ -81,6 +108,12 @@ struct ObsHub {
     /// Tenants in the burn-alert state at the last completion, so the
     /// SLO-pressure feed into the health monitor only fires on change.
     last_alerting: usize,
+    /// Observer fed every routing rebalance (fleet controller).
+    fleet_observer: Option<FleetRouteObserver>,
+    /// The fleet lifecycle controller, when attached: its counters and
+    /// per-node lifecycle states join [`Cluster::sample_obs`] as
+    /// `fleet_*` gauges.
+    fleet: Option<crate::fleetctl::FleetController>,
 }
 
 /// A fully wired NADINO cluster.
@@ -263,38 +296,94 @@ impl Cluster {
     }
 
     /// Re-routes every function whose primary lives on node `idx` to its
-    /// backup (routing tables and the placement map). Returns the switched
-    /// function ids. Normally driven by the health monitor.
-    pub fn fail_over_node(&self, idx: usize) -> Vec<u16> {
+    /// backup (routing tables and the placement map). Normally driven by
+    /// the health monitor.
+    ///
+    /// Returns the full rebalance outcome: the switched function ids
+    /// **and** the stranded ones (routed at the failed node with no
+    /// healthy alternative — they resolve `DestinationDown` until a target
+    /// recovers). Every engine's table is updated; the outcome is
+    /// aggregated across all of them so no engine's result is dropped, and
+    /// it is forwarded to the registered fleet observer (if any).
+    pub fn fail_over_node(&self, idx: usize) -> RebalanceOutcome {
         let failed = self.nodes[idx].id;
-        let mut switched = Vec::new();
+        let mut switched = std::collections::BTreeSet::new();
+        let mut stranded = std::collections::BTreeSet::new();
         for n in &self.nodes {
-            switched = n.dne.fail_over_node(failed);
+            switched.extend(n.dne.fail_over_node(failed));
+            stranded.extend(n.dne.stranded_on(failed));
         }
+        let outcome = RebalanceOutcome {
+            node: failed,
+            switched: switched.into_iter().collect(),
+            stranded: stranded.into_iter().collect(),
+        };
         let mut placement = self.placement.borrow_mut();
-        for &f in &switched {
+        for &f in &outcome.switched {
             if let Some(&(_, backup_idx)) = self.backups.get(&f) {
                 placement.place(f, self.nodes[backup_idx].id);
             }
         }
-        switched
+        drop(placement);
+        self.notify_fleet_observer(FleetRouteEvent::FailedOver(outcome.clone()));
+        outcome
     }
 
     /// Restores functions displaced off node `idx` by a failover. Returns
-    /// the restored function ids.
+    /// the restored function ids, aggregated across every engine's table.
     pub fn restore_node(&self, idx: usize) -> Vec<u16> {
         let node = self.nodes[idx].id;
-        let mut restored = Vec::new();
+        let mut restored = std::collections::BTreeSet::new();
         for n in &self.nodes {
-            restored = n.dne.restore_node(node);
+            restored.extend(n.dne.restore_node(node));
         }
+        let restored: Vec<u16> = restored.into_iter().collect();
         let mut placement = self.placement.borrow_mut();
         for &f in &restored {
             if let Some(&(primary_idx, _)) = self.backups.get(&f) {
                 placement.place(f, self.nodes[primary_idx].id);
             }
         }
+        drop(placement);
+        self.notify_fleet_observer(FleetRouteEvent::Restored {
+            node,
+            restored: restored.clone(),
+        });
         restored
+    }
+
+    /// Registers the observer fed every routing rebalance (failovers with
+    /// their stranded keys, restores). The fleet controller installs
+    /// itself here so stranded routes surface as typed events instead of
+    /// being silently discarded.
+    pub fn set_fleet_route_observer(&self, observer: FleetRouteObserver) {
+        self.obs_hub.borrow_mut().fleet_observer = Some(observer);
+    }
+
+    fn notify_fleet_observer(&self, event: FleetRouteEvent) {
+        let observer = self.obs_hub.borrow().fleet_observer.clone();
+        if let Some(obs) = observer {
+            obs(&event);
+        }
+    }
+
+    /// Switches node `idx`'s engine to CTX wire `version` and announces
+    /// the new version to every engine in the cluster (the control-plane
+    /// half of version negotiation: peers stamp toward this node at
+    /// `min(own, announced)` from the next send on).
+    pub fn set_node_wire_version(&self, idx: usize, version: u8) {
+        let node = self.nodes[idx].id;
+        self.nodes[idx].dne.set_wire_version(version);
+        for n in &self.nodes {
+            n.dne.set_peer_wire_version(node, version);
+        }
+    }
+
+    /// Work node `idx`'s engine still owes: queued TX, pending CQEs,
+    /// worker items, posted sends and parked retries. The fleet
+    /// controller's drain loop polls this toward zero.
+    pub fn in_flight_on(&self, idx: usize) -> usize {
+        self.nodes[idx].dne.inflight_total()
     }
 
     /// Returns the node index hosting `fn_id`.
@@ -512,8 +601,7 @@ impl Cluster {
         };
         // Payloads are sized to carry the on-wire trace context (24 bytes,
         // deadline included) even when the caller asked for less.
-        let mut payload =
-            runtime::encode_request_payload(req_id, payload_len.max(obs::CTX_MIN_PAYLOAD));
+        let mut payload = runtime::encode_request_payload(req_id, payload_len.max(obs::CTX_REGION));
         runtime::set_hop(&mut payload, 0);
         if deadline_ns != 0 {
             obs::write_deadline_ns(&mut payload, deadline_ns);
@@ -615,6 +703,13 @@ impl Cluster {
         monitor
     }
 
+    /// Attaches the fleet lifecycle controller so its lifecycle states and
+    /// counters are emitted as `fleet_*` gauges on every
+    /// [`Cluster::sample_obs`] pass.
+    pub fn attach_fleet(&self, controller: crate::fleetctl::FleetController) {
+        self.obs_hub.borrow_mut().fleet = Some(controller);
+    }
+
     /// Installs `handler` on the cluster failure dispatcher, so a delivery
     /// the DNE gave up on (retry budget exhausted, no reconnectable route)
     /// reaches one place — typically the ingress, which answers the client
@@ -662,6 +757,39 @@ impl Cluster {
                         .set(state.as_gauge());
                 }
             }
+            if let Some(fc) = hub.fleet.as_ref() {
+                let c = fc.counters();
+                reg.gauge("fleet_upgrades_total", &[])
+                    .set(c.upgrades_completed as f64);
+                reg.gauge("fleet_waves_total", &[])
+                    .set(c.waves_completed as f64);
+                reg.gauge("fleet_rebalances_total", &[])
+                    .set(c.rebalances as f64);
+                reg.gauge("fleet_stranded_routes_total", &[])
+                    .set(c.stranded_routes as f64);
+                reg.gauge("fleet_drain_deadline_exceeded_total", &[])
+                    .set(c.drain_deadline_exceeded as f64);
+                reg.gauge("fleet_decommissions_total", &[])
+                    .set(c.decommissions as f64);
+                reg.gauge("fleet_provisions_total", &[])
+                    .set(c.provisions as f64);
+                reg.gauge("fleet_wave_active", &[])
+                    .set(if fc.wave_active() { 1.0 } else { 0.0 });
+                let counts = fc.lifecycle_counts();
+                reg.gauge("fleet_nodes_in_service", &[])
+                    .set(counts.in_service as f64);
+                reg.gauge("fleet_nodes_draining", &[])
+                    .set(counts.draining as f64);
+                reg.gauge("fleet_nodes_upgrading", &[])
+                    .set(counts.upgrading as f64);
+                reg.gauge("fleet_nodes_decommissioned", &[])
+                    .set(counts.decommissioned as f64);
+                for (idx, node) in self.nodes.iter().enumerate() {
+                    let label = idx.to_string();
+                    reg.gauge("fleet_node_wire_version", &[("node", label.as_str())])
+                        .set(node.dne.wire_version() as f64);
+                }
+            }
         }
         for (idx, node) in self.nodes.iter().enumerate() {
             let node_label = idx.to_string();
@@ -707,6 +835,8 @@ impl Cluster {
                 .set(node.dne.conn_evictions() as f64);
             reg.gauge("qp_teardowns_total", &nl)
                 .set(node.dne.conn_teardowns() as f64);
+            reg.gauge("qp_adaptive_shrinks_total", &nl)
+                .set(node.dne.conn_adaptive_shrinks() as f64);
             reg.gauge("qp_prewarm_hit_rate", &nl).set_ratio(
                 stats.prewarm_claims,
                 stats.prewarm_claims + stats.cold_connects,

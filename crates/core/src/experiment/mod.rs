@@ -18,3 +18,4 @@ pub mod fig16;
 pub mod fig17;
 pub mod parallel;
 pub mod summary;
+pub mod upgrade;

@@ -1,0 +1,465 @@
+//! BENCH upgrade — rolling DNE upgrade wave under live traffic.
+//!
+//! Runs the fig16 boutique topology (hotspot placement on nodes 0/1,
+//! standbys on node 2) three times on the same seed:
+//!
+//! - `baseline`: fault-free, every node stays at wire v1;
+//! - `wave`: a rolling v1→v2 upgrade wave drains, upgrades and restores
+//!   each node in turn while a compliant tenant and a 3x-rate rogue
+//!   tenant keep driving traffic through the real version skew;
+//! - `wave+crash`: the same wave with a node-1 outage window landing
+//!   inside it, so the controller, health monitor and fault plane
+//!   contend for the same node.
+//!
+//! The contrast quantifies the lifecycle controller's claim: a full
+//! rolling upgrade costs zero hung requests and bounded compliant-tenant
+//! goodput loss (the CI gate holds the `wave+crash` row to >= 80% of the
+//! baseline row). Each row folds its integer outcome into an FNV-1a
+//! digest; the run repeats the `wave+crash` row same-seed and reports
+//! whether the digests were byte-identical, which the regress gate
+//! enforces against the committed baseline.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ingress::gateway::Reply;
+use ingress::rss::FlowId;
+use ingress::{AdmissionConfig, DeliveryFailed, Gateway, GatewayConfig};
+use membuf::tenant::TenantId;
+use rdma_sim::FaultPlane;
+use runtime::ChainSpec;
+use simcore::{Sim, SimDuration, SimTime};
+
+use crate::boutique;
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::fleetctl::{FleetConfig, FleetController};
+use crate::health::HealthConfig;
+use crate::report::{fmt_f64, render_table};
+
+/// One scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct UpgradeRow {
+    /// `baseline`, `wave` or `wave+crash`.
+    pub scenario: String,
+    /// Requests submitted at the gateway (both tenants).
+    pub issued: u64,
+    /// Requests whose gateway callback fired (completed, shed, expired
+    /// or failed — anything but hung).
+    pub resolved: u64,
+    /// `issued - resolved`: must be zero in every scenario.
+    pub hung: u64,
+    /// Compliant-tenant completions within deadline.
+    pub compliant_ok: u64,
+    /// Compliant-tenant requests shed at admission.
+    pub compliant_shed: u64,
+    /// Rogue-tenant completions.
+    pub rogue_ok: u64,
+    /// Rogue-tenant requests shed at admission.
+    pub rogue_shed: u64,
+    /// Packets dropped by the scheduled outage window.
+    pub outage_drops: u64,
+    /// Upgrade waves driven to completion.
+    pub waves_completed: u64,
+    /// Nodes drained, upgraded and returned to service.
+    pub upgrades_completed: u64,
+    /// Drains that quiesced before the deadline.
+    pub drains_completed: u64,
+    /// Drains that hit the drain deadline and proceeded anyway.
+    pub drain_deadline_exceeded: u64,
+    /// Route-table rebalances (drain failovers + restores).
+    pub rebalances: u64,
+    /// Route keys left with no standby during a failover.
+    pub stranded_routes: u64,
+    /// Final per-node wire versions, e.g. `"2,2,2"`.
+    pub final_versions: String,
+    /// FNV-1a digest over the full integer outcome, the health and fleet
+    /// event logs and the flight-recorder dump. Hex.
+    pub digest: String,
+}
+
+obs::impl_to_json!(UpgradeRow {
+    scenario,
+    issued,
+    resolved,
+    hung,
+    compliant_ok,
+    compliant_shed,
+    rogue_ok,
+    rogue_shed,
+    outage_drops,
+    waves_completed,
+    upgrades_completed,
+    drains_completed,
+    drain_deadline_exceeded,
+    rebalances,
+    stranded_routes,
+    final_versions,
+    digest
+});
+
+/// The full experiment.
+#[derive(Debug, Clone)]
+pub struct BenchUpgrade {
+    pub rows: Vec<UpgradeRow>,
+    /// `wave+crash` compliant goodput as a percentage of baseline.
+    pub goodput_retention_pct: f64,
+    /// `"stable"` when the repeated same-seed `wave+crash` row
+    /// reproduced its digest byte-for-byte, `"UNSTABLE"` otherwise.
+    pub determinism: String,
+}
+
+obs::impl_to_json!(BenchUpgrade {
+    rows,
+    goodput_retention_pct,
+    determinism
+});
+
+/// Root seed, overridable via `UPGRADE_SEED` (decimal or `0x`-prefixed
+/// hex) so CI can sweep a seed matrix and assert per-seed byte identity.
+fn upgrade_seed(default: u64) -> u64 {
+    std::env::var("UPGRADE_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim().to_string();
+            match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(default)
+}
+
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const ROGUE_PER_TICK: u32 = 3;
+
+/// Drives one scenario to completion.
+fn scenario(name: &str, seed: u64, ticks: u32, wave: bool, crash: bool) -> UpgradeRow {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(
+        &mut sim,
+        ClusterConfig {
+            workers: 3,
+            ..ClusterConfig::default()
+        },
+    );
+    let tracer = obs::Tracer::enabled();
+    cluster.set_tracer(&tracer);
+    cluster.enable_trace_pipeline(obs::PipelineConfig {
+        tail_k: 8,
+        flight_cap: 32,
+        burn: None,
+    });
+    let compliant_t = TenantId(1);
+    let rogue_t = TenantId(2);
+    cluster.add_tenant(&mut sim, compliant_t, 3).unwrap();
+    cluster.add_tenant(&mut sim, rogue_t, 1).unwrap();
+    for f in boutique::all_functions() {
+        cluster.place_with_backup(f, boutique::hotspot_placement(f), 2);
+    }
+    cluster.place_with_backup(21, 0, 2);
+    cluster.place_with_backup(22, 1, 2);
+    let cluster = Rc::new(cluster);
+    for idx in 0..3 {
+        cluster.set_node_wire_version(idx, obs::CTX_V1);
+    }
+
+    let pending: Rc<RefCell<HashMap<u64, Reply>>> = Rc::new(RefCell::new(HashMap::new()));
+    let compliant_chain = boutique::home_query(compliant_t);
+    let rogue_chain = ChainSpec::new("rogue", rogue_t, vec![21, 22, 21]);
+    let on_complete = {
+        let pending = pending.clone();
+        Rc::new(move |sim: &mut Sim, req: u64| {
+            if let Some(reply) = pending.borrow_mut().remove(&req) {
+                reply(sim, Ok(64));
+            }
+        })
+    };
+    let cost = |f: u16| boutique::exec_cost(f) / 10;
+    cluster.register_chain(&compliant_chain, cost, on_complete.clone());
+    cluster.register_chain(&rogue_chain, cost, on_complete);
+    {
+        let pending = pending.clone();
+        cluster.set_delivery_failure_handler(Rc::new(move |sim, failure| {
+            if let Some(reply) = pending.borrow_mut().remove(&failure.req_id) {
+                reply(sim, Err(DeliveryFailed));
+            }
+        }));
+    }
+
+    let mut fp = FaultPlane::new(seed);
+    fp.set_default_loss(0.02);
+    cluster.fabric.install_fault_plane(fp);
+    let drive_start = sim.now();
+    if crash {
+        let from = drive_start + SimDuration::from_millis(6);
+        cluster.fabric.schedule_node_outage(
+            cluster.nodes[1].id,
+            from,
+            from + SimDuration::from_micros(1500),
+        );
+    }
+    let until = drive_start + SimDuration::from_millis(80);
+    let monitor = cluster.enable_health_monitor(&mut sim, HealthConfig::default(), until);
+
+    let gateway = Gateway::new(GatewayConfig {
+        deadline: Some(SimDuration::from_millis(5)),
+        admission: Some(AdmissionConfig {
+            target: SimDuration::from_micros(300),
+            interval: SimDuration::from_millis(1),
+            retry_after_secs: 1,
+        }),
+        max_backlog: SimDuration::from_secs(10),
+        ..GatewayConfig::default()
+    });
+    gateway.set_tracer(tracer.clone());
+    gateway.register_tenant(compliant_t.0, 3);
+    gateway.register_tenant(rogue_t.0, 1);
+    {
+        let gw = gateway.clone();
+        monitor.set_capacity_handler(Rc::new(move |_sim, f| gw.set_capacity_factor(f)));
+    }
+
+    let ctl = FleetController::install(&cluster, &monitor, FleetConfig::default());
+    if wave {
+        let ctl2 = ctl.clone();
+        sim.schedule_after(SimDuration::from_millis(4), move |sim| {
+            ctl2.start_upgrade_wave(sim, obs::CTX_V2);
+        });
+    }
+
+    let upstream_for = |chain: ChainSpec| -> ingress::Upstream {
+        let cluster = cluster.clone();
+        let pending = pending.clone();
+        Rc::new(move |sim: &mut Sim, ctx: ingress::ReqCtx, reply: Reply| {
+            let injected = if ctx.deadline_ns != 0 {
+                cluster.inject_with_deadline(
+                    sim,
+                    &chain,
+                    ctx.req_id,
+                    boutique::PAYLOAD_BYTES,
+                    SimTime::from_nanos(ctx.deadline_ns),
+                )
+            } else {
+                cluster.inject(sim, &chain, ctx.req_id, boutique::PAYLOAD_BYTES)
+            };
+            if injected {
+                pending.borrow_mut().insert(ctx.req_id, reply);
+            } else {
+                reply(sim, Err(DeliveryFailed));
+            }
+        })
+    };
+    let compliant_up = upstream_for(compliant_chain);
+    let rogue_up = upstream_for(rogue_chain);
+
+    let issued = Rc::new(Cell::new(0u64));
+    let resolved = Rc::new(Cell::new(0u64));
+    let submit = |sim: &mut Sim, tenant: u16, flow: u32, up: &ingress::Upstream| {
+        issued.set(issued.get() + 1);
+        let resolved = resolved.clone();
+        gateway.submit_tenant(
+            sim,
+            tenant,
+            FlowId::from_client(flow, 0),
+            64,
+            up.clone(),
+            Box::new(move |_sim, _r| resolved.set(resolved.get() + 1)),
+        );
+    };
+    for tick in 0..ticks {
+        submit(&mut sim, compliant_t.0, tick, &compliant_up);
+        for k in 0..ROGUE_PER_TICK {
+            submit(
+                &mut sim,
+                rogue_t.0,
+                100_000 + tick * ROGUE_PER_TICK + k,
+                &rogue_up,
+            );
+        }
+        sim.run_for(SimDuration::from_micros(50));
+    }
+    sim.run();
+
+    let cs = gateway.tenant_stats(compliant_t.0);
+    let rs = gateway.tenant_stats(rogue_t.0);
+    let counters = ctl.counters();
+    let versions: Vec<u8> = cluster.nodes.iter().map(|n| n.dne.wire_version()).collect();
+    let dump = cluster
+        .with_trace_pipeline(|p| p.last_dump().map(|d| d.to_string_compact()))
+        .unwrap()
+        .unwrap_or_default();
+    let health: String = monitor
+        .events()
+        .iter()
+        .map(|e| format!("{}:{:?}->{:?}@{};", e.node.0, e.from, e.to, e.at.as_nanos()))
+        .collect();
+    let fleet_log = format!("{:?}", ctl.events());
+    let outage_drops = cluster.fabric.fault_stats().outage_drops;
+    let ints: [u64; 16] = [
+        issued.get(),
+        resolved.get(),
+        cs.completed,
+        cs.shed,
+        cs.expired,
+        cs.failed,
+        rs.completed,
+        rs.shed,
+        rs.expired,
+        rs.failed,
+        outage_drops,
+        counters.upgrades_completed,
+        counters.rebalances,
+        counters.stranded_routes,
+        versions.iter().map(|&v| v as u64).sum(),
+        sim.now().as_nanos(),
+    ];
+    let digest = fnv1a(
+        ints.iter()
+            .flat_map(|v| v.to_le_bytes())
+            .chain(health.bytes())
+            .chain(fleet_log.bytes())
+            .chain(dump.bytes()),
+    );
+    UpgradeRow {
+        scenario: name.to_string(),
+        issued: issued.get(),
+        resolved: resolved.get(),
+        hung: issued.get() - resolved.get(),
+        compliant_ok: cs.completed,
+        compliant_shed: cs.shed,
+        rogue_ok: rs.completed,
+        rogue_shed: rs.shed,
+        outage_drops,
+        waves_completed: counters.waves_completed,
+        upgrades_completed: counters.upgrades_completed,
+        drains_completed: counters.drains_completed,
+        drain_deadline_exceeded: counters.drain_deadline_exceeded,
+        rebalances: counters.rebalances,
+        stranded_routes: counters.stranded_routes,
+        final_versions: versions
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        digest: format!("{digest:016x}"),
+    }
+}
+
+/// Runs all three scenarios plus the same-seed determinism repeat.
+pub fn run(quick: bool) -> BenchUpgrade {
+    let seed = upgrade_seed(0xC4A0);
+    let ticks = if quick { 150 } else { 400 };
+    let rows = vec![
+        scenario("baseline", seed, ticks, false, false),
+        scenario("wave", seed, ticks, true, false),
+        scenario("wave+crash", seed, ticks, true, true),
+    ];
+    let repeat = scenario("wave+crash", seed, ticks, true, true);
+    let chaotic = &rows[2];
+    let determinism = if chaotic.digest == repeat.digest {
+        format!("stable ({})", repeat.digest)
+    } else {
+        format!("UNSTABLE ({} != {})", chaotic.digest, repeat.digest)
+    };
+    let goodput_retention_pct = if rows[0].compliant_ok > 0 {
+        chaotic.compliant_ok as f64 / rows[0].compliant_ok as f64 * 100.0
+    } else {
+        0.0
+    };
+    BenchUpgrade {
+        rows,
+        goodput_retention_pct,
+        determinism,
+    }
+}
+
+impl BenchUpgrade {
+    /// Renders the experiment as a text table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    r.issued.to_string(),
+                    r.hung.to_string(),
+                    r.compliant_ok.to_string(),
+                    r.compliant_shed.to_string(),
+                    r.rogue_ok.to_string(),
+                    r.rogue_shed.to_string(),
+                    r.upgrades_completed.to_string(),
+                    r.drain_deadline_exceeded.to_string(),
+                    r.rebalances.to_string(),
+                    r.final_versions.clone(),
+                ]
+            })
+            .collect();
+        let mut text = render_table(
+            "BENCH upgrade - rolling wave under live traffic",
+            &[
+                "scenario",
+                "issued",
+                "hung",
+                "ok",
+                "shed",
+                "rogue_ok",
+                "rogue_shed",
+                "upgrades",
+                "ddl_exceeded",
+                "rebalances",
+                "versions",
+            ],
+            &rows,
+        );
+        text.push_str(&format!(
+            "compliant goodput retention (wave+crash vs baseline): {}%\n",
+            fmt_f64(self.goodput_retention_pct)
+        ));
+        text.push_str(&format!("determinism: {}\n", self.determinism));
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_holds_the_acceptance_bars() {
+        let bench = run(true);
+        assert_eq!(bench.rows.len(), 3);
+        for row in &bench.rows {
+            assert_eq!(row.hung, 0, "{}: hung requests", row.scenario);
+        }
+        let baseline = &bench.rows[0];
+        let chaotic = &bench.rows[2];
+        assert_eq!(baseline.final_versions, "1,1,1");
+        assert_eq!(baseline.upgrades_completed, 0);
+        assert_eq!(chaotic.final_versions, "2,2,2");
+        assert_eq!(chaotic.waves_completed, 1);
+        assert_eq!(chaotic.upgrades_completed, 3);
+        assert!(chaotic.outage_drops > 0, "crash window never fired");
+        assert!(
+            bench.goodput_retention_pct >= 80.0,
+            "retention {}%",
+            bench.goodput_retention_pct
+        );
+        assert!(
+            bench.determinism.starts_with("stable"),
+            "{}",
+            bench.determinism
+        );
+        let rendered = bench.render();
+        assert!(rendered.contains("wave+crash"));
+    }
+}

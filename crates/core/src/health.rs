@@ -116,6 +116,12 @@ struct NodeTrack {
     last_failure: SimTime,
     /// When a `Draining` node may return to `Healthy`.
     drain_until: SimTime,
+    /// Administrative hold (fleet controller drain): the probe loop never
+    /// auto-completes this drain — only [`HealthMonitor::end_drain`] does.
+    /// Survives a mid-drain crash/recovery cycle, so the probe's own
+    /// `Draining → Healthy` path stays suppressed until the controller
+    /// releases the node.
+    admin_hold: bool,
 }
 
 struct MonitorInner {
@@ -137,10 +143,14 @@ struct MonitorInner {
 impl MonitorInner {
     fn capacity(&self) -> f64 {
         let total = self.nodes.len().max(1) as f64;
+        // Draining nodes take no new traffic (routes live on backups until
+        // the drain completes), so they count against capacity just like
+        // Down — the gateway's admission target shrinks during both crash
+        // recovery and administrative drains (upgrade waves).
         let up = self
             .nodes
             .values()
-            .filter(|t| t.state != NodeState::Down)
+            .filter(|t| matches!(t.state, NodeState::Healthy | NodeState::Suspect))
             .count() as f64;
         (up / total) * self.slo_pressure
     }
@@ -190,6 +200,7 @@ impl HealthMonitor {
                         failures: 0,
                         last_failure: SimTime::ZERO,
                         drain_until: SimTime::ZERO,
+                        admin_hold: false,
                     },
                 )
             })
@@ -338,6 +349,80 @@ impl HealthMonitor {
         }
     }
 
+    /// Begins an **administrative** drain of `node` (fleet controller
+    /// path: decommission or upgrade). A `Healthy`/`Suspect` node enters
+    /// `Draining` under an administrative hold the probe loop never
+    /// auto-completes — only [`HealthMonitor::end_drain`] returns the node
+    /// to service. A node that is already `Down` (crashed) takes the hold
+    /// without a transition: it is already out of service, and the hold
+    /// keeps the probe's crash-recovery path from restoring routes
+    /// underneath the controller. Fires the capacity handler (a draining
+    /// node takes no traffic). Returns `false` for untracked nodes or when
+    /// a hold is already in place.
+    pub fn begin_drain(&self, sim: &mut Sim, node: NodeId) -> bool {
+        let now = sim.now();
+        let (ok, capacity, handler) = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(track) = inner.nodes.get_mut(&node.0) else {
+                return false;
+            };
+            if track.admin_hold {
+                return false;
+            }
+            track.admin_hold = true;
+            track.drain_until = SimTime::MAX;
+            let state = track.state;
+            if matches!(state, NodeState::Healthy | NodeState::Suspect) {
+                inner.transition(now, node, NodeState::Draining);
+            }
+            (true, inner.capacity(), inner.on_capacity.clone())
+        };
+        if let Some(h) = handler {
+            h(sim, capacity);
+        }
+        ok
+    }
+
+    /// Ends an administrative drain: releases the hold and, when the node
+    /// is still `Draining`, returns it to `Healthy` (failure streak
+    /// cleared) and fires the capacity handler. A node that crashed
+    /// mid-drain stays `Down`/recovering under the normal probe path —
+    /// releasing the hold lets that path complete as usual. Route
+    /// restoration is the caller's job (the controller restores routes
+    /// *before* releasing, so traffic and state flip together). Returns
+    /// `true` when the node re-entered `Healthy` here.
+    pub fn end_drain(&self, sim: &mut Sim, node: NodeId) -> bool {
+        let now = sim.now();
+        let (recovered, capacity, handler) = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(track) = inner.nodes.get_mut(&node.0) else {
+                return false;
+            };
+            track.admin_hold = false;
+            if track.state != NodeState::Draining {
+                return false;
+            }
+            inner.transition(now, node, NodeState::Healthy);
+            let t = inner.nodes.get_mut(&node.0).expect("tracked");
+            t.failures = 0;
+            t.drain_until = SimTime::ZERO;
+            (true, inner.capacity(), inner.on_capacity.clone())
+        };
+        if let Some(h) = handler {
+            h(sim, capacity);
+        }
+        recovered
+    }
+
+    /// Whether `node` is under an administrative drain hold.
+    pub fn admin_held(&self, node: NodeId) -> bool {
+        self.inner
+            .borrow()
+            .nodes
+            .get(&node.0)
+            .is_some_and(|t| t.admin_hold)
+    }
+
     /// Starts the recurring probe loop against `fabric`'s fault plane,
     /// running until `until`. Idempotent.
     pub fn start_probes(&self, sim: &mut Sim, fabric: Fabric, until: SimTime) {
@@ -391,7 +476,9 @@ impl HealthMonitor {
                                 now + cfg.drain;
                         }
                     }
-                    NodeState::Draining if now >= track.drain_until => {
+                    // An administratively held drain never auto-completes:
+                    // the fleet controller decides when the node returns.
+                    NodeState::Draining if now >= track.drain_until && !track.admin_hold => {
                         inner.transition(now, node, NodeState::Healthy);
                         let t = inner.nodes.get_mut(&id).expect("tracked");
                         t.failures = 0;

@@ -42,6 +42,7 @@ pub mod churn;
 pub mod cluster;
 pub mod experiment;
 pub mod fleet;
+pub mod fleetctl;
 pub mod health;
 pub mod report;
 pub mod shard_cluster;
@@ -49,5 +50,6 @@ pub mod trace;
 pub mod workload;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use fleetctl::{FleetConfig, FleetController, FleetCounters, FleetEvent, NodeLifecycle};
 pub use health::{HealthConfig, HealthEvent, HealthMonitor, NodeState};
 pub use workload::ClosedLoop;

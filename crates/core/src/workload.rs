@@ -365,8 +365,7 @@ impl ClusterRef {
         };
         // Payloads carry the on-wire trace context (24 bytes) even when
         // the caller asked for less, matching `Cluster::inject`.
-        let mut payload_bytes =
-            runtime::encode_request_payload(req, payload.max(obs::CTX_MIN_PAYLOAD));
+        let mut payload_bytes = runtime::encode_request_payload(req, payload.max(obs::CTX_REGION));
         runtime::set_hop(&mut payload_bytes, 0);
         // The load driver is the ingress here: decide sampling once and
         // stamp the on-wire bit; downstream span sites gate on it.

@@ -235,6 +235,10 @@ struct Inner {
     peer_links: HashMap<(TenantId, NodeId), PeerLink>,
     failure_handler: Option<DeliveryFailureHandler>,
     obs_sink: DneObsSink,
+    /// Per-peer negotiated CTX wire versions, announced by the control
+    /// plane during rolling upgrades. Absent ⇒ assume the peer runs the
+    /// current version (the homogeneous-fleet fast path).
+    peer_versions: HashMap<NodeId, u8>,
 }
 
 impl Inner {
@@ -242,12 +246,37 @@ impl Inner {
         self.txq.len() + self.fabric.cq_depth(self.cq)
     }
 
+    /// The CTX version to stamp toward `peer`: the minimum of this
+    /// engine's own version and the peer's announced version, so the
+    /// receiver's parser owns every byte it reads (negotiation rule of the
+    /// versioned wire region — see `obs::ctx`).
+    fn effective_wire_version(&self, peer: NodeId) -> u8 {
+        let peer_v = self
+            .peer_versions
+            .get(&peer)
+            .copied()
+            .unwrap_or(obs::ctx::CTX_CURRENT);
+        self.cfg.wire_version.min(peer_v)
+    }
+
+    /// Reads the payload deadline — but only when this engine's wire
+    /// version includes the deadline region. A v1 engine predates
+    /// deadlines entirely: during a rolling upgrade it neither cancels nor
+    /// drops expired work (the request still terminates upstream, typed,
+    /// at a deadline-aware hop or the gateway).
+    fn deadline_if_enforced(&self, bytes: &[u8]) -> Option<SimTime> {
+        if self.cfg.wire_version < obs::ctx::CTX_V2 {
+            return None;
+        }
+        deadline_of(bytes)
+    }
+
     /// Reads the request id and the ingress-decided sampling bit out of a
     /// still-pooled descriptor (tracing only): one peek of the payload's
     /// ctx-bearing prefix at the submit boundary, cached on the queue item
     /// so no later stage peeks again.
     fn trace_meta_of_desc(&self, tenant: TenantId, desc: BufferDesc) -> (u64, bool) {
-        let mut head = [0u8; obs::CTX_MIN_PAYLOAD];
+        let mut head = [0u8; obs::CTX_REGION];
         self.tenants
             .get(&tenant)
             .and_then(|s| s.pool.peek_payload_into(desc, &mut head))
@@ -490,7 +519,7 @@ impl Inner {
         // Deadline-aware park: when the request is already expired — or its
         // backoff timer would only fire after the deadline — parking is
         // pointless, so cancel now instead of burning a timer and a repost.
-        if let Some(d) = deadline_of(buf.as_slice()) {
+        if let Some(d) = self.deadline_if_enforced(buf.as_slice()) {
             if now >= d || now + backoff >= d {
                 // buf drops here → recycled.
                 return FailedSendOutcome::Fail(self.cancel_expired(
@@ -603,6 +632,7 @@ impl Dne {
             peer_links: HashMap::new(),
             failure_handler: None,
             obs_sink: DneObsSink::default(),
+            peer_versions: HashMap::new(),
         }));
         let weak: Weak<RefCell<Inner>> = Rc::downgrade(&inner);
         fabric.set_cq_waker(
@@ -704,6 +734,48 @@ impl Dne {
     /// Returns the restored function ids (sorted, deterministic).
     pub fn restore_node(&self, node: NodeId) -> Vec<u16> {
         self.inner.borrow_mut().routing.restore(node)
+    }
+
+    /// Function ids stranded at `node` after a fail-over found no healthy
+    /// alternative (they resolve `DestinationDown` until a target
+    /// recovers). Sorted; empty when the node is up.
+    pub fn stranded_on(&self, node: NodeId) -> Vec<u16> {
+        self.inner.borrow().routing.stranded_on(node)
+    }
+
+    /// The CTX wire version this engine stamps and understands.
+    pub fn wire_version(&self) -> u8 {
+        self.inner.borrow().cfg.wire_version
+    }
+
+    /// Switches the engine to a new CTX wire version — the moment a
+    /// rolling upgrade (or rollback) lands on this node. Takes effect from
+    /// the next stamp; in-flight payloads keep the version they carry.
+    pub fn set_wire_version(&self, version: u8) {
+        self.inner.borrow_mut().cfg.wire_version = version;
+    }
+
+    /// Records the control-plane-announced CTX version of a peer node.
+    /// Sends toward that peer are stamped at `min(own, peer)` so the
+    /// receiver's parser owns every byte it reads.
+    pub fn set_peer_wire_version(&self, peer: NodeId, version: u8) {
+        self.inner.borrow_mut().peer_versions.insert(peer, version);
+    }
+
+    /// The negotiated stamp version toward `peer` (`min(own, announced)`;
+    /// an unannounced peer is assumed current).
+    pub fn effective_wire_version(&self, peer: NodeId) -> u8 {
+        self.inner.borrow().effective_wire_version(peer)
+    }
+
+    /// Everything the engine still owes work for: queued TX descriptors,
+    /// CQEs waiting in the completion queue, worker items on cores, posted
+    /// sends awaiting completions, and parked retries. The drain loop of
+    /// the fleet controller polls this toward zero before taking the node
+    /// out of service.
+    pub fn inflight_total(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.queued() + inner.in_flight + inner.posted.len() + inner.retries.len()
     }
 
     /// Registers the delivery endpoint of a local function.
@@ -915,7 +987,7 @@ impl Dne {
             // Cancellation point: a request whose deadline has already
             // passed is dropped here instead of consuming a connection,
             // fabric flight, and remote RX capacity.
-            if let Some(d) = deadline_of(buf.as_slice()) {
+            if let Some(d) = inner.deadline_if_enforced(buf.as_slice()) {
                 if sim.now() >= d {
                     let dst_node = inner.routing.lookup(dst_fn);
                     let f = inner.cancel_expired(sim.now(), tenant, dst_fn, req_id, 0, dst_node);
@@ -1034,8 +1106,11 @@ impl Dne {
                                 // causal chain (the freshest span id *is*
                                 // the causal cursor). Unsampled requests
                                 // skip this entirely: their flags byte is
-                                // already zero.
-                                obs::ctx::write_ctx(buf.as_mut_slice(), parent, true);
+                                // already zero. The stamp is downgraded to
+                                // the peer's negotiated wire version during
+                                // mixed-version rollouts.
+                                let eff = inner.effective_wire_version(peer);
+                                obs::ctx::write_ctx_at(buf.as_mut_slice(), parent, true, eff);
                             }
                             inner.posted.insert(
                                 wr.0,
@@ -1336,7 +1411,7 @@ impl Dne {
             };
             // The deadline may have passed while the retry sat parked
             // (e.g. a reconnect flush arriving late): cancel, don't repost.
-            if let Some(d) = deadline_of(p.buf.as_slice()) {
+            if let Some(d) = inner.deadline_if_enforced(p.buf.as_slice()) {
                 if sim.now() >= d {
                     let f = inner.cancel_expired(
                         sim.now(),
@@ -1384,8 +1459,12 @@ impl Dne {
                             sim.now(),
                         );
                         // Re-stamp the context: the re-sent payload now
-                        // parents downstream spans on the backoff span.
-                        obs::ctx::write_ctx(p.buf.as_mut_slice(), parent, true);
+                        // parents downstream spans on the backoff span,
+                        // downgraded to the peer's negotiated version (the
+                        // peer may have changed versions while we backed
+                        // off mid-upgrade-wave).
+                        let eff = inner.effective_wire_version(p.peer);
+                        obs::ctx::write_ctx_at(p.buf.as_mut_slice(), parent, true, eff);
                     }
                     inner.posted.insert(
                         wr.0,
@@ -1713,6 +1792,13 @@ impl Dne {
     /// Returns how many pooled connections idle-age teardown destroyed.
     pub fn conn_teardowns(&self) -> u64 {
         self.inner.borrow().conns.teardowns()
+    }
+
+    /// Returns how many teardown sweeps ran with the adaptively shrunk
+    /// idle age (eviction-rate spikes; `0` unless adaptive teardown is
+    /// enabled in the elastic config).
+    pub fn conn_adaptive_shrinks(&self) -> u64 {
+        self.inner.borrow().conns.adaptive_shrinks()
     }
 
     /// Stocks `n` pre-warmed connections toward `peer` in the background.
@@ -2097,7 +2183,7 @@ mod tests {
         // Request-id convention: first eight payload bytes, little-endian.
         // The test plays ingress: it stamps the sampled bit the gateway
         // would normally decide at admission.
-        let mut payload = [0u8; obs::CTX_MIN_PAYLOAD];
+        let mut payload = [0u8; obs::CTX_REGION];
         payload[..8].copy_from_slice(&42u64.to_le_bytes());
         obs::ctx::write_ctx(&mut payload, 0, true);
         let mut buf = env.pool_a.get().unwrap();

@@ -395,6 +395,18 @@ impl<K: RouteKey> ShardedTable<K> {
             .map(|set| set.iter().copied().collect())
             .unwrap_or_default()
     }
+
+    /// The functions stranded at `node`: still routed there while the node
+    /// is marked down because [`ShardedTable::fail_over`] found no healthy
+    /// alternative. Every entry fails [`ShardedTable::resolve`] with
+    /// [`RouteError::DestinationDown`] until a target recovers. Sorted;
+    /// empty when the node is up.
+    pub fn stranded_on(&self, node: NodeId) -> Vec<K> {
+        if !self.down.contains(&node) {
+            return Vec::new();
+        }
+        self.functions_on(node)
+    }
 }
 
 /// The engine's routing table: on-wire `u16` function ids.

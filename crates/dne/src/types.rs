@@ -125,6 +125,13 @@ pub struct DneConfig {
     pub retry_budget: u32,
     /// Base backoff before the first retry; each further attempt doubles it.
     pub retry_backoff: SimDuration,
+    /// The on-wire CTX version this engine stamps and understands (see
+    /// `obs::ctx`). Fleet rollouts run nodes at different versions side by
+    /// side: sends are stamped at `min(self, peer)` so a not-yet-upgraded
+    /// receiver owns every byte it parses, and deadline interpretation is
+    /// disabled entirely below `obs::ctx::CTX_V2` (an old engine predates
+    /// the deadline region).
+    pub wire_version: u8,
 }
 
 impl Default for DneConfig {
@@ -145,6 +152,7 @@ impl Default for DneConfig {
             conns_per_peer: 2,
             retry_budget: 3,
             retry_backoff: SimDuration::from_micros(10),
+            wire_version: obs::ctx::CTX_CURRENT,
         }
     }
 }

@@ -44,7 +44,7 @@ pub fn doca_mmap_create_from_export(export: &ExportDescriptor) -> Result<MappedP
 /// descriptors and payloads too short to carry a context read as
 /// unsampled.
 pub fn doca_buf_is_sampled(mapped: &MappedPool, desc: membuf::descriptor::BufferDesc) -> bool {
-    let mut head = [0u8; obs::CTX_MIN_PAYLOAD];
+    let mut head = [0u8; obs::CTX_REGION];
     mapped
         .pool()
         .peek_payload_into(desc, &mut head)
@@ -85,7 +85,7 @@ mod tests {
         let export = doca_mmap_export_full(&pool).unwrap();
         let mapped = doca_mmap_create_from_export(&export).unwrap();
         // Ingress stamps the decision host-side into the payload ctx...
-        let mut payload = [0u8; obs::CTX_MIN_PAYLOAD];
+        let mut payload = [0u8; obs::CTX_REGION];
         payload[..8].copy_from_slice(&99u64.to_le_bytes());
         obs::ctx::write_ctx(&mut payload, 0, true);
         let mut b = pool.get().unwrap();
@@ -94,7 +94,7 @@ mod tests {
         // ...and the DPU reads the same bit through the imported mmap.
         assert!(doca_buf_is_sampled(&mapped, desc));
         // An unsampled request reads back as unsampled.
-        let mut unsampled = [0u8; obs::CTX_MIN_PAYLOAD];
+        let mut unsampled = [0u8; obs::CTX_REGION];
         unsampled[..8].copy_from_slice(&100u64.to_le_bytes());
         let mut b2 = pool.get().unwrap();
         b2.write_payload(&unsampled).unwrap();

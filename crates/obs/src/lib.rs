@@ -51,7 +51,8 @@ pub use agg::{Aggregator, AggregatorConfig};
 pub use burn::{BurnConfig, BurnMonitor, BurnPoint};
 pub use critical_path::{CriticalPath, StageShare, TenantBreakdown};
 pub use ctx::{
-    read_ctx, read_deadline_ns, write_ctx, write_deadline_ns, TraceCtx, CTX_MIN_PAYLOAD,
+    read_ctx, read_deadline_ns, wire_version, write_ctx, write_ctx_at, write_deadline_ns, TraceCtx,
+    CTX_CURRENT, CTX_REGION, CTX_V1, CTX_V2,
 };
 pub use exemplar::{Exemplar, ExemplarSet};
 pub use flight::{FlightRecorder, PipelineConfig, TracePipeline, TriggerReason};

@@ -187,8 +187,15 @@ impl DagFunction {
             };
             // DAG messages are fresh payloads per hop, so the deadline and
             // the ingress sampling bit are read out here and re-stamped
-            // onto every downstream message.
-            let deadline_ns = obs::read_deadline_ns(buf.as_slice()).unwrap_or(0);
+            // onto every downstream message. A v1 node predates the
+            // deadline region: it neither reads nor enforces deadlines (a
+            // deadline-aware hop or the gateway still terminates the
+            // request, typed).
+            let deadline_ns = if iolib.wire_version() >= obs::CTX_V2 {
+                obs::read_deadline_ns(buf.as_slice()).unwrap_or(0)
+            } else {
+                0
+            };
             let sampled = iolib.tracer().is_enabled() && obs::ctx::sampled(buf.as_slice());
             drop(buf); // payload consumed; recycle immediately
             match kind {
@@ -342,9 +349,13 @@ impl DagFunction {
         };
         let mut payload = crate::function::encode_request_payload(req_id, 64);
         set_dag_header(&mut payload, kind, from);
-        // Fresh payload per hop: the deadline must travel explicitly or
-        // downstream cancellation points go blind after the first fan-out.
-        if deadline_ns != 0 {
+        // Fresh payload per hop, stamped at this node's wire version: a
+        // not-yet-upgraded (v1) node owns no deadline region, so deadline
+        // propagation degrades to best-effort through it mid-rollout.
+        let wv = iolib.wire_version();
+        // The deadline must travel explicitly or downstream cancellation
+        // points go blind after the first fan-out.
+        if deadline_ns != 0 && wv >= obs::CTX_V2 {
             obs::ctx::write_deadline_ns(&mut payload, deadline_ns);
         }
         if sampled {
@@ -352,7 +363,7 @@ impl DagFunction {
             // parent cursor plus the ingress sampling bit — must be
             // re-stamped or causality breaks at this hop.
             let parent = iolib.tracer().cursor(req_id, iolib.node().0 as u32);
-            obs::ctx::write_ctx(&mut payload, parent, true);
+            obs::ctx::write_ctx_at(&mut payload, parent, true, wv);
         }
         buf.write_payload(&payload).expect("payload fits");
         // The trace identity is already in hand — skip the SkMsg peek.

@@ -58,7 +58,7 @@ impl IoInner {
     /// read from the payload head in a single peek (only called when
     /// tracing is on; peeking costs a pool lookup).
     fn trace_meta_of_desc(&self, tenant: TenantId, desc: BufferDesc) -> (u64, bool) {
-        let mut head = [0u8; obs::CTX_MIN_PAYLOAD];
+        let mut head = [0u8; obs::CTX_REGION];
         self.pools
             .get(&tenant)
             .and_then(|p| p.peek_payload_into(desc, &mut head))
@@ -112,6 +112,13 @@ impl IoLib {
     /// Returns the node this library serves.
     pub fn node(&self) -> NodeId {
         self.inner.borrow().node
+    }
+
+    /// The CTX wire version of this node's engine. Runtime stamp sites
+    /// (fresh per-hop DAG payloads) write at this version so a node that
+    /// has not been upgraded yet never stamps regions it does not own.
+    pub fn wire_version(&self) -> u8 {
+        self.inner.borrow().dne.wire_version()
     }
 
     /// Registers a tenant's local memory pool (needed to recycle buffers
@@ -479,7 +486,7 @@ mod tests {
         );
         // The test plays ingress: stamp the sampled bit the gateway would
         // normally decide at admission.
-        let mut payload = [0u8; obs::CTX_MIN_PAYLOAD];
+        let mut payload = [0u8; obs::CTX_REGION];
         payload[..8].copy_from_slice(&77u64.to_le_bytes());
         obs::ctx::write_ctx(&mut payload, 0, true);
         let mut buf = env.pool.get().unwrap();

@@ -1,0 +1,640 @@
+//! Fleet lifecycle tests: versioned wire interop, administrative drains
+//! and the rolling upgrade wave.
+//!
+//! Three properties anchor the fleet controller:
+//!
+//! 1. **Version skew is safe on the wire.** A v2 engine stamps v1 toward a
+//!    v1 peer (and parses v1 payloads), in both directions, including the
+//!    retry-repost path under wire loss — verified end to end on a live
+//!    cluster.
+//! 2. **Drains never hang a request.** Work posted just before an
+//!    administrative drain completes or fails typed; routes come back only
+//!    after the drain hold completes, never mid-drain.
+//! 3. **A rolling upgrade wave is survivable and deterministic.** The
+//!    full boutique topology under a concurrent upgrade wave, crash window
+//!    and rogue tenant: zero hung requests, >= 80% compliant goodput vs
+//!    the fault-free same-seed run, and byte-identical same-seed outcomes.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ingress::gateway::Reply;
+use ingress::rss::FlowId;
+use ingress::{AdmissionConfig, DeliveryFailed, Gateway, GatewayConfig};
+use membuf::tenant::TenantId;
+use nadino::boutique;
+use nadino::cluster::{Cluster, ClusterConfig};
+use nadino::fleetctl::{FleetConfig, FleetController, FleetEvent, NodeLifecycle};
+use nadino::health::HealthConfig;
+use rdma_sim::FaultPlane;
+use runtime::ChainSpec;
+use simcore::{Sim, SimDuration, SimTime};
+
+/// Seed override hook shared with the chaos suite (`CHAOS_SEED`, decimal
+/// or `0x`-prefixed hex), so CI sweeps one seed matrix over both.
+fn chaos_seed(default: u64) -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim().to_string();
+            match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(default)
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-version wire interop.
+// ---------------------------------------------------------------------------
+
+/// Runs a 1→2→1 chain between a node at `v_entry` and a node at `v_mid`
+/// under 5% wire loss (exercising the retry-repost restamp path), with a
+/// generous deadline stamped at injection. Returns
+/// `(completed, failed, retries, effective_0_to_1, effective_1_to_0)`.
+fn skew_run(v_entry: u8, v_mid: u8) -> (Vec<u64>, Vec<u64>, u64, u8, u8) {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tracer = obs::Tracer::enabled();
+    cluster.set_tracer(&tracer);
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+    cluster.place(1, 0);
+    cluster.place(2, 1);
+    // Announce the skew before any traffic: the control-plane half of
+    // version negotiation.
+    cluster.set_node_wire_version(0, v_entry);
+    cluster.set_node_wire_version(1, v_mid);
+
+    let completed: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let failed: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let c2 = completed.clone();
+    cluster.register_chain(
+        &chain,
+        |_| SimDuration::from_micros(5),
+        Rc::new(move |_sim, req| c2.borrow_mut().push(req)),
+    );
+    let f2 = failed.clone();
+    cluster.set_delivery_failure_handler(Rc::new(move |_sim, failure| {
+        f2.borrow_mut().push(failure.req_id);
+    }));
+
+    let mut fp = FaultPlane::new(0xBEEF);
+    fp.set_default_loss(0.05);
+    cluster.fabric.install_fault_plane(fp);
+
+    let deadline = sim.now() + SimDuration::from_secs(1);
+    for i in 0..100 {
+        assert!(
+            cluster.inject_with_deadline(&mut sim, &chain, 1_000 + i, 256, deadline),
+            "entry pool exhausted at request {i}"
+        );
+        sim.run_for(SimDuration::from_micros(50));
+    }
+    sim.run();
+
+    let retries: u64 = cluster.nodes.iter().map(|n| n.dne.stats().retries).sum();
+    let eff01 = cluster.nodes[0]
+        .dne
+        .effective_wire_version(cluster.nodes[1].id);
+    let eff10 = cluster.nodes[1]
+        .dne
+        .effective_wire_version(cluster.nodes[0].id);
+    let completed = completed.borrow().clone();
+    let failed = failed.borrow().clone();
+    (completed, failed, retries, eff01, eff10)
+}
+
+/// An upgraded (v2) entry node drives a chain through a v1 peer: every
+/// request terminates, retries restamp at the downgraded version, and both
+/// engines agree on the negotiated wire version (min of the pair).
+#[test]
+fn v2_node_interoperates_with_v1_peer() {
+    let (completed, failed, retries, eff01, eff10) = skew_run(obs::CTX_V2, obs::CTX_V1);
+    assert_eq!(eff01, obs::CTX_V1, "v2 stamps down toward a v1 peer");
+    assert_eq!(eff10, obs::CTX_V1, "v1 stamps v1 regardless of the peer");
+    assert!(retries > 0, "wire loss never exercised the retry restamp");
+    assert_eq!(
+        completed.len() + failed.len(),
+        100,
+        "requests hung under v2->v1 skew"
+    );
+    assert!(completed.len() >= 95, "skew broke delivery itself");
+}
+
+/// The reverse skew: a v1 entry node through an upgraded v2 peer. The v2
+/// engine parses the v1 prefix and never interprets the (absent) deadline
+/// region of v1 payloads.
+#[test]
+fn v1_node_interoperates_with_v2_peer() {
+    let (completed, failed, retries, eff01, eff10) = skew_run(obs::CTX_V1, obs::CTX_V2);
+    assert_eq!(eff01, obs::CTX_V1);
+    assert_eq!(eff10, obs::CTX_V1, "v2 stamps down toward the v1 peer");
+    assert!(retries > 0);
+    assert_eq!(
+        completed.len() + failed.len(),
+        100,
+        "requests hung under v1->v2 skew"
+    );
+    assert!(completed.len() >= 95);
+}
+
+/// Homogeneous v2 control: the same run with no skew completes and
+/// negotiates v2 on both directions.
+#[test]
+fn homogeneous_v2_negotiates_v2() {
+    let (completed, failed, _, eff01, eff10) = skew_run(obs::CTX_V2, obs::CTX_V2);
+    assert_eq!((eff01, eff10), (obs::CTX_V2, obs::CTX_V2));
+    assert_eq!(completed.len() + failed.len(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Administrative drain semantics.
+// ---------------------------------------------------------------------------
+
+/// A request posted just before an administrative drain either completes
+/// or fails typed — never hangs — and the drained node's routes are
+/// restored only after the drain completed, by the upgrade step.
+#[test]
+fn drain_with_in_flight_request_completes_or_fails_typed() {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+    cluster.place_with_backup(1, 0, 1);
+    cluster.place_with_backup(2, 1, 0);
+    let cluster = Rc::new(cluster);
+
+    let completed: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let failed: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let c2 = completed.clone();
+    cluster.register_chain(
+        &chain,
+        |_| SimDuration::from_micros(20),
+        Rc::new(move |_sim, req| c2.borrow_mut().push(req)),
+    );
+    let f2 = failed.clone();
+    cluster.set_delivery_failure_handler(Rc::new(move |_sim, failure| {
+        f2.borrow_mut().push(failure.req_id);
+    }));
+
+    let until = sim.now() + SimDuration::from_millis(100);
+    let monitor = cluster.enable_health_monitor(&mut sim, HealthConfig::default(), until);
+    let ctl = FleetController::install(&cluster, &monitor, FleetConfig::default());
+
+    // Post a request, then start the drain in the same instant: the
+    // request is in flight toward node 1 when its routes move.
+    assert!(cluster.inject(&mut sim, &chain, 42, 256));
+    ctl.upgrade_node(&mut sim, 1, obs::CTX_V2, |_| {});
+
+    // Routes moved off node 1 immediately (stop new placements first).
+    assert_eq!(cluster.node_index_of(2), Some(0), "fn 2 failed over");
+    assert_eq!(ctl.lifecycle_of(1), Some(NodeLifecycle::Draining));
+
+    sim.run();
+
+    // The in-flight request terminated exactly once.
+    let done = completed.borrow().contains(&42);
+    let lost = failed.borrow().contains(&42);
+    assert!(done || lost, "request 42 hung across the drain");
+    assert!(!(done && lost), "request 42 terminated twice");
+
+    // The node came back: routes restored, upgraded, back in service.
+    assert_eq!(cluster.node_index_of(2), Some(1), "routes restored");
+    assert_eq!(ctl.lifecycle_of(1), Some(NodeLifecycle::InService));
+    assert_eq!(cluster.nodes[1].dne.wire_version(), obs::CTX_V2);
+    let c = ctl.counters();
+    assert_eq!(c.drains_started, 1);
+    assert_eq!(c.upgrades_completed, 1);
+    assert_eq!(
+        c.drains_completed + c.drain_deadline_exceeded,
+        1,
+        "drain neither quiesced nor timed out"
+    );
+
+    // Ordering: routes restored strictly after the drain finished.
+    let events = ctl.events();
+    let pos = |pred: &dyn Fn(&FleetEvent) -> bool| events.iter().position(pred);
+    let drain_end = pos(&|e| {
+        matches!(
+            e,
+            FleetEvent::DrainCompleted { .. } | FleetEvent::DrainDeadlineExceeded { .. }
+        )
+    })
+    .expect("drain ended");
+    let restored =
+        pos(&|e| matches!(e, FleetEvent::RoutesRestored { .. })).expect("routes were restored");
+    let rebalanced =
+        pos(&|e| matches!(e, FleetEvent::Rebalanced { .. })).expect("drain rebalanced routes");
+    assert!(rebalanced < drain_end, "routes move before the drain wait");
+    assert!(
+        restored > drain_end,
+        "routes restored mid-drain: {events:?}"
+    );
+}
+
+/// The probe loop keeps its hands off an administrative drain: the node
+/// stays `Draining` past every probe interval and hold-down until the
+/// controller releases it. Capacity shrinks while held and recovers on
+/// release (decommission → provision round trip).
+#[test]
+fn admin_drain_holds_until_released() {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+    cluster.place_with_backup(1, 0, 1);
+    cluster.place_with_backup(2, 1, 0);
+    cluster.register_chain(&chain, |_| SimDuration::from_micros(5), Rc::new(|_, _| {}));
+    let cluster = Rc::new(cluster);
+
+    let until = sim.now() + SimDuration::from_millis(100);
+    let monitor = cluster.enable_health_monitor(&mut sim, HealthConfig::default(), until);
+    let caps: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+    let caps2 = caps.clone();
+    monitor.set_capacity_handler(Rc::new(move |_sim, f| caps2.borrow_mut().push(f)));
+    let ctl = FleetController::install(&cluster, &monitor, FleetConfig::default());
+
+    ctl.decommission(&mut sim, 1);
+    // Far past the default 5ms hold-down and every probe tick: the
+    // administrative hold keeps the node out of service.
+    sim.run_for(SimDuration::from_millis(40));
+    assert_eq!(
+        monitor.state_of(cluster.nodes[1].id),
+        Some(nadino::NodeState::Draining),
+        "probe auto-completed an administrative drain"
+    );
+    assert_eq!(ctl.lifecycle_of(1), Some(NodeLifecycle::Decommissioned));
+    assert_eq!(cluster.node_index_of(2), Some(0), "routes stay on backups");
+    assert_eq!(
+        caps.borrow().first().copied(),
+        Some(0.5),
+        "drain shrank capacity to 1/2"
+    );
+
+    ctl.provision(&mut sim, 1);
+    assert_eq!(
+        monitor.state_of(cluster.nodes[1].id),
+        Some(nadino::NodeState::Healthy)
+    );
+    assert_eq!(ctl.lifecycle_of(1), Some(NodeLifecycle::InService));
+    assert_eq!(cluster.node_index_of(2), Some(1), "routes restored");
+    assert_eq!(caps.borrow().last().copied(), Some(1.0));
+    let c = ctl.counters();
+    assert_eq!((c.decommissions, c.provisions), (1, 1));
+}
+
+// ---------------------------------------------------------------------------
+// The rolling upgrade wave over the boutique topology, with chaos riders.
+// ---------------------------------------------------------------------------
+
+/// Per-tenant bookkeeping of one fleet run.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct TenantTally {
+    ok: u64,
+    shed: u64,
+    expired: u64,
+    failed: u64,
+    dropped: u64,
+}
+
+/// The full deterministic surface of one fleet run.
+#[derive(Debug, PartialEq)]
+struct FleetOutcome {
+    issued: u64,
+    resolved: u64,
+    pending_left: usize,
+    compliant: TenantTally,
+    rogue: TenantTally,
+    outage_drops: u64,
+    health: Vec<String>,
+    fleet_events: Vec<FleetEvent>,
+    counters: nadino::FleetCounters,
+    versions: Vec<u8>,
+    dump_count: u64,
+    dump: String,
+    end_ns: u64,
+}
+
+const FLEET_TICKS: u32 = 400;
+const ROGUE_PER_TICK: u32 = 3;
+
+/// One fleet run over the fig16 boutique topology (hotspot placement on
+/// nodes 0/1, backups on node 2): a compliant tenant driving Home Query,
+/// a rogue tenant flooding its own chain at 3x the rate on 1/3 the
+/// weight. With `wave`, a rolling upgrade v1→v2 walks all three nodes
+/// starting at +4ms; with `crash`, node 1 goes dark for 1.5ms at +6ms —
+/// inside the wave window, so the controller, health monitor and fault
+/// plane fight over the same node.
+fn fleet_run(seed: u64, wave: bool, crash: bool) -> FleetOutcome {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(
+        &mut sim,
+        ClusterConfig {
+            workers: 3,
+            ..ClusterConfig::default()
+        },
+    );
+    let tracer = obs::Tracer::enabled();
+    cluster.set_tracer(&tracer);
+    cluster.enable_trace_pipeline(obs::PipelineConfig {
+        tail_k: 8,
+        flight_cap: 32,
+        burn: None,
+    });
+    let compliant_t = TenantId(1);
+    let rogue_t = TenantId(2);
+    cluster.add_tenant(&mut sim, compliant_t, 3).unwrap();
+    cluster.add_tenant(&mut sim, rogue_t, 1).unwrap();
+    // The boutique functions at their hotspot placement, all with a
+    // standby on node 2; the rogue tenant's chain rides the same layout.
+    for f in boutique::all_functions() {
+        cluster.place_with_backup(f, boutique::hotspot_placement(f), 2);
+    }
+    cluster.place_with_backup(21, 0, 2);
+    cluster.place_with_backup(22, 1, 2);
+    let cluster = Rc::new(cluster);
+
+    // Every node starts the run at wire v1 — the wave's job is to walk
+    // the fleet to v2 with live version skew in between.
+    for idx in 0..3 {
+        cluster.set_node_wire_version(idx, obs::CTX_V1);
+    }
+
+    let pending: Rc<RefCell<HashMap<u64, Reply>>> = Rc::new(RefCell::new(HashMap::new()));
+    let compliant_chain = boutique::home_query(compliant_t);
+    let rogue_chain = ChainSpec::new("rogue", rogue_t, vec![21, 22, 21]);
+    let on_complete = {
+        let pending = pending.clone();
+        Rc::new(move |sim: &mut Sim, req: u64| {
+            if let Some(reply) = pending.borrow_mut().remove(&req) {
+                reply(sim, Ok(64));
+            }
+        })
+    };
+    let cost = |f: u16| boutique::exec_cost(f) / 10;
+    cluster.register_chain(&compliant_chain, cost, on_complete.clone());
+    cluster.register_chain(&rogue_chain, cost, on_complete);
+    {
+        let pending = pending.clone();
+        cluster.set_delivery_failure_handler(Rc::new(move |sim, failure| {
+            if let Some(reply) = pending.borrow_mut().remove(&failure.req_id) {
+                reply(sim, Err(DeliveryFailed));
+            }
+        }));
+    }
+
+    let mut fp = FaultPlane::new(seed);
+    fp.set_default_loss(0.02);
+    cluster.fabric.install_fault_plane(fp);
+    let drive_start = sim.now();
+    if crash {
+        let from = drive_start + SimDuration::from_millis(6);
+        cluster.fabric.schedule_node_outage(
+            cluster.nodes[1].id,
+            from,
+            from + SimDuration::from_micros(1500),
+        );
+    }
+    let until = drive_start + SimDuration::from_millis(80);
+    let monitor = cluster.enable_health_monitor(&mut sim, HealthConfig::default(), until);
+
+    let gateway = Gateway::new(GatewayConfig {
+        deadline: Some(SimDuration::from_millis(5)),
+        admission: Some(AdmissionConfig {
+            target: SimDuration::from_micros(300),
+            interval: SimDuration::from_millis(1),
+            retry_after_secs: 1,
+        }),
+        max_backlog: SimDuration::from_secs(10),
+        ..GatewayConfig::default()
+    });
+    gateway.set_tracer(tracer.clone());
+    gateway.register_tenant(compliant_t.0, 3);
+    gateway.register_tenant(rogue_t.0, 1);
+    {
+        // Health-fed capacity factor: drains and crashes both tighten the
+        // gateway's admission targets during the wave.
+        let gw = gateway.clone();
+        monitor.set_capacity_handler(Rc::new(move |_sim, f| gw.set_capacity_factor(f)));
+    }
+
+    let ctl = FleetController::install(&cluster, &monitor, FleetConfig::default());
+    if wave {
+        let ctl2 = ctl.clone();
+        sim.schedule_after(SimDuration::from_millis(4), move |sim| {
+            ctl2.start_upgrade_wave(sim, obs::CTX_V2);
+        });
+    }
+
+    let upstream_for = |chain: ChainSpec| -> ingress::Upstream {
+        let cluster = cluster.clone();
+        let pending = pending.clone();
+        Rc::new(move |sim: &mut Sim, ctx: ingress::ReqCtx, reply: Reply| {
+            let injected = if ctx.deadline_ns != 0 {
+                cluster.inject_with_deadline(
+                    sim,
+                    &chain,
+                    ctx.req_id,
+                    boutique::PAYLOAD_BYTES,
+                    SimTime::from_nanos(ctx.deadline_ns),
+                )
+            } else {
+                cluster.inject(sim, &chain, ctx.req_id, boutique::PAYLOAD_BYTES)
+            };
+            if injected {
+                pending.borrow_mut().insert(ctx.req_id, reply);
+            } else {
+                reply(sim, Err(DeliveryFailed));
+            }
+        })
+    };
+    let compliant_up = upstream_for(compliant_chain.clone());
+    let rogue_up = upstream_for(rogue_chain.clone());
+
+    let issued = Rc::new(Cell::new(0u64));
+    let resolved = Rc::new(Cell::new(0u64));
+    let submit = |sim: &mut Sim, tenant: u16, flow: u32, up: &ingress::Upstream| {
+        issued.set(issued.get() + 1);
+        let resolved = resolved.clone();
+        gateway.submit_tenant(
+            sim,
+            tenant,
+            FlowId::from_client(flow, 0),
+            64,
+            up.clone(),
+            Box::new(move |_sim, _r| resolved.set(resolved.get() + 1)),
+        );
+    };
+    for tick in 0..FLEET_TICKS {
+        submit(&mut sim, compliant_t.0, tick, &compliant_up);
+        for k in 0..ROGUE_PER_TICK {
+            submit(
+                &mut sim,
+                rogue_t.0,
+                100_000 + tick * ROGUE_PER_TICK + k,
+                &rogue_up,
+            );
+        }
+        sim.run_for(SimDuration::from_micros(50));
+    }
+    sim.run();
+
+    let tally = |t: u16| {
+        let s = gateway.tenant_stats(t);
+        TenantTally {
+            ok: s.completed,
+            shed: s.shed,
+            expired: s.expired,
+            failed: s.failed,
+            dropped: s.dropped,
+        }
+    };
+    let health = monitor
+        .events()
+        .iter()
+        .map(|e| format!("{}:{:?}->{:?}@{}", e.node.0, e.from, e.to, e.at.as_nanos()))
+        .collect();
+    let dump_count = cluster.with_trace_pipeline(|p| p.dump_count()).unwrap();
+    let dump = cluster
+        .with_trace_pipeline(|p| p.last_dump().map(|d| d.to_string_compact()))
+        .unwrap()
+        .unwrap_or_default();
+    let pending_left = pending.borrow().len();
+    FleetOutcome {
+        issued: issued.get(),
+        resolved: resolved.get(),
+        pending_left,
+        compliant: tally(compliant_t.0),
+        rogue: tally(rogue_t.0),
+        outage_drops: cluster.fabric.fault_stats().outage_drops,
+        health,
+        fleet_events: ctl.events(),
+        counters: ctl.counters(),
+        versions: cluster.nodes.iter().map(|n| n.dne.wire_version()).collect(),
+        dump_count,
+        dump,
+        end_ns: sim.now().as_nanos(),
+    }
+}
+
+/// The headline acceptance run: a full rolling upgrade wave over the
+/// boutique topology while a crash window and a rogue tenant run
+/// concurrently. Zero hung requests, the wave lands every node on v2, and
+/// the compliant tenant keeps >= 80% of its fault-free same-seed goodput.
+#[test]
+fn upgrade_wave_with_crash_and_rogue_tenant_degrades_gracefully() {
+    let seed = chaos_seed(0xC4A0);
+    let faultfree = fleet_run(seed, false, false);
+    let chaotic = fleet_run(seed, true, true);
+
+    for out in [&faultfree, &chaotic] {
+        assert_eq!(
+            out.resolved, out.issued,
+            "requests hung: {} of {} resolved",
+            out.resolved, out.issued
+        );
+        assert_eq!(out.pending_left, 0, "replies leaked in the pending map");
+    }
+    assert!(chaotic.outage_drops > 0, "crash window never fired");
+    assert_eq!(faultfree.outage_drops, 0);
+
+    // The wave finished: every node upgraded exactly once, in one wave,
+    // and ended at v2. The no-wave run stayed at v1.
+    assert_eq!(chaotic.counters.waves_completed, 1);
+    assert_eq!(chaotic.counters.upgrades_completed, 3);
+    assert_eq!(chaotic.versions, vec![obs::CTX_V2; 3]);
+    assert_eq!(faultfree.versions, vec![obs::CTX_V1; 3]);
+    assert!(chaotic
+        .fleet_events
+        .iter()
+        .any(|e| matches!(e, FleetEvent::WaveCompleted { upgraded: 3, .. })));
+    assert!(
+        chaotic.counters.rebalances > 0,
+        "wave drains never rebalanced routes"
+    );
+
+    // Administrative drains went through the Draining health state.
+    assert!(
+        chaotic
+            .health
+            .iter()
+            .any(|e| e.contains("Healthy->Draining")),
+        "no admin drain transition: {:?}",
+        chaotic.health
+    );
+    assert!(faultfree.health.is_empty(), "{:?}", faultfree.health);
+
+    // Graceful degradation: wave + crash + rogue costs the compliant
+    // tenant at most 20% of its fault-free goodput on the same seed.
+    assert!(
+        chaotic.compliant.ok as f64 >= 0.8 * faultfree.compliant.ok as f64,
+        "compliant goodput collapsed: {} chaotic vs {} fault-free",
+        chaotic.compliant.ok,
+        faultfree.compliant.ok
+    );
+
+    // Weight-aware shedding still favors the compliant tenant.
+    for out in [&faultfree, &chaotic] {
+        assert!(
+            out.rogue.shed > out.compliant.shed,
+            "rogue shed {} vs compliant {}",
+            out.rogue.shed,
+            out.compliant.shed
+        );
+    }
+}
+
+/// The wave run — controller, health monitor, gateway, fault plane and
+/// all — is part of the deterministic surface: same seed, byte-identical
+/// outcome including the flight-recorder dump and the fleet event log.
+#[test]
+fn fleet_run_is_deterministic_per_seed() {
+    let seed = chaos_seed(0xC4A0);
+    let a = fleet_run(seed, true, true);
+    let b = fleet_run(seed, true, true);
+    assert_eq!(a, b, "same-seed fleet runs diverged");
+}
+
+/// The controller's counters and lifecycle states surface as `fleet_*`
+/// gauges through `sample_obs`.
+#[test]
+fn fleet_gauges_surface_through_sample_obs() {
+    let mut sim = Sim::new();
+    let mut cluster = Cluster::new(&mut sim, ClusterConfig::default());
+    let tenant = TenantId(1);
+    cluster.add_tenant(&mut sim, tenant, 1).unwrap();
+    let chain = ChainSpec::new("echo", tenant, vec![1, 2, 1]);
+    cluster.place_with_backup(1, 0, 1);
+    cluster.place_with_backup(2, 1, 0);
+    cluster.register_chain(&chain, |_| SimDuration::from_micros(5), Rc::new(|_, _| {}));
+    let cluster = Rc::new(cluster);
+    let until = sim.now() + SimDuration::from_millis(50);
+    let monitor = cluster.enable_health_monitor(&mut sim, HealthConfig::default(), until);
+    let ctl = FleetController::install(&cluster, &monitor, FleetConfig::default());
+
+    ctl.upgrade_node(&mut sim, 1, obs::CTX_V2, |_| {});
+    sim.run();
+
+    let reg = obs::MetricsRegistry::new();
+    cluster.sample_obs(sim.now(), &reg, SimDuration::from_millis(1));
+    let snap = reg.snapshot();
+    assert_eq!(snap.gauge("fleet_upgrades_total", &[]), Some(1.0));
+    assert_eq!(snap.gauge("fleet_wave_active", &[]), Some(0.0));
+    assert_eq!(snap.gauge("fleet_nodes_in_service", &[]), Some(2.0));
+    assert_eq!(snap.gauge("fleet_nodes_decommissioned", &[]), Some(0.0));
+    assert_eq!(
+        snap.gauge("fleet_node_wire_version", &[("node", "1")]),
+        Some(obs::CTX_V2 as f64)
+    );
+    assert_eq!(
+        snap.gauge("fleet_node_wire_version", &[("node", "0")]),
+        Some(obs::CTX_CURRENT as f64)
+    );
+    assert!(snap.gauge("fleet_rebalances_total", &[]).unwrap_or(0.0) >= 2.0);
+}
